@@ -1,0 +1,84 @@
+// E12 — Fronthaul congestion vs HARQ deadlines: why compression is a
+// systems requirement, not an optimisation.
+//
+// All cells share one fronthaul fibre; per-TTI sample bursts serialise
+// FIFO, so queueing delay eats directly into the 3 ms uplink budget.
+// Claims reproduced: (i) below ~80% link utilisation the fronthaul is
+// invisible; (ii) past it, queueing delay explodes and deadline misses
+// follow; (iii) I/Q compression (E7's codecs) moves the cliff — the same
+// fibre carries ~3x the cells.
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/deployment.hpp"
+
+namespace {
+
+struct Point {
+  double link_util = 0.0;
+  double queue_delay_us = 0.0;
+  double miss_ratio = 0.0;
+};
+
+Point run(int cells, double rate_gbps, double compression) {
+  using namespace pran;
+  core::DeploymentConfig config;
+  config.num_cells = cells;
+  config.num_servers = cells / 2 + 2;
+  config.seed = 5;
+  config.start_hour = 11.0;
+  config.day_compression = 60.0;
+  config.shared_fronthaul =
+      fronthaul::LinkParams{rate_gbps * 1e9, 25 * sim::kMicrosecond};
+  config.fronthaul_compression = compression;
+  core::Deployment d(config);
+  d.run_for(600 * sim::kMillisecond);
+
+  Point pt;
+  pt.link_util = d.fronthaul_link()->utilization(d.now());
+  pt.queue_delay_us =
+      sim::to_microseconds(d.fronthaul_link()->max_queue_delay());
+  pt.miss_ratio = d.kpis().miss_ratio;
+  return pt;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pran;
+
+  std::printf(
+      "E12: shared-fronthaul congestion vs deadline misses "
+      "(3.69 Mbit per cell-subframe raw, 600 ms runs)\n\n");
+
+  Table table({"cells", "link_gbps", "compression", "link_util",
+               "max_queue_us", "miss_ratio"});
+  struct Config {
+    int cells;
+    double gbps;
+    double compression;
+  };
+  const Config configs[] = {
+      {4, 25.0, 1.0}, {6, 25.0, 1.0}, {8, 25.0, 1.0},  // raw: cliff at 7
+      {2, 10.0, 1.0}, {3, 10.0, 1.0},                   // raw 10G: cliff at 3
+      {6, 10.0, 2.0},                                   // 2x: still over
+      {6, 10.0, 3.0}, {7, 10.0, 3.0}, {8, 10.0, 3.0},   // 3x: cliff at 8
+  };
+  for (const auto& c : configs) {
+    const auto pt = run(c.cells, c.gbps, c.compression);
+    table.row()
+        .cell(c.cells)
+        .cell(c.gbps, 0)
+        .cell(c.compression, 1)
+        .cell(pt.link_util, 3)
+        .cell(pt.queue_delay_us, 1)
+        .cell(pt.miss_ratio, 5);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "reading: misses stay ~0 until link utilisation nears 1, then the "
+      "FIFO queue diverges; 3x compression moves a 10G fibre's cliff from "
+      "3 cells to 8\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// E13 — Two controller extensions under stress: demand forecasting on the
+// morning ramp, and admission control under true overload.
+//
+// (a) Ramp: traffic triples between 5 am and 11 am (heavily compressed, so
+//     demand grows ~2x within one control epoch). A reactive controller
+//     plans for the load it has seen; a forecasting controller scales each
+//     cell's estimate by its profile's expected growth over the epoch and
+//     provisions ahead of the ramp.
+// (b) Overload: demand exceeds total cluster capacity at the peak. Without
+//     admission control the stale plan overloads every server and *all*
+//     cells miss deadlines; with shedding, the controller drops the
+//     largest cells into planned outage and serves the rest cleanly.
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/deployment.hpp"
+
+namespace {
+
+pran::core::DeploymentKpis run_ramp(double horizon_hours) {
+  using namespace pran;
+  core::DeploymentConfig config;
+  config.num_cells = 6;
+  config.num_servers = 4;
+  config.server = cluster::ServerSpec{"srv", 4, 150.0};
+  config.seed = 13;
+  config.start_hour = 5.0;
+  config.day_compression = 14400.0;        // 4 diurnal hours per second
+  config.epoch = 500 * sim::kMillisecond;  // 2 diurnal hours per epoch
+  config.forecast_horizon_hours = horizon_hours;
+  config.controller.headroom = 0.9;
+  config.controller.demand_safety = 1.0;
+  core::Deployment d(config);
+  d.run_for(1500 * sim::kMillisecond);  // 5 am -> 11 am
+  return d.kpis();
+}
+
+pran::core::DeploymentKpis run_overload(bool shed, double forecast_h) {
+  using namespace pran;
+  core::DeploymentConfig config;
+  // Ramps from a feasible 6 am into a 10 am peak that exceeds the whole
+  // 2-server cluster — capacity cannot be bought, only rationed.
+  config.num_cells = 10;
+  config.num_servers = 2;
+  config.server = cluster::ServerSpec{"srv", 3, 150.0};
+  config.peak_prb_utilization = 1.0;
+  config.seed = 21;
+  config.start_hour = 6.0;
+  config.day_compression = 14400.0;  // 4 diurnal hours per second
+  config.epoch = 100 * sim::kMillisecond;
+  config.forecast_horizon_hours = forecast_h;
+  config.controller.shed_on_infeasible = shed;
+  config.controller.headroom = 0.8;
+  config.controller.demand_safety = 1.0;
+  config.harq_retransmissions = true;  // misses feed back as extra load
+  core::Deployment d(config);
+  d.run_for(1500 * sim::kMillisecond);  // 6 am -> noon
+  return d.kpis();
+}
+
+}  // namespace
+
+int main() {
+  using namespace pran;
+
+  std::printf(
+      "E13a: morning ramp (5->11 am compressed to 1.5 s; demand ~2x per "
+      "epoch), reactive vs forecasting controller\n\n");
+  Table ramp({"controller", "misses", "miss_ratio", "mean_active_srv",
+              "infeasible_epochs"});
+  for (double horizon : {0.0, 1.0, 2.0}) {
+    const auto kpis = run_ramp(horizon);
+    ramp.row()
+        .cell(horizon == 0.0 ? "reactive"
+                             : ("forecast+" + std::to_string(static_cast<int>(
+                                    horizon)) + "h"))
+        .cell(static_cast<long long>(kpis.deadline_misses))
+        .cell(kpis.miss_ratio, 5)
+        .cell(kpis.mean_active_servers, 2)
+        .cell(kpis.infeasible_epochs);
+  }
+  std::printf("%s\n", ramp.render().c_str());
+
+  std::printf(
+      "E13b: peak overload (10 full-load cells ramping onto a 2-server "
+      "cluster), admission control off vs on\n\n");
+  Table over({"admission", "miss_ratio", "shed_cell_epochs",
+              "outage_cell_ttis", "infeasible_epochs", "harq_retx",
+              "lost_tbs"});
+  struct Row { const char* label; bool shed; double forecast; };
+  const Row rows[] = {{"off", false, 0.0},
+                      {"shed", true, 0.0},
+                      {"shed+forecast", true, 1.0}};
+  for (const auto& r : rows) {
+    const auto kpis = run_overload(r.shed, r.forecast);
+    over.row()
+        .cell(r.label)
+        .cell(kpis.miss_ratio, 5)
+        .cell(kpis.shed_cell_epochs)
+        .cell(static_cast<long long>(kpis.outage_cell_ttis))
+        .cell(kpis.infeasible_epochs)
+        .cell(static_cast<long long>(kpis.harq_retransmissions))
+        .cell(static_cast<long long>(kpis.lost_transport_blocks));
+  }
+  std::printf("%s\n", over.render().c_str());
+  std::printf(
+      "reading: (a) forecasting provisions ahead of the ramp — fewer "
+      "misses for more servers; (b) without admission control the HARQ "
+      "feedback turns overload into a retransmission storm; shedding "
+      "converts it into bounded planned outage with clean service for "
+      "the admitted cells\n");
+  return 0;
+}

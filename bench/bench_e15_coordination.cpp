@@ -1,0 +1,74 @@
+// E15 — What centralisation buys: cross-cell coordination (almost-blank
+// subframes) for cell-edge users.
+//
+// In a distributed RAN, inter-cell coordination needs standardised X2
+// signalling; in PRAN both cells' schedulers run in the same cluster, so a
+// muting pattern is one line of configuration. This bench quantifies the
+// gain: a cell-edge UE's SINR/CQI/throughput with the neighbour (a) always
+// transmitting, (b) muting a fraction of subframes (coordination), across
+// neighbour load levels. The neighbour pays with capacity on the muted
+// subframes; the table shows both sides of the trade.
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "lte/interference.hpp"
+
+namespace {
+
+using namespace pran;
+
+/// Throughput (Mb/s) of a full-band allocation at the CQI the UE sees.
+double full_band_mbps(int cqi) {
+  if (cqi == 0) return 0.0;
+  const int mcs = lte::mcs_from_cqi(cqi);
+  return lte::prb_rate_bps(mcs) * 100 / 1e6;  // 100 PRBs
+}
+
+}  // namespace
+
+int main() {
+  using namespace pran;
+
+  const auto map = lte::InterferenceMap(lte::linear_layout(2, 1000.0));
+  // Edge UE served by cell 0, 60 m from the midpoint.
+  const double ue_x = 440.0;
+
+  std::printf(
+      "E15: cell-edge coordination gain (two cells 1 km apart, edge UE at "
+      "x=%.0f m served by cell 0, ABS = almost-blank subframes)\n\n",
+      ue_x);
+
+  Table table({"neighbor_load", "edge_cqi_busy", "edge_cqi_muted",
+               "edge_mbps_no_coord", "edge_mbps_abs30",
+               "edge_gain_x", "neighbor_cost_pct"});
+  for (double load : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    const int cqi_busy = map.cqi_at(ue_x, 0.0, 0, {0.0, load});
+    const int cqi_muted = map.cqi_at(ue_x, 0.0, 0, {0.0, 0.0});
+
+    // Without coordination the edge UE always sees the loaded neighbour.
+    const double no_coord = full_band_mbps(cqi_busy);
+    // With 30% ABS the neighbour is silent on 30% of subframes, which the
+    // coordinated scheduler aligns with the edge UE's grants.
+    const double abs_share = 0.30;
+    const double with_abs = abs_share * full_band_mbps(cqi_muted) +
+                            (1.0 - abs_share) * no_coord;
+    // The neighbour loses the muted fraction of its own transmissions.
+    const double neighbor_cost = abs_share * load * 100.0;
+
+    table.row()
+        .cell(load, 1)
+        .cell(cqi_busy)
+        .cell(cqi_muted)
+        .cell(no_coord, 2)
+        .cell(with_abs, 2)
+        .cell(no_coord > 0 ? with_abs / no_coord : 99.0, 2)
+        .cell(neighbor_cost, 1);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "reading: at high neighbour load the edge UE's CQI collapses; 30%% "
+      "ABS multiplies its throughput severalfold for a bounded neighbour "
+      "cost — coordination that is one config line in a centralised RAN\n");
+  return 0;
+}

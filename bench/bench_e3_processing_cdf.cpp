@@ -1,0 +1,52 @@
+// E3 — CDF of per-subframe processing time under realistic random load.
+//
+// Claim reproduced: the processing-time distribution has a long upper tail
+// (bursty allocations, high-MCS users, extra decoder iterations), which is
+// why the controller plans with headroom below 100% utilisation.
+
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "lte/cost_model.hpp"
+#include "workload/traffic.hpp"
+
+int main() {
+  using namespace pran;
+  const double core_gops = 150.0;
+  const int samples = 20000;
+
+  std::printf(
+      "E3: per-subframe processing time CDF at three load levels "
+      "(%d samples each, one %.0f GOPS core)\n\n",
+      samples, core_gops);
+
+  Table table({"load", "mean_us", "p50_us", "p90_us", "p99_us", "p99.9_us",
+               "max_us", "tail_p99/p50"});
+  const lte::CostModel model;
+  for (double load : {0.3, 0.6, 0.9}) {
+    workload::CellSite site;
+    site.peak_prb_utilization = load;
+    workload::TrafficModel traffic(site, workload::DiurnalProfile::flat(1.0),
+                                   model, 1234);
+    Samples s;
+    for (int i = 0; i < samples; ++i) {
+      const auto allocs = traffic.sample_subframe(12.0);
+      const auto cost =
+          model.subframe_cost(site.config, allocs, lte::Direction::kUplink);
+      s.add(cost.total() / core_gops * 1e6);
+    }
+    table.row()
+        .cell(load, 1)
+        .cell(s.mean(), 1)
+        .cell(s.quantile(0.5), 1)
+        .cell(s.quantile(0.9), 1)
+        .cell(s.quantile(0.99), 1)
+        .cell(s.quantile(0.999), 1)
+        .cell(s.max(), 1)
+        .cell(s.quantile(0.99) / s.quantile(0.5), 2);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("note: p99/p50 >> 1 is the burstiness that headroom absorbs\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// E7 — Fronthaul bandwidth vs compression scheme, with the EVM penalty.
+//
+// Claims reproduced: raw CPRI for a 4-antenna 20 MHz cell needs ~5 Gbps;
+// pruning the guard band plus block-floating-point compression cuts that
+// ~3x at an EVM well below what 64-QAM needs (~8%), multiplying how many
+// cells one fronthaul fibre can haul into the PRAN cluster.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "fronthaul/codec.hpp"
+#include "fronthaul/cpri.hpp"
+#include "fronthaul/iq.hpp"
+
+int main() {
+  using namespace pran;
+  using namespace pran::fronthaul;
+
+  Rng rng(7);
+  const auto capture = generate_capture(rng, 8);  // 8 OFDM symbols
+  const CpriParams cpri;
+  const double link_gbps = 10.0;
+
+  std::printf(
+      "E7: fronthaul compression (4x20 MHz cell, raw line rate %s, "
+      "%zu-sample capture, PAPR %.1f dB)\n\n",
+      format_bitrate(line_rate_bps(cpri)).c_str(), capture.size(),
+      papr_db(capture));
+
+  std::vector<std::unique_ptr<Codec>> codecs;
+  codecs.push_back(std::make_unique<FixedPointCodec>(12));
+  codecs.push_back(std::make_unique<FixedPointCodec>(8));
+  codecs.push_back(std::make_unique<BlockFloatCodec>(9, 32));
+  codecs.push_back(std::make_unique<BlockFloatCodec>(7, 32));
+  codecs.push_back(std::make_unique<MuLawCodec>(8));
+  codecs.push_back(
+      std::make_unique<PruningCodec>(std::make_unique<FixedPointCodec>(12),
+                                     2048, 1536));
+  codecs.push_back(
+      std::make_unique<PruningCodec>(std::make_unique<BlockFloatCodec>(9, 32),
+                                     2048, 1536));
+  codecs.push_back(
+      std::make_unique<PruningCodec>(std::make_unique<BlockFloatCodec>(7, 32),
+                                     2048, 1536));
+
+  Table table({"codec", "ratio", "evm_pct", "sqnr_db", "line_rate",
+               "cells_per_10G"});
+  table.row()
+      .cell("none (CPRI 15b)")
+      .cell(1.0, 2)
+      .cell(0.0, 3)
+      .cell("inf")
+      .cell(format_bitrate(line_rate_bps(cpri)))
+      .cell(cells_per_link(link_gbps * 1e9, line_rate_bps(cpri)));
+  for (const auto& codec : codecs) {
+    const auto result = codec->roundtrip(capture);
+    const double ratio = Codec::compression_ratio(capture.size(), result.bits);
+    const double rate = compressed_line_rate_bps(cpri, ratio);
+    table.row()
+        .cell(codec->name())
+        .cell(ratio, 2)
+        .cell(100.0 * evm(capture, result.decoded), 3)
+        .cell(sqnr_db(capture, result.decoded), 1)
+        .cell(format_bitrate(rate))
+        .cell(cells_per_link(link_gbps * 1e9, rate));
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "reading: 64-QAM tolerates ~8%% EVM; prune+bfp9 stays far below that "
+      "while tripling cells per fibre\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Fronthaul explorer: sweep I/Q codecs against an EVM budget.
+//
+//   $ ./fronthaul_explorer [evm_budget_pct]
+//
+// LTE's modulation orders tolerate bounded error-vector magnitude
+// (TS 36.104: ~17.5% QPSK, ~12.5% 16-QAM, ~8% 64-QAM). This tool sweeps
+// the codec design space on a synthetic OFDM capture and reports, per
+// codec family and width, the compression ratio, the EVM, and whether it
+// fits the budget — then names the densest admissible option.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "fronthaul/codec.hpp"
+#include "fronthaul/cpri.hpp"
+#include "fronthaul/iq.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pran;
+  using namespace pran::fronthaul;
+  const double evm_budget = (argc > 1 ? std::atof(argv[1]) : 8.0) / 100.0;
+  if (evm_budget <= 0.0) {
+    std::fprintf(stderr, "usage: %s [evm_budget_pct]\n", argv[0]);
+    return 2;
+  }
+
+  Rng rng(99);
+  const auto capture = generate_capture(rng, 8);
+  const CpriParams cpri;
+
+  std::printf(
+      "fronthaul explorer: EVM budget %.1f%%, raw cell rate %s\n\n",
+      evm_budget * 100.0, format_bitrate(line_rate_bps(cpri)).c_str());
+
+  struct Entry {
+    std::string name;
+    double ratio;
+    double evm_value;
+  };
+  std::vector<Entry> admissible;
+
+  Table table({"codec", "ratio", "evm_pct", "fits", "line_rate"});
+  auto evaluate = [&](std::unique_ptr<Codec> codec) {
+    const auto result = codec->roundtrip(capture);
+    const double ratio = Codec::compression_ratio(capture.size(), result.bits);
+    const double e = evm(capture, result.decoded);
+    const bool fits = e <= evm_budget;
+    table.row()
+        .cell(codec->name())
+        .cell(ratio, 2)
+        .cell(e * 100.0, 3)
+        .cell(fits ? "yes" : "no")
+        .cell(format_bitrate(compressed_line_rate_bps(cpri, ratio)));
+    if (fits) admissible.push_back({codec->name(), ratio, e});
+  };
+
+  for (int bits = 4; bits <= 12; bits += 2)
+    evaluate(std::make_unique<FixedPointCodec>(bits));
+  for (int bits = 4; bits <= 12; bits += 2)
+    evaluate(std::make_unique<BlockFloatCodec>(bits, 32));
+  for (int bits = 4; bits <= 12; bits += 2)
+    evaluate(std::make_unique<MuLawCodec>(bits));
+  for (int bits = 4; bits <= 12; bits += 2)
+    evaluate(std::make_unique<PruningCodec>(
+        std::make_unique<BlockFloatCodec>(bits, 32), 2048, 1536));
+  std::printf("%s\n", table.render().c_str());
+
+  if (admissible.empty()) {
+    std::printf("no codec fits a %.1f%% EVM budget\n", evm_budget * 100.0);
+    return 1;
+  }
+  const Entry* best = &admissible.front();
+  for (const auto& e : admissible)
+    if (e.ratio > best->ratio) best = &e;
+  std::printf(
+      "densest admissible codec: %s (%.2fx, EVM %.2f%%) -> %zu cells per "
+      "10G link instead of %zu\n",
+      best->name.c_str(), best->ratio, best->evm_value * 100.0,
+      cells_per_link(10e9, compressed_line_rate_bps(cpri, best->ratio)),
+      cells_per_link(10e9, line_rate_bps(cpri)));
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Programmability demo: edit a cell's processing pipeline at run time and
+// watch the controller re-size the deployment.
+//
+// PRAN's pitch is that the RAN data plane becomes software: an operator can
+// insert an interference-cancellation pass, CoMP combining, or wideband
+// sounding the way an SDN operator installs a flow rule. Because placement
+// plans against the *programmed* pipeline cost, extra stages translate
+// directly into extra servers — visible here.
+
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/deployment.hpp"
+
+namespace {
+
+pran::core::DeploymentKpis run_with(const pran::core::Pipeline& pipeline,
+                                    const char* label) {
+  using namespace pran;
+  core::DeploymentConfig config;
+  config.num_cells = 10;
+  config.num_servers = 6;
+  config.seed = 11;
+  config.start_hour = 10.0;  // busy hour
+  config.day_compression = 60.0;
+  config.pipeline = pipeline;
+  core::Deployment d(config);
+  d.run_for(2 * sim::kSecond);
+  const auto kpis = d.kpis();
+  std::printf("  %-28s misses=%llu active_servers=%.2f\n", label,
+              static_cast<unsigned long long>(kpis.deadline_misses),
+              kpis.mean_active_servers);
+  return kpis;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pran;
+  const lte::CellConfig cell;
+  const std::vector<lte::Allocation> busy{{60, 24, 6}, {40, 12, 5}};
+
+  // 1. Pipelines are data: inspect and edit them.
+  auto standard = core::Pipeline::standard_uplink();
+  auto enhanced = standard;
+  enhanced.insert_after("equalize", core::stages::interference_cancellation());
+  enhanced.append(core::stages::wideband_sounding());
+  auto comp = standard;
+  comp.append(core::stages::comp_combining(3));
+
+  Table table({"pipeline", "stages", "busy_subframe_gops", "us_on_150gops"});
+  const std::vector<std::pair<const char*, const core::Pipeline*>> pipelines{
+      {"standard", &standard}, {"ic+sounding", &enhanced}, {"comp-3", &comp}};
+  for (const auto& [name, p] : pipelines) {
+    const double gops = p->subframe_gops(cell, busy);
+    table.row()
+        .cell(name)
+        .cell(p->size())
+        .cell(gops, 4)
+        .cell(gops / 150.0 * 1e6, 1);
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("stage order of ic+sounding:");
+  for (const auto& n : enhanced.stage_names()) std::printf(" %s", n.c_str());
+  std::printf("\n\n");
+
+  // 2. The controller prices the programmed pipeline into placement.
+  std::printf("2-second deployments (10 cells, 6 servers):\n");
+  const auto base = run_with(standard, "standard");
+  const auto heavy = run_with(enhanced, "ic+sounding");
+  std::printf(
+      "\nprogrammed-in stages raised mean active servers by %.2f while "
+      "deadline misses stayed %s\n",
+      heavy.mean_active_servers - base.mean_active_servers,
+      heavy.deadline_misses == 0 ? "at zero" : "bounded");
+  return 0;
+}

@@ -1,0 +1,233 @@
+#include "cluster/executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace pran::cluster {
+
+const char* sched_policy_name(SchedPolicy p) noexcept {
+  switch (p) {
+    case SchedPolicy::kEdf:
+      return "edf";
+    case SchedPolicy::kFifo:
+      return "fifo";
+  }
+  return "?";
+}
+
+Executor::Executor(sim::Engine& engine, std::vector<ServerSpec> specs,
+                   SchedPolicy policy)
+    : engine_(engine), policy_(policy) {
+  PRAN_REQUIRE(!specs.empty(), "executor needs at least one server");
+  servers_.reserve(specs.size());
+  for (auto& spec : specs) {
+    PRAN_REQUIRE(spec.cores >= 1, "server needs at least one core");
+    PRAN_REQUIRE(spec.gops_per_core > 0.0, "core capacity must be positive");
+    servers_.push_back(Server{std::move(spec), false, {}, {}});
+  }
+}
+
+Executor::Server& Executor::server(int server_id) {
+  PRAN_REQUIRE(server_id >= 0 && server_id < num_servers(),
+               "unknown server id");
+  return servers_[static_cast<std::size_t>(server_id)];
+}
+
+const Executor::Server& Executor::server(int server_id) const {
+  PRAN_REQUIRE(server_id >= 0 && server_id < num_servers(),
+               "unknown server id");
+  return servers_[static_cast<std::size_t>(server_id)];
+}
+
+const ServerSpec& Executor::spec(int server_id) const {
+  return server(server_id).spec;
+}
+
+bool Executor::is_failed(int server_id) const {
+  return server(server_id).failed;
+}
+
+sim::Time Executor::exec_time(const Server& s, const lte::SubframeJob& job,
+                              int width) const {
+  // Code blocks decode independently, so fan-out is near-linear; the
+  // residual serial part (FFT, MAC) is folded into the same scaling as a
+  // deliberate simplification (documented in DESIGN.md).
+  const double seconds =
+      job.total_gops() / (s.spec.gops_per_core * static_cast<double>(width));
+  return static_cast<sim::Time>(std::llround(seconds * 1e9));
+}
+
+int Executor::free_cores(const Server& s) const {
+  int used = 0;
+  for (const auto& r : s.running) used += r.width;
+  return s.spec.cores - used;
+}
+
+void Executor::submit(int server_id, const lte::SubframeJob& job) {
+  (void)server(server_id);  // validate id now, not at arrival
+  const std::uint64_t seq = submit_seq_++;
+  const sim::Time arrival = std::max(job.release, engine_.now());
+  engine_.schedule_at(arrival, [this, server_id, job, seq] {
+    Server& s = servers_[static_cast<std::size_t>(server_id)];
+    if (s.failed) {
+      JobOutcome outcome;
+      outcome.job = job;
+      outcome.server_id = server_id;
+      outcome.dropped = true;
+      outcomes_.push_back(outcome);
+      if (on_drop_) on_drop_(job, server_id);
+      if (on_complete_) on_complete_(outcomes_.back());
+      return;
+    }
+    s.pending.emplace_back(seq, job);
+    dispatch(server_id);
+  });
+}
+
+void Executor::dispatch(int server_id) {
+  Server& s = servers_[static_cast<std::size_t>(server_id)];
+  while (!s.failed && !s.pending.empty() && free_cores(s) >= 1) {
+    auto pick = s.pending.begin();
+    if (policy_ == SchedPolicy::kEdf) {
+      for (auto it = s.pending.begin(); it != s.pending.end(); ++it) {
+        if (it->second.deadline < pick->second.deadline ||
+            (it->second.deadline == pick->second.deadline &&
+             it->first < pick->first))
+          pick = it;
+      }
+    }  // FIFO: submission order == queue order, so front() is correct.
+    const lte::SubframeJob job = pick->second;
+    s.pending.erase(pick);
+    start_job(server_id, job);
+  }
+}
+
+void Executor::start_job(int server_id, const lte::SubframeJob& job) {
+  Server& s = servers_[static_cast<std::size_t>(server_id)];
+  const int width = std::max(
+      1, std::min({job.parallelism, s.spec.max_job_parallelism,
+                   free_cores(s)}));
+  const sim::Time start = engine_.now();
+  const sim::Time duration = exec_time(s, job, width);
+  const std::uint64_t token = next_token_++;
+  const sim::EventId ev = engine_.schedule_in(
+      duration, [this, server_id, token] { on_job_done(server_id, token); });
+  s.running.push_back(Running{job, start, ev, token, width});
+}
+
+void Executor::on_job_done(int server_id, std::uint64_t token) {
+  Server& s = servers_[static_cast<std::size_t>(server_id)];
+  std::size_t slot = s.running.size();
+  for (std::size_t i = 0; i < s.running.size(); ++i) {
+    if (s.running[i].token == token) {
+      slot = i;
+      break;
+    }
+  }
+  PRAN_CHECK(slot < s.running.size(), "completion with no running job");
+
+  JobOutcome outcome;
+  outcome.job = s.running[slot].job;
+  outcome.server_id = server_id;
+  outcome.start = s.running[slot].start;
+  outcome.finish = engine_.now();
+  outcome.cores_used = s.running[slot].width;
+  s.running.erase(s.running.begin() + static_cast<std::ptrdiff_t>(slot));
+  outcomes_.push_back(outcome);
+  if (on_complete_) on_complete_(outcomes_.back());
+  dispatch(server_id);
+}
+
+void Executor::fail_server(int server_id) {
+  Server& s = server(server_id);
+  PRAN_REQUIRE(!s.failed, "server is already failed");
+  s.failed = true;
+
+  // Drop the waiting queue.
+  for (auto& [seq, job] : s.pending) {
+    (void)seq;
+    JobOutcome outcome;
+    outcome.job = job;
+    outcome.server_id = server_id;
+    outcome.dropped = true;
+    outcomes_.push_back(outcome);
+    if (on_drop_) on_drop_(job, server_id);
+    if (on_complete_) on_complete_(outcomes_.back());
+  }
+  s.pending.clear();
+
+  // Abort in-flight jobs.
+  for (auto& r : s.running) {
+    engine_.cancel(r.completion_event);
+    JobOutcome outcome;
+    outcome.job = r.job;
+    outcome.server_id = server_id;
+    outcome.start = r.start;
+    outcome.dropped = true;
+    outcomes_.push_back(outcome);
+    if (on_drop_) on_drop_(r.job, server_id);
+    if (on_complete_) on_complete_(outcomes_.back());
+  }
+  s.running.clear();
+}
+
+void Executor::restore_server(int server_id) {
+  Server& s = server(server_id);
+  PRAN_REQUIRE(s.failed, "server is not failed");
+  s.failed = false;
+}
+
+Executor::Stats Executor::stats() const {
+  Stats st;
+  for (const auto& o : outcomes_) {
+    if (o.dropped) {
+      ++st.dropped;
+      continue;
+    }
+    ++st.completed;
+    if (o.missed_deadline()) ++st.missed;
+    st.total_busy_seconds +=
+        sim::to_seconds(o.finish - o.start) * o.cores_used;
+  }
+  return st;
+}
+
+Executor::Stats Executor::stats_for_server(int server_id) const {
+  (void)server(server_id);
+  Stats st;
+  for (const auto& o : outcomes_) {
+    if (o.server_id != server_id) continue;
+    if (o.dropped) {
+      ++st.dropped;
+      continue;
+    }
+    ++st.completed;
+    if (o.missed_deadline()) ++st.missed;
+    st.total_busy_seconds +=
+        sim::to_seconds(o.finish - o.start) * o.cores_used;
+  }
+  return st;
+}
+
+double Executor::utilization(int server_id, sim::Time window) const {
+  PRAN_REQUIRE(window > 0, "window must be positive");
+  const Server& s = server(server_id);
+  double busy = 0.0;
+  for (const auto& o : outcomes_) {
+    if (o.server_id != server_id || o.dropped) continue;
+    busy += sim::to_seconds(std::min(o.finish, window) -
+                            std::min(o.start, window)) *
+            o.cores_used;
+  }
+  // In-flight jobs also count up to the window edge.
+  for (const auto& r : s.running)
+    busy += sim::to_seconds(std::max<sim::Time>(
+               0, std::min(engine_.now(), window) - std::min(r.start, window))) *
+           r.width;
+  return busy /
+         (sim::to_seconds(window) * static_cast<double>(s.spec.cores));
+}
+
+}  // namespace pran::cluster

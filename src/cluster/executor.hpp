@@ -1,0 +1,165 @@
+#pragma once
+
+/// \file executor.hpp
+/// The compute-cluster substrate: a pool of multi-core servers executing
+/// SubframeJobs under a non-preemptive scheduling policy, simulated on the
+/// discrete-event engine.
+///
+/// Each server has `cores` identical cores; a submitted job waits in the
+/// server's pending queue until a core frees, then runs to completion in
+/// ops / core_gops seconds. EDF picks the pending job with the earliest
+/// deadline (the policy PRAN's data plane uses); FIFO is the baseline.
+/// Server failures drop the jobs on that server and notify the controller,
+/// which re-places the affected cells.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "lte/subframe.hpp"
+#include "sim/engine.hpp"
+
+namespace pran::cluster {
+
+struct ServerSpec {
+  std::string name;
+  int cores = 8;
+  /// Sustained giga-operations per second per core. 150 GOPS matches a
+  /// vectorised base-band kernel on one modern server core and keeps a
+  /// worst-case subframe (~0.32 Gop) inside the 3 ms HARQ budget.
+  double gops_per_core = 150.0;
+  /// Power draw of a powered-on but idle server (the consolidation prize:
+  /// idle servers can be switched off entirely).
+  double idle_watts = 90.0;
+  /// Power draw with every core busy; between idle and busy, draw scales
+  /// linearly with the busy-core fraction.
+  double busy_watts = 250.0;
+  /// Maximum cores one job may fan out over (code-block parallelism).
+  /// 1 disables intra-job parallelism; the realistic setting is "many",
+  /// since a loaded subframe carries tens of independent code blocks.
+  int max_job_parallelism = 1;
+
+  /// Whole-server ops budget per 1 ms TTI, in giga-operations.
+  double gops_per_tti() const noexcept {
+    return static_cast<double>(cores) * gops_per_core * 1e-3;
+  }
+  /// Extra watts one busy core adds on top of idle.
+  double watts_per_busy_core() const noexcept {
+    return (busy_watts - idle_watts) / static_cast<double>(cores);
+  }
+};
+
+enum class SchedPolicy { kEdf, kFifo };
+
+const char* sched_policy_name(SchedPolicy p) noexcept;
+
+/// Final record of one job's execution.
+struct JobOutcome {
+  lte::SubframeJob job;
+  int server_id = -1;
+  sim::Time start = -1;   ///< -1 if never started.
+  sim::Time finish = -1;  ///< -1 if dropped.
+  bool dropped = false;   ///< Lost to a server failure.
+  int cores_used = 1;     ///< Parallel width the job ran at.
+
+  bool missed_deadline() const noexcept {
+    return !dropped && finish > job.deadline;
+  }
+  /// Completion latency relative to release; only valid when not dropped.
+  sim::Time latency() const noexcept { return finish - job.release; }
+};
+
+class Executor {
+ public:
+  using CompletionCallback = std::function<void(const JobOutcome&)>;
+  /// Called for every job lost to a failure (queued or running), so the
+  /// controller can re-dispatch it.
+  using DropCallback = std::function<void(const lte::SubframeJob&, int)>;
+
+  Executor(sim::Engine& engine, std::vector<ServerSpec> specs,
+           SchedPolicy policy);
+
+  int num_servers() const noexcept { return static_cast<int>(servers_.size()); }
+  const ServerSpec& spec(int server_id) const;
+  SchedPolicy policy() const noexcept { return policy_; }
+
+  /// Queues `job` on `server_id`. The job becomes runnable at
+  /// max(job.release, now). Submitting to a failed server drops the job
+  /// immediately (and fires the drop callback).
+  void submit(int server_id, const lte::SubframeJob& job);
+
+  /// Fails a server: all queued and in-flight jobs are dropped.
+  void fail_server(int server_id);
+
+  /// Brings a failed server back empty.
+  void restore_server(int server_id);
+
+  bool is_failed(int server_id) const;
+
+  void set_completion_callback(CompletionCallback cb) {
+    on_complete_ = std::move(cb);
+  }
+  void set_drop_callback(DropCallback cb) { on_drop_ = std::move(cb); }
+
+  /// All finished/dropped jobs in completion order.
+  const std::vector<JobOutcome>& outcomes() const noexcept {
+    return outcomes_;
+  }
+
+  /// Aggregate statistics derived from the outcome log.
+  struct Stats {
+    std::uint64_t completed = 0;
+    std::uint64_t missed = 0;
+    std::uint64_t dropped = 0;
+    double total_busy_seconds = 0.0;
+
+    double miss_ratio() const noexcept {
+      const auto denom = completed + dropped;
+      return denom ? static_cast<double>(missed + dropped) /
+                         static_cast<double>(denom)
+                   : 0.0;
+    }
+  };
+  Stats stats() const;
+  Stats stats_for_server(int server_id) const;
+
+  /// Busy fraction of a server's cores over [0, window].
+  double utilization(int server_id, sim::Time window) const;
+
+ private:
+  struct Running {
+    lte::SubframeJob job;
+    sim::Time start;
+    sim::EventId completion_event;
+    std::uint64_t token;  ///< Unique per started job; keys completions.
+    int width = 1;        ///< Cores this job occupies.
+  };
+  struct Server {
+    ServerSpec spec;
+    bool failed = false;
+    std::deque<std::pair<std::uint64_t, lte::SubframeJob>> pending;
+    std::vector<Running> running;  ///< size <= spec.cores
+  };
+
+  int free_cores(const Server& s) const;
+  void start_job(int server_id, const lte::SubframeJob& job);
+  void on_job_done(int server_id, std::uint64_t token);
+  void dispatch(int server_id);
+  Server& server(int server_id);
+  const Server& server(int server_id) const;
+  sim::Time exec_time(const Server& s, const lte::SubframeJob& job,
+                      int width) const;
+
+  sim::Engine& engine_;
+  std::vector<Server> servers_;
+  SchedPolicy policy_;
+  std::uint64_t submit_seq_ = 0;
+  std::uint64_t next_token_ = 0;
+  std::vector<JobOutcome> outcomes_;
+  CompletionCallback on_complete_;
+  DropCallback on_drop_;
+};
+
+}  // namespace pran::cluster

@@ -1,0 +1,35 @@
+#include "coding/awgn.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace pran::coding {
+
+double awgn_sigma(double esn0_db) {
+  const double esn0 = std::pow(10.0, esn0_db / 10.0);
+  return std::sqrt(1.0 / (2.0 * esn0));
+}
+
+Llrs transmit_bpsk(const Bits& bits, double esn0_db, Rng& rng) {
+  const double sigma = awgn_sigma(esn0_db);
+  const double scale = 2.0 / (sigma * sigma);
+  Llrs llrs;
+  llrs.reserve(bits.size());
+  for (std::uint8_t bit : bits) {
+    PRAN_REQUIRE(bit <= 1, "bit vectors must contain only 0/1");
+    const double symbol = bit ? -1.0 : 1.0;
+    const double y = symbol + rng.normal(0.0, sigma);
+    llrs.push_back(scale * y);
+  }
+  return llrs;
+}
+
+Bits hard_decisions(const Llrs& llrs) {
+  Bits out;
+  out.reserve(llrs.size());
+  for (double l : llrs) out.push_back(l < 0.0 ? 1 : 0);
+  return out;
+}
+
+}  // namespace pran::coding

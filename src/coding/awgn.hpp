@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file awgn.hpp
+/// BPSK over an additive-white-Gaussian-noise channel: the standard test
+/// channel for coding experiments. Bits map to ±1, noise with variance
+/// sigma^2 = 1/(2 * 10^(EsN0_dB/10)) is added, and the demodulator emits
+/// the exact LLR 2y/sigma^2 (sign convention: positive favours bit 0).
+
+#include "coding/viterbi.hpp"
+#include "common/rng.hpp"
+
+namespace pran::coding {
+
+/// Noise standard deviation for a given Es/N0 in dB (unit symbol energy).
+double awgn_sigma(double esn0_db);
+
+/// Transmits `bits` as BPSK (+1 for 0, -1 for 1) through AWGN at the given
+/// Es/N0 and returns per-bit LLRs.
+Llrs transmit_bpsk(const Bits& bits, double esn0_db, Rng& rng);
+
+/// Hard decisions from LLRs (ties resolve to 0).
+Bits hard_decisions(const Llrs& llrs);
+
+}  // namespace pran::coding

@@ -1,0 +1,74 @@
+#include "coding/bler.hpp"
+
+#include "common/check.hpp"
+
+namespace pran::coding {
+namespace {
+
+Bits random_payload(std::size_t bits, Rng& rng) {
+  Bits out;
+  out.reserve(bits);
+  for (std::size_t i = 0; i < bits; ++i)
+    out.push_back(rng.bernoulli(0.5) ? 1 : 0);
+  return out;
+}
+
+struct BlockOutcome {
+  bool crc_ok = false;
+  std::size_t bit_errors = 0;
+  bool payload_match = false;
+};
+
+BlockOutcome send_block(const LinkConfig& config, double esn0_db, Rng& rng) {
+  const Bits payload = random_payload(config.info_bits, rng);
+  const Bits with_crc = attach_crc(payload);
+  const Bits coded = convolutional_encode(with_crc);
+  const std::size_t tx_bits =
+      output_bits_for_rate(with_crc.size(), config.code_rate);
+  const Bits matched = rate_match(coded, tx_bits);
+
+  Llrs llrs = transmit_bpsk(matched, esn0_db, rng);
+  if (!config.soft_decision) {
+    // Hard decision: quantise to ±1 before de-matching.
+    for (double& l : llrs) l = l < 0.0 ? -1.0 : 1.0;
+  }
+  const Llrs mother = rate_dematch(llrs, coded.size());
+  const auto decoded = viterbi_decode(mother, with_crc.size());
+
+  BlockOutcome outcome;
+  outcome.crc_ok = check_crc(decoded.info);
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    if (decoded.info[i] != payload[i]) ++errors;
+  outcome.bit_errors = errors;
+  outcome.payload_match = errors == 0;
+  return outcome;
+}
+
+}  // namespace
+
+LinkStats run_link(const LinkConfig& config, double esn0_db,
+                   std::size_t blocks, Rng& rng) {
+  PRAN_REQUIRE(blocks >= 1, "need at least one block");
+  PRAN_REQUIRE(config.info_bits >= 8, "payload too small");
+  LinkStats stats;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const auto outcome = send_block(config, esn0_db, rng);
+    ++stats.blocks;
+    stats.bits += config.info_bits;
+    stats.bit_errors += outcome.bit_errors;
+    if (!outcome.crc_ok) {
+      ++stats.block_errors;
+    } else if (!outcome.payload_match) {
+      ++stats.undetected_errors;  // CRC collision: should be ~2^-24
+    }
+  }
+  return stats;
+}
+
+bool round_trip_block(const LinkConfig& config, double esn0_db, Rng& rng) {
+  const auto outcome = send_block(config, esn0_db, rng);
+  return outcome.crc_ok && outcome.payload_match;
+}
+
+}  // namespace pran::coding

@@ -1,0 +1,33 @@
+#include "coding/convolutional.hpp"
+
+#include <bit>
+
+#include "common/check.hpp"
+
+namespace pran::coding {
+
+Bits convolutional_encode(const Bits& info) {
+  PRAN_REQUIRE(!info.empty(), "cannot encode an empty block");
+  Bits out;
+  out.reserve(encoded_length(info.size()));
+
+  unsigned state = 0;  // shift register, bit 0 = most recent input
+  auto push = [&](unsigned bit) {
+    const unsigned reg = (state << 1) | bit;
+    for (unsigned g : kGenerators) {
+      out.push_back(
+          static_cast<std::uint8_t>(std::popcount(reg & g) & 1u));
+    }
+    state = reg & (kNumStates - 1);
+  };
+
+  for (std::uint8_t bit : info) {
+    PRAN_REQUIRE(bit <= 1, "bit vectors must contain only 0/1");
+    push(bit);
+  }
+  for (int i = 0; i < kConstraintLength - 1; ++i) push(0);  // flush to zero
+  PRAN_CHECK(state == 0, "termination did not return to the zero state");
+  return out;
+}
+
+}  // namespace pran::coding

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file convolutional.hpp
+/// The LTE control-channel convolutional code (TS 36.212 §5.1.3.1):
+/// constraint length 7, rate 1/3, generators 133/171/165 (octal). We use
+/// zero-tail termination (6 flush bits) rather than tail-biting — a
+/// documented simplification that costs 18 overhead bits per block and
+/// keeps the Viterbi decoder's start/end states known.
+
+#include "coding/crc.hpp"
+
+namespace pran::coding {
+
+inline constexpr int kConstraintLength = 7;
+inline constexpr int kNumStates = 1 << (kConstraintLength - 1);  // 64
+inline constexpr int kCodeRateDen = 3;  ///< Mother code is rate 1/3.
+
+/// Generator polynomials, LSB = newest bit (octal 133, 171, 165).
+inline constexpr unsigned kGenerators[kCodeRateDen] = {0133, 0171, 0165};
+
+/// Encodes `info` (any length >= 1) with zero termination. Output length is
+/// 3 * (info.size() + 6) bits, interleaved g0,g1,g2 per input bit.
+Bits convolutional_encode(const Bits& info);
+
+/// Number of coded bits the encoder emits for `info_bits` input bits.
+constexpr std::size_t encoded_length(std::size_t info_bits) noexcept {
+  return kCodeRateDen * (info_bits + kConstraintLength - 1);
+}
+
+}  // namespace pran::coding

@@ -1,0 +1,54 @@
+#include "coding/crc.hpp"
+
+#include "common/check.hpp"
+
+namespace pran::coding {
+
+std::uint32_t crc24a(const Bits& data) {
+  // Bitwise long division of data * x^24 by the generator.
+  std::uint32_t reg = 0;
+  for (std::uint8_t bit : data) {
+    PRAN_REQUIRE(bit <= 1, "bit vectors must contain only 0/1");
+    const std::uint32_t msb = (reg >> 23) & 1u;
+    reg = ((reg << 1) | bit) & 0xFFFFFF;
+    if (msb) reg ^= kCrc24APoly & 0xFFFFFF;
+  }
+  // Flush 24 zero bits.
+  for (int i = 0; i < kCrcBits; ++i) {
+    const std::uint32_t msb = (reg >> 23) & 1u;
+    reg = (reg << 1) & 0xFFFFFF;
+    if (msb) reg ^= kCrc24APoly & 0xFFFFFF;
+  }
+  return reg;
+}
+
+Bits attach_crc(const Bits& data) {
+  const std::uint32_t crc = crc24a(data);
+  Bits out = data;
+  out.reserve(data.size() + kCrcBits);
+  for (int i = kCrcBits - 1; i >= 0; --i)
+    out.push_back(static_cast<std::uint8_t>((crc >> i) & 1u));
+  return out;
+}
+
+bool check_crc(const Bits& data_with_crc) {
+  if (data_with_crc.size() < static_cast<std::size_t>(kCrcBits)) return false;
+  const Bits payload(data_with_crc.begin(),
+                     data_with_crc.end() - kCrcBits);
+  const std::uint32_t expected = crc24a(payload);
+  std::uint32_t actual = 0;
+  for (int i = 0; i < kCrcBits; ++i) {
+    actual = (actual << 1) |
+             data_with_crc[data_with_crc.size() -
+                           static_cast<std::size_t>(kCrcBits) +
+                           static_cast<std::size_t>(i)];
+  }
+  return actual == expected;
+}
+
+Bits strip_crc(const Bits& data_with_crc) {
+  PRAN_REQUIRE(check_crc(data_with_crc), "CRC check failed");
+  return Bits(data_with_crc.begin(), data_with_crc.end() - kCrcBits);
+}
+
+}  // namespace pran::coding

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file crc.hpp
+/// LTE transport-block CRC (TS 36.212): CRC-24A attached to each transport
+/// block so the receiver can tell a clean decode from a decoding failure —
+/// the signal HARQ acts on. Operates on bit vectors (one bit per byte),
+/// matching how the rest of the coding chain passes data around.
+
+#include <cstdint>
+#include <vector>
+
+namespace pran::coding {
+
+/// A sequence of bits, one per element, each 0 or 1.
+using Bits = std::vector<std::uint8_t>;
+
+/// CRC-24A generator polynomial, x^24 + x^23 + x^18 + x^17 + x^14 + x^11 +
+/// x^10 + x^7 + x^6 + x^5 + x^4 + x^3 + x + 1 (0x864CFB).
+inline constexpr std::uint32_t kCrc24APoly = 0x864CFB;
+inline constexpr int kCrcBits = 24;
+
+/// Computes the 24-bit CRC of `data` (MSB-first bitwise division).
+std::uint32_t crc24a(const Bits& data);
+
+/// Returns `data` with its 24 CRC bits appended (MSB first).
+Bits attach_crc(const Bits& data);
+
+/// True if `data_with_crc` (>= 24 bits) passes the CRC check.
+bool check_crc(const Bits& data_with_crc);
+
+/// Strips a verified CRC; requires check_crc() to be true.
+Bits strip_crc(const Bits& data_with_crc);
+
+}  // namespace pran::coding

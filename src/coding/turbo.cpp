@@ -1,0 +1,244 @@
+#include "coding/turbo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace pran::coding {
+namespace {
+
+constexpr int kStates = 8;
+constexpr int kTailSteps = 3;
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+/// Standard extrinsic damping for max-log-MAP.
+constexpr double kExtrinsicScale = 0.75;
+
+/// One RSC step: returns {feedback bit w (= next input to the shift
+/// register), parity bit z, next state}.
+struct RscStep {
+  unsigned w;
+  unsigned z;
+  unsigned next;
+};
+
+inline RscStep rsc_step(unsigned state, unsigned u) {
+  const unsigned w1 = state & 1u;         // w_{t-1}
+  const unsigned w2 = (state >> 1) & 1u;  // w_{t-2}
+  const unsigned w3 = (state >> 2) & 1u;  // w_{t-3}
+  const unsigned w = u ^ w2 ^ w3;         // feedback g0 = 1 + D^2 + D^3
+  const unsigned z = w ^ w1 ^ w3;         // parity  g1 = 1 + D + D^3
+  const unsigned next = ((state << 1) | w) & 7u;
+  return RscStep{w, z, next};
+}
+
+/// Input that drives the register toward zero (termination).
+inline unsigned rsc_termination_input(unsigned state) {
+  const unsigned w2 = (state >> 1) & 1u;
+  const unsigned w3 = (state >> 2) & 1u;
+  return w2 ^ w3;  // makes w = 0
+}
+
+/// Encodes one RSC stream over `input`; appends (x, z) tail pairs to
+/// `tail` while terminating.
+void rsc_encode(const Bits& input, Bits& parity, Bits& tail) {
+  unsigned state = 0;
+  parity.reserve(parity.size() + input.size());
+  for (std::uint8_t u : input) {
+    const auto step = rsc_step(state, u);
+    parity.push_back(static_cast<std::uint8_t>(step.z));
+    state = step.next;
+  }
+  for (int t = 0; t < kTailSteps; ++t) {
+    const unsigned x = rsc_termination_input(state);
+    const auto step = rsc_step(state, x);
+    PRAN_CHECK(step.w == 0, "termination input did not zero the feedback");
+    tail.push_back(static_cast<std::uint8_t>(x));
+    tail.push_back(static_cast<std::uint8_t>(step.z));
+    state = step.next;
+  }
+  PRAN_CHECK(state == 0, "RSC termination failed");
+}
+
+/// Max-log-MAP decode of one constituent code.
+///
+/// `sys` and `apriori` have K entries; `parity` has K entries; `tail_sys`
+/// and `tail_parity` have kTailSteps entries each. Returns the extrinsic
+/// LLRs (K entries); `posterior` (optional out) receives sys+apriori+ext.
+Llrs map_decode(const Llrs& sys, const Llrs& parity, const Llrs& apriori,
+                const Llrs& tail_sys, const Llrs& tail_parity) {
+  const std::size_t k = sys.size();
+  const std::size_t steps = k + kTailSteps;
+
+  // gamma contribution helper: log-metric of (bit b against LLR l).
+  auto half = [](double l, unsigned b) { return b ? -0.5 * l : 0.5 * l; };
+
+  // Forward recursion.
+  std::vector<std::array<double, kStates>> alpha(steps + 1);
+  alpha[0].fill(kNegInf);
+  alpha[0][0] = 0.0;
+  for (std::size_t t = 0; t < steps; ++t) {
+    alpha[t + 1].fill(kNegInf);
+    const bool tail = t >= k;
+    const double ls = tail ? tail_sys[t - k] : sys[t];
+    const double la = tail ? 0.0 : apriori[t];
+    const double lp = tail ? tail_parity[t - k] : parity[t];
+    for (int s = 0; s < kStates; ++s) {
+      if (alpha[t][static_cast<std::size_t>(s)] == kNegInf) continue;
+      for (unsigned u = 0; u < 2; ++u) {
+        if (tail && u != rsc_termination_input(static_cast<unsigned>(s)))
+          continue;  // tail inputs are forced
+        const auto step = rsc_step(static_cast<unsigned>(s), u);
+        const double g = half(ls + la, u) + half(lp, step.z);
+        auto& a = alpha[t + 1][step.next];
+        a = std::max(a, alpha[t][static_cast<std::size_t>(s)] + g);
+      }
+    }
+  }
+
+  // Backward recursion.
+  std::vector<std::array<double, kStates>> beta(steps + 1);
+  beta[steps].fill(kNegInf);
+  beta[steps][0] = 0.0;  // terminated trellis
+  for (std::size_t t = steps; t-- > 0;) {
+    beta[t].fill(kNegInf);
+    const bool tail = t >= k;
+    const double ls = tail ? tail_sys[t - k] : sys[t];
+    const double la = tail ? 0.0 : apriori[t];
+    const double lp = tail ? tail_parity[t - k] : parity[t];
+    for (int s = 0; s < kStates; ++s) {
+      for (unsigned u = 0; u < 2; ++u) {
+        if (tail && u != rsc_termination_input(static_cast<unsigned>(s)))
+          continue;
+        const auto step = rsc_step(static_cast<unsigned>(s), u);
+        if (beta[t + 1][step.next] == kNegInf) continue;
+        const double g = half(ls + la, u) + half(lp, step.z);
+        auto& b = beta[t] [static_cast<std::size_t>(s)];
+        b = std::max(b, beta[t + 1][step.next] + g);
+      }
+    }
+  }
+
+  // Posterior LLRs for the information positions, then extrinsic.
+  Llrs extrinsic(k, 0.0);
+  for (std::size_t t = 0; t < k; ++t) {
+    double best0 = kNegInf, best1 = kNegInf;
+    for (int s = 0; s < kStates; ++s) {
+      if (alpha[t][static_cast<std::size_t>(s)] == kNegInf) continue;
+      for (unsigned u = 0; u < 2; ++u) {
+        const auto step = rsc_step(static_cast<unsigned>(s), u);
+        if (beta[t + 1][step.next] == kNegInf) continue;
+        const double g = half(sys[t] + apriori[t], u) + half(parity[t], step.z);
+        const double metric = alpha[t][static_cast<std::size_t>(s)] + g +
+                              beta[t + 1][step.next];
+        (u == 0 ? best0 : best1) = std::max(u == 0 ? best0 : best1, metric);
+      }
+    }
+    const double posterior = best0 - best1;  // log(P0/P1)
+    extrinsic[t] = posterior - sys[t] - apriori[t];
+  }
+  return extrinsic;
+}
+
+}  // namespace
+
+bool turbo_block_size_ok(std::size_t k) noexcept {
+  if (k < 64 || k > 8192) return false;
+  return (k & (k - 1)) == 0;
+}
+
+std::vector<std::size_t> turbo_interleaver(std::size_t k) {
+  PRAN_REQUIRE(turbo_block_size_ok(k), "unsupported turbo block size");
+  // QPP form with f1 odd and f2 even — a permutation for power-of-two K.
+  const std::size_t f2 = k / 4;
+  std::size_t f1 = 3 * k / 8 + 1;
+  if (f1 % 2 == 0) ++f1;
+  std::vector<std::size_t> pi(k);
+  std::vector<std::uint8_t> seen(k, 0);
+  for (std::size_t i = 0; i < k; ++i) {
+    pi[i] = (f1 * i + f2 * i * i) % k;
+    PRAN_CHECK(!seen[pi[i]], "interleaver is not a permutation");
+    seen[pi[i]] = 1;
+  }
+  return pi;
+}
+
+Bits turbo_encode(const Bits& info) {
+  PRAN_REQUIRE(turbo_block_size_ok(info.size()),
+               "unsupported turbo block size");
+  const auto pi = turbo_interleaver(info.size());
+
+  Bits interleaved(info.size());
+  for (std::size_t i = 0; i < info.size(); ++i) interleaved[i] = info[pi[i]];
+
+  Bits parity1, parity2, tail;
+  rsc_encode(info, parity1, tail);          // 6 tail bits from encoder 1
+  rsc_encode(interleaved, parity2, tail);   // 6 more from encoder 2
+
+  Bits out;
+  out.reserve(turbo_encoded_length(info.size()));
+  out.insert(out.end(), info.begin(), info.end());
+  out.insert(out.end(), parity1.begin(), parity1.end());
+  out.insert(out.end(), parity2.begin(), parity2.end());
+  out.insert(out.end(), tail.begin(), tail.end());
+  return out;
+}
+
+TurboResult turbo_decode(const Llrs& llrs, std::size_t k, int max_iterations,
+                         const std::function<bool(const Bits&)>& early_exit) {
+  PRAN_REQUIRE(turbo_block_size_ok(k), "unsupported turbo block size");
+  PRAN_REQUIRE(llrs.size() == turbo_encoded_length(k),
+               "LLR length does not match turbo_encoded_length(k)");
+  PRAN_REQUIRE(max_iterations >= 1, "need at least one iteration");
+
+  const auto pi = turbo_interleaver(k);
+  const Llrs sys(llrs.begin(), llrs.begin() + static_cast<std::ptrdiff_t>(k));
+  const Llrs par1(llrs.begin() + static_cast<std::ptrdiff_t>(k),
+                  llrs.begin() + static_cast<std::ptrdiff_t>(2 * k));
+  const Llrs par2(llrs.begin() + static_cast<std::ptrdiff_t>(2 * k),
+                  llrs.begin() + static_cast<std::ptrdiff_t>(3 * k));
+  // Tail layout: enc1 (x,z) x3, then enc2 (x,z) x3.
+  Llrs tail_sys1(3), tail_par1(3), tail_sys2(3), tail_par2(3);
+  for (int t = 0; t < 3; ++t) {
+    tail_sys1[static_cast<std::size_t>(t)] = llrs[3 * k + 2 * t];
+    tail_par1[static_cast<std::size_t>(t)] = llrs[3 * k + 2 * t + 1];
+    tail_sys2[static_cast<std::size_t>(t)] = llrs[3 * k + 6 + 2 * t];
+    tail_par2[static_cast<std::size_t>(t)] = llrs[3 * k + 6 + 2 * t + 1];
+  }
+
+  Llrs sys_int(k);
+  for (std::size_t i = 0; i < k; ++i) sys_int[i] = sys[pi[i]];
+
+  Llrs ext2_deint(k, 0.0);  // extrinsic from decoder 2, natural order
+  TurboResult result;
+  result.info.assign(k, 0);
+
+  for (int iter = 1; iter <= max_iterations; ++iter) {
+    // Decoder 1 in natural order.
+    Llrs ext1 =
+        map_decode(sys, par1, ext2_deint, tail_sys1, tail_par1);
+    for (double& e : ext1) e *= kExtrinsicScale;
+
+    // Decoder 2 in interleaved order.
+    Llrs apriori2(k);
+    for (std::size_t i = 0; i < k; ++i) apriori2[i] = ext1[pi[i]];
+    Llrs ext2 = map_decode(sys_int, par2, apriori2, tail_sys2, tail_par2);
+    for (double& e : ext2) e *= kExtrinsicScale;
+    for (std::size_t i = 0; i < k; ++i) ext2_deint[pi[i]] = ext2[i];
+
+    // Posterior and hard decision.
+    for (std::size_t i = 0; i < k; ++i) {
+      const double posterior = sys[i] + ext1[i] + ext2_deint[i];
+      result.info[i] = posterior < 0.0 ? 1 : 0;
+    }
+    result.iterations = iter;
+    if (early_exit && early_exit(result.info)) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace pran::coding

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file turbo.hpp
+/// LTE-style turbo code: parallel concatenation of two 8-state recursive
+/// systematic convolutional (RSC) encoders, g0 = 1 + D^2 + D^3 (feedback)
+/// and g1 = 1 + D + D^3 (parity), joined by a quadratic permutation
+/// interleaver, decoded iteratively with max-log-MAP (BCJR) constituent
+/// decoders exchanging extrinsic information.
+///
+/// Faithfulness notes (documented substitutions):
+///  * Block sizes are powers of two in [64, 8192]; the interleaver is
+///    QPP-form pi(i) = (f1*i + f2*i^2) mod K with f1 odd / f2 even (a
+///    permutation for power-of-two K), rather than 36.212's per-K table.
+///  * Trellis termination: both encoders are driven back to state zero
+///    with 3 tail steps each (12 tail bits on the wire, as in LTE).
+///
+/// This is the decoder whose iteration count the PHY cost model charges
+/// for: E17 measures BLER versus iteration budget and the distribution of
+/// iterations-to-converge (CRC-gated early termination).
+
+#include <functional>
+
+#include "coding/crc.hpp"
+#include "coding/viterbi.hpp"  // Bits/Llrs aliases
+
+namespace pran::coding {
+
+/// Number of coded bits for a K-bit turbo block: systematic + 2 parity
+/// streams + 12 termination bits.
+constexpr std::size_t turbo_encoded_length(std::size_t k) noexcept {
+  return 3 * k + 12;
+}
+
+/// True if `k` is a supported turbo block size.
+bool turbo_block_size_ok(std::size_t k) noexcept;
+
+/// QPP-form interleaver for block size `k` (power of two in [64, 8192]).
+/// Returned vector maps interleaved position i -> original index pi(i).
+std::vector<std::size_t> turbo_interleaver(std::size_t k);
+
+/// Encodes `info` (size must satisfy turbo_block_size_ok). Output layout:
+/// [systematic K | parity1 K | parity2 K | tail 12].
+Bits turbo_encode(const Bits& info);
+
+struct TurboResult {
+  Bits info;            ///< Hard decisions after the final iteration.
+  int iterations = 0;   ///< Iterations actually run.
+  bool converged = false;  ///< True if the early-exit predicate fired.
+};
+
+/// Decodes `llrs` (length turbo_encoded_length(k), same layout as the
+/// encoder output; sign convention log(P0/P1)). Runs up to
+/// `max_iterations` full iterations; if `early_exit` is non-null it is
+/// called with the current hard decision after each iteration and decoding
+/// stops once it returns true (e.g. a CRC check — how real decoders save
+/// most of their iterations at good SNR).
+TurboResult turbo_decode(const Llrs& llrs, std::size_t k,
+                         int max_iterations = 8,
+                         const std::function<bool(const Bits&)>& early_exit =
+                             nullptr);
+
+}  // namespace pran::coding

@@ -1,0 +1,102 @@
+#include "coding/viterbi.hpp"
+
+#include <array>
+#include <bit>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace pran::coding {
+namespace {
+
+/// Precomputed encoder outputs for register value `reg` in [0, 128).
+struct BranchTable {
+  // outputs[reg][k] in {0,1} for generator k.
+  std::array<std::array<std::uint8_t, kCodeRateDen>, 2 * kNumStates> outputs;
+
+  BranchTable() {
+    for (unsigned reg = 0; reg < 2 * kNumStates; ++reg)
+      for (int k = 0; k < kCodeRateDen; ++k)
+        outputs[reg][static_cast<std::size_t>(k)] = static_cast<std::uint8_t>(
+            std::popcount(reg & kGenerators[k]) & 1u);
+  }
+};
+
+const BranchTable& branch_table() {
+  static const BranchTable table;
+  return table;
+}
+
+}  // namespace
+
+ViterbiResult viterbi_decode(const Llrs& llrs, std::size_t info_bits) {
+  PRAN_REQUIRE(info_bits >= 1, "need at least one information bit");
+  const std::size_t total_steps = info_bits + kConstraintLength - 1;
+  PRAN_REQUIRE(llrs.size() == kCodeRateDen * total_steps,
+               "LLR length does not match encoded_length(info_bits)");
+
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  std::vector<double> metric(kNumStates, kNegInf);
+  std::vector<double> next_metric(kNumStates, kNegInf);
+  metric[0] = 0.0;  // encoder starts in the zero state
+
+  // decisions[t][ns] = 1 if the winning predecessor is (ns>>1)|32.
+  std::vector<std::vector<std::uint8_t>> decisions(
+      total_steps, std::vector<std::uint8_t>(kNumStates, 0));
+
+  const auto& table = branch_table();
+  for (std::size_t t = 0; t < total_steps; ++t) {
+    const double* llr = &llrs[kCodeRateDen * t];
+    std::fill(next_metric.begin(), next_metric.end(), kNegInf);
+    for (int ns = 0; ns < kNumStates; ++ns) {
+      const unsigned b = static_cast<unsigned>(ns) & 1u;
+      const int p0 = ns >> 1;
+      const int p1 = (ns >> 1) | (kNumStates >> 1);
+      for (int which = 0; which < 2; ++which) {
+        const int p = which ? p1 : p0;
+        if (metric[static_cast<std::size_t>(p)] == kNegInf) continue;
+        const unsigned reg = (static_cast<unsigned>(p) << 1) | b;
+        double branch = 0.0;
+        for (int k = 0; k < kCodeRateDen; ++k) {
+          const double l = llr[k];
+          branch += table.outputs[reg][static_cast<std::size_t>(k)] ? -l : l;
+        }
+        const double candidate = metric[static_cast<std::size_t>(p)] + branch;
+        if (candidate > next_metric[static_cast<std::size_t>(ns)]) {
+          next_metric[static_cast<std::size_t>(ns)] = candidate;
+          decisions[t][static_cast<std::size_t>(ns)] =
+              static_cast<std::uint8_t>(which);
+        }
+      }
+    }
+    metric.swap(next_metric);
+  }
+
+  // Traceback from the zero state (the encoder terminates there).
+  ViterbiResult result;
+  result.path_metric = metric[0];
+  Bits inputs(total_steps, 0);
+  int state = 0;
+  for (std::size_t t = total_steps; t-- > 0;) {
+    inputs[t] = static_cast<std::uint8_t>(state & 1);
+    const int which = decisions[t][static_cast<std::size_t>(state)];
+    state = (state >> 1) | (which ? (kNumStates >> 1) : 0);
+  }
+  PRAN_CHECK(state == 0, "traceback did not return to the start state");
+
+  result.info.assign(inputs.begin(),
+                     inputs.begin() + static_cast<std::ptrdiff_t>(info_bits));
+  return result;
+}
+
+ViterbiResult viterbi_decode_hard(const Bits& coded, std::size_t info_bits) {
+  Llrs llrs;
+  llrs.reserve(coded.size());
+  for (std::uint8_t bit : coded) {
+    PRAN_REQUIRE(bit <= 1, "bit vectors must contain only 0/1");
+    llrs.push_back(bit ? -1.0 : 1.0);
+  }
+  return viterbi_decode(llrs, info_bits);
+}
+
+}  // namespace pran::coding

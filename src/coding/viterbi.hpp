@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file viterbi.hpp
+/// Soft-decision Viterbi decoder for the rate-1/3 K=7 convolutional code.
+///
+/// Maximum-likelihood sequence decoding over the 64-state trellis with full
+/// traceback. Input is one log-likelihood ratio per coded bit, positive
+/// meaning "bit 0 more likely"; a zero LLR is an erasure (used by the
+/// de-rate-matcher for punctured positions). Hard-decision decoding is the
+/// special case LLR = ±1.
+
+#include <vector>
+
+#include "coding/convolutional.hpp"
+
+namespace pran::coding {
+
+/// Log-likelihood ratios, one per coded bit; sign convention log(P0/P1).
+using Llrs = std::vector<double>;
+
+struct ViterbiResult {
+  Bits info;            ///< Decoded information bits (flush bits removed).
+  double path_metric = 0.0;  ///< Correlation metric of the winning path.
+};
+
+/// Decodes `llrs` (length must be a multiple of 3 and at least 3*7).
+/// `info_bits` is the original information length; llrs must cover
+/// encoded_length(info_bits) coded bits.
+ViterbiResult viterbi_decode(const Llrs& llrs, std::size_t info_bits);
+
+/// Convenience: hard-decision decode of coded bits.
+ViterbiResult viterbi_decode_hard(const Bits& coded, std::size_t info_bits);
+
+}  // namespace pran::coding

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file check.hpp
+/// Lightweight precondition / invariant checking used across the PRAN
+/// libraries. Violations are programming errors, so they throw
+/// `pran::ContractViolation` (derived from std::logic_error) rather than
+/// aborting, which keeps the simulation harness testable.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pran {
+
+/// Raised when a PRAN_CHECK / PRAN_REQUIRE contract is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void raise_contract(const char* kind, const char* expr,
+                                        const char* file, int line,
+                                        const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace detail
+}  // namespace pran
+
+/// Precondition check on public API arguments.
+#define PRAN_REQUIRE(expr, msg)                                              \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::pran::detail::raise_contract("precondition", #expr, __FILE__,        \
+                                     __LINE__, (msg));                       \
+  } while (false)
+
+/// Internal invariant check.
+#define PRAN_CHECK(expr, msg)                                                \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::pran::detail::raise_contract("invariant", #expr, __FILE__, __LINE__, \
+                                     (msg));                                 \
+  } while (false)

@@ -1,0 +1,84 @@
+#include "common/csv.hpp"
+
+namespace pran {
+
+std::vector<CsvRow> parse_csv(const std::string& text) {
+  std::vector<CsvRow> rows;
+  CsvRow row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+  };
+  auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+    row_has_content = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_has_content = true;
+        break;
+      case ',':
+        end_field();
+        row_has_content = true;
+        break;
+      case '\r':
+        break;
+      case '\n':
+        if (row_has_content || !field.empty() || !row.empty()) end_row();
+        break;
+      default:
+        field += c;
+        row_has_content = true;
+        break;
+    }
+  }
+  if (row_has_content || !field.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+std::string write_csv(const std::vector<CsvRow>& rows) {
+  std::string out;
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out += ',';
+      const std::string& f = row[c];
+      if (f.find_first_of(",\"\n") != std::string::npos) {
+        out += '"';
+        for (char ch : f) {
+          if (ch == '"') out += '"';
+          out += ch;
+        }
+        out += '"';
+      } else {
+        out += f;
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace pran

@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file csv.hpp
+/// Minimal CSV reader/writer used to persist workload traces and experiment
+/// results. Handles quoting; does not attempt full RFC 4180 edge cases like
+/// embedded CRLF normalisation.
+
+#include <string>
+#include <vector>
+
+namespace pran {
+
+using CsvRow = std::vector<std::string>;
+
+/// Parses a CSV document; empty trailing line is ignored.
+std::vector<CsvRow> parse_csv(const std::string& text);
+
+/// Serialises rows to CSV with quoting where needed.
+std::string write_csv(const std::vector<CsvRow>& rows);
+
+}  // namespace pran

@@ -1,0 +1,174 @@
+#include "common/flags.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace pran {
+
+Flags::Flags(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+Flags::Entry* Flags::find(const std::string& name) {
+  for (auto& e : entries_)
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+const Flags::Entry* Flags::find(const std::string& name) const {
+  for (const auto& e : entries_)
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+void Flags::add_string(const std::string& name, std::string default_value,
+                       const std::string& help) {
+  PRAN_REQUIRE(find(name) == nullptr, "duplicate flag: " + name);
+  entries_.push_back(
+      Entry{name, Kind::kString, default_value, default_value, help});
+}
+
+void Flags::add_int(const std::string& name, long default_value,
+                    const std::string& help) {
+  PRAN_REQUIRE(find(name) == nullptr, "duplicate flag: " + name);
+  const std::string v = std::to_string(default_value);
+  entries_.push_back(Entry{name, Kind::kInt, v, v, help});
+}
+
+void Flags::add_double(const std::string& name, double default_value,
+                       const std::string& help) {
+  PRAN_REQUIRE(find(name) == nullptr, "duplicate flag: " + name);
+  std::ostringstream os;
+  os << default_value;
+  entries_.push_back(Entry{name, Kind::kDouble, os.str(), os.str(), help});
+}
+
+void Flags::add_bool(const std::string& name, bool default_value,
+                     const std::string& help) {
+  PRAN_REQUIRE(find(name) == nullptr, "duplicate flag: " + name);
+  const std::string v = default_value ? "true" : "false";
+  entries_.push_back(Entry{name, Kind::kBool, v, v, help});
+}
+
+bool Flags::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    Entry* entry = find(arg);
+    if (entry == nullptr) {
+      error_ = "unknown flag --" + arg;
+      return false;
+    }
+    if (!has_value) {
+      if (entry->kind == Kind::kBool) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        error_ = "flag --" + arg + " needs a value";
+        return false;
+      }
+    }
+    // Validate the value parses for the declared kind.
+    char* end = nullptr;
+    switch (entry->kind) {
+      case Kind::kInt:
+        std::strtol(value.c_str(), &end, 10);
+        if (end != value.c_str() + value.size() || value.empty()) {
+          error_ = "flag --" + arg + " expects an integer, got '" + value + "'";
+          return false;
+        }
+        break;
+      case Kind::kDouble:
+        std::strtod(value.c_str(), &end);
+        if (end != value.c_str() + value.size() || value.empty()) {
+          error_ = "flag --" + arg + " expects a number, got '" + value + "'";
+          return false;
+        }
+        break;
+      case Kind::kBool:
+        if (value != "true" && value != "false" && value != "1" &&
+            value != "0") {
+          error_ = "flag --" + arg + " expects true/false, got '" + value + "'";
+          return false;
+        }
+        break;
+      case Kind::kString:
+        break;
+    }
+    entry->value = value;
+  }
+  return true;
+}
+
+std::string Flags::get_string(const std::string& name) const {
+  const Entry* e = find(name);
+  PRAN_REQUIRE(e != nullptr && e->kind == Kind::kString,
+               "unknown string flag: " + name);
+  return e->value;
+}
+
+long Flags::get_int(const std::string& name) const {
+  const Entry* e = find(name);
+  PRAN_REQUIRE(e != nullptr && e->kind == Kind::kInt,
+               "unknown int flag: " + name);
+  return std::strtol(e->value.c_str(), nullptr, 10);
+}
+
+double Flags::get_double(const std::string& name) const {
+  const Entry* e = find(name);
+  PRAN_REQUIRE(e != nullptr && e->kind == Kind::kDouble,
+               "unknown double flag: " + name);
+  return std::strtod(e->value.c_str(), nullptr);
+}
+
+bool Flags::get_bool(const std::string& name) const {
+  const Entry* e = find(name);
+  PRAN_REQUIRE(e != nullptr && e->kind == Kind::kBool,
+               "unknown bool flag: " + name);
+  return e->value == "true" || e->value == "1";
+}
+
+std::string Flags::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\nflags:\n";
+  for (const auto& e : entries_) {
+    os << "  --" << e.name;
+    switch (e.kind) {
+      case Kind::kString:
+        os << " <string>";
+        break;
+      case Kind::kInt:
+        os << " <int>";
+        break;
+      case Kind::kDouble:
+        os << " <number>";
+        break;
+      case Kind::kBool:
+        os << " [true|false]";
+        break;
+    }
+    os << "  " << e.help << " (default: " << e.default_value << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace pran

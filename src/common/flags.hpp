@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file flags.hpp
+/// Minimal command-line flag parser for the tools/ binaries.
+/// Supports `--name value`, `--name=value`, boolean `--name`, and
+/// positional arguments; generates a usage string from registrations.
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pran {
+
+class Flags {
+ public:
+  /// `program` and `description` feed the usage text.
+  Flags(std::string program, std::string description);
+
+  /// Registers a flag with a default. Call before parse().
+  void add_string(const std::string& name, std::string default_value,
+                  const std::string& help);
+  void add_int(const std::string& name, long default_value,
+               const std::string& help);
+  void add_double(const std::string& name, double default_value,
+                  const std::string& help);
+  void add_bool(const std::string& name, bool default_value,
+                const std::string& help);
+
+  /// Parses argv. Returns false (and fills error()) on unknown flags or
+  /// malformed values. `--help` sets help_requested().
+  bool parse(int argc, const char* const* argv);
+
+  std::string get_string(const std::string& name) const;
+  long get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+  bool help_requested() const noexcept { return help_requested_; }
+  const std::string& error() const noexcept { return error_; }
+
+  /// Usage text listing every registered flag with its default.
+  std::string usage() const;
+
+ private:
+  enum class Kind { kString, kInt, kDouble, kBool };
+  struct Entry {
+    std::string name;
+    Kind kind;
+    std::string value;  // canonical string form
+    std::string default_value;
+    std::string help;
+  };
+  Entry* find(const std::string& name);
+  const Entry* find(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::vector<Entry> entries_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+  std::string error_;
+};
+
+}  // namespace pran

@@ -1,0 +1,81 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace pran {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  PRAN_REQUIRE(lo < hi, "histogram range must be non-empty");
+  PRAN_REQUIRE(bins >= 1, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) noexcept { add_n(x, 1); }
+
+void Histogram::add_n(double x, std::size_t n) noexcept {
+  total_ += n;
+  if (x < lo_) {
+    underflow_ += n;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += n;
+    return;
+  }
+  const double span = hi_ - lo_;
+  auto idx = static_cast<std::size_t>((x - lo_) / span *
+                                      static_cast<double>(counts_.size()));
+  idx = std::min(idx, counts_.size() - 1);
+  counts_[idx] += n;
+}
+
+double Histogram::bin_lo(std::size_t i) const noexcept {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const noexcept { return bin_lo(i + 1); }
+
+std::vector<double> Histogram::cdf() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ == 0) return out;
+  std::size_t acc = underflow_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    acc += counts_[i];
+    out[i] = static_cast<double>(acc) / static_cast<double>(total_);
+  }
+  return out;
+}
+
+double Histogram::quantile(double q) const {
+  PRAN_REQUIRE(q >= 0.0 && q <= 1.0, "quantile level outside [0, 1]");
+  PRAN_REQUIRE(total_ > 0, "quantile() of empty histogram");
+  const auto target = static_cast<double>(total_) * q;
+  double acc = static_cast<double>(underflow_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    acc += static_cast<double>(counts_[i]);
+    if (acc >= target) return bin_hi(i);
+  }
+  return hi_;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::ostringstream os;
+  std::size_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar =
+        static_cast<std::size_t>(std::llround(static_cast<double>(counts_[i]) /
+                                              static_cast<double>(peak) *
+                                              static_cast<double>(width)));
+    os << "[" << bin_lo(i) << ", " << bin_hi(i) << ") "
+       << std::string(bar, '#') << " " << counts_[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pran

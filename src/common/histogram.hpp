@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file histogram.hpp
+/// Fixed-bin histogram with CDF export, used to report latency and
+/// processing-time distributions in the benchmark harness.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pran {
+
+/// Uniform-bin histogram over [lo, hi). Samples outside the range are
+/// counted in saturating under/overflow bins so totals are never lost.
+class Histogram {
+ public:
+  /// Requires lo < hi and bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  void add_n(double x, std::size_t n) noexcept;
+
+  std::size_t total() const noexcept { return total_; }
+  std::size_t underflow() const noexcept { return underflow_; }
+  std::size_t overflow() const noexcept { return overflow_; }
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const noexcept { return counts_.size(); }
+
+  /// Lower edge of bin i.
+  double bin_lo(std::size_t i) const noexcept;
+  /// Upper edge of bin i.
+  double bin_hi(std::size_t i) const noexcept;
+
+  /// Empirical CDF evaluated at each bin's upper edge (overflow included in
+  /// the final value reaching 1.0 when total() > 0).
+  std::vector<double> cdf() const;
+
+  /// Approximate quantile from the binned data (upper-edge convention).
+  double quantile(double q) const;
+
+  /// Multi-line textual rendering (one line per bin with a bar), for quick
+  /// inspection in example programs.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace pran

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file narrow.hpp
+/// Checked narrowing conversions in the spirit of gsl::narrow (C++ Core
+/// Guidelines ES.46/ES.49). Use `narrow<T>` whenever a conversion may lose
+/// information; it throws NarrowingError on loss instead of silently
+/// truncating.
+
+#include <stdexcept>
+#include <type_traits>
+
+namespace pran {
+
+class NarrowingError : public std::runtime_error {
+ public:
+  NarrowingError() : std::runtime_error("narrowing conversion lost information") {}
+};
+
+/// Converts `v` to T, throwing NarrowingError if the value does not survive
+/// the round trip (including signedness flips).
+template <typename T, typename U>
+constexpr T narrow(U v) {
+  static_assert(std::is_arithmetic_v<T> && std::is_arithmetic_v<U>);
+  const T result = static_cast<T>(v);
+  if (static_cast<U>(result) != v) throw NarrowingError{};
+  if constexpr (std::is_integral_v<T> && std::is_integral_v<U> &&
+                std::is_signed_v<T> != std::is_signed_v<U>) {
+    if ((result < T{}) != (v < U{})) throw NarrowingError{};
+  }
+  return result;
+}
+
+/// Unchecked narrowing for conversions the caller has proven safe; documents
+/// intent at the call site (Core Guidelines ES.49).
+template <typename T, typename U>
+constexpr T narrow_cast(U v) noexcept {
+  return static_cast<T>(v);
+}
+
+}  // namespace pran

@@ -1,0 +1,73 @@
+#include "common/strings.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace pran {
+
+std::vector<std::string> split(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == delim) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+namespace {
+
+std::string with_unit(double value, const char* unit) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2) << value << " " << unit;
+  return os.str();
+}
+
+}  // namespace
+
+std::string format_bitrate(double bits_per_second) {
+  const double v = std::abs(bits_per_second);
+  if (v >= 1e9) return with_unit(bits_per_second / 1e9, "Gbps");
+  if (v >= 1e6) return with_unit(bits_per_second / 1e6, "Mbps");
+  if (v >= 1e3) return with_unit(bits_per_second / 1e3, "kbps");
+  return with_unit(bits_per_second, "bps");
+}
+
+std::string format_duration(double seconds) {
+  const double v = std::abs(seconds);
+  if (v >= 1.0) return with_unit(seconds, "s");
+  if (v >= 1e-3) return with_unit(seconds * 1e3, "ms");
+  if (v >= 1e-6) return with_unit(seconds * 1e6, "us");
+  return with_unit(seconds * 1e9, "ns");
+}
+
+}  // namespace pran

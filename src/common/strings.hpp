@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file strings.hpp
+/// Small string helpers shared across modules.
+
+#include <string>
+#include <vector>
+
+namespace pran {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(const std::string& s, char delim);
+
+/// Trims ASCII whitespace from both ends.
+std::string trim(const std::string& s);
+
+/// True if `s` begins with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// Joins parts with a separator.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Formats a byte-per-second rate with a binary-free SI suffix
+/// ("1.23 Gbps"), for fronthaul reporting.
+std::string format_bitrate(double bits_per_second);
+
+/// Formats seconds with an adaptive unit (ns/µs/ms/s).
+std::string format_duration(double seconds);
+
+}  // namespace pran

@@ -1,0 +1,104 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace pran {
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  PRAN_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+Table& Table::row() {
+  if (!rows_.empty())
+    PRAN_REQUIRE(rows_.back().size() == header_.size(),
+                 "previous row is incomplete");
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+  PRAN_REQUIRE(!rows_.empty(), "cell() before row()");
+  PRAN_REQUIRE(rows_.back().size() < header_.size(), "row has too many cells");
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::cell(const char* value) { return cell(std::string(value)); }
+
+Table& Table::cell(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return cell(os.str());
+}
+
+Table& Table::cell(std::size_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(long long value) { return cell(std::to_string(value)); }
+Table& Table::cell(int value) { return cell(std::to_string(value)); }
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const bool right = looks_numeric(cells[c]);
+      os << (c ? "  " : "");
+      if (right)
+        os << std::setw(static_cast<int>(width[c])) << std::right << cells[c];
+      else
+        os << std::setw(static_cast<int>(width[c])) << std::left << cells[c];
+    }
+    os << "\n";
+  };
+  emit(header_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) rule += width[c] + (c ? 2 : 0);
+  os << std::string(rule, '-') << "\n";
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    os << (c ? "," : "") << csv_escape(header_[c]);
+  os << "\n";
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c)
+      os << (c ? "," : "") << csv_escape(r[c]);
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pran

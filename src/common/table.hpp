@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file table.hpp
+/// Console table rendering for the benchmark harness. Each experiment bench
+/// prints the series the paper's plot would show; Table keeps that output
+/// aligned and machine-greppable.
+
+#include <string>
+#include <vector>
+
+namespace pran {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format with
+/// a fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row. Must be followed by exactly header-size cells.
+  Table& row();
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(double value, int precision = 3);
+  Table& cell(std::size_t value);
+  Table& cell(long long value);
+  Table& cell(int value);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders with a header rule and right-aligned numeric-looking columns.
+  std::string render() const;
+
+  /// Renders as CSV (header + rows), for piping into plotting scripts.
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pran

@@ -1,0 +1,110 @@
+#pragma once
+
+/// \file controller.hpp
+/// The PRAN controller: the control plane that keeps the cells -> servers
+/// mapping healthy as load moves.
+///
+/// Responsibilities:
+///  * demand estimation — an EMA over observed per-subframe costs per cell,
+///    inflated by a safety factor so bursts stay inside server headroom;
+///  * epoch re-planning — every epoch the configured Placer solves the
+///    assignment problem (ILP or heuristic) against current demand, and the
+///    controller applies the migrations;
+///  * failover — when a server dies the affected cells are immediately
+///    re-packed into the survivors' spare capacity (first-fit), without
+///    waiting for the next epoch.
+
+#include <memory>
+#include <vector>
+
+#include "core/placement.hpp"
+
+namespace pran::core {
+
+struct ControllerConfig {
+  /// Server-utilisation ceiling targeted by placement.
+  double headroom = 0.8;
+  /// Demand estimate = safety * EMA(observed gops per TTI).
+  double demand_safety = 1.25;
+  /// EMA smoothing factor per observation.
+  double ema_alpha = 0.05;
+  /// Objective weight of one migration (in "servers"); see PlacementProblem.
+  double migration_weight = 0.01;
+  /// Admission control: when a replan is infeasible, shed the
+  /// largest-demand cells (into outage) until the rest fit, instead of
+  /// keeping a stale overloaded placement.
+  bool shed_on_infeasible = false;
+};
+
+/// One epoch's planning outcome, for KPI reporting.
+struct EpochReport {
+  std::int64_t epoch = 0;
+  bool feasible = false;
+  int active_servers = 0;
+  int migrations = 0;
+  /// Cells shed by admission control this epoch (0 unless enabled).
+  int shed_cells = 0;
+  double solve_seconds = 0.0;
+  double total_demand_gops = 0.0;
+};
+
+class Controller {
+ public:
+  /// `initial_demand[c]` seeds the per-cell EMA (e.g. the traffic model's
+  /// expected gops at start time) so the first plan is informed.
+  Controller(ControllerConfig config, std::unique_ptr<Placer> placer,
+             std::vector<cluster::ServerSpec> servers,
+             std::vector<CellDemand> initial_demand);
+
+  /// Feeds one observed subframe cost for a cell into the estimator.
+  void observe(int cell_index, double gops);
+
+  /// Current demand estimate (safety factor and forecast scale applied).
+  double estimated_demand(int cell_index) const;
+
+  /// Installs per-cell multiplicative forecast scales used by the next
+  /// replan (e.g. expected load growth over the planning horizon). An
+  /// empty vector clears forecasting. Values must be positive.
+  void set_demand_scale(std::vector<double> scale);
+
+  /// Re-solves the placement for current estimates. Returns the report;
+  /// on infeasibility the previous placement is kept.
+  EpochReport replan();
+
+  /// Server currently hosting a cell (-1 if the cell is in outage).
+  int server_of(int cell_index) const;
+  const std::vector<int>& placement() const noexcept { return placement_; }
+
+  /// Marks a server failed and re-places its cells into spare capacity.
+  /// Returns the number of cells that could NOT be rescued (outage).
+  int handle_failure(int server_id);
+
+  /// Returns a failed server to the available pool (cells migrate back only
+  /// at the next replan).
+  void handle_recovery(int server_id);
+
+  bool server_available(int server_id) const;
+  int num_cells() const noexcept { return static_cast<int>(demand_.size()); }
+  int num_servers() const noexcept {
+    return static_cast<int>(servers_.size());
+  }
+
+  const std::vector<EpochReport>& reports() const noexcept { return reports_; }
+  int total_migrations() const noexcept { return total_migrations_; }
+
+ private:
+  PlacementProblem make_problem() const;
+
+  ControllerConfig config_;
+  std::unique_ptr<Placer> placer_;
+  std::vector<cluster::ServerSpec> servers_;
+  std::vector<bool> available_;
+  std::vector<CellDemand> demand_;      ///< EMA state (un-inflated).
+  std::vector<double> demand_scale_;    ///< Forecast multipliers (optional).
+  std::vector<int> placement_;          ///< Current cell -> server (-1 outage).
+  std::vector<EpochReport> reports_;
+  std::int64_t epoch_counter_ = 0;
+  int total_migrations_ = 0;
+};
+
+}  // namespace pran::core

@@ -1,0 +1,316 @@
+#include "core/deployment.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "fronthaul/codec.hpp"
+
+namespace pran::core {
+
+Deployment::Deployment(DeploymentConfig config)
+    : config_(std::move(config)),
+      pipeline_(config_.pipeline ? *config_.pipeline
+                                 : Pipeline::standard_uplink()) {
+  PRAN_REQUIRE(config_.num_cells >= 1, "deployment needs cells");
+  PRAN_REQUIRE(config_.num_servers >= 1, "deployment needs servers");
+  PRAN_REQUIRE(config_.epoch >= sim::kTti, "epoch must be at least one TTI");
+  PRAN_REQUIRE(config_.day_compression > 0.0,
+               "day compression must be positive");
+
+  // Radio fleet with heterogeneous diurnal profiles.
+  auto fleet = workload::make_fleet(config_.num_cells, config_.seed,
+                                    lte::CellConfig{},
+                                    config_.peak_prb_utilization);
+  cells_ = std::move(fleet.cells);
+
+  // With a shared fronthaul the HARQ deadline is set by the propagation
+  // delay only (the ACK path); serialisation/queueing delays the *release*
+  // instead, via the link model in tick().
+  const sim::Time fh_latency = config_.shared_fronthaul
+                                   ? config_.shared_fronthaul->propagation
+                                   : config_.fronthaul_latency;
+  factories_.reserve(cells_.size());
+  for (const auto& cell : cells_)
+    factories_.emplace_back(cell.site().cell_id, cell.site().config,
+                            lte::CostModel{}, fh_latency);
+
+  if (config_.shared_fronthaul) {
+    fronthaul_link_.emplace(*config_.shared_fronthaul);
+    fronthaul_bits_per_subframe_ = fronthaul::subframe_bits(
+        30.72e6, fronthaul::kCpriSampleBits, lte::CellConfig{}.antennas,
+        config_.fronthaul_compression);
+  }
+
+  // Compute cluster.
+  std::vector<cluster::ServerSpec> specs;
+  specs.reserve(static_cast<std::size_t>(config_.num_servers));
+  for (int s = 0; s < config_.num_servers; ++s) {
+    cluster::ServerSpec spec = config_.server;
+    spec.name = "server-" + std::to_string(s);
+    specs.push_back(spec);
+  }
+  executor_ =
+      std::make_unique<cluster::Executor>(engine_, specs, config_.policy);
+
+  // MAC mode: one scheduled UE population per cell, with the statistical
+  // fleet retained for its diurnal profiles and site geometry.
+  auto make_mac_config = [this](const workload::TrafficModel& cell) {
+    mac::CellMacConfig mc;
+    mc.cell = cell.site().config;
+    mc.num_ues = config_.mac_ues_per_cell;
+    mc.scheduler = config_.mac_scheduler;
+    mc.traffic = mac::TrafficKind::kPoisson;
+    mc.mean_arrival_bps = config_.mac_ue_peak_bps;
+    mc.radius_m = cell.site().radius_m;
+    mc.min_distance_m = cell.site().min_distance_m;
+    mc.seed = config_.seed * 7919 +
+              static_cast<std::uint64_t>(cell.site().cell_id);
+    return mc;
+  };
+  if (config_.traffic_source ==
+      DeploymentConfig::TrafficSource::kMacScheduled) {
+    macs_.reserve(cells_.size());
+    for (const auto& cell : cells_) macs_.emplace_back(make_mac_config(cell));
+  }
+
+  // Controller seeded with the traffic source's expectation at start time.
+  const lte::CostModel cost_model;
+  std::vector<CellDemand> initial;
+  initial.reserve(cells_.size());
+  for (const auto& cell : cells_) {
+    CellDemand d;
+    d.cell_id = cell.site().cell_id;
+    if (macs_.empty()) {
+      d.gops_per_tti = cell.expected_subframe_gops(config_.start_hour);
+    } else {
+      // Warm-up estimate: run a throwaway MAC replica at the start-hour
+      // load and average the subframe cost.
+      mac::CellMac warmup(make_mac_config(cell));
+      warmup.set_load_scale(cell.profile().at(config_.start_hour));
+      double total = 0.0;
+      constexpr int kWarmupTtis = 100;
+      for (int t = 0; t < kWarmupTtis; ++t) {
+        const auto allocs = warmup.run_tti();
+        total += cost_model
+                     .subframe_cost(cell.site().config, allocs,
+                                    lte::Direction::kUplink)
+                     .total();
+      }
+      d.gops_per_tti = total / kWarmupTtis;
+    }
+    d.peak_subframe_gops = cell.peak_subframe_gops();
+    initial.push_back(d);
+  }
+  controller_ = std::make_unique<Controller>(config_.controller, make_placer(),
+                                             specs, std::move(initial));
+
+  // Dropped jobs are failovers in flight: resubmit to the cell's (already
+  // re-planned) new server if one exists.
+  executor_->set_drop_callback(
+      [this](const lte::SubframeJob& job, int server_id) {
+        (void)server_id;
+        const int target = controller_->server_of(job.cell_id);
+        if (target >= 0 && !executor_->is_failed(target) &&
+            engine_.now() < job.deadline)
+          executor_->submit(target, job);
+      });
+
+  // HARQ feedback: a missed uplink decode means no ACK reached the UE, so
+  // the same transport block arrives again 8 TTIs later — real extra load.
+  executor_->set_completion_callback([this](const cluster::JobOutcome& o) {
+    if (!config_.harq_retransmissions || o.dropped) return;
+    if (!o.missed_deadline() || o.job.direction != lte::Direction::kUplink)
+      return;
+    if (o.job.harq_retx >= config_.max_harq_retx) {
+      ++lost_tbs_;
+      return;
+    }
+    lte::SubframeJob retx = o.job;
+    ++retx.harq_retx;
+    retx.release += lte::kHarqProcesses * sim::kTti;
+    retx.deadline += lte::kHarqProcesses * sim::kTti;
+    const int target = controller_->server_of(retx.cell_id);
+    if (target < 0 || executor_->is_failed(target)) {
+      ++lost_tbs_;
+      return;
+    }
+    ++harq_retx_count_;
+    executor_->submit(target, retx);
+  });
+
+  const auto first_plan = controller_->replan();
+  PRAN_REQUIRE(first_plan.feasible,
+               "initial placement infeasible: add servers or reduce load");
+  current_active_servers_ = first_plan.active_servers;
+
+  engine_.schedule_at(0, [this] { tick(); });
+  engine_.schedule_at(config_.epoch, [this] { epoch_replan(); });
+}
+
+std::unique_ptr<Placer> Deployment::make_placer() const {
+  switch (config_.placer) {
+    case DeploymentConfig::PlacerKind::kFirstFit:
+      return std::make_unique<FirstFitPlacer>(true);
+    case DeploymentConfig::PlacerKind::kFirstFitNoSticky:
+      return std::make_unique<FirstFitPlacer>(false);
+    case DeploymentConfig::PlacerKind::kMilp:
+      return std::make_unique<MilpPlacer>();
+    case DeploymentConfig::PlacerKind::kStaticPeak:
+      return std::make_unique<StaticPeakPlacer>();
+  }
+  PRAN_CHECK(false, "unknown placer kind");
+  return nullptr;
+}
+
+double Deployment::hour_at(sim::Time t) const {
+  return config_.start_hour +
+         sim::to_seconds(t) * config_.day_compression / 3600.0;
+}
+
+void Deployment::tick() {
+  const double hour = hour_at(engine_.now());
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    std::vector<lte::Allocation> allocs;
+    if (macs_.empty()) {
+      allocs = cells_[c].sample_subframe(hour);
+    } else {
+      macs_[c].set_load_scale(cells_[c].profile().at(hour));
+      allocs = macs_[c].run_tti();
+    }
+    lte::SubframeJob job = factories_[c].uplink_job(tti_counter_, allocs);
+    if (fronthaul_link_) {
+      // Burst ready when the subframe ends over the air; arrival replaces
+      // the factory's idealised release.
+      const sim::Time ready = (tti_counter_ + 1) * sim::kTti;
+      job.release = std::max(
+          job.release,
+          fronthaul_link_->enqueue(ready, fronthaul_bits_per_subframe_));
+    }
+    // Custom pipeline stages add work beyond the standard six.
+    job.extra_gops =
+        pipeline_.extra_gops(cells_[c].site().config, allocs,
+                             job.cost.total());
+    controller_->observe(static_cast<int>(c), job.total_gops());
+
+    const int server = controller_->server_of(static_cast<int>(c));
+    if (server < 0) {
+      ++outage_cell_ttis_;  // cell in outage: traffic lost this TTI
+      continue;
+    }
+    executor_->submit(server, job);
+  }
+  ++tti_counter_;
+  engine_.schedule_in(sim::kTti, [this] { tick(); });
+}
+
+void Deployment::epoch_replan() {
+  if (config_.forecast_horizon_hours > 0.0) {
+    // Scale each cell's estimate by the expected profile growth over the
+    // horizon, so the plan covers the load at the *end* of the epoch.
+    const double now_hour = hour_at(engine_.now());
+    std::vector<double> scale;
+    scale.reserve(cells_.size());
+    for (const auto& cell : cells_) {
+      const double current = std::max(cell.profile().at(now_hour), 0.02);
+      const double ahead = std::max(
+          cell.profile().at(now_hour + config_.forecast_horizon_hours), 0.02);
+      scale.push_back(std::clamp(ahead / current, 0.5, 4.0));
+    }
+    controller_->set_demand_scale(std::move(scale));
+  }
+  // Close the energy-accounting interval under the outgoing placement.
+  active_server_seconds_ += sim::to_seconds(engine_.now() - energy_mark_) *
+                            static_cast<double>(current_active_servers_);
+  energy_mark_ = engine_.now();
+
+  const auto report = controller_->replan();
+  if (report.feasible) current_active_servers_ = report.active_servers;
+  std::ostringstream os;
+  os << "epoch " << report.epoch << " feasible=" << report.feasible
+     << " active=" << report.active_servers
+     << " migrations=" << report.migrations;
+  trace_.emit(engine_.now(), "controller", os.str());
+  engine_.schedule_in(config_.epoch, [this] { epoch_replan(); });
+}
+
+void Deployment::run_until(sim::Time t) { engine_.run_until(t); }
+
+void Deployment::fail_server_at(sim::Time t, int server_id) {
+  engine_.schedule_at(t, [this, server_id] {
+    trace_.emit(engine_.now(), "failure",
+                "server " + std::to_string(server_id) + " failed");
+    // Order matters: re-place cells first so the executor's drop callback
+    // can forward in-flight jobs to their new homes.
+    active_server_seconds_ += sim::to_seconds(engine_.now() - energy_mark_) *
+                              static_cast<double>(current_active_servers_);
+    energy_mark_ = engine_.now();
+    failover_outages_ += controller_->handle_failure(server_id);
+    executor_->fail_server(server_id);
+    current_active_servers_ =
+        PlacementResult{controller_->placement()}.active_servers();
+  });
+}
+
+void Deployment::restore_server_at(sim::Time t, int server_id) {
+  engine_.schedule_at(t, [this, server_id] {
+    trace_.emit(engine_.now(), "failure",
+                "server " + std::to_string(server_id) + " restored");
+    executor_->restore_server(server_id);
+    controller_->handle_recovery(server_id);
+  });
+}
+
+DeploymentKpis Deployment::kpis() const {
+  DeploymentKpis k;
+  const auto stats = executor_->stats();
+  k.subframes_processed = stats.completed;
+  k.deadline_misses = stats.missed;
+  k.dropped = stats.dropped;
+  k.miss_ratio = stats.miss_ratio();
+  k.migrations = controller_->total_migrations();
+  k.failover_outage_cells = failover_outages_;
+
+  k.outage_cell_ttis = outage_cell_ttis_;
+  k.harq_retransmissions = harq_retx_count_;
+  k.lost_transport_blocks = lost_tbs_;
+
+  // Energy: idle draw for every powered-server-second plus the busy-core
+  // increment for every core-second of actual processing.
+  const double powered_seconds =
+      active_server_seconds_ +
+      sim::to_seconds(engine_.now() - energy_mark_) *
+          static_cast<double>(current_active_servers_);
+  k.energy_joules = config_.server.idle_watts * powered_seconds +
+                    config_.server.watts_per_busy_core() *
+                        stats.total_busy_seconds;
+  const auto& reports = controller_->reports();
+  if (!reports.empty()) {
+    double active = 0.0, plan = 0.0;
+    int counted = 0;
+    for (const auto& r : reports) {
+      k.shed_cell_epochs += r.shed_cells;
+      if (!r.feasible) {
+        ++k.infeasible_epochs;
+        continue;
+      }
+      active += r.active_servers;
+      plan += r.solve_seconds;
+      ++counted;
+    }
+    if (counted) {
+      k.mean_active_servers = active / counted;
+      k.mean_plan_seconds = plan / counted;
+    }
+  }
+  return k;
+}
+
+std::uint64_t Deployment::misses_for_cell(int cell_id) const {
+  std::uint64_t n = 0;
+  for (const auto& o : executor_->outcomes())
+    if (o.job.cell_id == cell_id && o.missed_deadline()) ++n;
+  return n;
+}
+
+}  // namespace pran::core

@@ -1,0 +1,179 @@
+#pragma once
+
+/// \file deployment.hpp
+/// End-to-end PRAN deployment façade: radio fleet + fronthaul + compute
+/// cluster + controller on one discrete-event timeline. This is the main
+/// public entry point of the library — examples and benches build a
+/// Deployment, run simulated time, and read KPIs.
+///
+/// Time handling: real diurnal cycles span 24 h, far too long to simulate
+/// at TTI resolution, so the deployment maps simulated seconds to
+/// wall-clock hours through `day_compression` (e.g. 3600 means one
+/// simulated second covers one hour of diurnal drift). TTIs still tick at
+/// the real 1 ms, so all deadline behaviour is authentic.
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cluster/executor.hpp"
+#include "core/controller.hpp"
+#include "core/pipeline.hpp"
+#include "fronthaul/link.hpp"
+#include "mac/cell_mac.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+#include "workload/traffic.hpp"
+
+namespace pran::core {
+
+struct DeploymentConfig {
+  int num_cells = 8;
+  int num_servers = 4;
+
+  /// How each cell's per-TTI allocations are produced.
+  enum class TrafficSource {
+    kStatistical,   ///< workload::TrafficModel sampling (default).
+    kMacScheduled,  ///< mac::CellMac: real UEs + a MAC scheduler, with the
+                    ///< diurnal profile modulating the offered load.
+  };
+  TrafficSource traffic_source = TrafficSource::kStatistical;
+  /// MAC mode: scheduler name and UE population per cell.
+  std::string mac_scheduler = "proportional-fair";
+  int mac_ues_per_cell = 12;
+  /// MAC mode: per-UE offered rate at profile peak (Poisson bursts).
+  double mac_ue_peak_bps = 3e6;
+  cluster::ServerSpec server;  ///< Spec replicated num_servers times.
+  cluster::SchedPolicy policy = cluster::SchedPolicy::kEdf;
+  ControllerConfig controller;
+
+  /// Controller re-planning period in simulated time.
+  sim::Time epoch = 500 * sim::kMillisecond;
+  /// One-way fronthaul latency (25 µs ~ 5 km of fibre).
+  sim::Time fronthaul_latency = 25 * sim::kMicrosecond;
+
+  /// When set, every cell's samples share one fronthaul fibre: per-TTI
+  /// bursts are serialised FIFO and queueing eats into the HARQ budget.
+  /// When unset, each cell has a dedicated ideal link with
+  /// `fronthaul_latency` one-way delay.
+  std::optional<fronthaul::LinkParams> shared_fronthaul;
+  /// I/Q compression ratio applied on the shared fronthaul (1 = raw CPRI).
+  double fronthaul_compression = 1.0;
+
+  double start_hour = 8.0;       ///< Diurnal hour at t = 0.
+  double day_compression = 3600; ///< Diurnal hours advance this x real time.
+  /// Demand forecasting horizon in diurnal hours: each replan scales every
+  /// cell's estimate by its profile's expected growth over the horizon, so
+  /// capacity is provisioned *ahead* of ramps. 0 = purely reactive.
+  double forecast_horizon_hours = 0.0;
+
+  /// Model LTE's synchronous uplink HARQ: a subframe whose decode misses
+  /// its deadline is NACK-less, so the UE retransmits it 8 TTIs later
+  /// (adding real load); after `max_harq_retx` failed attempts the
+  /// transport block is lost.
+  bool harq_retransmissions = false;
+  int max_harq_retx = 3;
+  double peak_prb_utilization = 0.85;
+  std::uint64_t seed = 42;
+
+  /// Pipeline run by every cell; defaults to the standard uplink pipeline.
+  std::optional<Pipeline> pipeline;
+
+  /// Which placement policy the controller uses.
+  enum class PlacerKind { kFirstFit, kFirstFitNoSticky, kMilp, kStaticPeak };
+  PlacerKind placer = PlacerKind::kFirstFit;
+};
+
+/// Aggregate KPIs over a run.
+struct DeploymentKpis {
+  std::uint64_t subframes_processed = 0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t dropped = 0;
+  double miss_ratio = 0.0;
+  int migrations = 0;
+  double mean_active_servers = 0.0;
+  double mean_plan_seconds = 0.0;
+  int failover_outage_cells = 0;
+  /// Epochs whose replan came back infeasible (stale placement kept).
+  int infeasible_epochs = 0;
+  /// Sum over epochs of cells shed by admission control.
+  int shed_cell_epochs = 0;
+  /// Cell-TTIs skipped because the cell had no server (outage).
+  std::uint64_t outage_cell_ttis = 0;
+  /// HARQ retransmissions triggered by missed decode deadlines.
+  std::uint64_t harq_retransmissions = 0;
+  /// Transport blocks lost after exhausting HARQ retransmissions.
+  std::uint64_t lost_transport_blocks = 0;
+  /// Cluster energy consumed (idle draw of active servers + busy-core
+  /// increments), in joules.
+  double energy_joules = 0.0;
+};
+
+class Deployment {
+ public:
+  explicit Deployment(DeploymentConfig config);
+
+  /// Runs until `t` (absolute simulated time, monotone across calls).
+  void run_until(sim::Time t);
+
+  /// Convenience: advance by `d`.
+  void run_for(sim::Time d) { run_until(engine_.now() + d); }
+
+  sim::Time now() const noexcept { return engine_.now(); }
+  double hour_at(sim::Time t) const;
+
+  /// Injects a server failure at absolute time `t` (>= now).
+  void fail_server_at(sim::Time t, int server_id);
+  /// Restores a failed server at absolute time `t`.
+  void restore_server_at(sim::Time t, int server_id);
+
+  DeploymentKpis kpis() const;
+  /// The shared fronthaul link, if configured.
+  const fronthaul::FronthaulLink* fronthaul_link() const noexcept {
+    return fronthaul_link_ ? &*fronthaul_link_ : nullptr;
+  }
+  /// The MAC instance of a cell (nullptr unless kMacScheduled).
+  const mac::CellMac* cell_mac(int cell_index) const {
+    if (macs_.empty()) return nullptr;
+    return &macs_.at(static_cast<std::size_t>(cell_index));
+  }
+  const cluster::Executor& executor() const noexcept { return *executor_; }
+  const Controller& controller() const noexcept { return *controller_; }
+  const sim::Trace& trace() const noexcept { return trace_; }
+  const DeploymentConfig& config() const noexcept { return config_; }
+
+  /// Per-cell outcome filter: count of deadline misses for one cell.
+  std::uint64_t misses_for_cell(int cell_id) const;
+
+ private:
+  void tick();          ///< One TTI: sample, build jobs, submit.
+  void epoch_replan();  ///< Controller epoch.
+  std::unique_ptr<Placer> make_placer() const;
+
+  DeploymentConfig config_;
+  sim::Engine engine_;
+  sim::Trace trace_;
+  std::vector<workload::TrafficModel> cells_;
+  /// Populated only in kMacScheduled mode (index-aligned with cells_).
+  std::vector<mac::CellMac> macs_;
+  std::vector<lte::SubframeFactory> factories_;
+  std::unique_ptr<cluster::Executor> executor_;
+  std::unique_ptr<Controller> controller_;
+  std::optional<fronthaul::FronthaulLink> fronthaul_link_;
+  double fronthaul_bits_per_subframe_ = 0.0;
+  Pipeline pipeline_;
+  double standard_gops_cache_ = 0.0;  // scratch, see tick()
+  std::int64_t tti_counter_ = 0;
+  int failover_outages_ = 0;
+  std::uint64_t outage_cell_ttis_ = 0;
+  std::uint64_t harq_retx_count_ = 0;
+  std::uint64_t lost_tbs_ = 0;
+  /// Energy accounting: powered-server-seconds accrued so far plus the
+  /// currently active count since the last accrual mark.
+  double active_server_seconds_ = 0.0;
+  int current_active_servers_ = 0;
+  sim::Time energy_mark_ = 0;
+};
+
+}  // namespace pran::core

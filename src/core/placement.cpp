@@ -1,0 +1,276 @@
+#include "core/placement.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace pran::core {
+namespace {
+
+void validate(const PlacementProblem& p) {
+  PRAN_REQUIRE(!p.cells.empty(), "placement problem has no cells");
+  PRAN_REQUIRE(!p.servers.empty(), "placement problem has no servers");
+  PRAN_REQUIRE(p.headroom > 0.0 && p.headroom <= 1.0,
+               "headroom outside (0, 1]");
+  for (const auto& c : p.cells)
+    PRAN_REQUIRE(c.gops_per_tti >= 0.0, "cell demand must be non-negative");
+  if (p.previous)
+    PRAN_REQUIRE(p.previous->size() == p.cells.size(),
+                 "previous placement has a different cell count");
+  PRAN_REQUIRE(p.migration_weight >= 0.0,
+               "migration weight must be non-negative");
+}
+
+double budget(const PlacementProblem& p, std::size_t s) {
+  return p.headroom * p.servers[s].gops_per_tti();
+}
+
+}  // namespace
+
+int PlacementResult::active_servers() const {
+  std::vector<int> seen;
+  for (int s : server_of_cell) {
+    if (s < 0) continue;  // cells in outage occupy no server
+    if (std::find(seen.begin(), seen.end(), s) == seen.end())
+      seen.push_back(s);
+  }
+  return static_cast<int>(seen.size());
+}
+
+int PlacementResult::migrations_from(const std::vector<int>& previous) const {
+  PRAN_REQUIRE(previous.size() == server_of_cell.size(),
+               "placement size mismatch");
+  int moves = 0;
+  for (std::size_t i = 0; i < previous.size(); ++i)
+    if (previous[i] != server_of_cell[i] && previous[i] >= 0) ++moves;
+  return moves;
+}
+
+std::vector<double> server_loads(const PlacementProblem& problem,
+                                 const std::vector<int>& assignment) {
+  PRAN_REQUIRE(assignment.size() == problem.cells.size(),
+               "assignment size mismatch");
+  std::vector<double> load(problem.servers.size(), 0.0);
+  for (std::size_t c = 0; c < assignment.size(); ++c) {
+    const int s = assignment[c];
+    PRAN_REQUIRE(s >= 0 && static_cast<std::size_t>(s) < problem.servers.size(),
+                 "assignment references an unknown server");
+    load[static_cast<std::size_t>(s)] += problem.cells[c].gops_per_tti;
+  }
+  return load;
+}
+
+bool placement_fits(const PlacementProblem& problem,
+                    const std::vector<int>& assignment) {
+  const auto loads = server_loads(problem, assignment);
+  for (std::size_t s = 0; s < loads.size(); ++s)
+    if (loads[s] > budget(problem, s) + 1e-9) return false;
+  return true;
+}
+
+lp::Model build_placement_model(const PlacementProblem& problem) {
+  validate(problem);
+  const std::size_t C = problem.cells.size();
+  const std::size_t S = problem.servers.size();
+
+  lp::Model model;
+  // x_{c,s}: cell c on server s (row-major), then y_s: server s active.
+  std::vector<std::vector<lp::Variable>> x(C);
+  for (std::size_t c = 0; c < C; ++c) {
+    x[c].reserve(S);
+    for (std::size_t s = 0; s < S; ++s)
+      x[c].push_back(model.add_binary(
+          "x_c" + std::to_string(problem.cells[c].cell_id) + "_s" +
+          std::to_string(s)));
+  }
+  std::vector<lp::Variable> y;
+  y.reserve(S);
+  for (std::size_t s = 0; s < S; ++s)
+    y.push_back(model.add_binary("y_s" + std::to_string(s)));
+
+  // Every cell on exactly one server.
+  for (std::size_t c = 0; c < C; ++c) {
+    lp::LinearExpr sum;
+    for (std::size_t s = 0; s < S; ++s) sum += lp::LinearExpr(x[c][s]);
+    model.add_constraint("assign_c" + std::to_string(c), sum == 1.0);
+  }
+
+  // Capacity with activation coupling.
+  for (std::size_t s = 0; s < S; ++s) {
+    lp::LinearExpr load;
+    for (std::size_t c = 0; c < C; ++c)
+      load += problem.cells[c].gops_per_tti * lp::LinearExpr(x[c][s]);
+    load -= budget(problem, s) * lp::LinearExpr(y[s]);
+    model.add_constraint("cap_s" + std::to_string(s), load <= 0.0);
+  }
+
+  // Symmetry breaking for runs of identical servers: y_s >= y_{s+1}.
+  for (std::size_t s = 0; s + 1 < S; ++s) {
+    const auto& a = problem.servers[s];
+    const auto& b = problem.servers[s + 1];
+    if (a.cores == b.cores && a.gops_per_core == b.gops_per_core) {
+      model.add_constraint(
+          "sym_s" + std::to_string(s),
+          lp::LinearExpr(y[s]) - lp::LinearExpr(y[s + 1]) >= 0.0);
+    }
+  }
+
+  // Objective: active servers, plus migration penalties when a previous
+  // placement exists. move_c = 1 - x_{c, prev_c} (linear, no extra vars).
+  lp::LinearExpr objective;
+  for (std::size_t s = 0; s < S; ++s) objective += lp::LinearExpr(y[s]);
+  if (problem.previous && problem.migration_weight > 0.0) {
+    for (std::size_t c = 0; c < C; ++c) {
+      const int prev = (*problem.previous)[c];
+      if (prev < 0 || static_cast<std::size_t>(prev) >= S) continue;
+      objective += problem.migration_weight *
+                   (lp::LinearExpr(1.0) -
+                    lp::LinearExpr(x[c][static_cast<std::size_t>(prev)]));
+    }
+  }
+  model.set_objective(lp::Sense::kMinimize, objective);
+  return model;
+}
+
+// ------------------------------------------------------------- MilpPlacer
+
+MilpPlacer::MilpPlacer(lp::MilpOptions options) : options_(options) {}
+
+PlacementResult MilpPlacer::place(const PlacementProblem& problem) {
+  validate(problem);
+  const std::size_t C = problem.cells.size();
+  const std::size_t S = problem.servers.size();
+
+  const lp::Model model = build_placement_model(problem);
+  const auto milp = lp::MilpSolver{options_}.solve(model);
+
+  PlacementResult result;
+  result.solve_seconds = milp.solve_seconds;
+  result.milp_nodes = milp.nodes;
+  if (!milp.has_solution()) return result;
+
+  result.feasible = true;
+  result.proven_optimal = milp.status == lp::MilpStatus::kOptimal;
+  result.server_of_cell.assign(C, -1);
+  for (std::size_t c = 0; c < C; ++c) {
+    for (std::size_t s = 0; s < S; ++s) {
+      if (milp.x[c * S + s] > 0.5) {
+        result.server_of_cell[c] = static_cast<int>(s);
+        break;
+      }
+    }
+    PRAN_CHECK(result.server_of_cell[c] >= 0,
+               "MILP solution leaves a cell unassigned");
+  }
+  PRAN_CHECK(placement_fits(problem, result.server_of_cell),
+             "MILP solution violates capacity");
+  return result;
+}
+
+// --------------------------------------------------------- FirstFitPlacer
+
+PlacementResult FirstFitPlacer::place(const PlacementProblem& problem) {
+  validate(problem);
+  const std::size_t C = problem.cells.size();
+  const std::size_t S = problem.servers.size();
+
+  std::vector<std::size_t> order(C);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (problem.cells[a].gops_per_tti != problem.cells[b].gops_per_tti)
+      return problem.cells[a].gops_per_tti > problem.cells[b].gops_per_tti;
+    return a < b;
+  });
+
+  std::vector<double> load(S, 0.0);
+  std::vector<bool> active(S, false);
+  std::vector<int> assignment(C, -1);
+  auto fits = [&](std::size_t s, double d) {
+    return load[s] + d <= budget(problem, s) + 1e-12;
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t idx : order) {
+    const double d = problem.cells[idx].gops_per_tti;
+    int chosen = -1;
+
+    // Affinity: stay where the cell was last epoch if it still fits.
+    if (sticky_ && problem.previous) {
+      const int prev = (*problem.previous)[idx];
+      if (prev >= 0 && static_cast<std::size_t>(prev) < S &&
+          fits(static_cast<std::size_t>(prev), d))
+        chosen = prev;
+    }
+    // First active server with room.
+    if (chosen < 0) {
+      for (std::size_t s = 0; s < S; ++s) {
+        if (active[s] && fits(s, d)) {
+          chosen = static_cast<int>(s);
+          break;
+        }
+      }
+    }
+    // Open the smallest inactive server that fits.
+    if (chosen < 0) {
+      double best_budget = 0.0;
+      for (std::size_t s = 0; s < S; ++s) {
+        if (active[s] || !fits(s, d)) continue;
+        const double b = budget(problem, s);
+        if (chosen < 0 || b < best_budget) {
+          chosen = static_cast<int>(s);
+          best_budget = b;
+        }
+      }
+    }
+    if (chosen < 0) {
+      // Infeasible under this heuristic; report failure.
+      PlacementResult result;
+      result.solve_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      return result;
+    }
+    assignment[idx] = chosen;
+    load[static_cast<std::size_t>(chosen)] += d;
+    active[static_cast<std::size_t>(chosen)] = true;
+  }
+
+  PlacementResult result;
+  result.server_of_cell = std::move(assignment);
+  result.feasible = true;
+  result.solve_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  PRAN_CHECK(placement_fits(problem, result.server_of_cell),
+             "first-fit produced an overloaded server");
+  return result;
+}
+
+// -------------------------------------------------------- StaticPeakPlacer
+
+PlacementResult StaticPeakPlacer::place(const PlacementProblem& problem) {
+  validate(problem);
+  // Budget every cell at its peak subframe cost: the demand a dedicated
+  // appliance would be sized for.
+  PlacementProblem peak = problem;
+  for (auto& c : peak.cells) {
+    PRAN_REQUIRE(c.peak_subframe_gops >= c.gops_per_tti,
+                 "peak demand below sustained demand");
+    c.gops_per_tti = c.peak_subframe_gops;
+  }
+  peak.previous.reset();
+  FirstFitPlacer inner(/*sticky=*/false);
+  PlacementResult result = inner.place(peak);
+  if (result.feasible) {
+    // The real loads are the sustained ones; peak sizing implies they fit.
+    PRAN_CHECK(placement_fits(problem, result.server_of_cell),
+               "peak-provisioned placement violates sustained capacity");
+  }
+  return result;
+}
+
+}  // namespace pran::core

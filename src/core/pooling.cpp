@@ -1,0 +1,82 @@
+#include "core/pooling.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace pran::core {
+
+double PoolingSummary::savings() const noexcept {
+  if (peak_provisioned_servers == 0) return 0.0;
+  return 1.0 - static_cast<double>(pooled_peak_servers) /
+                   static_cast<double>(peak_provisioned_servers);
+}
+
+double PoolingSummary::savings_vs_dedicated() const noexcept {
+  if (dedicated_bbus == 0) return 0.0;
+  return 1.0 - static_cast<double>(pooled_peak_servers) /
+                   static_cast<double>(dedicated_bbus);
+}
+
+int ffd_bin_count(std::vector<double> demands, double capacity) {
+  PRAN_REQUIRE(capacity > 0.0, "bin capacity must be positive");
+  std::sort(demands.begin(), demands.end(), std::greater<>());
+  std::vector<double> bins;
+  for (double d : demands) {
+    PRAN_REQUIRE(d >= 0.0, "demand must be non-negative");
+    PRAN_REQUIRE(d <= capacity + 1e-12,
+                 "a single demand exceeds server capacity");
+    bool placed = false;
+    for (double& b : bins) {
+      if (b + d <= capacity + 1e-12) {
+        b += d;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) bins.push_back(d);
+  }
+  return static_cast<int>(bins.size());
+}
+
+PoolingSummary analyze_pooling(const workload::DayTrace& trace,
+                               const cluster::ServerSpec& server,
+                               double headroom, double safety) {
+  PRAN_REQUIRE(headroom > 0.0 && headroom <= 1.0, "headroom outside (0, 1]");
+  PRAN_REQUIRE(safety >= 1.0, "safety factor below 1");
+  const double capacity = headroom * server.gops_per_tti();
+
+  PoolingSummary summary;
+  const int slots = trace.slots_per_day();
+  summary.series.reserve(static_cast<std::size_t>(slots));
+  for (int s = 0; s < slots; ++s) {
+    PoolingPoint pt;
+    pt.slot = s;
+    pt.hour = trace.hour_of_slot(s);
+    std::vector<double> demands;
+    demands.reserve(trace.cells().size());
+    for (const auto& cell : trace.cells()) {
+      const double d = safety * cell.gops[static_cast<std::size_t>(s)];
+      demands.push_back(d);
+      pt.total_gops += d;
+    }
+    pt.pooled_servers = ffd_bin_count(std::move(demands), capacity);
+    summary.pooled_peak_servers =
+        std::max(summary.pooled_peak_servers, pt.pooled_servers);
+    summary.series.push_back(pt);
+  }
+
+  // Peak provisioning: each cell sized for its own busiest slot.
+  std::vector<double> peaks;
+  peaks.reserve(trace.cells().size());
+  for (const auto& cell : trace.cells()) {
+    double peak = 0.0;
+    for (double g : cell.gops) peak = std::max(peak, g);
+    peaks.push_back(safety * peak);
+  }
+  summary.peak_provisioned_servers = ffd_bin_count(std::move(peaks), capacity);
+  summary.dedicated_bbus = static_cast<int>(trace.cells().size());
+  return summary;
+}
+
+}  // namespace pran::core

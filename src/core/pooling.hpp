@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file pooling.hpp
+/// Trace-level pooling analysis: PRAN's headline resource argument.
+///
+/// Given a day of per-cell demand (workload::DayTrace) and a server spec,
+/// compare how many servers a *pooled* deployment needs (re-packing cells
+/// every slot, statistical multiplexing across non-coincident peaks)
+/// against traditional *peak provisioning* (each cell budgeted for its own
+/// busiest slot, forever).
+
+#include <vector>
+
+#include "cluster/executor.hpp"
+#include "workload/trace.hpp"
+
+namespace pran::core {
+
+struct PoolingPoint {
+  int slot = 0;
+  double hour = 0.0;
+  double total_gops = 0.0;   ///< Fleet-wide demand this slot.
+  int pooled_servers = 0;    ///< Bins needed when re-packing this slot.
+};
+
+struct PoolingSummary {
+  std::vector<PoolingPoint> series;
+  int pooled_peak_servers = 0;  ///< Max over slots of pooled_servers.
+  int peak_provisioned_servers = 0;  ///< Bins for per-cell peak demands.
+  /// The traditional deployment: one dedicated BBU per cell (no sharing at
+  /// all). Equal to the cell count.
+  int dedicated_bbus = 0;
+  /// 1 - pooled/peak-provisioned: saving vs a shared cluster that still
+  /// budgets every cell at its own peak.
+  double savings() const noexcept;
+  /// 1 - pooled/dedicated: saving vs classic per-cell appliances.
+  double savings_vs_dedicated() const noexcept;
+};
+
+/// First-fit-decreasing bin count for packing `demands` into bins of size
+/// `capacity` (> max demand required for feasibility; throws otherwise).
+int ffd_bin_count(std::vector<double> demands, double capacity);
+
+/// Runs the pooled-vs-peak analysis. `headroom` derates server capacity,
+/// `safety` inflates every demand (the controller's planning margins).
+PoolingSummary analyze_pooling(const workload::DayTrace& trace,
+                               const cluster::ServerSpec& server,
+                               double headroom = 0.8, double safety = 1.25);
+
+}  // namespace pran::core

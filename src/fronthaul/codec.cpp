@@ -1,0 +1,187 @@
+#include "fronthaul/codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace pran::fronthaul {
+namespace {
+
+/// Quantises `v` in [-1, 1] to `bits` and back (mid-rise uniform quantiser).
+double quantize_unit(double v, int bits) {
+  const double levels = static_cast<double>(1 << bits);
+  const double clamped = std::clamp(v, -1.0, 1.0);
+  // Map [-1,1] -> [0, levels), floor, then back to the cell midpoint.
+  double cell = std::floor((clamped + 1.0) / 2.0 * levels);
+  cell = std::min(cell, levels - 1.0);
+  return (cell + 0.5) / levels * 2.0 - 1.0;
+}
+
+double peak_magnitude(const std::vector<Cplx>& block) {
+  double peak = 0.0;
+  for (const auto& v : block)
+    peak = std::max({peak, std::abs(v.real()), std::abs(v.imag())});
+  return peak;
+}
+
+}  // namespace
+
+double Codec::compression_ratio(std::size_t n_samples, std::size_t bits) {
+  PRAN_REQUIRE(bits > 0, "encoded size must be positive");
+  const double raw =
+      static_cast<double>(n_samples) * 2.0 * static_cast<double>(kCpriSampleBits);
+  return raw / static_cast<double>(bits);
+}
+
+// ---------------------------------------------------------------- FixedPoint
+
+FixedPointCodec::FixedPointCodec(int bits_per_component)
+    : bits_(bits_per_component) {
+  PRAN_REQUIRE(bits_per_component >= 1 && bits_per_component <= 24,
+               "component width outside 1..24 bits");
+}
+
+std::string FixedPointCodec::name() const {
+  return "fixed" + std::to_string(bits_);
+}
+
+CodecResult FixedPointCodec::roundtrip(const std::vector<Cplx>& block) const {
+  PRAN_REQUIRE(!block.empty(), "cannot compress an empty block");
+  CodecResult out;
+  out.decoded.reserve(block.size());
+  const double peak = peak_magnitude(block);
+  const double scale = peak > 0.0 ? peak : 1.0;
+  for (const auto& v : block) {
+    out.decoded.emplace_back(quantize_unit(v.real() / scale, bits_) * scale,
+                             quantize_unit(v.imag() / scale, bits_) * scale);
+  }
+  // Payload plus one 32-bit scale per block.
+  out.bits = block.size() * 2 * static_cast<std::size_t>(bits_) + 32;
+  return out;
+}
+
+// ---------------------------------------------------------------- BlockFloat
+
+BlockFloatCodec::BlockFloatCodec(int mantissa_bits, std::size_t block_size)
+    : mantissa_bits_(mantissa_bits), block_size_(block_size) {
+  PRAN_REQUIRE(mantissa_bits >= 1 && mantissa_bits <= 24,
+               "mantissa width outside 1..24 bits");
+  PRAN_REQUIRE(block_size >= 1, "block size must be >= 1");
+}
+
+std::string BlockFloatCodec::name() const {
+  return "bfp" + std::to_string(mantissa_bits_) + "/" +
+         std::to_string(block_size_);
+}
+
+CodecResult BlockFloatCodec::roundtrip(const std::vector<Cplx>& block) const {
+  PRAN_REQUIRE(!block.empty(), "cannot compress an empty block");
+  CodecResult out;
+  out.decoded.resize(block.size());
+  std::size_t groups = 0;
+  for (std::size_t start = 0; start < block.size(); start += block_size_) {
+    const std::size_t end = std::min(start + block_size_, block.size());
+    ++groups;
+    double peak = 0.0;
+    for (std::size_t i = start; i < end; ++i)
+      peak = std::max({peak, std::abs(block[i].real()),
+                       std::abs(block[i].imag())});
+    // Shared exponent: smallest e with 2^e >= peak.
+    const int exponent =
+        peak > 0.0 ? static_cast<int>(std::ceil(std::log2(peak))) : 0;
+    const double scale = std::ldexp(1.0, exponent);
+    for (std::size_t i = start; i < end; ++i) {
+      out.decoded[i] = Cplx{
+          quantize_unit(block[i].real() / scale, mantissa_bits_) * scale,
+          quantize_unit(block[i].imag() / scale, mantissa_bits_) * scale};
+    }
+  }
+  out.bits = block.size() * 2 * static_cast<std::size_t>(mantissa_bits_) +
+             groups * 6;  // 6-bit exponent per group
+  return out;
+}
+
+// -------------------------------------------------------------------- MuLaw
+
+MuLawCodec::MuLawCodec(int bits_per_component, double mu)
+    : bits_(bits_per_component), mu_(mu) {
+  PRAN_REQUIRE(bits_per_component >= 1 && bits_per_component <= 24,
+               "component width outside 1..24 bits");
+  PRAN_REQUIRE(mu > 0.0, "mu must be positive");
+}
+
+std::string MuLawCodec::name() const { return "mulaw" + std::to_string(bits_); }
+
+CodecResult MuLawCodec::roundtrip(const std::vector<Cplx>& block) const {
+  PRAN_REQUIRE(!block.empty(), "cannot compress an empty block");
+  const double peak = peak_magnitude(block);
+  const double scale = peak > 0.0 ? peak : 1.0;
+  const double denom = std::log1p(mu_);
+  auto compand = [&](double v) {
+    const double x = std::clamp(v / scale, -1.0, 1.0);
+    return std::copysign(std::log1p(mu_ * std::abs(x)) / denom, x);
+  };
+  auto expand = [&](double y) {
+    return std::copysign((std::expm1(std::abs(y) * denom)) / mu_, y) * scale;
+  };
+  CodecResult out;
+  out.decoded.reserve(block.size());
+  for (const auto& v : block) {
+    out.decoded.emplace_back(expand(quantize_unit(compand(v.real()), bits_)),
+                             expand(quantize_unit(compand(v.imag()), bits_)));
+  }
+  out.bits = block.size() * 2 * static_cast<std::size_t>(bits_) + 32;
+  return out;
+}
+
+// ------------------------------------------------------------------ Pruning
+
+PruningCodec::PruningCodec(std::unique_ptr<Codec> inner, std::size_t fft_size,
+                           std::size_t kept_bins)
+    : inner_(std::move(inner)), fft_size_(fft_size), kept_bins_(kept_bins) {
+  PRAN_REQUIRE(inner_ != nullptr, "pruning codec needs an inner codec");
+  PRAN_REQUIRE(is_pow2(fft_size_), "FFT size must be a power of two");
+  PRAN_REQUIRE(kept_bins_ >= 2 && kept_bins_ <= fft_size_,
+               "kept bins outside 2..fft_size");
+}
+
+std::string PruningCodec::name() const {
+  return "prune" + std::to_string(kept_bins_) + "/" +
+         std::to_string(fft_size_) + "+" + inner_->name();
+}
+
+CodecResult PruningCodec::roundtrip(const std::vector<Cplx>& block) const {
+  PRAN_REQUIRE(!block.empty() && block.size() % fft_size_ == 0,
+               "block length must be a positive multiple of the FFT size");
+  CodecResult out;
+  out.decoded.reserve(block.size());
+  const std::size_t half = kept_bins_ / 2;
+
+  for (std::size_t start = 0; start < block.size(); start += fft_size_) {
+    std::vector<Cplx> freq(block.begin() + static_cast<std::ptrdiff_t>(start),
+                           block.begin() +
+                               static_cast<std::ptrdiff_t>(start + fft_size_));
+    fft(freq);
+
+    // Keep the bins around DC (where LTE's active band sits in baseband).
+    std::vector<Cplx> kept;
+    kept.reserve(kept_bins_);
+    for (std::size_t k = 0; k < half; ++k) kept.push_back(freq[k]);
+    for (std::size_t k = fft_size_ - (kept_bins_ - half); k < fft_size_; ++k)
+      kept.push_back(freq[k]);
+
+    CodecResult inner = inner_->roundtrip(kept);
+    out.bits += inner.bits;
+
+    std::vector<Cplx> restored(fft_size_, Cplx{0.0, 0.0});
+    for (std::size_t k = 0; k < half; ++k) restored[k] = inner.decoded[k];
+    for (std::size_t k = 0; k < kept_bins_ - half; ++k)
+      restored[fft_size_ - (kept_bins_ - half) + k] = inner.decoded[half + k];
+    ifft(restored);
+    out.decoded.insert(out.decoded.end(), restored.begin(), restored.end());
+  }
+  return out;
+}
+
+}  // namespace pran::fronthaul

@@ -1,0 +1,38 @@
+#include "fronthaul/cpri.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace pran::fronthaul {
+
+double payload_rate_bps(const CpriParams& params) {
+  PRAN_REQUIRE(params.sample_rate_hz > 0.0, "sample rate must be positive");
+  PRAN_REQUIRE(params.bits_per_component > 0, "sample width must be positive");
+  PRAN_REQUIRE(params.antennas > 0, "cell needs at least one antenna");
+  return params.sample_rate_hz * 2.0 *
+         static_cast<double>(params.bits_per_component) *
+         static_cast<double>(params.antennas);
+}
+
+double line_rate_bps(const CpriParams& params) {
+  return payload_rate_bps(params) * params.control_overhead *
+         params.line_coding;
+}
+
+double compressed_line_rate_bps(const CpriParams& params,
+                                double compression_ratio) {
+  PRAN_REQUIRE(compression_ratio > 0.0, "compression ratio must be positive");
+  return payload_rate_bps(params) / compression_ratio *
+         params.control_overhead * params.line_coding;
+}
+
+std::size_t cells_per_link(double link_capacity_bps,
+                           double per_cell_rate_bps) {
+  PRAN_REQUIRE(link_capacity_bps >= 0.0, "link capacity must be non-negative");
+  PRAN_REQUIRE(per_cell_rate_bps > 0.0, "per-cell rate must be positive");
+  return static_cast<std::size_t>(
+      std::floor(link_capacity_bps / per_cell_rate_bps));
+}
+
+}  // namespace pran::fronthaul

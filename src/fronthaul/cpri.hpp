@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file cpri.hpp
+/// CPRI-style fronthaul dimensioning: how many bits per second one cell's
+/// antenna streams occupy, with and without compression. These are the
+/// numbers behind PRAN's "fronthaul bandwidth is the bottleneck" argument.
+
+#include <cstddef>
+
+namespace pran::fronthaul {
+
+/// Fronthaul link parameters for one cell.
+struct CpriParams {
+  double sample_rate_hz = 30.72e6;  ///< 20 MHz LTE sampling rate.
+  int bits_per_component = 15;      ///< CPRI I/Q word width.
+  int antennas = 4;
+  /// CPRI control-word overhead: one control word per 15 data words.
+  double control_overhead = 16.0 / 15.0;
+  /// 8b/10b line coding expansion.
+  double line_coding = 10.0 / 8.0;
+};
+
+/// Payload bit rate (I/Q only, before control and line coding).
+double payload_rate_bps(const CpriParams& params);
+
+/// Line rate on the fibre, including control words and 8b/10b.
+double line_rate_bps(const CpriParams& params);
+
+/// Line rate when the I/Q payload is compressed by `compression_ratio`
+/// (> 0); control and line-coding overheads still apply.
+double compressed_line_rate_bps(const CpriParams& params,
+                                double compression_ratio);
+
+/// Number of cells a fronthaul link of `link_capacity_bps` can carry at the
+/// given per-cell line rate.
+std::size_t cells_per_link(double link_capacity_bps, double per_cell_rate_bps);
+
+}  // namespace pran::fronthaul

@@ -1,0 +1,91 @@
+#include "fronthaul/dsp.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace pran::fronthaul {
+
+std::size_t next_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+namespace {
+
+void fft_core(std::vector<Cplx>& x, bool inverse) {
+  const std::size_t n = x.size();
+  PRAN_REQUIRE(is_pow2(n), "FFT size must be a power of two");
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+    const Cplx wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Cplx w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Cplx u = x[i + k];
+        const Cplx v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& v : x) v *= inv_n;
+  }
+}
+
+}  // namespace
+
+void fft(std::vector<Cplx>& x) { fft_core(x, false); }
+void ifft(std::vector<Cplx>& x) { fft_core(x, true); }
+
+double rms(const std::vector<Cplx>& x) noexcept {
+  if (x.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& v : x) acc += std::norm(v);
+  return std::sqrt(acc / static_cast<double>(x.size()));
+}
+
+double papr_db(const std::vector<Cplx>& x) {
+  const double r = rms(x);
+  PRAN_REQUIRE(r > 0.0, "PAPR of an all-zero block");
+  double peak = 0.0;
+  for (const auto& v : x) peak = std::max(peak, std::norm(v));
+  return 10.0 * std::log10(peak / (r * r));
+}
+
+double evm(const std::vector<Cplx>& reference, const std::vector<Cplx>& test) {
+  PRAN_REQUIRE(reference.size() == test.size(),
+               "EVM needs equally sized blocks");
+  const double ref_rms = rms(reference);
+  PRAN_REQUIRE(ref_rms > 0.0, "EVM against an all-zero reference");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    acc += std::norm(test[i] - reference[i]);
+  return std::sqrt(acc / static_cast<double>(reference.size())) / ref_rms;
+}
+
+double sqnr_db(const std::vector<Cplx>& reference,
+               const std::vector<Cplx>& test) {
+  const double e = evm(reference, test);
+  if (e <= 0.0) return 200.0;  // effectively lossless
+  return -20.0 * std::log10(e);
+}
+
+}  // namespace pran::fronthaul

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file dsp.hpp
+/// Minimal signal-processing kernels for the fronthaul experiments: an
+/// in-place radix-2 FFT (enough to synthesise OFDM sample blocks and to
+/// implement subcarrier-pruning compression) and related helpers.
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace pran::fronthaul {
+
+using Cplx = std::complex<double>;
+
+/// True if n is a power of two (n >= 1).
+constexpr bool is_pow2(std::size_t n) noexcept {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// Smallest power of two >= n (n >= 1).
+std::size_t next_pow2(std::size_t n) noexcept;
+
+/// In-place iterative radix-2 DIT FFT. Requires power-of-two size.
+void fft(std::vector<Cplx>& x);
+
+/// In-place inverse FFT (normalised by 1/N). Requires power-of-two size.
+void ifft(std::vector<Cplx>& x);
+
+/// Root-mean-square magnitude of a block; 0 for an empty block.
+double rms(const std::vector<Cplx>& x) noexcept;
+
+/// Peak-to-average power ratio in dB; requires non-zero RMS.
+double papr_db(const std::vector<Cplx>& x);
+
+/// Error vector magnitude of `test` against `reference` (same size,
+/// non-zero reference RMS): rms(test - reference) / rms(reference).
+double evm(const std::vector<Cplx>& reference, const std::vector<Cplx>& test);
+
+/// Signal-to-quantisation-noise ratio in dB: 20*log10(1/EVM).
+double sqnr_db(const std::vector<Cplx>& reference,
+               const std::vector<Cplx>& test);
+
+}  // namespace pran::fronthaul

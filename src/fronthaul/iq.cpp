@@ -1,0 +1,48 @@
+#include "fronthaul/iq.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace pran::fronthaul {
+
+std::vector<Cplx> generate_ofdm_symbol(Rng& rng, const OfdmParams& params) {
+  PRAN_REQUIRE(is_pow2(params.fft_size), "FFT size must be a power of two");
+  PRAN_REQUIRE(params.active_subcarriers <= params.fft_size,
+               "more active subcarriers than FFT bins");
+  std::vector<Cplx> freq(params.fft_size, Cplx{0.0, 0.0});
+
+  // Active subcarriers straddle DC (bin 0 left empty), mirroring LTE's
+  // symmetric allocation around the carrier.
+  const std::size_t half = params.active_subcarriers / 2;
+  auto qpsk = [&rng] {
+    const double re = rng.bernoulli(0.5) ? 1.0 : -1.0;
+    const double im = rng.bernoulli(0.5) ? 1.0 : -1.0;
+    return Cplx{re, im} * (1.0 / std::numbers::sqrt2);
+  };
+  for (std::size_t k = 1; k <= half; ++k) freq[k] = qpsk();
+  for (std::size_t k = 0; k < params.active_subcarriers - half; ++k)
+    freq[params.fft_size - 1 - k] = qpsk();
+
+  ifft(freq);
+
+  const double r = rms(freq);
+  PRAN_CHECK(r > 0.0, "generated symbol has zero power");
+  for (auto& v : freq) v /= r;
+  return freq;
+}
+
+std::vector<Cplx> generate_capture(Rng& rng, std::size_t symbols,
+                                   const OfdmParams& params) {
+  PRAN_REQUIRE(symbols >= 1, "capture needs at least one symbol");
+  std::vector<Cplx> out;
+  out.reserve(symbols * params.fft_size);
+  for (std::size_t s = 0; s < symbols; ++s) {
+    auto sym = generate_ofdm_symbol(rng, params);
+    out.insert(out.end(), sym.begin(), sym.end());
+  }
+  return out;
+}
+
+}  // namespace pran::fronthaul

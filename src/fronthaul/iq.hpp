@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file iq.hpp
+/// Synthetic I/Q sample generation.
+///
+/// The paper's fronthaul experiments used captured radio samples; offline we
+/// synthesise OFDM blocks instead — random QPSK symbols on the active
+/// subcarriers, IFFT to time domain — which reproduces the statistics that
+/// matter for compression (near-Gaussian amplitude distribution, ~8-11 dB
+/// PAPR, oversampling headroom from guard subcarriers).
+
+#include "common/rng.hpp"
+#include "fronthaul/dsp.hpp"
+
+namespace pran::fronthaul {
+
+/// OFDM numerology for sample generation.
+struct OfdmParams {
+  std::size_t fft_size = 2048;          ///< 20 MHz LTE numerology.
+  std::size_t active_subcarriers = 1200;  ///< 100 PRB * 12.
+};
+
+/// One OFDM symbol's worth of time-domain samples, unit RMS.
+std::vector<Cplx> generate_ofdm_symbol(Rng& rng, const OfdmParams& params = {});
+
+/// Concatenation of `symbols` OFDM symbols (a longer capture for codec
+/// benchmarking), unit RMS overall.
+std::vector<Cplx> generate_capture(Rng& rng, std::size_t symbols,
+                                   const OfdmParams& params = {});
+
+}  // namespace pran::fronthaul

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file link.hpp
+/// Shared fronthaul link model.
+///
+/// Radio heads ship each subframe's I/Q samples to the cluster over a
+/// shared fibre. The transfer is store-and-forward FIFO: a burst that
+/// becomes ready at `ready` starts serialising when the link frees, takes
+/// bits/rate seconds on the wire, and lands one propagation delay later.
+/// Serialisation + queueing eat directly into the HARQ processing budget,
+/// which is what makes fronthaul dimensioning (and compression, E7/E12) a
+/// first-order design input for PRAN rather than plumbing.
+///
+/// The model is deterministic and event-free: because arrivals are
+/// enqueued in nondecreasing ready order (the deployment generates TTIs in
+/// time order), the FIFO schedule can be computed eagerly and the arrival
+/// time returned to the caller, who uses it as the job's release time.
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace pran::fronthaul {
+
+struct LinkParams {
+  double rate_bps = 25e9;                       ///< Fibre capacity.
+  sim::Time propagation = 25 * sim::kMicrosecond;  ///< One-way, ~5 km.
+};
+
+class FronthaulLink {
+ public:
+  explicit FronthaulLink(LinkParams params);
+
+  const LinkParams& params() const noexcept { return params_; }
+
+  /// Enqueues a burst of `bits` that is ready to start at `ready`;
+  /// returns the time its last bit arrives at the far end. `ready` must
+  /// be nondecreasing across calls (FIFO ingress).
+  sim::Time enqueue(sim::Time ready, double bits);
+
+  /// Total bits accepted so far.
+  double bits_carried() const noexcept { return bits_carried_; }
+
+  /// Time the transmitter has spent serialising.
+  sim::Time busy_time() const noexcept { return busy_; }
+
+  /// Worst queueing delay (time a burst waited for the wire) seen so far.
+  sim::Time max_queue_delay() const noexcept { return max_queue_delay_; }
+
+  /// Link utilisation over [0, horizon].
+  double utilization(sim::Time horizon) const;
+
+  /// Number of bursts carried.
+  std::uint64_t bursts() const noexcept { return bursts_; }
+
+ private:
+  LinkParams params_;
+  sim::Time next_free_ = 0;
+  sim::Time last_ready_ = 0;
+  sim::Time busy_ = 0;
+  sim::Time max_queue_delay_ = 0;
+  double bits_carried_ = 0.0;
+  std::uint64_t bursts_ = 0;
+};
+
+/// Bits one cell's subframe occupies on the wire: sample-rate * 1 ms worth
+/// of I/Q words across all antennas, divided by the compression ratio.
+double subframe_bits(double sample_rate_hz, int bits_per_component,
+                     int antennas, double compression_ratio);
+
+}  // namespace pran::fronthaul

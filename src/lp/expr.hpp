@@ -1,0 +1,109 @@
+#pragma once
+
+/// \file expr.hpp
+/// Symbolic linear expressions for building optimisation models. Kept
+/// deliberately small: a Variable is an index handle into a Model, a
+/// LinearExpr is a sparse coefficient map plus a constant, and operator
+/// overloads make formulations read like the paper's math.
+
+#include <map>
+
+namespace pran::lp {
+
+/// Opaque handle to a model variable.
+struct Variable {
+  int index = -1;
+  bool valid() const noexcept { return index >= 0; }
+  friend bool operator==(Variable a, Variable b) noexcept {
+    return a.index == b.index;
+  }
+  friend bool operator<(Variable a, Variable b) noexcept {
+    return a.index < b.index;
+  }
+};
+
+/// Sparse linear expression: sum(coeff_i * x_i) + constant.
+class LinearExpr {
+ public:
+  LinearExpr() = default;
+  /*implicit*/ LinearExpr(double constant) : constant_(constant) {}
+  /*implicit*/ LinearExpr(Variable v) { terms_[v] = 1.0; }
+
+  const std::map<Variable, double>& terms() const noexcept { return terms_; }
+  double constant() const noexcept { return constant_; }
+
+  LinearExpr& operator+=(const LinearExpr& other) {
+    for (const auto& [v, c] : other.terms_) add_term(v, c);
+    constant_ += other.constant_;
+    return *this;
+  }
+  LinearExpr& operator-=(const LinearExpr& other) {
+    for (const auto& [v, c] : other.terms_) add_term(v, -c);
+    constant_ -= other.constant_;
+    return *this;
+  }
+  LinearExpr& operator*=(double k) {
+    for (auto& [v, c] : terms_) c *= k;
+    constant_ *= k;
+    return *this;
+  }
+
+  void add_term(Variable v, double coeff) {
+    auto [it, inserted] = terms_.emplace(v, coeff);
+    if (!inserted) it->second += coeff;
+  }
+
+ private:
+  std::map<Variable, double> terms_;
+  double constant_ = 0.0;
+};
+
+inline LinearExpr operator+(LinearExpr a, const LinearExpr& b) {
+  a += b;
+  return a;
+}
+inline LinearExpr operator-(LinearExpr a, const LinearExpr& b) {
+  a -= b;
+  return a;
+}
+inline LinearExpr operator*(LinearExpr a, double k) {
+  a *= k;
+  return a;
+}
+inline LinearExpr operator*(double k, LinearExpr a) {
+  a *= k;
+  return a;
+}
+inline LinearExpr operator-(LinearExpr a) {
+  a *= -1.0;
+  return a;
+}
+
+enum class Relation { kLessEqual, kGreaterEqual, kEqual };
+
+/// A constraint `expr (<=,>=,=) rhs` in canonical expr-vs-constant form.
+struct Constraint {
+  LinearExpr lhs;
+  Relation relation = Relation::kLessEqual;
+  double rhs = 0.0;
+};
+
+/// Comparison operators build Constraints: expr <= bound, etc. The variable
+/// part stays on the left; constants migrate to the right-hand side.
+inline Constraint operator<=(LinearExpr lhs, double rhs) {
+  const double c = lhs.constant();
+  lhs -= c;
+  return Constraint{std::move(lhs), Relation::kLessEqual, rhs - c};
+}
+inline Constraint operator>=(LinearExpr lhs, double rhs) {
+  const double c = lhs.constant();
+  lhs -= c;
+  return Constraint{std::move(lhs), Relation::kGreaterEqual, rhs - c};
+}
+inline Constraint operator==(LinearExpr lhs, double rhs) {
+  const double c = lhs.constant();
+  lhs -= c;
+  return Constraint{std::move(lhs), Relation::kEqual, rhs - c};
+}
+
+}  // namespace pran::lp

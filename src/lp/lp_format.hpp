@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file lp_format.hpp
+/// CPLEX-LP-format export/escape hatch.
+///
+/// The in-repo branch-and-bound is exact but deliberately small; for
+/// instances beyond its reach, `write_lp_format` serialises any Model into
+/// the industry-standard LP file format so it can be handed to CBC
+/// (`cbc model.lp`), SCIP, or CPLEX unchanged. Variable names are
+/// sanitised to the LP-format charset; a name map is returned for callers
+/// who need to match solutions back.
+
+#include <map>
+#include <string>
+
+#include "lp/model.hpp"
+
+namespace pran::lp {
+
+struct LpExport {
+  std::string text;  ///< The .lp file contents.
+  /// sanitised name -> model variable index.
+  std::map<std::string, int> name_to_index;
+};
+
+/// Serialises `model` to CPLEX LP format (objective, constraints, bounds,
+/// generals/binaries sections).
+LpExport write_lp_format(const Model& model);
+
+}  // namespace pran::lp

@@ -1,0 +1,57 @@
+#include "lte/subframe.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace pran::lte {
+
+SubframeFactory::SubframeFactory(int cell_id, CellConfig config,
+                                 CostModel model,
+                                 sim::Time fronthaul_one_way_latency)
+    : cell_id_(cell_id),
+      config_(config),
+      model_(model),
+      fronthaul_latency_(fronthaul_one_way_latency) {
+  PRAN_REQUIRE(fronthaul_one_way_latency >= 0,
+               "fronthaul latency must be non-negative");
+  PRAN_REQUIRE(2 * fronthaul_one_way_latency < kUplinkProcessingBudget,
+               "fronthaul RTT consumes the whole HARQ budget");
+}
+
+SubframeJob SubframeFactory::uplink_job(
+    std::int64_t tti, std::span<const Allocation> allocs) const {
+  PRAN_REQUIRE(tti >= 0, "TTI index must be non-negative");
+  SubframeJob job;
+  job.cell_id = cell_id_;
+  job.tti = tti;
+  job.direction = Direction::kUplink;
+  job.cost = model_.subframe_cost(config_, allocs, Direction::kUplink);
+  int code_blocks = 0;
+  for (const auto& a : allocs)
+    code_blocks += code_block_count(transport_block_bits(a.mcs, a.n_prb)) *
+                   config_.mimo_layers;
+  job.parallelism = std::max(1, code_blocks);
+  // Over-the-air during [tti, tti+1); last sample lands one fronthaul
+  // latency after the subframe ends.
+  job.release = (tti + 1) * sim::kTti + fronthaul_latency_;
+  job.deadline =
+      uplink_deadline((tti + 1) * sim::kTti, 2 * fronthaul_latency_);
+  return job;
+}
+
+SubframeJob SubframeFactory::downlink_job(
+    std::int64_t tti, std::span<const Allocation> allocs) const {
+  PRAN_REQUIRE(tti >= 1, "downlink needs one TTI of lookahead");
+  SubframeJob job;
+  job.cell_id = cell_id_;
+  job.tti = tti;
+  job.direction = Direction::kDownlink;
+  job.cost = model_.subframe_cost(config_, allocs, Direction::kDownlink);
+  job.deadline = tti * sim::kTti - fronthaul_latency_;
+  PRAN_REQUIRE(job.deadline > 0, "downlink deadline precedes time zero");
+  job.release = std::max<sim::Time>(0, job.deadline - sim::kTti);
+  return job;
+}
+
+}  // namespace pran::lte

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file subframe.hpp
+/// The unit of work the PRAN cluster schedules: one cell-subframe job with a
+/// release time (samples fully received over the fronthaul) and a hard HARQ
+/// deadline.
+
+#include <span>
+#include <vector>
+
+#include "lte/cost_model.hpp"
+#include "lte/harq.hpp"
+#include "sim/time.hpp"
+
+namespace pran::lte {
+
+/// One cell's base-band processing for one TTI.
+struct SubframeJob {
+  int cell_id = 0;
+  std::int64_t tti = 0;          ///< Subframe index since epoch.
+  Direction direction = Direction::kUplink;
+  StageCost cost;                ///< Per-stage giga-operations.
+  /// Additional work contributed by custom (programmed-in) pipeline stages
+  /// beyond the standard six; see core::Pipeline.
+  double extra_gops = 0.0;
+  /// How many HARQ retransmissions this job has already been through
+  /// (0 = first transmission).
+  int harq_retx = 0;
+  /// Maximum useful intra-job parallelism: the number of turbo code blocks
+  /// in the subframe (code blocks decode independently, so a job can fan
+  /// out over up to this many cores with near-linear speedup).
+  int parallelism = 1;
+  sim::Time release = 0;         ///< Earliest start (samples available).
+  sim::Time deadline = 0;        ///< Hard completion deadline.
+
+  double total_gops() const noexcept { return cost.total() + extra_gops; }
+};
+
+/// Builds SubframeJobs for one cell from per-TTI allocations, folding in the
+/// fronthaul latency on both the release time and the HARQ deadline.
+class SubframeFactory {
+ public:
+  SubframeFactory(int cell_id, CellConfig config, CostModel model,
+                  sim::Time fronthaul_one_way_latency);
+
+  int cell_id() const noexcept { return cell_id_; }
+  const CellConfig& config() const noexcept { return config_; }
+  const CostModel& model() const noexcept { return model_; }
+  sim::Time fronthaul_latency() const noexcept { return fronthaul_latency_; }
+
+  /// Uplink job for subframe `tti` that was transmitted over the air during
+  /// [tti, tti+1) ms and whose samples finish arriving one fronthaul latency
+  /// later.
+  SubframeJob uplink_job(std::int64_t tti,
+                         std::span<const Allocation> allocs) const;
+
+  /// Downlink job for subframe `tti`: must be *finished* early enough that
+  /// samples reach the radio head before the subframe goes on air, so its
+  /// deadline is the air time minus the fronthaul latency and its release is
+  /// one TTI before that (the scheduler works one subframe ahead).
+  SubframeJob downlink_job(std::int64_t tti,
+                           std::span<const Allocation> allocs) const;
+
+ private:
+  int cell_id_;
+  CellConfig config_;
+  CostModel model_;
+  sim::Time fronthaul_latency_;
+};
+
+}  // namespace pran::lte

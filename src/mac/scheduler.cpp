@@ -1,0 +1,169 @@
+#include "mac/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace pran::mac {
+namespace {
+
+int iterations_for(int mcs) {
+  const double rate = lte::mcs(mcs).code_rate;
+  return std::clamp(static_cast<int>(std::lround(3.0 + 4.0 * rate)), 2, 8);
+}
+
+/// PF-style bookkeeping shared by all policies: fold every UE's served
+/// bits (0 if unscheduled) into its throughput average.
+void settle_averages(std::vector<Ue>& ues, const std::vector<Grant>& grants,
+                     double window) {
+  for (auto& ue : ues) {
+    double served = 0.0;
+    for (const auto& g : grants)
+      if (g.ue_id == ue.id()) served += g.served_bits;
+    ue.update_average(served, window);
+  }
+}
+
+}  // namespace
+
+Grant Scheduler::make_grant(Ue& ue, int prbs) {
+  Grant grant;
+  grant.ue_id = ue.id();
+  const int cqi = ue.current_cqi();
+  if (cqi == 0 || prbs <= 0) return grant;
+  const int mcs = lte::mcs_from_cqi(cqi);
+  const int tb_bits = lte::transport_block_bits(mcs, prbs);
+  const double drained = ue.drain(static_cast<double>(tb_bits) / 8.0);
+  grant.allocation = lte::Allocation{prbs, mcs, iterations_for(mcs)};
+  grant.served_bits = drained * 8.0;
+  return grant;
+}
+
+int Scheduler::useful_prbs(const Ue& ue, int available) {
+  if (available <= 0 || ue.current_cqi() == 0) return 0;
+  if (ue.config().traffic == TrafficKind::kFullBuffer) return available;
+  const int mcs = lte::mcs_from_cqi(ue.current_cqi());
+  const int bits_per_prb = lte::transport_block_bits(mcs, 1);
+  if (bits_per_prb <= 0) return 0;
+  const double needed_bits = ue.backlog_bytes() * 8.0;
+  const int needed =
+      static_cast<int>(std::ceil(needed_bits / bits_per_prb));
+  return std::min(available, needed);
+}
+
+std::vector<Grant> RoundRobinScheduler::schedule(std::vector<Ue>& ues,
+                                                 int n_prb) {
+  PRAN_REQUIRE(n_prb >= 0, "PRB budget must be non-negative");
+  std::vector<Grant> grants;
+  if (ues.empty() || n_prb == 0) return grants;
+
+  // Rotating order starting after last TTI's first UE.
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < ues.size(); ++i)
+    order.push_back((next_ + i) % ues.size());
+  next_ = (next_ + 1) % ues.size();
+
+  std::size_t active = 0;
+  for (std::size_t idx : order)
+    if (ues[idx].has_data() && ues[idx].current_cqi() > 0) ++active;
+  if (active == 0) {
+    settle_averages(ues, grants, 100.0);
+    return grants;
+  }
+  const int share =
+      std::max(1, n_prb / static_cast<int>(active));
+
+  int left = n_prb;
+  for (std::size_t idx : order) {
+    if (left == 0) break;
+    Ue& ue = ues[idx];
+    if (!ue.has_data()) continue;
+    const int prbs = useful_prbs(ue, std::min(share, left));
+    if (prbs == 0) continue;
+    Grant g = make_grant(ue, prbs);
+    if (g.allocation.n_prb == 0) continue;
+    left -= g.allocation.n_prb;
+    grants.push_back(g);
+  }
+  settle_averages(ues, grants, 100.0);
+  return grants;
+}
+
+std::vector<Grant> MaxRateScheduler::schedule(std::vector<Ue>& ues,
+                                              int n_prb) {
+  PRAN_REQUIRE(n_prb >= 0, "PRB budget must be non-negative");
+  std::vector<std::size_t> order(ues.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (ues[a].current_cqi() != ues[b].current_cqi())
+      return ues[a].current_cqi() > ues[b].current_cqi();
+    return a < b;
+  });
+
+  std::vector<Grant> grants;
+  int left = n_prb;
+  for (std::size_t idx : order) {
+    if (left == 0) break;
+    Ue& ue = ues[idx];
+    if (!ue.has_data()) continue;
+    const int prbs = useful_prbs(ue, left);
+    if (prbs == 0) continue;
+    Grant g = make_grant(ue, prbs);
+    if (g.allocation.n_prb == 0) continue;
+    left -= g.allocation.n_prb;
+    grants.push_back(g);
+  }
+  settle_averages(ues, grants, 100.0);
+  return grants;
+}
+
+std::vector<Grant> ProportionalFairScheduler::schedule(std::vector<Ue>& ues,
+                                                       int n_prb) {
+  PRAN_REQUIRE(n_prb >= 0, "PRB budget must be non-negative");
+  // PF metric: achievable rate this TTI / average served rate.
+  auto metric = [&](const Ue& ue) {
+    const int cqi = ue.current_cqi();
+    if (cqi == 0) return 0.0;
+    const int mcs = lte::mcs_from_cqi(cqi);
+    const double inst_rate = lte::prb_rate_bps(mcs);
+    return inst_rate / ue.average_throughput_bps();
+  };
+
+  std::vector<std::size_t> order(ues.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double ma = metric(ues[a]);
+    const double mb = metric(ues[b]);
+    if (ma != mb) return ma > mb;
+    return a < b;
+  });
+
+  std::vector<Grant> grants;
+  int left = n_prb;
+  for (std::size_t idx : order) {
+    if (left == 0) break;
+    Ue& ue = ues[idx];
+    if (!ue.has_data()) continue;
+    const int prbs = useful_prbs(ue, left);
+    if (prbs == 0) continue;
+    Grant g = make_grant(ue, prbs);
+    if (g.allocation.n_prb == 0) continue;
+    left -= g.allocation.n_prb;
+    grants.push_back(g);
+  }
+  settle_averages(ues, grants, window_);
+  return grants;
+}
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
+  if (name == "round-robin") return std::make_unique<RoundRobinScheduler>();
+  if (name == "max-rate") return std::make_unique<MaxRateScheduler>();
+  if (name == "proportional-fair")
+    return std::make_unique<ProportionalFairScheduler>();
+  PRAN_REQUIRE(false, "unknown scheduler: " + name);
+  return nullptr;
+}
+
+}  // namespace pran::mac

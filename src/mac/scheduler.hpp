@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file scheduler.hpp
+/// Per-TTI MAC schedulers. Given the cell's PRB budget and the UEs'
+/// current channel/backlog state, a scheduler picks who transmits and on
+/// how many PRBs — producing exactly the lte::Allocation list the PRAN
+/// data plane then has to process. Three classic policies:
+///
+///  * RoundRobin       — equal turns, channel-blind.
+///  * MaxRate (max-C/I) — always the best channel; maximises cell
+///                        throughput, starves the cell edge.
+///  * ProportionalFair — schedules by instantaneous-rate / average-rate;
+///                        the standard operator compromise.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lte/cost_model.hpp"
+#include "mac/ue.hpp"
+
+namespace pran::mac {
+
+/// One scheduling decision for one UE in one TTI.
+struct Grant {
+  int ue_id = 0;
+  lte::Allocation allocation;
+  double served_bits = 0.0;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual std::string name() const = 0;
+
+  /// Allocates up to `n_prb` PRBs among `ues` for one TTI. Must not grant
+  /// a UE with no data, must not exceed the PRB budget, and must set each
+  /// grant's MCS from the UE's current CQI.
+  virtual std::vector<Grant> schedule(std::vector<Ue>& ues, int n_prb) = 0;
+
+ protected:
+  /// Builds a grant of `prbs` PRBs for `ue` at its current CQI, draining
+  /// its backlog and updating its PF average. Returns a zero-PRB grant if
+  /// the UE's channel is unusable (CQI 0).
+  static Grant make_grant(Ue& ue, int prbs);
+
+  /// PRBs this UE could actually fill given its backlog (grant no more).
+  static int useful_prbs(const Ue& ue, int available);
+};
+
+class RoundRobinScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "round-robin"; }
+  std::vector<Grant> schedule(std::vector<Ue>& ues, int n_prb) override;
+
+ private:
+  std::size_t next_ = 0;
+};
+
+class MaxRateScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "max-rate"; }
+  std::vector<Grant> schedule(std::vector<Ue>& ues, int n_prb) override;
+};
+
+class ProportionalFairScheduler : public Scheduler {
+ public:
+  explicit ProportionalFairScheduler(double window_ttis = 100.0)
+      : window_(window_ttis) {}
+  std::string name() const override { return "proportional-fair"; }
+  std::vector<Grant> schedule(std::vector<Ue>& ues, int n_prb) override;
+
+ private:
+  double window_;
+};
+
+/// Factory by name ("round-robin", "max-rate", "proportional-fair").
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name);
+
+}  // namespace pran::mac

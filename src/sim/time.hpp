@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file time.hpp
+/// Simulated time. PRAN uses an integer nanosecond clock so event ordering
+/// is exact and runs are bit-reproducible (no floating-point time drift).
+
+#include <cstdint>
+
+namespace pran::sim {
+
+/// Simulated time in integer nanoseconds since simulation start.
+using Time = std::int64_t;
+
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1'000;
+inline constexpr Time kMillisecond = 1'000'000;
+inline constexpr Time kSecond = 1'000'000'000;
+
+/// One LTE transmission time interval (subframe).
+inline constexpr Time kTti = kMillisecond;
+
+constexpr double to_seconds(Time t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+constexpr double to_microseconds(Time t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kMicrosecond);
+}
+
+constexpr Time from_seconds(double s) noexcept {
+  return static_cast<Time>(s * static_cast<double>(kSecond));
+}
+
+constexpr Time from_microseconds(double us) noexcept {
+  return static_cast<Time>(us * static_cast<double>(kMicrosecond));
+}
+
+}  // namespace pran::sim

@@ -1,0 +1,47 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace pran::sim {
+
+void Trace::emit(Time at, std::string category, std::string message) {
+  if (!enabled(category)) return;
+  records_.push_back(TraceRecord{at, std::move(category), std::move(message)});
+}
+
+void Trace::set_enabled_categories(std::vector<std::string> categories) {
+  enabled_categories_ = std::move(categories);
+}
+
+bool Trace::enabled(const std::string& category) const {
+  if (enabled_categories_.empty()) return true;
+  return std::find(enabled_categories_.begin(), enabled_categories_.end(),
+                   category) != enabled_categories_.end();
+}
+
+std::vector<TraceRecord> Trace::filter(const std::string& category) const {
+  std::vector<TraceRecord> out;
+  for (const auto& r : records_)
+    if (r.category == category) out.push_back(r);
+  return out;
+}
+
+std::size_t Trace::count(const std::string& category) const {
+  std::size_t n = 0;
+  for (const auto& r : records_)
+    if (r.category == category) ++n;
+  return n;
+}
+
+std::string Trace::render() const {
+  std::ostringstream os;
+  for (const auto& r : records_)
+    os << "t=" << format_duration(to_seconds(r.at)) << " [" << r.category
+       << "] " << r.message << "\n";
+  return os.str();
+}
+
+}  // namespace pran::sim

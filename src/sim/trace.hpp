@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file trace.hpp
+/// Structured event tracing for simulations: components append typed records
+/// (category, time, message) that tests and examples can filter. Keeps the
+/// engine itself free of I/O.
+
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace pran::sim {
+
+struct TraceRecord {
+  Time at = 0;
+  std::string category;
+  std::string message;
+};
+
+/// Append-only trace sink with category filtering. Not thread-safe; the
+/// simulation is single-threaded by design.
+class Trace {
+ public:
+  /// Records one entry if the category is enabled (all are by default).
+  void emit(Time at, std::string category, std::string message);
+
+  /// Restricts recording to the given categories; empty list re-enables all.
+  void set_enabled_categories(std::vector<std::string> categories);
+
+  const std::vector<TraceRecord>& records() const noexcept { return records_; }
+  void clear() noexcept { records_.clear(); }
+
+  /// All records in a category, in emission order.
+  std::vector<TraceRecord> filter(const std::string& category) const;
+
+  /// Number of records in a category.
+  std::size_t count(const std::string& category) const;
+
+  /// Renders "t=... [category] message" lines.
+  std::string render() const;
+
+ private:
+  bool enabled(const std::string& category) const;
+  std::vector<TraceRecord> records_;
+  std::vector<std::string> enabled_categories_;
+};
+
+}  // namespace pran::sim

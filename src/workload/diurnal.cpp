@@ -1,0 +1,104 @@
+#include "workload/diurnal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace pran::workload {
+
+const char* site_kind_name(SiteKind kind) noexcept {
+  switch (kind) {
+    case SiteKind::kOffice:
+      return "office";
+    case SiteKind::kResidential:
+      return "residential";
+    case SiteKind::kMixed:
+      return "mixed";
+    case SiteKind::kTransport:
+      return "transport";
+  }
+  return "?";
+}
+
+DiurnalProfile DiurnalProfile::canonical(SiteKind kind) {
+  std::array<double, 24> h{};
+  switch (kind) {
+    case SiteKind::kOffice:
+      // Ramp from 7am, peak 10am-4pm, empty at night.
+      h = {0.05, 0.04, 0.04, 0.04, 0.05, 0.08, 0.15, 0.35, 0.65, 0.90,
+           1.00, 0.95, 0.85, 0.95, 1.00, 0.95, 0.85, 0.60, 0.35, 0.20,
+           0.12, 0.08, 0.06, 0.05};
+      break;
+    case SiteKind::kResidential:
+      // Morning bump, evening peak 8-11pm.
+      h = {0.30, 0.20, 0.12, 0.08, 0.08, 0.10, 0.20, 0.35, 0.30, 0.25,
+           0.25, 0.28, 0.32, 0.30, 0.30, 0.35, 0.45, 0.60, 0.75, 0.90,
+           1.00, 0.95, 0.75, 0.50};
+      break;
+    case SiteKind::kMixed:
+      // Superposition of office and residential behaviour.
+      h = {0.18, 0.12, 0.08, 0.06, 0.07, 0.09, 0.18, 0.35, 0.48, 0.58,
+           0.63, 0.62, 0.59, 0.63, 0.65, 0.65, 0.65, 0.60, 0.55, 0.55,
+           0.56, 0.52, 0.40, 0.28};
+      break;
+    case SiteKind::kTransport:
+      // Commute peaks around 8am and 6pm.
+      h = {0.08, 0.05, 0.04, 0.04, 0.08, 0.20, 0.55, 0.95, 1.00, 0.60,
+           0.40, 0.38, 0.42, 0.40, 0.38, 0.45, 0.70, 0.95, 1.00, 0.70,
+           0.40, 0.25, 0.15, 0.10};
+      break;
+  }
+  return DiurnalProfile(h);
+}
+
+DiurnalProfile DiurnalProfile::flat(double level) {
+  PRAN_REQUIRE(level >= 0.0 && level <= 1.0, "flat level outside [0, 1]");
+  std::array<double, 24> h{};
+  h.fill(level);
+  return DiurnalProfile(h);
+}
+
+DiurnalProfile::DiurnalProfile(std::array<double, 24> hourly)
+    : hourly_(hourly) {
+  for (double v : hourly_)
+    PRAN_REQUIRE(v >= 0.0 && v <= 1.0, "hourly load outside [0, 1]");
+}
+
+double DiurnalProfile::at(double hour) const {
+  PRAN_REQUIRE(std::isfinite(hour), "hour must be finite");
+  double h = std::fmod(hour, 24.0);
+  if (h < 0.0) h += 24.0;
+  const int lo = static_cast<int>(h) % 24;
+  const int hi = (lo + 1) % 24;
+  const double frac = h - std::floor(h);
+  return hourly_[static_cast<std::size_t>(lo)] * (1.0 - frac) +
+         hourly_[static_cast<std::size_t>(hi)] * frac;
+}
+
+int DiurnalProfile::peak_hour() const noexcept {
+  int best = 0;
+  for (int i = 1; i < 24; ++i)
+    if (hourly_[static_cast<std::size_t>(i)] >
+        hourly_[static_cast<std::size_t>(best)])
+      best = i;
+  return best;
+}
+
+double DiurnalProfile::mean() const noexcept {
+  double sum = 0.0;
+  for (double v : hourly_) sum += v;
+  return sum / 24.0;
+}
+
+DiurnalProfile DiurnalProfile::jittered(Rng& rng, double sigma) const {
+  PRAN_REQUIRE(sigma >= 0.0, "jitter sigma must be non-negative");
+  std::array<double, 24> h = hourly_;
+  for (auto& v : h) {
+    const double factor = std::exp(rng.normal(0.0, sigma));
+    v = std::clamp(v * factor, 0.0, 1.0);
+  }
+  return DiurnalProfile(h);
+}
+
+}  // namespace pran::workload

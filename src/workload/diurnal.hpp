@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file diurnal.hpp
+/// Diurnal load profiles.
+///
+/// PRAN's pooling argument rests on real operator traces showing that cells
+/// peak at different times of day — office cells at midday, residential
+/// cells in the evening — so a shared cluster needs far less capacity than
+/// the sum of per-cell peaks. We reproduce that structure synthetically:
+/// each profile is a 24-point hourly curve in [0, 1], interpolated
+/// continuously and optionally jittered per cell.
+
+#include <array>
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace pran::workload {
+
+/// Site archetypes with distinct peak hours.
+enum class SiteKind { kOffice, kResidential, kMixed, kTransport };
+
+const char* site_kind_name(SiteKind kind) noexcept;
+
+/// Relative load (fraction of this cell's own peak) as a function of the
+/// hour of day.
+class DiurnalProfile {
+ public:
+  /// Builds the canonical curve for a site archetype.
+  static DiurnalProfile canonical(SiteKind kind);
+
+  /// Flat profile at the given level (used in controlled experiments).
+  static DiurnalProfile flat(double level);
+
+  /// Profile from explicit 24 hourly points (each in [0, 1]).
+  explicit DiurnalProfile(std::array<double, 24> hourly);
+
+  /// Load at `hour` in [0, 24); piecewise-linear, wrapping at midnight.
+  double at(double hour) const;
+
+  /// Hour (0..23 grid) at which the profile peaks.
+  int peak_hour() const noexcept;
+
+  /// Mean load across the day.
+  double mean() const noexcept;
+
+  /// Returns a copy with each hourly point multiplied by lognormal-ish
+  /// noise (sigma in relative terms) and re-clamped to [0, 1]; models
+  /// cell-to-cell variation around the archetype.
+  DiurnalProfile jittered(Rng& rng, double sigma) const;
+
+  const std::array<double, 24>& hourly() const noexcept { return hourly_; }
+
+ private:
+  std::array<double, 24> hourly_{};
+};
+
+}  // namespace pran::workload

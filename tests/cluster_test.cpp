@@ -1,0 +1,210 @@
+// Tests for the compute-cluster executor.
+
+#include <gtest/gtest.h>
+
+#include "cluster/executor.hpp"
+#include "common/check.hpp"
+
+namespace pran::cluster {
+namespace {
+
+lte::SubframeJob make_job(int cell, double gops, sim::Time release,
+                          sim::Time deadline) {
+  lte::SubframeJob job;
+  job.cell_id = cell;
+  job.cost[lte::Stage::kDecode] = gops;
+  job.release = release;
+  job.deadline = deadline;
+  return job;
+}
+
+ServerSpec one_core(double gops = 100.0) {
+  return ServerSpec{"s", 1, gops};
+}
+
+TEST(Executor, RunsJobToCompletion) {
+  sim::Engine engine;
+  Executor ex(engine, {one_core(100.0)}, SchedPolicy::kEdf);
+  // 0.1 Gop on a 100 GOPS core = 1 ms.
+  ex.submit(0, make_job(1, 0.1, 0, 10 * sim::kMillisecond));
+  engine.run();
+  ASSERT_EQ(ex.outcomes().size(), 1u);
+  const auto& o = ex.outcomes()[0];
+  EXPECT_EQ(o.start, 0);
+  EXPECT_EQ(o.finish, sim::kMillisecond);
+  EXPECT_FALSE(o.missed_deadline());
+  EXPECT_FALSE(o.dropped);
+  EXPECT_EQ(ex.stats().completed, 1u);
+}
+
+TEST(Executor, HonoursReleaseTime) {
+  sim::Engine engine;
+  Executor ex(engine, {one_core()}, SchedPolicy::kEdf);
+  ex.submit(0, make_job(1, 0.05, 3 * sim::kMillisecond, 100 * sim::kMillisecond));
+  engine.run();
+  EXPECT_EQ(ex.outcomes()[0].start, 3 * sim::kMillisecond);
+}
+
+TEST(Executor, DetectsDeadlineMiss) {
+  sim::Engine engine;
+  Executor ex(engine, {one_core(100.0)}, SchedPolicy::kEdf);
+  // 0.5 Gop = 5 ms, deadline at 3 ms.
+  ex.submit(0, make_job(1, 0.5, 0, 3 * sim::kMillisecond));
+  engine.run();
+  EXPECT_TRUE(ex.outcomes()[0].missed_deadline());
+  EXPECT_EQ(ex.stats().missed, 1u);
+  EXPECT_DOUBLE_EQ(ex.stats().miss_ratio(), 1.0);
+}
+
+TEST(Executor, EdfOrdersByDeadline) {
+  sim::Engine engine;
+  Executor ex(engine, {one_core(100.0)}, SchedPolicy::kEdf);
+  // Occupy the core, then queue two jobs with inverted deadline order.
+  ex.submit(0, make_job(0, 0.1, 0, 50 * sim::kMillisecond));
+  ex.submit(0, make_job(1, 0.1, 0, 40 * sim::kMillisecond));  // later deadline
+  ex.submit(0, make_job(2, 0.1, 0, 5 * sim::kMillisecond));   // earliest
+  engine.run();
+  ASSERT_EQ(ex.outcomes().size(), 3u);
+  EXPECT_EQ(ex.outcomes()[0].job.cell_id, 0);  // was running
+  EXPECT_EQ(ex.outcomes()[1].job.cell_id, 2);  // EDF picks earliest deadline
+  EXPECT_EQ(ex.outcomes()[2].job.cell_id, 1);
+}
+
+TEST(Executor, FifoIgnoresDeadlines) {
+  sim::Engine engine;
+  Executor ex(engine, {one_core(100.0)}, SchedPolicy::kFifo);
+  ex.submit(0, make_job(0, 0.1, 0, 50 * sim::kMillisecond));
+  ex.submit(0, make_job(1, 0.1, 0, 40 * sim::kMillisecond));
+  ex.submit(0, make_job(2, 0.1, 0, 5 * sim::kMillisecond));
+  engine.run();
+  EXPECT_EQ(ex.outcomes()[1].job.cell_id, 1);
+  EXPECT_EQ(ex.outcomes()[2].job.cell_id, 2);
+}
+
+TEST(Executor, MultiCoreRunsInParallel) {
+  sim::Engine engine;
+  Executor ex(engine, {ServerSpec{"s", 2, 100.0}}, SchedPolicy::kEdf);
+  for (int i = 0; i < 2; ++i)
+    ex.submit(0, make_job(i, 0.1, 0, 10 * sim::kMillisecond));
+  engine.run();
+  // Both 1 ms jobs finish at t=1ms on separate cores.
+  EXPECT_EQ(ex.outcomes()[0].finish, sim::kMillisecond);
+  EXPECT_EQ(ex.outcomes()[1].finish, sim::kMillisecond);
+}
+
+TEST(Executor, QueueingDelaysSecondJobOnOneCore) {
+  sim::Engine engine;
+  Executor ex(engine, {one_core(100.0)}, SchedPolicy::kEdf);
+  for (int i = 0; i < 2; ++i)
+    ex.submit(0, make_job(i, 0.1, 0, 10 * sim::kMillisecond));
+  engine.run();
+  EXPECT_EQ(ex.outcomes()[1].finish, 2 * sim::kMillisecond);
+  EXPECT_EQ(ex.outcomes()[1].latency(), 2 * sim::kMillisecond);
+}
+
+TEST(Executor, FailureDropsQueuedAndRunning) {
+  sim::Engine engine;
+  Executor ex(engine, {one_core(100.0)}, SchedPolicy::kEdf);
+  int drops = 0;
+  ex.set_drop_callback([&](const lte::SubframeJob&, int) { ++drops; });
+  ex.submit(0, make_job(0, 1.0, 0, 50 * sim::kMillisecond));  // 10 ms run
+  ex.submit(0, make_job(1, 0.1, 0, 50 * sim::kMillisecond));  // queued
+  engine.schedule_at(2 * sim::kMillisecond, [&] { ex.fail_server(0); });
+  engine.run();
+  EXPECT_EQ(drops, 2);
+  EXPECT_EQ(ex.stats().dropped, 2u);
+  EXPECT_EQ(ex.stats().completed, 0u);
+  EXPECT_TRUE(ex.is_failed(0));
+}
+
+TEST(Executor, SubmitToFailedServerDropsImmediately) {
+  sim::Engine engine;
+  Executor ex(engine, {one_core()}, SchedPolicy::kEdf);
+  ex.fail_server(0);
+  ex.submit(0, make_job(0, 0.1, 0, 10 * sim::kMillisecond));
+  engine.run();
+  EXPECT_EQ(ex.stats().dropped, 1u);
+}
+
+TEST(Executor, RestoreAllowsNewWork) {
+  sim::Engine engine;
+  Executor ex(engine, {one_core(100.0)}, SchedPolicy::kEdf);
+  ex.fail_server(0);
+  ex.restore_server(0);
+  ex.submit(0, make_job(0, 0.1, 0, 10 * sim::kMillisecond));
+  engine.run();
+  EXPECT_EQ(ex.stats().completed, 1u);
+  EXPECT_THROW(ex.restore_server(0), pran::ContractViolation);
+}
+
+TEST(Executor, FailTwiceIsRejected) {
+  sim::Engine engine;
+  Executor ex(engine, {one_core()}, SchedPolicy::kEdf);
+  ex.fail_server(0);
+  EXPECT_THROW(ex.fail_server(0), pran::ContractViolation);
+}
+
+TEST(Executor, CompletionCallbackFires) {
+  sim::Engine engine;
+  Executor ex(engine, {one_core()}, SchedPolicy::kEdf);
+  int completions = 0;
+  ex.set_completion_callback([&](const JobOutcome& o) {
+    ++completions;
+    EXPECT_FALSE(o.dropped);
+  });
+  ex.submit(0, make_job(0, 0.01, 0, 10 * sim::kMillisecond));
+  engine.run();
+  EXPECT_EQ(completions, 1);
+}
+
+TEST(Executor, UtilizationAccountsBusyTime) {
+  sim::Engine engine;
+  Executor ex(engine, {ServerSpec{"s", 2, 100.0}}, SchedPolicy::kEdf);
+  ex.submit(0, make_job(0, 0.2, 0, 100 * sim::kMillisecond));  // 2 ms
+  ex.submit(0, make_job(1, 0.2, 0, 100 * sim::kMillisecond));  // 2 ms
+  engine.run();
+  // 4 ms of core time over a 10 ms window on 2 cores = 0.2.
+  EXPECT_NEAR(ex.utilization(0, 10 * sim::kMillisecond), 0.2, 1e-9);
+}
+
+TEST(Executor, PerServerStats) {
+  sim::Engine engine;
+  Executor ex(engine, {one_core(100.0), one_core(100.0)}, SchedPolicy::kEdf);
+  ex.submit(0, make_job(0, 0.1, 0, 10 * sim::kMillisecond));
+  ex.submit(1, make_job(1, 0.5, 0, sim::kMillisecond));  // will miss
+  engine.run();
+  EXPECT_EQ(ex.stats_for_server(0).completed, 1u);
+  EXPECT_EQ(ex.stats_for_server(0).missed, 0u);
+  EXPECT_EQ(ex.stats_for_server(1).missed, 1u);
+}
+
+TEST(Executor, ValidatesServerIds) {
+  sim::Engine engine;
+  Executor ex(engine, {one_core()}, SchedPolicy::kEdf);
+  EXPECT_THROW(ex.submit(1, make_job(0, 0.1, 0, 1)), pran::ContractViolation);
+  EXPECT_THROW(ex.spec(-1), pran::ContractViolation);
+  EXPECT_THROW(Executor(engine, {}, SchedPolicy::kEdf),
+               pran::ContractViolation);
+}
+
+TEST(Executor, ZeroCostJobCompletesInstantly) {
+  sim::Engine engine;
+  Executor ex(engine, {one_core()}, SchedPolicy::kEdf);
+  ex.submit(0, make_job(0, 0.0, sim::kMillisecond, 2 * sim::kMillisecond));
+  engine.run();
+  ASSERT_EQ(ex.stats().completed, 1u);
+  EXPECT_EQ(ex.outcomes()[0].finish, sim::kMillisecond);
+}
+
+TEST(ServerSpec, GopsPerTti) {
+  ServerSpec spec{"s", 8, 150.0};
+  EXPECT_NEAR(spec.gops_per_tti(), 1.2, 1e-12);
+}
+
+TEST(SchedPolicyName, Strings) {
+  EXPECT_STREQ(sched_policy_name(SchedPolicy::kEdf), "edf");
+  EXPECT_STREQ(sched_policy_name(SchedPolicy::kFifo), "fifo");
+}
+
+}  // namespace
+}  // namespace pran::cluster

@@ -1,0 +1,171 @@
+// Tests for the turbo codec (RSC + QPP interleaver + iterative
+// max-log-MAP).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "coding/awgn.hpp"
+#include "coding/turbo.hpp"
+#include "common/check.hpp"
+
+namespace pran::coding {
+namespace {
+
+Bits random_bits(std::size_t n, Rng& rng) {
+  Bits out;
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(rng.bernoulli(0.5) ? 1 : 0);
+  return out;
+}
+
+double block_error_rate(std::size_t k, double esn0, int iterations,
+                        int trials, Rng& rng) {
+  int errors = 0;
+  for (int t = 0; t < trials; ++t) {
+    const Bits info = random_bits(k, rng);
+    const Bits coded = turbo_encode(info);
+    const Llrs llrs = transmit_bpsk(coded, esn0, rng);
+    const auto result = turbo_decode(llrs, k, iterations);
+    if (result.info != info) ++errors;
+  }
+  return static_cast<double>(errors) / trials;
+}
+
+TEST(TurboInterleaver, IsPermutationForAllSupportedSizes) {
+  for (std::size_t k : {64u, 128u, 256u, 512u, 1024u, 2048u, 4096u, 8192u}) {
+    ASSERT_TRUE(turbo_block_size_ok(k));
+    const auto pi = turbo_interleaver(k);
+    std::set<std::size_t> seen(pi.begin(), pi.end());
+    EXPECT_EQ(seen.size(), k) << "k=" << k;
+    EXPECT_EQ(*seen.rbegin(), k - 1);
+  }
+}
+
+TEST(TurboInterleaver, SpreadsNeighbours) {
+  const auto pi = turbo_interleaver(256);
+  // Adjacent inputs should land far apart (the whole point).
+  int close = 0;
+  for (std::size_t i = 1; i < pi.size(); ++i) {
+    const auto d = pi[i] > pi[i - 1] ? pi[i] - pi[i - 1] : pi[i - 1] - pi[i];
+    if (d < 8) ++close;
+  }
+  EXPECT_LT(close, 16);
+}
+
+TEST(TurboInterleaver, RejectsUnsupportedSizes) {
+  EXPECT_FALSE(turbo_block_size_ok(40));   // not a power of two
+  EXPECT_FALSE(turbo_block_size_ok(32));   // too small
+  EXPECT_FALSE(turbo_block_size_ok(16384));
+  EXPECT_THROW(turbo_interleaver(100), ContractViolation);
+}
+
+TEST(TurboEncode, OutputLayoutAndLength) {
+  Rng rng(1);
+  const Bits info = random_bits(128, rng);
+  const Bits coded = turbo_encode(info);
+  ASSERT_EQ(coded.size(), turbo_encoded_length(128));
+  ASSERT_EQ(coded.size(), 3u * 128u + 12u);
+  // Systematic part is the info verbatim.
+  for (std::size_t i = 0; i < 128; ++i) EXPECT_EQ(coded[i], info[i]);
+}
+
+TEST(TurboEncode, AllZeroMapsToAllZero) {
+  const Bits zeros(64, 0);
+  for (std::uint8_t b : turbo_encode(zeros)) EXPECT_EQ(b, 0);
+}
+
+TEST(TurboDecode, NoiselessIsExact) {
+  Rng rng(2);
+  for (std::size_t k : {64u, 256u, 1024u}) {
+    const Bits info = random_bits(k, rng);
+    const Bits coded = turbo_encode(info);
+    Llrs clean;
+    for (std::uint8_t b : coded) clean.push_back(b ? -8.0 : 8.0);
+    const auto result = turbo_decode(clean, k, 4);
+    EXPECT_EQ(result.info, info) << "k=" << k;
+  }
+}
+
+TEST(TurboDecode, RejectsBadInput) {
+  Llrs llrs(100, 1.0);
+  EXPECT_THROW(turbo_decode(llrs, 64, 4), ContractViolation);
+  Llrs right(turbo_encoded_length(64), 1.0);
+  EXPECT_THROW(turbo_decode(right, 64, 0), ContractViolation);
+}
+
+TEST(TurboDecode, IterationsImproveBlerAtTheCliff) {
+  Rng rng(3);
+  const double cliff = -4.5;  // Es/N0 in the waterfall for K=256
+  const double one_iter = block_error_rate(256, cliff, 1, 60, rng);
+  const double eight_iter = block_error_rate(256, cliff, 8, 60, rng);
+  EXPECT_GT(one_iter, eight_iter + 0.15);
+}
+
+TEST(TurboDecode, CleanAboveTheCliffHopelessBelow) {
+  Rng rng(4);
+  EXPECT_LE(block_error_rate(256, -3.0, 8, 40, rng), 0.05);
+  EXPECT_GE(block_error_rate(256, -7.0, 8, 40, rng), 0.8);
+}
+
+TEST(TurboDecode, BeatsViterbiAtSameRateAndSnr) {
+  // Both are ~rate 1/3; at Es/N0 = -4 dB the convolutional code is
+  // useless while the turbo code is in its waterfall.
+  Rng rng(5);
+  const double esn0 = -4.0;
+  const double turbo_bler = block_error_rate(256, esn0, 8, 40, rng);
+
+  int conv_errors = 0;
+  for (int t = 0; t < 40; ++t) {
+    const Bits info = random_bits(256, rng);
+    const Bits coded = convolutional_encode(info);
+    const Llrs llrs = transmit_bpsk(coded, esn0, rng);
+    const auto decoded = viterbi_decode(llrs, info.size());
+    if (decoded.info != info) ++conv_errors;
+  }
+  const double conv_bler = conv_errors / 40.0;
+  EXPECT_LT(turbo_bler, conv_bler - 0.3);
+}
+
+TEST(TurboDecode, EarlyExitSavesIterationsAtGoodSnr) {
+  Rng rng(6);
+  const std::size_t k = 256;
+  auto run_mean_iters = [&](double esn0) {
+    double total = 0.0;
+    const int trials = 30;
+    for (int t = 0; t < trials; ++t) {
+      const Bits info = random_bits(k, rng);
+      const Bits coded = turbo_encode(info);
+      const Llrs llrs = transmit_bpsk(coded, esn0, rng);
+      const auto result = turbo_decode(
+          llrs, k, 8, [&](const Bits& hard) { return hard == info; });
+      total += result.iterations;
+    }
+    return total / trials;
+  };
+  const double good = run_mean_iters(-1.0);
+  const double cliff = run_mean_iters(-4.8);
+  // At good SNR one or two iterations suffice; at the cliff most of the
+  // budget is spent — the behaviour the cost model's iteration
+  // distribution encodes.
+  EXPECT_LT(good, 1.5);
+  EXPECT_GT(cliff, 3.0);
+}
+
+TEST(TurboDecode, ConvergedFlagMatchesEarlyExit) {
+  Rng rng(7);
+  const Bits info = random_bits(64, rng);
+  const Bits coded = turbo_encode(info);
+  Llrs clean;
+  for (std::uint8_t b : coded) clean.push_back(b ? -8.0 : 8.0);
+  const auto result = turbo_decode(
+      clean, 64, 8, [&](const Bits& hard) { return hard == info; });
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations, 1);
+  const auto no_exit = turbo_decode(clean, 64, 3);
+  EXPECT_FALSE(no_exit.converged);
+  EXPECT_EQ(no_exit.iterations, 3);
+}
+
+}  // namespace
+}  // namespace pran::coding

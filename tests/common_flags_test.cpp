@@ -1,0 +1,110 @@
+// Tests for the command-line flag parser.
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/flags.hpp"
+
+namespace pran {
+namespace {
+
+Flags make_flags() {
+  Flags flags("tool", "test tool");
+  flags.add_int("count", 4, "a count");
+  flags.add_double("rate", 1.5, "a rate");
+  flags.add_string("name", "abc", "a name");
+  flags.add_bool("verbose", false, "noise");
+  return flags;
+}
+
+bool parse(Flags& flags, std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"tool"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return flags.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, DefaultsApplyWithoutArgs) {
+  auto flags = make_flags();
+  ASSERT_TRUE(parse(flags, {}));
+  EXPECT_EQ(flags.get_int("count"), 4);
+  EXPECT_DOUBLE_EQ(flags.get_double("rate"), 1.5);
+  EXPECT_EQ(flags.get_string("name"), "abc");
+  EXPECT_FALSE(flags.get_bool("verbose"));
+}
+
+TEST(Flags, SpaceAndEqualsForms) {
+  auto flags = make_flags();
+  ASSERT_TRUE(parse(flags, {"--count", "9", "--rate=2.25", "--name=x y"}));
+  EXPECT_EQ(flags.get_int("count"), 9);
+  EXPECT_DOUBLE_EQ(flags.get_double("rate"), 2.25);
+  EXPECT_EQ(flags.get_string("name"), "x y");
+}
+
+TEST(Flags, BareBooleanSetsTrue) {
+  auto flags = make_flags();
+  ASSERT_TRUE(parse(flags, {"--verbose"}));
+  EXPECT_TRUE(flags.get_bool("verbose"));
+  auto flags2 = make_flags();
+  ASSERT_TRUE(parse(flags2, {"--verbose=false"}));
+  EXPECT_FALSE(flags2.get_bool("verbose"));
+}
+
+TEST(Flags, PositionalArgumentsCollected) {
+  auto flags = make_flags();
+  ASSERT_TRUE(parse(flags, {"input.csv", "--count", "2", "output.csv"}));
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.csv");
+  EXPECT_EQ(flags.positional()[1], "output.csv");
+}
+
+TEST(Flags, UnknownFlagFails) {
+  auto flags = make_flags();
+  EXPECT_FALSE(parse(flags, {"--bogus", "1"}));
+  EXPECT_NE(flags.error().find("bogus"), std::string::npos);
+}
+
+TEST(Flags, MalformedValuesFail) {
+  auto flags = make_flags();
+  EXPECT_FALSE(parse(flags, {"--count", "four"}));
+  auto flags2 = make_flags();
+  EXPECT_FALSE(parse(flags2, {"--rate", "fast"}));
+  auto flags3 = make_flags();
+  EXPECT_FALSE(parse(flags3, {"--verbose=maybe"}));
+  // Bools only consume values via '='; a following word is positional.
+  auto flags4 = make_flags();
+  ASSERT_TRUE(parse(flags4, {"--verbose", "maybe"}));
+  EXPECT_TRUE(flags4.get_bool("verbose"));
+  ASSERT_EQ(flags4.positional().size(), 1u);
+  EXPECT_EQ(flags4.positional()[0], "maybe");
+}
+
+TEST(Flags, MissingValueFails) {
+  auto flags = make_flags();
+  EXPECT_FALSE(parse(flags, {"--count"}));
+}
+
+TEST(Flags, HelpRequested) {
+  auto flags = make_flags();
+  ASSERT_TRUE(parse(flags, {"--help"}));
+  EXPECT_TRUE(flags.help_requested());
+  const std::string usage = flags.usage();
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("default: 4"), std::string::npos);
+}
+
+TEST(Flags, TypeMismatchThrows) {
+  auto flags = make_flags();
+  ASSERT_TRUE(parse(flags, {}));
+  EXPECT_THROW(flags.get_int("rate"), ContractViolation);
+  EXPECT_THROW(flags.get_string("count"), ContractViolation);
+  EXPECT_THROW(flags.get_bool("nope"), ContractViolation);
+}
+
+TEST(Flags, DuplicateRegistrationThrows) {
+  Flags flags("t", "d");
+  flags.add_int("x", 1, "");
+  EXPECT_THROW(flags.add_double("x", 2.0, ""), ContractViolation);
+}
+
+}  // namespace
+}  // namespace pran

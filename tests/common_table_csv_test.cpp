@@ -1,0 +1,113 @@
+// Tests for table rendering, CSV round trips, strings and narrowing.
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/csv.hpp"
+#include "common/narrow.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace pran {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"metric", "value"});
+  t.row().cell("misses").cell(std::size_t{3});
+  t.row().cell("ratio").cell(0.125, 3);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("metric"), std::string::npos);
+  EXPECT_NE(out.find("0.125"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvExportQuotes) {
+  Table t({"name", "note"});
+  t.row().cell("a,b").cell("plain");
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+}
+
+TEST(Table, RejectsOverfullRow) {
+  Table t({"only"});
+  t.row().cell("x");
+  EXPECT_THROW(t.cell("y"), ContractViolation);
+}
+
+TEST(Table, RejectsCellBeforeRow) {
+  Table t({"a"});
+  EXPECT_THROW(t.cell("x"), ContractViolation);
+}
+
+TEST(Csv, RoundTripsQuotedFields) {
+  std::vector<CsvRow> rows{{"a", "b,c", "d\"e"}, {"1", "2", "3"}};
+  const auto parsed = parse_csv(write_csv(rows));
+  EXPECT_EQ(parsed, rows);
+}
+
+TEST(Csv, ParsesCrlfAndFinalLineWithoutNewline) {
+  const auto rows = parse_csv("a,b\r\nc,d");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][1], "d");
+}
+
+TEST(Csv, PreservesEmptyFields) {
+  const auto rows = parse_csv("a,,c\n");
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].size(), 3u);
+  EXPECT_EQ(rows[0][1], "");
+}
+
+TEST(Csv, EmbeddedNewlineInsideQuotes) {
+  const auto rows = parse_csv("\"x\ny\",z\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "x\ny");
+}
+
+TEST(Strings, SplitKeepsEmpty) {
+  const auto parts = split("a::b:", ':');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, TrimAndStartsWith) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_TRUE(starts_with("server-12", "server-"));
+  EXPECT_FALSE(starts_with("srv", "server"));
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, FormatBitrate) {
+  EXPECT_EQ(format_bitrate(2.4576e9), "2.46 Gbps");
+  EXPECT_EQ(format_bitrate(1.5e6), "1.50 Mbps");
+  EXPECT_EQ(format_bitrate(900.0), "900.00 bps");
+}
+
+TEST(Strings, FormatDuration) {
+  EXPECT_EQ(format_duration(1.5), "1.50 s");
+  EXPECT_EQ(format_duration(2.5e-3), "2.50 ms");
+  EXPECT_EQ(format_duration(3e-6), "3.00 us");
+  EXPECT_EQ(format_duration(4e-9), "4.00 ns");
+}
+
+TEST(Narrow, PassesLosslessConversions) {
+  EXPECT_EQ(narrow<int>(42L), 42);
+  EXPECT_EQ(narrow<std::uint8_t>(255), 255);
+  EXPECT_EQ(narrow<int>(1e6), 1000000);
+}
+
+TEST(Narrow, ThrowsOnLoss) {
+  EXPECT_THROW(narrow<std::uint8_t>(256), NarrowingError);
+  EXPECT_THROW(narrow<int>(1.5), NarrowingError);
+  EXPECT_THROW(narrow<unsigned>(-1), NarrowingError);
+}
+
+}  // namespace
+}  // namespace pran

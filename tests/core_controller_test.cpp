@@ -1,0 +1,197 @@
+// Tests for the PRAN controller: demand estimation, re-planning, failover.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/check.hpp"
+#include "core/controller.hpp"
+
+namespace pran::core {
+namespace {
+
+cluster::ServerSpec server(double gops_per_tti_budget) {
+  return cluster::ServerSpec{"s", 1, gops_per_tti_budget * 1e3};
+}
+
+std::vector<CellDemand> demands(std::initializer_list<double> values) {
+  std::vector<CellDemand> out;
+  int id = 0;
+  for (double v : values) out.push_back({id++, v, v * 2.0});
+  return out;
+}
+
+ControllerConfig relaxed() {
+  ControllerConfig config;
+  config.headroom = 1.0;
+  config.demand_safety = 1.0;
+  config.ema_alpha = 0.5;
+  return config;
+}
+
+TEST(Controller, InitialReplanPlacesAllCells) {
+  Controller ctrl(relaxed(), std::make_unique<FirstFitPlacer>(),
+                  {server(1.0), server(1.0)}, demands({0.4, 0.4, 0.4}));
+  const auto report = ctrl.replan();
+  EXPECT_TRUE(report.feasible);
+  EXPECT_EQ(report.migrations, 0);
+  for (int c = 0; c < 3; ++c) EXPECT_GE(ctrl.server_of(c), 0);
+  EXPECT_NEAR(report.total_demand_gops, 1.2, 1e-12);
+}
+
+TEST(Controller, ObserveMovesEma) {
+  auto config = relaxed();
+  config.ema_alpha = 0.5;
+  Controller ctrl(config, std::make_unique<FirstFitPlacer>(), {server(1.0)},
+                  demands({0.2}));
+  EXPECT_NEAR(ctrl.estimated_demand(0), 0.2, 1e-12);
+  ctrl.observe(0, 0.6);
+  EXPECT_NEAR(ctrl.estimated_demand(0), 0.4, 1e-12);
+  ctrl.observe(0, 0.6);
+  EXPECT_NEAR(ctrl.estimated_demand(0), 0.5, 1e-12);
+}
+
+TEST(Controller, SafetyFactorInflatesEstimate) {
+  auto config = relaxed();
+  config.demand_safety = 1.5;
+  Controller ctrl(config, std::make_unique<FirstFitPlacer>(), {server(1.0)},
+                  demands({0.2}));
+  EXPECT_NEAR(ctrl.estimated_demand(0), 0.3, 1e-12);
+}
+
+TEST(Controller, MilpReplanConsolidatesWhenLoadDrops) {
+  auto config = relaxed();
+  config.migration_weight = 0.01;
+  Controller ctrl(config, std::make_unique<MilpPlacer>(),
+                  {server(1.0), server(1.0)}, demands({0.6, 0.6}));
+  auto r0 = ctrl.replan();
+  ASSERT_TRUE(r0.feasible);
+  EXPECT_EQ(r0.active_servers, 2);
+
+  // Load collapses: both cells fit on one server now, and the migration
+  // weight (0.01 per move < 1 server) makes consolidation worthwhile.
+  for (int i = 0; i < 20; ++i) {
+    ctrl.observe(0, 0.2);
+    ctrl.observe(1, 0.2);
+  }
+  const auto r1 = ctrl.replan();
+  ASSERT_TRUE(r1.feasible);
+  EXPECT_EQ(r1.active_servers, 1);
+  EXPECT_EQ(r1.migrations, 1);
+  EXPECT_EQ(ctrl.total_migrations(), 1);
+}
+
+TEST(Controller, StickyFirstFitPrefersStabilityOverConsolidation) {
+  // The online heuristic deliberately leaves both cells in place — the
+  // hysteresis half of the migration/consolidation trade-off (ablation E9).
+  Controller ctrl(relaxed(), std::make_unique<FirstFitPlacer>(true),
+                  {server(1.0), server(1.0)}, demands({0.6, 0.6}));
+  ASSERT_TRUE(ctrl.replan().feasible);
+  for (int i = 0; i < 20; ++i) {
+    ctrl.observe(0, 0.2);
+    ctrl.observe(1, 0.2);
+  }
+  const auto r = ctrl.replan();
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.migrations, 0);
+  EXPECT_EQ(r.active_servers, 2);
+}
+
+TEST(Controller, InfeasibleReplanKeepsOldPlacement) {
+  Controller ctrl(relaxed(), std::make_unique<FirstFitPlacer>(),
+                  {server(1.0)}, demands({0.5}));
+  ASSERT_TRUE(ctrl.replan().feasible);
+  const int before = ctrl.server_of(0);
+  for (int i = 0; i < 30; ++i) ctrl.observe(0, 5.0);  // impossible demand
+  const auto report = ctrl.replan();
+  EXPECT_FALSE(report.feasible);
+  EXPECT_EQ(ctrl.server_of(0), before);
+}
+
+TEST(Controller, FailoverRescuesCellsIntoSpareCapacity) {
+  Controller ctrl(relaxed(), std::make_unique<FirstFitPlacer>(),
+                  {server(1.0), server(1.0), server(1.0)},
+                  demands({0.5, 0.5, 0.5, 0.5}));
+  ASSERT_TRUE(ctrl.replan().feasible);  // two cells per server on 2 servers
+  const int victim = ctrl.server_of(0);
+  const int outages = ctrl.handle_failure(victim);
+  EXPECT_EQ(outages, 0);
+  EXPECT_FALSE(ctrl.server_available(victim));
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_GE(ctrl.server_of(c), 0);
+    EXPECT_NE(ctrl.server_of(c), victim);
+  }
+}
+
+TEST(Controller, FailoverReportsOutagesWhenNoSpare) {
+  Controller ctrl(relaxed(), std::make_unique<FirstFitPlacer>(),
+                  {server(1.0), server(1.0)}, demands({0.9, 0.9}));
+  ASSERT_TRUE(ctrl.replan().feasible);
+  const int victim = ctrl.server_of(0);
+  const int outages = ctrl.handle_failure(victim);
+  EXPECT_EQ(outages, 1);
+  EXPECT_EQ(ctrl.server_of(0), -1);
+}
+
+TEST(Controller, ReplanAfterFailureAvoidsDeadServer) {
+  Controller ctrl(relaxed(), std::make_unique<FirstFitPlacer>(),
+                  {server(1.0), server(1.0)}, demands({0.9, 0.9}));
+  ASSERT_TRUE(ctrl.replan().feasible);
+  const int victim = ctrl.server_of(0);
+  ctrl.handle_failure(victim);
+  const auto report = ctrl.replan();
+  // Only one server left and 1.8 total demand: still infeasible, cell 0
+  // stays in outage. Recovery makes it feasible again.
+  EXPECT_FALSE(report.feasible);
+  ctrl.handle_recovery(victim);
+  const auto report2 = ctrl.replan();
+  EXPECT_TRUE(report2.feasible);
+  for (int c = 0; c < 2; ++c) EXPECT_GE(ctrl.server_of(c), 0);
+}
+
+TEST(Controller, RecoveryValidation) {
+  Controller ctrl(relaxed(), std::make_unique<FirstFitPlacer>(),
+                  {server(1.0)}, demands({0.1}));
+  EXPECT_THROW(ctrl.handle_recovery(0), pran::ContractViolation);
+  ctrl.handle_failure(0);
+  EXPECT_THROW(ctrl.handle_failure(0), pran::ContractViolation);
+  ctrl.handle_recovery(0);
+  EXPECT_TRUE(ctrl.server_available(0));
+}
+
+TEST(Controller, RejectsBadConstructionAndArguments) {
+  EXPECT_THROW(Controller(relaxed(), nullptr, {server(1.0)}, demands({0.1})),
+               pran::ContractViolation);
+  EXPECT_THROW(Controller(relaxed(), std::make_unique<FirstFitPlacer>(), {},
+                          demands({0.1})),
+               pran::ContractViolation);
+  Controller ctrl(relaxed(), std::make_unique<FirstFitPlacer>(),
+                  {server(1.0)}, demands({0.1}));
+  EXPECT_THROW(ctrl.observe(5, 0.1), pran::ContractViolation);
+  EXPECT_THROW(ctrl.observe(0, -1.0), pran::ContractViolation);
+  EXPECT_THROW(ctrl.server_of(-1), pran::ContractViolation);
+}
+
+TEST(Controller, ReportsAccumulate) {
+  Controller ctrl(relaxed(), std::make_unique<FirstFitPlacer>(),
+                  {server(1.0)}, demands({0.1}));
+  ctrl.replan();
+  ctrl.replan();
+  ASSERT_EQ(ctrl.reports().size(), 2u);
+  EXPECT_EQ(ctrl.reports()[0].epoch, 0);
+  EXPECT_EQ(ctrl.reports()[1].epoch, 1);
+}
+
+TEST(Controller, MilpPlacerIntegration) {
+  auto config = relaxed();
+  config.migration_weight = 0.01;
+  Controller ctrl(config, std::make_unique<MilpPlacer>(),
+                  {server(1.0), server(1.0), server(1.0)},
+                  demands({0.5, 0.3, 0.2}));
+  const auto report = ctrl.replan();
+  ASSERT_TRUE(report.feasible);
+  EXPECT_EQ(report.active_servers, 1);  // 1.0 total fits one server exactly
+}
+
+}  // namespace
+}  // namespace pran::core

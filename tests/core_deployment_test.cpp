@@ -1,0 +1,189 @@
+// Integration tests: full deployments on the event engine.
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "core/deployment.hpp"
+#include "core/pooling.hpp"
+
+namespace pran::core {
+namespace {
+
+DeploymentConfig small_config() {
+  DeploymentConfig config;
+  config.num_cells = 4;
+  config.num_servers = 3;
+  config.seed = 5;
+  config.start_hour = 12.0;
+  config.epoch = 200 * sim::kMillisecond;
+  return config;
+}
+
+TEST(Deployment, ProcessesEveryCellEveryTti) {
+  Deployment d(small_config());
+  d.run_for(300 * sim::kMillisecond);
+  const auto kpis = d.kpis();
+  // 4 cells * ~300 TTIs; jobs released ~1 ms after their TTI, so allow
+  // boundary slack.
+  EXPECT_GT(kpis.subframes_processed, 4u * 290u);
+  EXPECT_LE(kpis.subframes_processed, 4u * 301u);
+}
+
+TEST(Deployment, MeetsDeadlinesAtModerateLoad) {
+  Deployment d(small_config());
+  d.run_for(2 * sim::kSecond);
+  const auto kpis = d.kpis();
+  EXPECT_EQ(kpis.deadline_misses, 0u);
+  EXPECT_EQ(kpis.dropped, 0u);
+  EXPECT_DOUBLE_EQ(kpis.miss_ratio, 0.0);
+}
+
+TEST(Deployment, IsDeterministicForSameSeed) {
+  auto run = [] {
+    Deployment d(small_config());
+    d.run_for(500 * sim::kMillisecond);
+    return d.kpis();
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.subframes_processed, b.subframes_processed);
+  EXPECT_EQ(a.deadline_misses, b.deadline_misses);
+  EXPECT_EQ(a.migrations, b.migrations);
+}
+
+TEST(Deployment, HourAdvancesWithCompression) {
+  auto config = small_config();
+  config.start_hour = 6.0;
+  config.day_compression = 7200;  // 2 hours per second
+  Deployment d(config);
+  EXPECT_DOUBLE_EQ(d.hour_at(0), 6.0);
+  EXPECT_DOUBLE_EQ(d.hour_at(sim::kSecond), 8.0);
+}
+
+TEST(Deployment, FailoverKeepsCellsAlive) {
+  auto config = small_config();
+  config.num_servers = 4;
+  Deployment d(config);
+  d.run_for(200 * sim::kMillisecond);
+  // Fail whichever server hosts cell 0.
+  const int victim = d.controller().server_of(0);
+  ASSERT_GE(victim, 0);
+  d.fail_server_at(d.now() + 50 * sim::kMillisecond, victim);
+  d.run_for(500 * sim::kMillisecond);
+  const auto kpis = d.kpis();
+  EXPECT_EQ(kpis.failover_outage_cells, 0);
+  // Cell 0 lives elsewhere and keeps processing.
+  EXPECT_NE(d.controller().server_of(0), victim);
+  EXPECT_GT(kpis.subframes_processed, 0u);
+  EXPECT_EQ(d.trace().count("failure"), 1u);
+}
+
+TEST(Deployment, RestoreReturnsServerToPool) {
+  auto config = small_config();
+  Deployment d(config);
+  d.run_for(100 * sim::kMillisecond);
+  const int victim = d.controller().server_of(0);
+  d.fail_server_at(d.now() + 10 * sim::kMillisecond, victim);
+  d.restore_server_at(d.now() + 100 * sim::kMillisecond, victim);
+  d.run_for(400 * sim::kMillisecond);
+  EXPECT_TRUE(d.controller().server_available(victim));
+  EXPECT_FALSE(d.executor().is_failed(victim));
+}
+
+TEST(Deployment, CustomPipelineRaisesLoad) {
+  auto heavy_config = small_config();
+  auto pipeline = Pipeline::standard_uplink();
+  pipeline.append(stages::interference_cancellation(2.0));
+  heavy_config.pipeline = pipeline;
+
+  Deployment plain(small_config());
+  Deployment heavy(heavy_config);
+  plain.run_for(500 * sim::kMillisecond);
+  heavy.run_for(500 * sim::kMillisecond);
+
+  // The programmed-in stage increases per-cell demand estimates.
+  double plain_demand = 0.0, heavy_demand = 0.0;
+  for (int c = 0; c < 4; ++c) {
+    plain_demand += plain.controller().estimated_demand(c);
+    heavy_demand += heavy.controller().estimated_demand(c);
+  }
+  EXPECT_GT(heavy_demand, plain_demand * 1.05);
+}
+
+TEST(Deployment, MilpPlacerWorksEndToEnd) {
+  auto config = small_config();
+  config.placer = DeploymentConfig::PlacerKind::kMilp;
+  config.epoch = 250 * sim::kMillisecond;
+  Deployment d(config);
+  d.run_for(sim::kSecond);
+  const auto kpis = d.kpis();
+  EXPECT_EQ(kpis.deadline_misses, 0u);
+  EXPECT_GT(kpis.mean_active_servers, 0.0);
+}
+
+TEST(Deployment, StaticPeakUsesMoreServers) {
+  auto pooled_config = small_config();
+  pooled_config.num_servers = 4;
+  auto static_config = pooled_config;
+  static_config.placer = DeploymentConfig::PlacerKind::kStaticPeak;
+
+  Deployment pooled(pooled_config);
+  Deployment fixed(static_config);
+  pooled.run_for(sim::kSecond);
+  fixed.run_for(sim::kSecond);
+  EXPECT_GE(fixed.kpis().mean_active_servers,
+            pooled.kpis().mean_active_servers);
+}
+
+TEST(Deployment, RejectsImpossibleConfigurations) {
+  auto config = small_config();
+  config.num_cells = 40;
+  config.num_servers = 1;
+  config.server.cores = 1;
+  EXPECT_THROW(Deployment{config}, pran::ContractViolation);
+}
+
+TEST(Deployment, MissesForCellFilterWorks) {
+  Deployment d(small_config());
+  d.run_for(300 * sim::kMillisecond);
+  std::uint64_t total = 0;
+  for (int c = 0; c < 4; ++c) total += d.misses_for_cell(c);
+  EXPECT_EQ(total, d.kpis().deadline_misses);
+}
+
+TEST(Pooling, FfdBinCount) {
+  EXPECT_EQ(ffd_bin_count({0.5, 0.5, 0.5, 0.5}, 1.0), 2);
+  EXPECT_EQ(ffd_bin_count({0.6, 0.6, 0.6}, 1.0), 3);
+  EXPECT_EQ(ffd_bin_count({}, 1.0), 0);
+  EXPECT_EQ(ffd_bin_count({0.3, 0.3, 0.3, 0.7, 0.7}, 1.0), 3);
+  EXPECT_THROW(ffd_bin_count({1.5}, 1.0), pran::ContractViolation);
+  EXPECT_THROW(ffd_bin_count({0.1}, 0.0), pran::ContractViolation);
+}
+
+TEST(Pooling, AnalysisShowsMultiplexingGain) {
+  const auto fleet = workload::make_fleet(12, 3);
+  const auto trace = workload::DayTrace::from_fleet(fleet, 24, 8);
+  const auto summary =
+      analyze_pooling(trace, cluster::ServerSpec{"s", 8, 150.0});
+  ASSERT_EQ(summary.series.size(), 24u);
+  EXPECT_GT(summary.peak_provisioned_servers, 0);
+  EXPECT_LE(summary.pooled_peak_servers, summary.peak_provisioned_servers);
+  // Heterogeneous diurnal fleet: pooling must save something.
+  EXPECT_GT(summary.savings(), 0.0);
+  for (const auto& pt : summary.series) {
+    EXPECT_GE(pt.pooled_servers, 1);
+    EXPECT_LE(pt.pooled_servers, summary.pooled_peak_servers);
+  }
+}
+
+TEST(Pooling, ValidatesArguments) {
+  const auto fleet = workload::make_fleet(2, 3);
+  const auto trace = workload::DayTrace::from_fleet(fleet, 4, 2);
+  EXPECT_THROW(analyze_pooling(trace, cluster::ServerSpec{}, 0.0),
+               pran::ContractViolation);
+  EXPECT_THROW(analyze_pooling(trace, cluster::ServerSpec{}, 0.8, 0.5),
+               pran::ContractViolation);
+}
+
+}  // namespace
+}  // namespace pran::core

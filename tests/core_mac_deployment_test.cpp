@@ -1,0 +1,107 @@
+// Integration tests: deployments driven by the closed-loop MAC scheduler
+// instead of statistical traffic sampling.
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "core/deployment.hpp"
+
+namespace pran::core {
+namespace {
+
+DeploymentConfig mac_config() {
+  DeploymentConfig config;
+  config.num_cells = 4;
+  config.num_servers = 3;
+  config.seed = 9;
+  config.start_hour = 12.0;
+  config.day_compression = 60.0;
+  config.traffic_source = DeploymentConfig::TrafficSource::kMacScheduled;
+  config.mac_ues_per_cell = 8;
+  config.mac_ue_peak_bps = 3e6;
+  return config;
+}
+
+TEST(MacDeployment, RunsAndMeetsDeadlines) {
+  Deployment d(mac_config());
+  d.run_for(sim::kSecond);
+  const auto kpis = d.kpis();
+  EXPECT_GT(kpis.subframes_processed, 3500u);
+  EXPECT_EQ(kpis.deadline_misses, 0u);
+}
+
+TEST(MacDeployment, ExposesCellMacState) {
+  Deployment d(mac_config());
+  d.run_for(300 * sim::kMillisecond);
+  const auto* mac0 = d.cell_mac(0);
+  ASSERT_NE(mac0, nullptr);
+  EXPECT_GT(mac0->ttis_run(), 250);
+  EXPECT_GT(mac0->cell_throughput_bps(), 0.0);
+  // Offered 8 UEs x 3 Mb/s scaled by midday profile: served throughput is
+  // in the single-digit Mb/s range, not full buffer.
+  EXPECT_LT(mac0->cell_throughput_bps(), 40e6);
+}
+
+TEST(MacDeployment, StatisticalModeHasNoMacState) {
+  DeploymentConfig config = mac_config();
+  config.traffic_source = DeploymentConfig::TrafficSource::kStatistical;
+  Deployment d(config);
+  EXPECT_EQ(d.cell_mac(0), nullptr);
+}
+
+TEST(MacDeployment, IsDeterministicForSeed) {
+  auto run = [] {
+    Deployment d(mac_config());
+    d.run_for(400 * sim::kMillisecond);
+    return d.kpis().subframes_processed;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(MacDeployment, DemandTracksDiurnalLoad) {
+  // Run the same deployment through quiet night hours vs the peak; the
+  // controller's demand estimate must follow the MAC's offered load.
+  auto estimate_at = [](double hour) {
+    DeploymentConfig config = mac_config();
+    config.start_hour = hour;
+    Deployment d(config);
+    d.run_for(500 * sim::kMillisecond);
+    double total = 0.0;
+    for (int c = 0; c < config.num_cells; ++c)
+      total += d.controller().estimated_demand(c);
+    return total;
+  };
+  const double night = estimate_at(3.0);
+  const double day = estimate_at(14.0);
+  EXPECT_GT(day, night * 1.5);
+}
+
+TEST(MacDeployment, SchedulerChoiceAffectsProcessingLoad) {
+  auto demand_with = [](const std::string& scheduler) {
+    DeploymentConfig config = mac_config();
+    config.mac_scheduler = scheduler;
+    config.mac_ue_peak_bps = 8e6;  // enough offered load to differentiate
+    Deployment d(config);
+    d.run_for(500 * sim::kMillisecond);
+    double total = 0.0;
+    for (int c = 0; c < config.num_cells; ++c)
+      total += d.controller().estimated_demand(c);
+    return total;
+  };
+  // Max-rate serves the same bytes in fewer, cheaper PRBs (better MCS), so
+  // its processing demand must not exceed round-robin's by much; mostly we
+  // assert both run and produce sane nonzero demand.
+  const double pf = demand_with("proportional-fair");
+  const double rr = demand_with("round-robin");
+  EXPECT_GT(pf, 0.0);
+  EXPECT_GT(rr, 0.0);
+}
+
+TEST(MacDeployment, UnknownSchedulerThrows) {
+  DeploymentConfig config = mac_config();
+  config.mac_scheduler = "bogus";
+  EXPECT_THROW(Deployment{config}, pran::ContractViolation);
+}
+
+}  // namespace
+}  // namespace pran::core

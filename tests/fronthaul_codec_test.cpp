@@ -1,0 +1,188 @@
+// Tests for the I/Q compression codecs.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/check.hpp"
+#include "fronthaul/codec.hpp"
+#include "fronthaul/iq.hpp"
+
+namespace pran::fronthaul {
+namespace {
+
+std::vector<Cplx> test_block(std::uint64_t seed = 1, std::size_t symbols = 2) {
+  Rng rng(seed);
+  return generate_capture(rng, symbols);
+}
+
+TEST(CompressionRatio, AgainstCpriBaseline) {
+  // 100 samples at 2x15 bits = 3000 bits; encoded in 1000 -> ratio 3.
+  EXPECT_DOUBLE_EQ(Codec::compression_ratio(100, 1000), 3.0);
+  EXPECT_THROW(Codec::compression_ratio(100, 0), pran::ContractViolation);
+}
+
+TEST(FixedPoint, HighWidthIsNearLossless) {
+  const auto block = test_block();
+  FixedPointCodec codec(16);
+  const auto result = codec.roundtrip(block);
+  EXPECT_GT(sqnr_db(block, result.decoded), 70.0);
+  EXPECT_EQ(result.bits, block.size() * 32 + 32);
+}
+
+TEST(FixedPoint, SqnrImprovesWithBits) {
+  const auto block = test_block();
+  double prev = -100.0;
+  for (int bits : {4, 6, 8, 10, 12}) {
+    FixedPointCodec codec(bits);
+    const double s = sqnr_db(block, codec.roundtrip(block).decoded);
+    EXPECT_GT(s, prev) << bits << " bits";
+    prev = s;
+  }
+}
+
+TEST(FixedPoint, ApproachesSixDbPerBit) {
+  const auto block = test_block();
+  const double s8 = sqnr_db(block, FixedPointCodec(8).roundtrip(block).decoded);
+  const double s12 =
+      sqnr_db(block, FixedPointCodec(12).roundtrip(block).decoded);
+  EXPECT_NEAR(s12 - s8, 24.0, 4.0);
+}
+
+TEST(FixedPoint, RejectsBadWidthAndEmptyBlock) {
+  EXPECT_THROW(FixedPointCodec(0), pran::ContractViolation);
+  EXPECT_THROW(FixedPointCodec(25), pran::ContractViolation);
+  FixedPointCodec codec(8);
+  EXPECT_THROW(codec.roundtrip({}), pran::ContractViolation);
+}
+
+TEST(BlockFloat, BeatsFixedPointAtSameWidth) {
+  // OFDM amplitudes vary widely: per-block exponents spend bits better than
+  // one global scale.
+  const auto block = test_block(7, 4);
+  const double fixed =
+      sqnr_db(block, FixedPointCodec(8).roundtrip(block).decoded);
+  const double bfp =
+      sqnr_db(block, BlockFloatCodec(8, 32).roundtrip(block).decoded);
+  EXPECT_GT(bfp, fixed);
+}
+
+TEST(BlockFloat, BitsAccountForExponents) {
+  const auto block = test_block();
+  BlockFloatCodec codec(9, 64);
+  const auto result = codec.roundtrip(block);
+  const std::size_t groups = (block.size() + 63) / 64;
+  EXPECT_EQ(result.bits, block.size() * 18 + groups * 6);
+}
+
+TEST(BlockFloat, HandlesAllZeroGroups) {
+  std::vector<Cplx> block(64, Cplx{0.0, 0.0});
+  block.resize(128, Cplx{0.5, -0.5});
+  BlockFloatCodec codec(8, 64);
+  const auto result = codec.roundtrip(block);
+  for (std::size_t i = 0; i < 64; ++i)
+    EXPECT_NEAR(std::abs(result.decoded[i]), 0.0, 1e-2);
+}
+
+TEST(MuLaw, BeatsUniformOnWideDynamicRangeInput) {
+  // µ-law's advantage shows on signals whose amplitudes span decades
+  // (e.g. near/far users in one capture). Uniform quantisation starves the
+  // quiet samples; companding does not.
+  Rng rng(11);
+  std::vector<Cplx> block;
+  for (int i = 0; i < 4096; ++i) {
+    const double amplitude = std::pow(10.0, rng.uniform(-3.0, 0.0));
+    const double phase = rng.uniform(0.0, 6.283185307);
+    block.emplace_back(amplitude * std::cos(phase),
+                       amplitude * std::sin(phase));
+  }
+  const auto uniform = FixedPointCodec(8).roundtrip(block).decoded;
+  const auto mulaw = MuLawCodec(8).roundtrip(block).decoded;
+
+  // Aggregate SQNR is energy-weighted and dominated by loud samples, so
+  // compare fidelity on the *quiet* subset, where companding pays off.
+  std::vector<Cplx> quiet_ref, quiet_uniform, quiet_mulaw;
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    if (std::abs(block[i]) < 0.02) {
+      quiet_ref.push_back(block[i]);
+      quiet_uniform.push_back(uniform[i]);
+      quiet_mulaw.push_back(mulaw[i]);
+    }
+  }
+  ASSERT_GT(quiet_ref.size(), 100u);
+  EXPECT_GT(sqnr_db(quiet_ref, quiet_mulaw),
+            sqnr_db(quiet_ref, quiet_uniform) + 6.0);
+}
+
+TEST(MuLaw, WithinAFewDbOfUniformOnOfdm) {
+  // On near-Gaussian OFDM both quantisers are comparable.
+  const auto block = test_block(11, 4);
+  const double uniform =
+      sqnr_db(block, FixedPointCodec(6).roundtrip(block).decoded);
+  const double mulaw = sqnr_db(block, MuLawCodec(6).roundtrip(block).decoded);
+  EXPECT_NEAR(mulaw, uniform, 6.0);
+}
+
+TEST(MuLaw, RoundTripSignsPreserved) {
+  std::vector<Cplx> block{{0.7, -0.3}, {-0.2, 0.9}, {0.01, -0.05}};
+  MuLawCodec codec(10);
+  const auto result = codec.roundtrip(block);
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    EXPECT_EQ(std::signbit(result.decoded[i].real()),
+              std::signbit(block[i].real()));
+    EXPECT_EQ(std::signbit(result.decoded[i].imag()),
+              std::signbit(block[i].imag()));
+  }
+}
+
+TEST(Pruning, LosslessForInBandSignal) {
+  // With all active subcarriers kept and a wide inner codec, pruning the
+  // guard band loses (almost) nothing.
+  Rng rng(13);
+  OfdmParams params;  // 1200 active of 2048
+  const auto block = generate_capture(rng, 2, params);
+  PruningCodec codec(std::make_unique<FixedPointCodec>(16), 2048, 1536);
+  const auto result = codec.roundtrip(block);
+  EXPECT_GT(sqnr_db(block, result.decoded), 60.0);
+}
+
+TEST(Pruning, CutsBitsByKeptFraction) {
+  const auto block = test_block(17, 2);
+  PruningCodec codec(std::make_unique<FixedPointCodec>(8), 2048, 1024);
+  const auto result = codec.roundtrip(block);
+  // Inner codec sees half the samples.
+  const std::size_t expected =
+      2 * (1024 * 2 * 8 + 32);  // two FFT frames
+  EXPECT_EQ(result.bits, expected);
+  EXPECT_EQ(result.decoded.size(), block.size());
+}
+
+TEST(Pruning, ComposesCompressionRatio) {
+  const auto block = test_block(19, 2);
+  PruningCodec codec(std::make_unique<BlockFloatCodec>(7, 32), 2048, 1536);
+  const auto result = codec.roundtrip(block);
+  const double ratio = Codec::compression_ratio(block.size(), result.bits);
+  // 2048/1536 * 15/7-ish ≈ 2.8; allow generous bounds.
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 4.0);
+}
+
+TEST(Pruning, RejectsBadConfiguration) {
+  EXPECT_THROW(PruningCodec(nullptr, 2048, 1024), pran::ContractViolation);
+  EXPECT_THROW(PruningCodec(std::make_unique<FixedPointCodec>(8), 1000, 500),
+               pran::ContractViolation);
+  PruningCodec codec(std::make_unique<FixedPointCodec>(8), 256, 128);
+  std::vector<Cplx> bad(100, Cplx{1.0, 0.0});
+  EXPECT_THROW(codec.roundtrip(bad), pran::ContractViolation);
+}
+
+TEST(Codecs, NamesAreDescriptive) {
+  EXPECT_EQ(FixedPointCodec(8).name(), "fixed8");
+  EXPECT_EQ(BlockFloatCodec(7, 32).name(), "bfp7/32");
+  EXPECT_EQ(MuLawCodec(6).name(), "mulaw6");
+  PruningCodec p(std::make_unique<FixedPointCodec>(8), 2048, 1536);
+  EXPECT_EQ(p.name(), "prune1536/2048+fixed8");
+}
+
+}  // namespace
+}  // namespace pran::fronthaul

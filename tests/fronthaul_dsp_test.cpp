@@ -1,0 +1,146 @@
+// Tests for the DSP kernels and I/Q generation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "fronthaul/dsp.hpp"
+#include "fronthaul/iq.hpp"
+
+namespace pran::fronthaul {
+namespace {
+
+TEST(Fft, RoundTripRecoversSignal) {
+  Rng rng(1);
+  std::vector<Cplx> x;
+  for (int i = 0; i < 256; ++i)
+    x.emplace_back(rng.normal(), rng.normal());
+  auto y = x;
+  fft(y);
+  ifft(y);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(y[i].real(), x[i].real(), 1e-10);
+    EXPECT_NEAR(y[i].imag(), x[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<Cplx> x(64, Cplx{0.0, 0.0});
+  x[0] = Cplx{1.0, 0.0};
+  fft(x);
+  for (const auto& v : x) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  const std::size_t n = 128;
+  const std::size_t k = 5;
+  std::vector<Cplx> x;
+  x.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phase = 2.0 * 3.14159265358979323846 * k * i / n;
+    x.emplace_back(std::cos(phase), std::sin(phase));
+  }
+  fft(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == k)
+      EXPECT_NEAR(std::abs(x[i]), static_cast<double>(n), 1e-9);
+    else
+      EXPECT_NEAR(std::abs(x[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  Rng rng(2);
+  std::vector<Cplx> x;
+  for (int i = 0; i < 512; ++i) x.emplace_back(rng.normal(), rng.normal());
+  double time_energy = 0.0;
+  for (const auto& v : x) time_energy += std::norm(v);
+  auto y = x;
+  fft(y);
+  double freq_energy = 0.0;
+  for (const auto& v : y) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / x.size(), time_energy, 1e-8 * time_energy);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<Cplx> x(100);
+  EXPECT_THROW(fft(x), pran::ContractViolation);
+}
+
+TEST(Dsp, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+  EXPECT_TRUE(is_pow2(2048));
+  EXPECT_FALSE(is_pow2(1536));
+  EXPECT_FALSE(is_pow2(0));
+}
+
+TEST(Dsp, RmsAndEvm) {
+  std::vector<Cplx> ref{{3.0, 4.0}, {3.0, 4.0}};  // |v| = 5
+  EXPECT_DOUBLE_EQ(rms(ref), 5.0);
+  std::vector<Cplx> test{{3.0, 4.5}, {3.0, 3.5}};  // error 0.5 each
+  EXPECT_NEAR(evm(ref, test), 0.1, 1e-12);
+  EXPECT_NEAR(sqnr_db(ref, test), 20.0, 1e-9);
+  EXPECT_DOUBLE_EQ(rms({}), 0.0);
+}
+
+TEST(Dsp, EvmRejectsMismatchedOrZeroReference) {
+  std::vector<Cplx> a{{1.0, 0.0}};
+  std::vector<Cplx> b{{1.0, 0.0}, {0.0, 0.0}};
+  EXPECT_THROW(evm(a, b), pran::ContractViolation);
+  std::vector<Cplx> zero{{0.0, 0.0}};
+  EXPECT_THROW(evm(zero, zero), pran::ContractViolation);
+}
+
+TEST(Iq, OfdmSymbolHasUnitRmsAndRealisticPapr) {
+  Rng rng(3);
+  const auto sym = generate_ofdm_symbol(rng);
+  EXPECT_EQ(sym.size(), 2048u);
+  EXPECT_NEAR(rms(sym), 1.0, 1e-9);
+  const double papr = papr_db(sym);
+  // OFDM PAPR is typically 8-13 dB.
+  EXPECT_GT(papr, 5.0);
+  EXPECT_LT(papr, 15.0);
+}
+
+TEST(Iq, CaptureConcatenatesSymbols) {
+  Rng rng(4);
+  const auto cap = generate_capture(rng, 3);
+  EXPECT_EQ(cap.size(), 3u * 2048u);
+  EXPECT_THROW(generate_capture(rng, 0), pran::ContractViolation);
+}
+
+TEST(Iq, OccupiesOnlyActiveSubcarriers) {
+  Rng rng(5);
+  OfdmParams params;
+  params.fft_size = 512;
+  params.active_subcarriers = 300;
+  auto sym = generate_ofdm_symbol(rng, params);
+  fft(sym);
+  // Guard bins (middle of the spectrum) must be empty.
+  double guard_energy = 0.0;
+  for (std::size_t k = 151; k < 512 - 150; ++k)
+    guard_energy += std::norm(sym[k]);
+  EXPECT_NEAR(guard_energy, 0.0, 1e-12);
+  // DC bin is unused too.
+  EXPECT_NEAR(std::norm(sym[0]), 0.0, 1e-12);
+}
+
+TEST(Iq, RejectsBadParams) {
+  Rng rng(6);
+  OfdmParams params;
+  params.fft_size = 1000;  // not a power of two
+  EXPECT_THROW(generate_ofdm_symbol(rng, params), pran::ContractViolation);
+  params.fft_size = 256;
+  params.active_subcarriers = 300;  // more than bins
+  EXPECT_THROW(generate_ofdm_symbol(rng, params), pran::ContractViolation);
+}
+
+}  // namespace
+}  // namespace pran::fronthaul

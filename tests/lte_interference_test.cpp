@@ -1,0 +1,85 @@
+// Tests for the multi-cell interference model.
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "lte/interference.hpp"
+
+namespace pran::lte {
+namespace {
+
+InterferenceMap two_cells(double spacing = 1000.0) {
+  return InterferenceMap(linear_layout(2, spacing));
+}
+
+TEST(Interference, SingleCellReducesToSnr) {
+  InterferenceMap map(linear_layout(1, 500.0));
+  const double sinr = map.sinr_db(200.0, 0.0, 0, {0.0});
+  EXPECT_NEAR(sinr, snr_db(200.0), 0.1);
+}
+
+TEST(Interference, NeighbourActivityDegradesSinr) {
+  auto map = two_cells();
+  // UE near cell 0 (at x=200).
+  const double quiet = map.sinr_db(200.0, 0.0, 0, {0.0, 0.0});
+  const double half = map.sinr_db(200.0, 0.0, 0, {0.0, 0.5});
+  const double busy = map.sinr_db(200.0, 0.0, 0, {0.0, 1.0});
+  EXPECT_GT(quiet, half);
+  EXPECT_GT(half, busy);
+}
+
+TEST(Interference, ServingCellOwnActivityIrrelevant) {
+  auto map = two_cells();
+  const double a = map.sinr_db(200.0, 0.0, 0, {0.0, 0.5});
+  const double b = map.sinr_db(200.0, 0.0, 0, {1.0, 0.5});
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Interference, EdgeUeSuffersMost) {
+  auto map = two_cells();
+  const std::vector<double> busy{1.0, 1.0};
+  const double near_sinr = map.sinr_db(100.0, 0.0, 0, busy);
+  const double edge_sinr = map.sinr_db(490.0, 0.0, 0, busy);
+  EXPECT_GT(near_sinr, edge_sinr + 10.0);
+  // At the exact midpoint with a full-power neighbour, SINR ~ 0 dB.
+  const double mid = map.sinr_db(500.0, 0.0, 0, busy);
+  EXPECT_NEAR(mid, 0.0, 1.0);
+}
+
+TEST(Interference, BestServerIsNearest) {
+  auto map = two_cells();
+  EXPECT_EQ(map.best_server(100.0, 0.0), 0);
+  EXPECT_EQ(map.best_server(900.0, 0.0), 1);
+}
+
+TEST(Interference, CqiImprovesWhenNeighbourMutes) {
+  auto map = two_cells();
+  const int busy = map.cqi_at(450.0, 0.0, 0, {0.0, 1.0});
+  const int muted = map.cqi_at(450.0, 0.0, 0, {0.0, 0.0});
+  EXPECT_GT(muted, busy);
+}
+
+TEST(Interference, ValidatesInput) {
+  EXPECT_THROW(InterferenceMap({}), ContractViolation);
+  EXPECT_THROW(InterferenceMap({{0, 0, 0}, {0, 10, 0}}), ContractViolation);
+  auto map = two_cells();
+  EXPECT_THROW(map.sinr_db(0, 0, 0, {0.5}), ContractViolation);
+  EXPECT_THROW(map.sinr_db(0, 0, 0, {0.5, 1.5}), ContractViolation);
+  EXPECT_THROW(map.sinr_db(0, 0, 7, {0.0, 0.0}), ContractViolation);
+}
+
+TEST(Layouts, LinearAndGridShapes) {
+  const auto line = linear_layout(4, 250.0);
+  ASSERT_EQ(line.size(), 4u);
+  EXPECT_DOUBLE_EQ(line[3].x_m, 750.0);
+
+  const auto grid = grid_layout(2, 3, 400.0);
+  ASSERT_EQ(grid.size(), 6u);
+  EXPECT_DOUBLE_EQ(grid[0].x_m, 0.0);
+  EXPECT_DOUBLE_EQ(grid[3].x_m, 200.0);  // odd row offset
+  EXPECT_NEAR(grid[3].y_m, 346.4, 0.1);
+  EXPECT_THROW(grid_layout(0, 3, 100.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace pran::lte

@@ -1,0 +1,91 @@
+// Tests for HARQ timing and subframe-job construction.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "lte/subframe.hpp"
+
+namespace pran::lte {
+namespace {
+
+TEST(Harq, DeadlineSubtractsFronthaulRtt) {
+  const sim::Time arrival = 10 * sim::kMillisecond;
+  EXPECT_EQ(uplink_deadline(arrival, 0), arrival + 3 * sim::kMillisecond);
+  EXPECT_EQ(uplink_deadline(arrival, 500 * sim::kMicrosecond),
+            arrival + 2500 * sim::kMicrosecond);
+  // RTT beyond the whole budget leaves a zero-length window.
+  EXPECT_EQ(uplink_deadline(arrival, 5 * sim::kMillisecond), arrival);
+}
+
+TEST(SubframeFactory, UplinkJobTiming) {
+  const sim::Time fh = 25 * sim::kMicrosecond;
+  SubframeFactory factory(3, CellConfig{}, CostModel{}, fh);
+  const std::vector<Allocation> allocs{{20, 15, 5}};
+  const auto job = factory.uplink_job(7, allocs);
+
+  EXPECT_EQ(job.cell_id, 3);
+  EXPECT_EQ(job.tti, 7);
+  EXPECT_EQ(job.direction, Direction::kUplink);
+  // Samples land one fronthaul latency after the subframe ends (at t=8ms).
+  EXPECT_EQ(job.release, 8 * sim::kMillisecond + fh);
+  // Deadline: subframe end + 3ms - round trip.
+  EXPECT_EQ(job.deadline, 8 * sim::kMillisecond + 3 * sim::kMillisecond -
+                              2 * fh);
+  EXPECT_GT(job.total_gops(), 0.0);
+  EXPECT_GT(job.deadline, job.release);
+}
+
+TEST(SubframeFactory, UplinkCostMatchesModel) {
+  CostModel model;
+  SubframeFactory factory(0, CellConfig{}, model, 0);
+  const std::vector<Allocation> allocs{{40, 22, 6}, {10, 5, 4}};
+  const auto job = factory.uplink_job(0, allocs);
+  const auto expected =
+      model.subframe_cost(CellConfig{}, allocs, Direction::kUplink);
+  EXPECT_DOUBLE_EQ(job.total_gops(), expected.total());
+}
+
+TEST(SubframeFactory, DownlinkDeadlinePrecedesAirTime) {
+  const sim::Time fh = 30 * sim::kMicrosecond;
+  SubframeFactory factory(1, CellConfig{}, CostModel{}, fh);
+  const std::vector<Allocation> allocs{{30, 18, 1}};
+  const auto job = factory.downlink_job(5, allocs);
+  EXPECT_EQ(job.direction, Direction::kDownlink);
+  EXPECT_EQ(job.deadline, 5 * sim::kMillisecond - fh);
+  EXPECT_EQ(job.release, job.deadline - sim::kTti);
+  EXPECT_LT(job.total_gops(),
+            factory.uplink_job(5, allocs).total_gops());
+}
+
+TEST(SubframeFactory, DownlinkFirstTtiClampsRelease) {
+  SubframeFactory factory(1, CellConfig{}, CostModel{},
+                          100 * sim::kMicrosecond);
+  const auto job = factory.downlink_job(1, {});
+  EXPECT_GE(job.release, 0);
+  EXPECT_GT(job.deadline, job.release);
+}
+
+TEST(SubframeFactory, RejectsInvalidInputs) {
+  EXPECT_THROW(SubframeFactory(0, CellConfig{}, CostModel{}, -1),
+               ContractViolation);
+  // Fronthaul RTT that eats the whole HARQ budget is rejected up front.
+  EXPECT_THROW(
+      SubframeFactory(0, CellConfig{}, CostModel{}, 2 * sim::kMillisecond),
+      ContractViolation);
+  SubframeFactory factory(0, CellConfig{}, CostModel{}, 0);
+  EXPECT_THROW(factory.uplink_job(-1, {}), ContractViolation);
+  EXPECT_THROW(factory.downlink_job(0, {}), ContractViolation);
+}
+
+TEST(SubframeJob, ExtraGopsCountTowardTotal) {
+  SubframeFactory factory(0, CellConfig{}, CostModel{}, 0);
+  auto job = factory.uplink_job(0, {});
+  const double base = job.total_gops();
+  job.extra_gops = 0.05;
+  EXPECT_DOUBLE_EQ(job.total_gops(), base + 0.05);
+}
+
+}  // namespace
+}  // namespace pran::lte

@@ -1,0 +1,227 @@
+// Tests for the MAC substrate: UEs, schedulers, and the per-cell MAC loop.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+#include "mac/cell_mac.hpp"
+
+namespace pran::mac {
+namespace {
+
+UeConfig near_ue(int id) {
+  UeConfig c;
+  c.ue_id = id;
+  c.distance_m = 60.0;
+  return c;
+}
+
+UeConfig far_ue(int id) {
+  UeConfig c;
+  c.ue_id = id;
+  c.distance_m = 950.0;
+  return c;
+}
+
+TEST(Ue, CqiTracksDistance) {
+  Ue near(near_ue(0), 1);
+  Ue far(far_ue(1), 2);
+  double near_sum = 0.0, far_sum = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    near.advance_channel();
+    far.advance_channel();
+    near_sum += near.current_cqi();
+    far_sum += far.current_cqi();
+  }
+  EXPECT_GT(near_sum / 200.0, far_sum / 200.0 + 3.0);
+}
+
+TEST(Ue, FullBufferAlwaysHasData) {
+  Ue ue(near_ue(0), 1);
+  EXPECT_TRUE(ue.has_data());
+  EXPECT_DOUBLE_EQ(ue.drain(1000.0), 1000.0);
+  EXPECT_TRUE(ue.has_data());
+}
+
+TEST(Ue, PoissonTrafficAccumulatesAtOfferedRate) {
+  UeConfig c = near_ue(0);
+  c.traffic = TrafficKind::kPoisson;
+  c.mean_arrival_bps = 8e6;
+  Ue ue(c, 7);
+  double arrived = 0.0;
+  const int ttis = 20000;
+  for (int i = 0; i < ttis; ++i) {
+    const double before = ue.backlog_bytes();
+    ue.advance_traffic();
+    arrived += ue.backlog_bytes() - before;
+  }
+  const double offered_bps = arrived * 8.0 / (ttis * 1e-3);
+  EXPECT_NEAR(offered_bps / 8e6, 1.0, 0.1);
+}
+
+TEST(Ue, DrainRemovesBacklog) {
+  UeConfig c = near_ue(0);
+  c.traffic = TrafficKind::kPoisson;
+  Ue ue(c, 7);
+  while (!ue.has_data()) ue.advance_traffic();
+  const double backlog = ue.backlog_bytes();
+  const double taken = ue.drain(backlog + 100.0);
+  EXPECT_DOUBLE_EQ(taken, backlog);
+  EXPECT_FALSE(ue.has_data());
+  EXPECT_THROW(ue.drain(-1.0), ContractViolation);
+}
+
+TEST(Ue, AverageThroughputConverges) {
+  Ue ue(near_ue(0), 3);
+  for (int i = 0; i < 2000; ++i) ue.update_average(1000.0, 100.0);
+  // 1000 bits per TTI = 1 Mbps.
+  EXPECT_NEAR(ue.average_throughput_bps(), 1e6, 1e4);
+  EXPECT_DOUBLE_EQ(ue.total_served_bits(), 2000.0 * 1000.0);
+}
+
+std::vector<Ue> mixed_population() {
+  std::vector<Ue> ues;
+  ues.emplace_back(near_ue(0), 11);
+  ues.emplace_back(near_ue(1), 12);
+  ues.emplace_back(far_ue(2), 13);
+  ues.emplace_back(far_ue(3), 14);
+  return ues;
+}
+
+TEST(Schedulers, NeverExceedPrbBudget) {
+  for (const char* name : {"round-robin", "max-rate", "proportional-fair"}) {
+    auto sched = make_scheduler(name);
+    auto ues = mixed_population();
+    for (int tti = 0; tti < 50; ++tti) {
+      for (auto& ue : ues) ue.advance_channel();
+      const auto grants = sched->schedule(ues, 100);
+      int total = 0;
+      std::set<int> seen;
+      for (const auto& g : grants) {
+        EXPECT_GT(g.allocation.n_prb, 0);
+        EXPECT_TRUE(seen.insert(g.ue_id).second) << "duplicate grant";
+        total += g.allocation.n_prb;
+      }
+      EXPECT_LE(total, 100) << name;
+    }
+  }
+}
+
+TEST(Schedulers, GrantMcsMatchesUeCqi) {
+  auto sched = make_scheduler("max-rate");
+  auto ues = mixed_population();
+  for (auto& ue : ues) ue.advance_channel();
+  const auto grants = sched->schedule(ues, 100);
+  ASSERT_FALSE(grants.empty());
+  for (const auto& g : grants) {
+    const auto& ue = ues[static_cast<std::size_t>(g.ue_id)];
+    EXPECT_EQ(g.allocation.mcs, lte::mcs_from_cqi(ue.current_cqi()));
+  }
+}
+
+TEST(Schedulers, MaxRatePicksBestChannelFirst) {
+  auto sched = make_scheduler("max-rate");
+  auto ues = mixed_population();
+  for (auto& ue : ues) ue.advance_channel();
+  const auto grants = sched->schedule(ues, 100);
+  ASSERT_FALSE(grants.empty());
+  // Full-buffer: the single grant goes to the highest-CQI UE.
+  int best = 0;
+  for (std::size_t i = 1; i < ues.size(); ++i)
+    if (ues[i].current_cqi() > ues[static_cast<std::size_t>(best)].current_cqi())
+      best = static_cast<int>(i);
+  EXPECT_EQ(grants[0].ue_id, best);
+}
+
+TEST(Schedulers, RoundRobinSharesAmongActiveUes) {
+  auto sched = make_scheduler("round-robin");
+  auto ues = mixed_population();
+  std::set<int> served;
+  for (int tti = 0; tti < 8; ++tti) {
+    for (auto& ue : ues) ue.advance_channel();
+    for (const auto& g : sched->schedule(ues, 100)) served.insert(g.ue_id);
+  }
+  // Every UE (even cell edge) gets service within a few TTIs.
+  EXPECT_EQ(served.size(), ues.size());
+}
+
+TEST(Schedulers, UnknownNameThrows) {
+  EXPECT_THROW(make_scheduler("wfq"), ContractViolation);
+}
+
+CellMacConfig cell_config(const char* scheduler, std::uint64_t seed = 5) {
+  CellMacConfig c;
+  c.scheduler = scheduler;
+  c.num_ues = 10;
+  c.seed = seed;
+  return c;
+}
+
+TEST(CellMac, ThroughputOrdering) {
+  // Classic result: max-rate >= PF >= round-robin on cell throughput...
+  CellMac maxrate(cell_config("max-rate"));
+  CellMac pf(cell_config("proportional-fair"));
+  CellMac rr(cell_config("round-robin"));
+  for (int tti = 0; tti < 3000; ++tti) {
+    maxrate.run_tti();
+    pf.run_tti();
+    rr.run_tti();
+  }
+  EXPECT_GE(maxrate.cell_throughput_bps(), pf.cell_throughput_bps() * 0.98);
+  EXPECT_GE(pf.cell_throughput_bps(), rr.cell_throughput_bps() * 0.98);
+}
+
+TEST(CellMac, FairnessOrdering) {
+  // ...and round-robin/PF are far fairer than max-rate.
+  CellMac maxrate(cell_config("max-rate"));
+  CellMac pf(cell_config("proportional-fair"));
+  for (int tti = 0; tti < 3000; ++tti) {
+    maxrate.run_tti();
+    pf.run_tti();
+  }
+  EXPECT_GT(pf.fairness(), maxrate.fairness() + 0.1);
+}
+
+TEST(CellMac, AllocationsFeedTheCostModel) {
+  CellMac mac(cell_config("proportional-fair"));
+  const lte::CostModel model;
+  for (int tti = 0; tti < 20; ++tti) {
+    const auto allocs = mac.run_tti();
+    // Must be consumable by the cost model without violating PRB limits.
+    const auto cost = model.subframe_cost(mac.config().cell, allocs,
+                                          lte::Direction::kUplink);
+    EXPECT_GE(cost.total(), 0.0);
+  }
+  EXPECT_EQ(mac.ttis_run(), 20);
+}
+
+TEST(CellMac, PoissonModeServesOfferedLoad) {
+  CellMacConfig c = cell_config("proportional-fair");
+  c.traffic = TrafficKind::kPoisson;
+  c.num_ues = 6;
+  c.mean_arrival_bps = 2e6;  // 12 Mbps aggregate: well within capacity
+  CellMac mac(c);
+  for (int tti = 0; tti < 5000; ++tti) mac.run_tti();
+  // Served throughput tracks the offered load (not the full-buffer max).
+  EXPECT_NEAR(mac.cell_throughput_bps() / (6 * 2e6), 1.0, 0.15);
+}
+
+TEST(CellMac, DeterministicForSeed) {
+  CellMac a(cell_config("round-robin", 42));
+  CellMac b(cell_config("round-robin", 42));
+  for (int tti = 0; tti < 100; ++tti) {
+    a.run_tti();
+    b.run_tti();
+  }
+  EXPECT_DOUBLE_EQ(a.cell_throughput_bps(), b.cell_throughput_bps());
+}
+
+TEST(CellMac, RejectsBadConfig) {
+  CellMacConfig c = cell_config("round-robin");
+  c.num_ues = 0;
+  EXPECT_THROW(CellMac{c}, ContractViolation);
+}
+
+}  // namespace
+}  // namespace pran::mac

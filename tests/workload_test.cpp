@@ -1,0 +1,199 @@
+// Tests for diurnal profiles, traffic models and traces.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "workload/diurnal.hpp"
+#include "workload/trace.hpp"
+#include "workload/traffic.hpp"
+
+namespace pran::workload {
+namespace {
+
+TEST(Diurnal, CanonicalProfilesPeakAtDistinctHours) {
+  const auto office = DiurnalProfile::canonical(SiteKind::kOffice);
+  const auto res = DiurnalProfile::canonical(SiteKind::kResidential);
+  // Office peaks midday, residential in the evening: the non-coincidence
+  // pooling exploits.
+  EXPECT_GE(office.peak_hour(), 9);
+  EXPECT_LE(office.peak_hour(), 16);
+  EXPECT_GE(res.peak_hour(), 18);
+  EXPECT_LE(res.peak_hour(), 23);
+}
+
+TEST(Diurnal, InterpolatesAndWraps) {
+  const auto p = DiurnalProfile::canonical(SiteKind::kOffice);
+  // Halfway between hour 23 and hour 0 values.
+  const double expected = (p.hourly()[23] + p.hourly()[0]) / 2.0;
+  EXPECT_NEAR(p.at(23.5), expected, 1e-12);
+  EXPECT_NEAR(p.at(-0.5), expected, 1e-12);   // negative wraps
+  EXPECT_NEAR(p.at(47.5), expected, 1e-12);   // next day wraps
+  EXPECT_DOUBLE_EQ(p.at(10.0), p.hourly()[10]);
+}
+
+TEST(Diurnal, FlatProfile) {
+  const auto p = DiurnalProfile::flat(0.4);
+  EXPECT_DOUBLE_EQ(p.at(3.7), 0.4);
+  EXPECT_DOUBLE_EQ(p.mean(), 0.4);
+  EXPECT_THROW(DiurnalProfile::flat(1.5), pran::ContractViolation);
+}
+
+TEST(Diurnal, JitterStaysInRange) {
+  Rng rng(5);
+  const auto p = DiurnalProfile::canonical(SiteKind::kMixed).jittered(rng, 0.3);
+  for (double v : p.hourly()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  // Zero sigma is identity.
+  const auto same =
+      DiurnalProfile::canonical(SiteKind::kMixed).jittered(rng, 0.0);
+  EXPECT_EQ(same.hourly(), DiurnalProfile::canonical(SiteKind::kMixed).hourly());
+}
+
+TEST(Diurnal, KindNames) {
+  EXPECT_STREQ(site_kind_name(SiteKind::kOffice), "office");
+  EXPECT_STREQ(site_kind_name(SiteKind::kTransport), "transport");
+}
+
+TrafficModel make_model(double peak_util = 0.8, std::uint64_t seed = 11) {
+  CellSite site;
+  site.cell_id = 0;
+  site.peak_prb_utilization = peak_util;
+  return TrafficModel(site, DiurnalProfile::flat(1.0), lte::CostModel{}, seed);
+}
+
+TEST(Traffic, DefaultMixSumsToOne) {
+  double total = 0.0;
+  for (const auto& c : default_service_mix()) total += c.weight;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Traffic, AllocationsRespectCellBandwidth) {
+  auto model = make_model(0.95);
+  for (int i = 0; i < 200; ++i) {
+    const auto allocs = model.sample_subframe(12.0);
+    int total = 0;
+    for (const auto& a : allocs) {
+      EXPECT_GE(a.n_prb, 1);
+      EXPECT_GE(a.mcs, 0);
+      EXPECT_LE(a.mcs, 28);
+      EXPECT_GE(a.turbo_iterations, 2);
+      EXPECT_LE(a.turbo_iterations, 8);
+      total += a.n_prb;
+    }
+    EXPECT_LE(total, 100);
+  }
+}
+
+TEST(Traffic, MeanUtilizationTracksTarget) {
+  auto model = make_model(0.6, 23);
+  double prbs = 0.0;
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) {
+    for (const auto& a : model.sample_subframe(12.0)) prbs += a.n_prb;
+  }
+  // Clipping at the 100-PRB bandwidth pulls the realised mean below the
+  // 60-PRB unclipped target (per-UE demands are large and variable), but
+  // it must stay in the same regime and never exceed the target.
+  EXPECT_GT(prbs / n, 45.0);
+  EXPECT_LT(prbs / n, 62.0);
+}
+
+TEST(Traffic, UtilizationFollowsProfile) {
+  CellSite site;
+  site.peak_prb_utilization = 0.9;
+  TrafficModel model(site, DiurnalProfile::canonical(SiteKind::kOffice),
+                     lte::CostModel{}, 3);
+  EXPECT_GT(model.expected_utilization(11.0), model.expected_utilization(3.0));
+  EXPECT_NEAR(model.expected_utilization(10.0), 0.9 * 1.0, 1e-9);
+}
+
+TEST(Traffic, ExpectedGopsIsDeterministicAndPositive) {
+  auto model = make_model(0.7, 31);
+  const double a = model.expected_subframe_gops(12.0, 64);
+  const double b = model.expected_subframe_gops(12.0, 64);
+  EXPECT_DOUBLE_EQ(a, b);  // scratch RNG copies must not perturb state
+  EXPECT_GT(a, 0.0);
+  // Higher load costs more.
+  auto quiet = make_model(0.1, 31);
+  EXPECT_GT(a, quiet.expected_subframe_gops(12.0, 64));
+}
+
+TEST(Traffic, PeakBoundsExpected) {
+  auto model = make_model(1.0, 37);
+  EXPECT_GE(model.peak_subframe_gops(),
+            model.expected_subframe_gops(12.0, 32));
+}
+
+TEST(Traffic, SamplingIsReproducibleAcrossInstances) {
+  auto a = make_model(0.8, 77);
+  auto b = make_model(0.8, 77);
+  for (int i = 0; i < 10; ++i) {
+    const auto x = a.sample_subframe(10.0);
+    const auto y = b.sample_subframe(10.0);
+    ASSERT_EQ(x.size(), y.size());
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      EXPECT_EQ(x[j].n_prb, y[j].n_prb);
+      EXPECT_EQ(x[j].mcs, y[j].mcs);
+    }
+  }
+}
+
+TEST(Fleet, AssignsDistinctKindsAndSeeds) {
+  const auto fleet = make_fleet(8, 99);
+  ASSERT_EQ(fleet.cells.size(), 8u);
+  EXPECT_EQ(fleet.cells[0].site().kind, SiteKind::kOffice);
+  EXPECT_EQ(fleet.cells[1].site().kind, SiteKind::kResidential);
+  EXPECT_EQ(fleet.cells[4].site().kind, SiteKind::kOffice);
+  for (std::size_t i = 0; i < fleet.cells.size(); ++i)
+    EXPECT_EQ(fleet.cells[i].site().cell_id, static_cast<int>(i));
+}
+
+TEST(Trace, FromFleetShapes) {
+  const auto fleet = make_fleet(4, 5);
+  const auto trace = DayTrace::from_fleet(fleet, 24, 8);
+  EXPECT_EQ(trace.slots_per_day(), 24);
+  ASSERT_EQ(trace.cells().size(), 4u);
+  for (const auto& c : trace.cells()) {
+    EXPECT_EQ(c.gops.size(), 24u);
+    for (double g : c.gops) EXPECT_GE(g, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(trace.hour_of_slot(12), 12.0);
+}
+
+TEST(Trace, PoolingIdentityHolds) {
+  const auto fleet = make_fleet(8, 13);
+  const auto trace = DayTrace::from_fleet(fleet, 24, 8);
+  // Peak of sum never exceeds sum of peaks; with non-coincident diurnal
+  // peaks it should be strictly smaller.
+  EXPECT_LE(trace.peak_of_sum(), trace.sum_of_cell_peaks() + 1e-12);
+  EXPECT_LT(trace.peak_of_sum(), 0.95 * trace.sum_of_cell_peaks());
+  EXPECT_GE(trace.busiest_slot(), 0);
+  EXPECT_LT(trace.busiest_slot(), 24);
+}
+
+TEST(Trace, CsvRoundTrip) {
+  const auto fleet = make_fleet(3, 21);
+  const auto trace = DayTrace::from_fleet(fleet, 12, 4);
+  const auto restored = DayTrace::from_csv(trace.to_csv());
+  EXPECT_EQ(restored.slots_per_day(), trace.slots_per_day());
+  ASSERT_EQ(restored.cells().size(), trace.cells().size());
+  for (std::size_t c = 0; c < trace.cells().size(); ++c) {
+    EXPECT_EQ(restored.cells()[c].cell_id, trace.cells()[c].cell_id);
+    EXPECT_EQ(restored.cells()[c].kind, trace.cells()[c].kind);
+    for (int s = 0; s < 12; ++s)
+      EXPECT_NEAR(restored.cells()[c].gops[static_cast<std::size_t>(s)],
+                  trace.cells()[c].gops[static_cast<std::size_t>(s)], 1e-9);
+  }
+}
+
+TEST(Trace, FromCsvRejectsGarbage) {
+  EXPECT_THROW(DayTrace::from_csv(""), pran::ContractViolation);
+  EXPECT_THROW(DayTrace::from_csv("a,b\n1,2\n"), pran::ContractViolation);
+}
+
+}  // namespace
+}  // namespace pran::workload

@@ -1,0 +1,93 @@
+// pran_trace — generate synthetic operator day traces and analyse their
+// pooling potential.
+//
+//   $ pran_trace --cells 24 --out day.csv          # generate
+//   $ pran_trace --in day.csv                       # analyse an existing one
+//
+// The CSV schema matches workload::DayTrace (slot,hour,cell,kind,gops,
+// utilization), so traces round-trip through other tooling.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "core/pooling.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pran;
+
+  Flags flags("pran_trace", "generate / analyse PRAN day traces");
+  flags.add_int("cells", 24, "number of cells to generate");
+  flags.add_int("slots", 96, "time slots per day");
+  flags.add_int("seed", 2024, "random seed");
+  flags.add_double("peak-util", 0.85, "peak PRB utilisation per cell");
+  flags.add_string("out", "", "write the generated trace to this CSV file");
+  flags.add_string("in", "", "analyse this existing trace CSV instead");
+  flags.add_int("server-cores", 8, "cores per server for the analysis");
+  flags.add_double("server-gops", 150.0, "GOPS per core for the analysis");
+
+  if (!flags.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
+                 flags.usage().c_str());
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.usage().c_str());
+    return 0;
+  }
+
+  workload::DayTrace trace;
+  if (!flags.get_string("in").empty()) {
+    std::ifstream in(flags.get_string("in"));
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", flags.get_string("in").c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    trace = workload::DayTrace::from_csv(buffer.str());
+    std::printf("loaded %zu cells x %d slots from %s\n",
+                trace.cells().size(), trace.slots_per_day(),
+                flags.get_string("in").c_str());
+  } else {
+    const auto fleet = workload::make_fleet(
+        static_cast<int>(flags.get_int("cells")),
+        static_cast<std::uint64_t>(flags.get_int("seed")), lte::CellConfig{},
+        flags.get_double("peak-util"));
+    trace = workload::DayTrace::from_fleet(
+        fleet, static_cast<int>(flags.get_int("slots")), 24);
+    std::printf("generated %zu cells x %d slots\n", trace.cells().size(),
+                trace.slots_per_day());
+  }
+
+  const cluster::ServerSpec server{
+      "srv", static_cast<int>(flags.get_int("server-cores")),
+      flags.get_double("server-gops")};
+  const auto summary = core::analyze_pooling(trace, server);
+
+  Table table({"metric", "value"});
+  table.row().cell("dedicated_bbus").cell(summary.dedicated_bbus);
+  table.row().cell("peak_provisioned_servers").cell(
+      summary.peak_provisioned_servers);
+  table.row().cell("pooled_peak_servers").cell(summary.pooled_peak_servers);
+  table.row().cell("saving_vs_peak_pct").cell(100.0 * summary.savings(), 1);
+  table.row().cell("saving_vs_bbu_pct").cell(
+      100.0 * summary.savings_vs_dedicated(), 1);
+  table.row().cell("busiest_slot_hour").cell(
+      trace.hour_of_slot(trace.busiest_slot()), 2);
+  std::printf("%s", table.render().c_str());
+
+  if (!flags.get_string("out").empty()) {
+    std::ofstream out(flags.get_string("out"));
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n",
+                   flags.get_string("out").c_str());
+      return 1;
+    }
+    out << trace.to_csv();
+    std::printf("trace written to %s\n", flags.get_string("out").c_str());
+  }
+  return 0;
+}
