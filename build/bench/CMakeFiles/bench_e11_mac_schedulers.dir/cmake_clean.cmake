@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_mac_schedulers.dir/bench_e11_mac_schedulers.cpp.o"
+  "CMakeFiles/bench_e11_mac_schedulers.dir/bench_e11_mac_schedulers.cpp.o.d"
+  "bench_e11_mac_schedulers"
+  "bench_e11_mac_schedulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_mac_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

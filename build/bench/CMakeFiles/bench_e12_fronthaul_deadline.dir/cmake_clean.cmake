@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_fronthaul_deadline.dir/bench_e12_fronthaul_deadline.cpp.o"
+  "CMakeFiles/bench_e12_fronthaul_deadline.dir/bench_e12_fronthaul_deadline.cpp.o.d"
+  "bench_e12_fronthaul_deadline"
+  "bench_e12_fronthaul_deadline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_fronthaul_deadline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

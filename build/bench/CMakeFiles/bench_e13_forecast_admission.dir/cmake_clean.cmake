@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_forecast_admission.dir/bench_e13_forecast_admission.cpp.o"
+  "CMakeFiles/bench_e13_forecast_admission.dir/bench_e13_forecast_admission.cpp.o.d"
+  "bench_e13_forecast_admission"
+  "bench_e13_forecast_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_forecast_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_coding.dir/bench_e14_coding.cpp.o"
+  "CMakeFiles/bench_e14_coding.dir/bench_e14_coding.cpp.o.d"
+  "bench_e14_coding"
+  "bench_e14_coding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

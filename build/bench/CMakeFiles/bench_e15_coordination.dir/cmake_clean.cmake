@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_coordination.dir/bench_e15_coordination.cpp.o"
+  "CMakeFiles/bench_e15_coordination.dir/bench_e15_coordination.cpp.o.d"
+  "bench_e15_coordination"
+  "bench_e15_coordination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_coordination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

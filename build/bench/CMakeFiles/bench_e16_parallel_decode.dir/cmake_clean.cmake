@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e16_parallel_decode.dir/bench_e16_parallel_decode.cpp.o"
+  "CMakeFiles/bench_e16_parallel_decode.dir/bench_e16_parallel_decode.cpp.o.d"
+  "bench_e16_parallel_decode"
+  "bench_e16_parallel_decode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e16_parallel_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

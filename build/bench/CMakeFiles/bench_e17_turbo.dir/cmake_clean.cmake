@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e17_turbo.dir/bench_e17_turbo.cpp.o"
+  "CMakeFiles/bench_e17_turbo.dir/bench_e17_turbo.cpp.o.d"
+  "bench_e17_turbo"
+  "bench_e17_turbo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e17_turbo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

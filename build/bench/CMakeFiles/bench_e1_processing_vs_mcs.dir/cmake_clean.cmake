@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_processing_vs_mcs.dir/bench_e1_processing_vs_mcs.cpp.o"
+  "CMakeFiles/bench_e1_processing_vs_mcs.dir/bench_e1_processing_vs_mcs.cpp.o.d"
+  "bench_e1_processing_vs_mcs"
+  "bench_e1_processing_vs_mcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_processing_vs_mcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

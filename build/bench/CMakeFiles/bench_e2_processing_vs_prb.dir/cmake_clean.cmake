@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_processing_vs_prb.dir/bench_e2_processing_vs_prb.cpp.o"
+  "CMakeFiles/bench_e2_processing_vs_prb.dir/bench_e2_processing_vs_prb.cpp.o.d"
+  "bench_e2_processing_vs_prb"
+  "bench_e2_processing_vs_prb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_processing_vs_prb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e2_processing_vs_prb.
+# This may be replaced when dependencies are built.

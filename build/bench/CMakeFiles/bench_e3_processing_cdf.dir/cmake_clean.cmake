@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_processing_cdf.dir/bench_e3_processing_cdf.cpp.o"
+  "CMakeFiles/bench_e3_processing_cdf.dir/bench_e3_processing_cdf.cpp.o.d"
+  "bench_e3_processing_cdf"
+  "bench_e3_processing_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_processing_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_pooling_gain.dir/bench_e4_pooling_gain.cpp.o"
+  "CMakeFiles/bench_e4_pooling_gain.dir/bench_e4_pooling_gain.cpp.o.d"
+  "bench_e4_pooling_gain"
+  "bench_e4_pooling_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_pooling_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

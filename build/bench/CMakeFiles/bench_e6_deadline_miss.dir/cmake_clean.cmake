@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_deadline_miss.dir/bench_e6_deadline_miss.cpp.o"
+  "CMakeFiles/bench_e6_deadline_miss.dir/bench_e6_deadline_miss.cpp.o.d"
+  "bench_e6_deadline_miss"
+  "bench_e6_deadline_miss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_deadline_miss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

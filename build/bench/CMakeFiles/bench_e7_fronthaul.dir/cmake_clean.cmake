@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_fronthaul.dir/bench_e7_fronthaul.cpp.o"
+  "CMakeFiles/bench_e7_fronthaul.dir/bench_e7_fronthaul.cpp.o.d"
+  "bench_e7_fronthaul"
+  "bench_e7_fronthaul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_fronthaul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_migrations.dir/bench_e9_migrations.cpp.o"
+  "CMakeFiles/bench_e9_migrations.dir/bench_e9_migrations.cpp.o.d"
+  "bench_e9_migrations"
+  "bench_e9_migrations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_migrations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coding_lab.dir/coding_lab.cpp.o"
+  "CMakeFiles/coding_lab.dir/coding_lab.cpp.o.d"
+  "coding_lab"
+  "coding_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coding_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fronthaul_explorer.dir/fronthaul_explorer.cpp.o"
+  "CMakeFiles/fronthaul_explorer.dir/fronthaul_explorer.cpp.o.d"
+  "fronthaul_explorer"
+  "fronthaul_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fronthaul_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

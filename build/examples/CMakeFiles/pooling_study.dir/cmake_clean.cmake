@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pooling_study.dir/pooling_study.cpp.o"
+  "CMakeFiles/pooling_study.dir/pooling_study.cpp.o.d"
+  "pooling_study"
+  "pooling_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pooling_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/programmable_pipeline.dir/programmable_pipeline.cpp.o"
+  "CMakeFiles/programmable_pipeline.dir/programmable_pipeline.cpp.o.d"
+  "programmable_pipeline"
+  "programmable_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/programmable_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pran_cluster.dir/executor.cpp.o"
+  "CMakeFiles/pran_cluster.dir/executor.cpp.o.d"
+  "libpran_cluster.a"
+  "libpran_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pran_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

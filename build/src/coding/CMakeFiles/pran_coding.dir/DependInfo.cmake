@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coding/awgn.cpp" "src/coding/CMakeFiles/pran_coding.dir/awgn.cpp.o" "gcc" "src/coding/CMakeFiles/pran_coding.dir/awgn.cpp.o.d"
+  "/root/repo/src/coding/bler.cpp" "src/coding/CMakeFiles/pran_coding.dir/bler.cpp.o" "gcc" "src/coding/CMakeFiles/pran_coding.dir/bler.cpp.o.d"
+  "/root/repo/src/coding/convolutional.cpp" "src/coding/CMakeFiles/pran_coding.dir/convolutional.cpp.o" "gcc" "src/coding/CMakeFiles/pran_coding.dir/convolutional.cpp.o.d"
+  "/root/repo/src/coding/crc.cpp" "src/coding/CMakeFiles/pran_coding.dir/crc.cpp.o" "gcc" "src/coding/CMakeFiles/pran_coding.dir/crc.cpp.o.d"
+  "/root/repo/src/coding/rate_match.cpp" "src/coding/CMakeFiles/pran_coding.dir/rate_match.cpp.o" "gcc" "src/coding/CMakeFiles/pran_coding.dir/rate_match.cpp.o.d"
+  "/root/repo/src/coding/turbo.cpp" "src/coding/CMakeFiles/pran_coding.dir/turbo.cpp.o" "gcc" "src/coding/CMakeFiles/pran_coding.dir/turbo.cpp.o.d"
+  "/root/repo/src/coding/viterbi.cpp" "src/coding/CMakeFiles/pran_coding.dir/viterbi.cpp.o" "gcc" "src/coding/CMakeFiles/pran_coding.dir/viterbi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pran_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

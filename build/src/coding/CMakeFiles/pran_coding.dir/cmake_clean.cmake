@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pran_coding.dir/awgn.cpp.o"
+  "CMakeFiles/pran_coding.dir/awgn.cpp.o.d"
+  "CMakeFiles/pran_coding.dir/bler.cpp.o"
+  "CMakeFiles/pran_coding.dir/bler.cpp.o.d"
+  "CMakeFiles/pran_coding.dir/convolutional.cpp.o"
+  "CMakeFiles/pran_coding.dir/convolutional.cpp.o.d"
+  "CMakeFiles/pran_coding.dir/crc.cpp.o"
+  "CMakeFiles/pran_coding.dir/crc.cpp.o.d"
+  "CMakeFiles/pran_coding.dir/rate_match.cpp.o"
+  "CMakeFiles/pran_coding.dir/rate_match.cpp.o.d"
+  "CMakeFiles/pran_coding.dir/turbo.cpp.o"
+  "CMakeFiles/pran_coding.dir/turbo.cpp.o.d"
+  "CMakeFiles/pran_coding.dir/viterbi.cpp.o"
+  "CMakeFiles/pran_coding.dir/viterbi.cpp.o.d"
+  "libpran_coding.a"
+  "libpran_coding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pran_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

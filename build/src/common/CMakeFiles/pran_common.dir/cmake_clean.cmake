@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pran_common.dir/csv.cpp.o"
+  "CMakeFiles/pran_common.dir/csv.cpp.o.d"
+  "CMakeFiles/pran_common.dir/flags.cpp.o"
+  "CMakeFiles/pran_common.dir/flags.cpp.o.d"
+  "CMakeFiles/pran_common.dir/histogram.cpp.o"
+  "CMakeFiles/pran_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/pran_common.dir/rng.cpp.o"
+  "CMakeFiles/pran_common.dir/rng.cpp.o.d"
+  "CMakeFiles/pran_common.dir/stats.cpp.o"
+  "CMakeFiles/pran_common.dir/stats.cpp.o.d"
+  "CMakeFiles/pran_common.dir/strings.cpp.o"
+  "CMakeFiles/pran_common.dir/strings.cpp.o.d"
+  "CMakeFiles/pran_common.dir/table.cpp.o"
+  "CMakeFiles/pran_common.dir/table.cpp.o.d"
+  "libpran_common.a"
+  "libpran_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pran_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

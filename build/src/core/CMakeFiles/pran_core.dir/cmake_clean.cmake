@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pran_core.dir/controller.cpp.o"
+  "CMakeFiles/pran_core.dir/controller.cpp.o.d"
+  "CMakeFiles/pran_core.dir/deployment.cpp.o"
+  "CMakeFiles/pran_core.dir/deployment.cpp.o.d"
+  "CMakeFiles/pran_core.dir/pipeline.cpp.o"
+  "CMakeFiles/pran_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/pran_core.dir/placement.cpp.o"
+  "CMakeFiles/pran_core.dir/placement.cpp.o.d"
+  "CMakeFiles/pran_core.dir/pooling.cpp.o"
+  "CMakeFiles/pran_core.dir/pooling.cpp.o.d"
+  "libpran_core.a"
+  "libpran_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pran_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

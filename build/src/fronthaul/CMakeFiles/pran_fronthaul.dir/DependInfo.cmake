@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fronthaul/codec.cpp" "src/fronthaul/CMakeFiles/pran_fronthaul.dir/codec.cpp.o" "gcc" "src/fronthaul/CMakeFiles/pran_fronthaul.dir/codec.cpp.o.d"
+  "/root/repo/src/fronthaul/cpri.cpp" "src/fronthaul/CMakeFiles/pran_fronthaul.dir/cpri.cpp.o" "gcc" "src/fronthaul/CMakeFiles/pran_fronthaul.dir/cpri.cpp.o.d"
+  "/root/repo/src/fronthaul/dsp.cpp" "src/fronthaul/CMakeFiles/pran_fronthaul.dir/dsp.cpp.o" "gcc" "src/fronthaul/CMakeFiles/pran_fronthaul.dir/dsp.cpp.o.d"
+  "/root/repo/src/fronthaul/iq.cpp" "src/fronthaul/CMakeFiles/pran_fronthaul.dir/iq.cpp.o" "gcc" "src/fronthaul/CMakeFiles/pran_fronthaul.dir/iq.cpp.o.d"
+  "/root/repo/src/fronthaul/link.cpp" "src/fronthaul/CMakeFiles/pran_fronthaul.dir/link.cpp.o" "gcc" "src/fronthaul/CMakeFiles/pran_fronthaul.dir/link.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pran_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pran_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

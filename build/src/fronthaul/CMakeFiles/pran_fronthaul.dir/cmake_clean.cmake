@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pran_fronthaul.dir/codec.cpp.o"
+  "CMakeFiles/pran_fronthaul.dir/codec.cpp.o.d"
+  "CMakeFiles/pran_fronthaul.dir/cpri.cpp.o"
+  "CMakeFiles/pran_fronthaul.dir/cpri.cpp.o.d"
+  "CMakeFiles/pran_fronthaul.dir/dsp.cpp.o"
+  "CMakeFiles/pran_fronthaul.dir/dsp.cpp.o.d"
+  "CMakeFiles/pran_fronthaul.dir/iq.cpp.o"
+  "CMakeFiles/pran_fronthaul.dir/iq.cpp.o.d"
+  "CMakeFiles/pran_fronthaul.dir/link.cpp.o"
+  "CMakeFiles/pran_fronthaul.dir/link.cpp.o.d"
+  "libpran_fronthaul.a"
+  "libpran_fronthaul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pran_fronthaul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

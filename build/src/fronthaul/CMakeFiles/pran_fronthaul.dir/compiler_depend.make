@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pran_fronthaul.
+# This may be replaced when dependencies are built.

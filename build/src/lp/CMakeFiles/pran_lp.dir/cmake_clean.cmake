@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pran_lp.dir/branch_and_bound.cpp.o"
+  "CMakeFiles/pran_lp.dir/branch_and_bound.cpp.o.d"
+  "CMakeFiles/pran_lp.dir/lp_format.cpp.o"
+  "CMakeFiles/pran_lp.dir/lp_format.cpp.o.d"
+  "CMakeFiles/pran_lp.dir/model.cpp.o"
+  "CMakeFiles/pran_lp.dir/model.cpp.o.d"
+  "CMakeFiles/pran_lp.dir/presolve.cpp.o"
+  "CMakeFiles/pran_lp.dir/presolve.cpp.o.d"
+  "CMakeFiles/pran_lp.dir/simplex.cpp.o"
+  "CMakeFiles/pran_lp.dir/simplex.cpp.o.d"
+  "libpran_lp.a"
+  "libpran_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pran_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

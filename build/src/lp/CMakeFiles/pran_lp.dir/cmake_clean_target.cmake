@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpran_lp.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lte/cost_model.cpp" "src/lte/CMakeFiles/pran_lte.dir/cost_model.cpp.o" "gcc" "src/lte/CMakeFiles/pran_lte.dir/cost_model.cpp.o.d"
+  "/root/repo/src/lte/interference.cpp" "src/lte/CMakeFiles/pran_lte.dir/interference.cpp.o" "gcc" "src/lte/CMakeFiles/pran_lte.dir/interference.cpp.o.d"
+  "/root/repo/src/lte/link.cpp" "src/lte/CMakeFiles/pran_lte.dir/link.cpp.o" "gcc" "src/lte/CMakeFiles/pran_lte.dir/link.cpp.o.d"
+  "/root/repo/src/lte/mcs.cpp" "src/lte/CMakeFiles/pran_lte.dir/mcs.cpp.o" "gcc" "src/lte/CMakeFiles/pran_lte.dir/mcs.cpp.o.d"
+  "/root/repo/src/lte/subframe.cpp" "src/lte/CMakeFiles/pran_lte.dir/subframe.cpp.o" "gcc" "src/lte/CMakeFiles/pran_lte.dir/subframe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pran_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pran_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pran_lte.dir/cost_model.cpp.o"
+  "CMakeFiles/pran_lte.dir/cost_model.cpp.o.d"
+  "CMakeFiles/pran_lte.dir/interference.cpp.o"
+  "CMakeFiles/pran_lte.dir/interference.cpp.o.d"
+  "CMakeFiles/pran_lte.dir/link.cpp.o"
+  "CMakeFiles/pran_lte.dir/link.cpp.o.d"
+  "CMakeFiles/pran_lte.dir/mcs.cpp.o"
+  "CMakeFiles/pran_lte.dir/mcs.cpp.o.d"
+  "CMakeFiles/pran_lte.dir/subframe.cpp.o"
+  "CMakeFiles/pran_lte.dir/subframe.cpp.o.d"
+  "libpran_lte.a"
+  "libpran_lte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pran_lte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

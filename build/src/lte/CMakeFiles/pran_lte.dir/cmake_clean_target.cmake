@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpran_lte.a"
+)

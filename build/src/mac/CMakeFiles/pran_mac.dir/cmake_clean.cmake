@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pran_mac.dir/cell_mac.cpp.o"
+  "CMakeFiles/pran_mac.dir/cell_mac.cpp.o.d"
+  "CMakeFiles/pran_mac.dir/scheduler.cpp.o"
+  "CMakeFiles/pran_mac.dir/scheduler.cpp.o.d"
+  "CMakeFiles/pran_mac.dir/ue.cpp.o"
+  "CMakeFiles/pran_mac.dir/ue.cpp.o.d"
+  "libpran_mac.a"
+  "libpran_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pran_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pran_sim.dir/engine.cpp.o"
+  "CMakeFiles/pran_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/pran_sim.dir/trace.cpp.o"
+  "CMakeFiles/pran_sim.dir/trace.cpp.o.d"
+  "libpran_sim.a"
+  "libpran_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pran_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

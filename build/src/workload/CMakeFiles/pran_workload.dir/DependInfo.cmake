@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/diurnal.cpp" "src/workload/CMakeFiles/pran_workload.dir/diurnal.cpp.o" "gcc" "src/workload/CMakeFiles/pran_workload.dir/diurnal.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/pran_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/pran_workload.dir/trace.cpp.o.d"
+  "/root/repo/src/workload/traffic.cpp" "src/workload/CMakeFiles/pran_workload.dir/traffic.cpp.o" "gcc" "src/workload/CMakeFiles/pran_workload.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pran_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lte/CMakeFiles/pran_lte.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pran_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

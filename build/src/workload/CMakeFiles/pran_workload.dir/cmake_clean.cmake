@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pran_workload.dir/diurnal.cpp.o"
+  "CMakeFiles/pran_workload.dir/diurnal.cpp.o.d"
+  "CMakeFiles/pran_workload.dir/trace.cpp.o"
+  "CMakeFiles/pran_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/pran_workload.dir/traffic.cpp.o"
+  "CMakeFiles/pran_workload.dir/traffic.cpp.o.d"
+  "libpran_workload.a"
+  "libpran_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pran_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core_admission_test.cpp.o"
+  "CMakeFiles/core_test.dir/core_admission_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core_controller_test.cpp.o"
+  "CMakeFiles/core_test.dir/core_controller_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core_deployment_test.cpp.o"
+  "CMakeFiles/core_test.dir/core_deployment_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core_energy_harq_test.cpp.o"
+  "CMakeFiles/core_test.dir/core_energy_harq_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core_full_stack_test.cpp.o"
+  "CMakeFiles/core_test.dir/core_full_stack_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core_mac_deployment_test.cpp.o"
+  "CMakeFiles/core_test.dir/core_mac_deployment_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core_pipeline_test.cpp.o"
+  "CMakeFiles/core_test.dir/core_pipeline_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core_placement_test.cpp.o"
+  "CMakeFiles/core_test.dir/core_placement_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fronthaul_test.dir/fronthaul_codec_test.cpp.o"
+  "CMakeFiles/fronthaul_test.dir/fronthaul_codec_test.cpp.o.d"
+  "CMakeFiles/fronthaul_test.dir/fronthaul_cpri_test.cpp.o"
+  "CMakeFiles/fronthaul_test.dir/fronthaul_cpri_test.cpp.o.d"
+  "CMakeFiles/fronthaul_test.dir/fronthaul_dsp_test.cpp.o"
+  "CMakeFiles/fronthaul_test.dir/fronthaul_dsp_test.cpp.o.d"
+  "CMakeFiles/fronthaul_test.dir/fronthaul_link_test.cpp.o"
+  "CMakeFiles/fronthaul_test.dir/fronthaul_link_test.cpp.o.d"
+  "fronthaul_test"
+  "fronthaul_test.pdb"
+  "fronthaul_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fronthaul_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lte_test.dir/lte_cost_model_test.cpp.o"
+  "CMakeFiles/lte_test.dir/lte_cost_model_test.cpp.o.d"
+  "CMakeFiles/lte_test.dir/lte_interference_test.cpp.o"
+  "CMakeFiles/lte_test.dir/lte_interference_test.cpp.o.d"
+  "CMakeFiles/lte_test.dir/lte_link_test.cpp.o"
+  "CMakeFiles/lte_test.dir/lte_link_test.cpp.o.d"
+  "CMakeFiles/lte_test.dir/lte_mcs_test.cpp.o"
+  "CMakeFiles/lte_test.dir/lte_mcs_test.cpp.o.d"
+  "CMakeFiles/lte_test.dir/lte_subframe_test.cpp.o"
+  "CMakeFiles/lte_test.dir/lte_subframe_test.cpp.o.d"
+  "lte_test"
+  "lte_test.pdb"
+  "lte_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lte_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim_engine_test.cpp" "tests/CMakeFiles/sim_test.dir/sim_engine_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim_engine_test.cpp.o.d"
+  "/root/repo/tests/sim_trace_test.cpp" "tests/CMakeFiles/sim_test.dir/sim_trace_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim_trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pran_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pran_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lte/CMakeFiles/pran_lte.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/pran_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/coding/CMakeFiles/pran_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/fronthaul/CMakeFiles/pran_fronthaul.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/pran_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pran_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/pran_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pran_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

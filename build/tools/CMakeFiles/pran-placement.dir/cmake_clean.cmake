@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pran-placement.dir/pran_placement.cpp.o"
+  "CMakeFiles/pran-placement.dir/pran_placement.cpp.o.d"
+  "pran-placement"
+  "pran-placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pran-placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pran-sim.dir/pran_sim.cpp.o"
+  "CMakeFiles/pran-sim.dir/pran_sim.cpp.o.d"
+  "pran-sim"
+  "pran-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pran-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pran-trace.dir/pran_trace.cpp.o"
+  "CMakeFiles/pran-trace.dir/pran_trace.cpp.o.d"
+  "pran-trace"
+  "pran-trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pran-trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
