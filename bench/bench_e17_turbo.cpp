@@ -8,13 +8,24 @@
 //       operating SNR most blocks converge in 1-2 iterations, so
 //       early-termination saves most of the worst-case compute;
 //   (c) measured per-iteration decode time (google-benchmark).
+//
+// The Monte-Carlo sweeps (a)/(b) fan trials across a thread pool
+// (--threads N, default: hardware); every trial draws from an
+// index-derived RNG substream, so the tables are identical for any thread
+// count. (c) stays single-threaded: it is the per-core kernel-time number
+// the cost model consumes. Pass --benchmark_out=BENCH_e17.json
+// --benchmark_out_format=json to snapshot (c) for trend tracking.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <vector>
 
 #include "coding/awgn.hpp"
 #include "coding/turbo.hpp"
+#include "common/flags.hpp"
+#include "common/parallel.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 
@@ -31,25 +42,36 @@ Bits random_bits(std::size_t n, Rng& rng) {
   return out;
 }
 
-void print_tables() {
+/// One self-contained trial: trial_rng drives payload and noise, so the
+/// outcome depends only on the substream, not on scheduling.
+bool decode_trial(std::size_t k, double esn0, int iters, Rng trial_rng) {
+  const Bits info = random_bits(k, trial_rng);
+  const Llrs llrs = transmit_bpsk(turbo_encode(info), esn0, trial_rng);
+  return turbo_decode(llrs, k, iters).info == info;
+}
+
+void print_tables(ThreadPool& pool) {
   const std::size_t k = 512;
   const int trials = 60;
   Rng rng(77);
+  const auto sweep_start = std::chrono::steady_clock::now();
 
   std::printf(
       "E17a: turbo BLER vs Es/N0 by iteration budget (K=%zu, rate ~1/3, "
-      "%d blocks per point)\n\n",
-      k, trials);
+      "%d blocks per point, %u threads)\n\n",
+      k, trials, pool.size());
   Table bler({"esn0_db", "iter1", "iter2", "iter4", "iter8"});
   for (double esn0 = -6.0; esn0 <= -2.99; esn0 += 0.5) {
     bler.row().cell(esn0, 1);
     for (int iters : {1, 2, 4, 8}) {
+      const Rng base = rng.fork();
+      std::vector<std::uint8_t> failed(trials, 0);
+      pool.for_each(static_cast<std::size_t>(trials),
+                    [&](unsigned, std::size_t t) {
+                      failed[t] = !decode_trial(k, esn0, iters, base.stream(t));
+                    });
       int errors = 0;
-      for (int t = 0; t < trials; ++t) {
-        const Bits info = random_bits(k, rng);
-        const Llrs llrs = transmit_bpsk(turbo_encode(info), esn0, rng);
-        if (turbo_decode(llrs, k, iters).info != info) ++errors;
-      }
+      for (std::uint8_t f : failed) errors += f;
       bler.cell(static_cast<double>(errors) / trials, 3);
     }
   }
@@ -60,15 +82,26 @@ void print_tables() {
   Table iters({"esn0_db", "mean_iters", "p90_iters", "converged_pct",
                "compute_saved_pct"});
   for (double esn0 : {-5.0, -4.5, -4.0, -3.0, -2.0, 0.0}) {
+    const Rng base = rng.fork();
+    std::vector<int> used_by_trial(trials, 0);
+    std::vector<std::uint8_t> converged_by_trial(trials, 0);
+    pool.for_each(static_cast<std::size_t>(trials),
+                  [&](unsigned, std::size_t t) {
+                    Rng trial_rng = base.stream(t);
+                    const Bits info = random_bits(k, trial_rng);
+                    const Llrs llrs =
+                        transmit_bpsk(turbo_encode(info), esn0, trial_rng);
+                    const auto result = turbo_decode(
+                        llrs, k, 8,
+                        [&](const Bits& hard) { return hard == info; });
+                    used_by_trial[t] = result.iterations;
+                    converged_by_trial[t] = result.converged ? 1 : 0;
+                  });
     Samples used;
     int converged = 0;
     for (int t = 0; t < trials; ++t) {
-      const Bits info = random_bits(k, rng);
-      const Llrs llrs = transmit_bpsk(turbo_encode(info), esn0, rng);
-      const auto result = turbo_decode(
-          llrs, k, 8, [&](const Bits& hard) { return hard == info; });
-      used.add(result.iterations);
-      if (result.converged) ++converged;
+      used.add(used_by_trial[static_cast<std::size_t>(t)]);
+      converged += converged_by_trial[static_cast<std::size_t>(t)];
     }
     iters.row()
         .cell(esn0, 1)
@@ -78,10 +111,15 @@ void print_tables() {
         .cell(100.0 * (1.0 - used.mean() / 8.0), 1);
   }
   std::printf("%s\n", iters.render().c_str());
+  const double sweep_s = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - sweep_start)
+                             .count();
   std::printf(
       "reading: iterations trade directly against SNR margin; above the "
       "cliff early termination recovers >70%% of the worst-case decode "
-      "compute — the distribution the traffic model samples from\n\n");
+      "compute — the distribution the traffic model samples from\n");
+  std::printf("sweep wall-clock: %.2f s on %u threads\n\n", sweep_s,
+              pool.size());
 }
 
 void BM_TurboDecodeIteration(benchmark::State& state) {
@@ -101,14 +139,32 @@ BENCHMARK(BM_TurboDecodeIteration)
     ->Args({512, 1})
     ->Args({512, 4})
     ->Args({512, 8})
+    ->Args({1024, 1})
+    ->Args({1024, 8})
     ->Args({4096, 4});
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_tables();
-  std::printf("E17c: measured turbo decode throughput (google-benchmark)\n\n");
-  benchmark::Initialize(&argc, argv);
+  benchmark::Initialize(&argc, argv);  // strips --benchmark_* flags
+
+  Flags flags("bench_e17_turbo", "E17: turbo iteration economy");
+  flags.add_int("threads", static_cast<long>(ThreadPool::default_threads()),
+                "worker threads for the Monte-Carlo sweeps");
+  if (!flags.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
+                 flags.usage().c_str());
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.usage().c_str());
+    return 0;
+  }
+
+  ThreadPool pool(static_cast<unsigned>(flags.get_int("threads")));
+  print_tables(pool);
+  std::printf("E17c: measured turbo decode throughput (google-benchmark, "
+              "single thread)\n\n");
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -12,17 +12,22 @@ double awgn_sigma(double esn0_db) {
 }
 
 Llrs transmit_bpsk(const Bits& bits, double esn0_db, Rng& rng) {
+  Llrs llrs;
+  transmit_bpsk(bits, esn0_db, rng, llrs);
+  return llrs;
+}
+
+void transmit_bpsk(const Bits& bits, double esn0_db, Rng& rng, Llrs& out) {
   const double sigma = awgn_sigma(esn0_db);
   const double scale = 2.0 / (sigma * sigma);
-  Llrs llrs;
-  llrs.reserve(bits.size());
+  out.clear();
+  out.reserve(bits.size());
   for (std::uint8_t bit : bits) {
     PRAN_REQUIRE(bit <= 1, "bit vectors must contain only 0/1");
     const double symbol = bit ? -1.0 : 1.0;
     const double y = symbol + rng.normal(0.0, sigma);
-    llrs.push_back(scale * y);
+    out.push_back(scale * y);
   }
-  return llrs;
 }
 
 Bits hard_decisions(const Llrs& llrs) {

@@ -18,6 +18,10 @@ double awgn_sigma(double esn0_db);
 /// Es/N0 and returns per-bit LLRs.
 Llrs transmit_bpsk(const Bits& bits, double esn0_db, Rng& rng);
 
+/// Out-parameter form: clears and fills `out`, reusing its capacity —
+/// allocation-free once `out` has grown.
+void transmit_bpsk(const Bits& bits, double esn0_db, Rng& rng, Llrs& out);
+
 /// Hard decisions from LLRs (ties resolve to 0).
 Bits hard_decisions(const Llrs& llrs);
 

@@ -8,6 +8,7 @@
 
 #include "coding/awgn.hpp"
 #include "coding/rate_match.hpp"
+#include "common/parallel.hpp"
 
 namespace pran::coding {
 
@@ -37,8 +38,14 @@ struct LinkStats {
 
 /// Runs `blocks` random transport blocks at the given Es/N0 and collects
 /// error statistics.
+///
+/// Each block draws from its own substream of `rng` (`rng` itself advances
+/// by exactly one draw), so the statistics depend only on the incoming RNG
+/// state and the block index — never on scheduling. Passing a ThreadPool
+/// fans the blocks across its workers, each with a preallocated workspace,
+/// and is guaranteed to produce counts identical to the serial run.
 LinkStats run_link(const LinkConfig& config, double esn0_db,
-                   std::size_t blocks, Rng& rng);
+                   std::size_t blocks, Rng& rng, ThreadPool* pool = nullptr);
 
 /// One full round trip of a single block; returns true if the CRC-verified
 /// payload matched (used by tests and the throughput bench).

@@ -7,8 +7,14 @@
 namespace pran::coding {
 
 Bits convolutional_encode(const Bits& info) {
-  PRAN_REQUIRE(!info.empty(), "cannot encode an empty block");
   Bits out;
+  convolutional_encode(info, out);
+  return out;
+}
+
+void convolutional_encode(const Bits& info, Bits& out) {
+  PRAN_REQUIRE(!info.empty(), "cannot encode an empty block");
+  out.clear();
   out.reserve(encoded_length(info.size()));
 
   unsigned state = 0;  // shift register, bit 0 = most recent input
@@ -27,7 +33,6 @@ Bits convolutional_encode(const Bits& info) {
   }
   for (int i = 0; i < kConstraintLength - 1; ++i) push(0);  // flush to zero
   PRAN_CHECK(state == 0, "termination did not return to the zero state");
-  return out;
 }
 
 }  // namespace pran::coding

@@ -22,6 +22,11 @@ inline constexpr unsigned kGenerators[kCodeRateDen] = {0133, 0171, 0165};
 /// 3 * (info.size() + 6) bits, interleaved g0,g1,g2 per input bit.
 Bits convolutional_encode(const Bits& info);
 
+/// Out-parameter form: clears and fills `out`, reusing its capacity —
+/// allocation-free once `out` has grown (the BLER harness's per-trial
+/// path).
+void convolutional_encode(const Bits& info, Bits& out);
+
 /// Number of coded bits the encoder emits for `info_bits` input bits.
 constexpr std::size_t encoded_length(std::size_t info_bits) noexcept {
   return kCodeRateDen * (info_bits + kConstraintLength - 1);

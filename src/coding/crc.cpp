@@ -4,10 +4,11 @@
 
 namespace pran::coding {
 
-std::uint32_t crc24a(const Bits& data) {
+std::uint32_t crc24a(const std::uint8_t* bits, std::size_t n) {
   // Bitwise long division of data * x^24 by the generator.
   std::uint32_t reg = 0;
-  for (std::uint8_t bit : data) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t bit = bits[i];
     PRAN_REQUIRE(bit <= 1, "bit vectors must contain only 0/1");
     const std::uint32_t msb = (reg >> 23) & 1u;
     reg = ((reg << 1) | bit) & 0xFFFFFF;
@@ -22,6 +23,8 @@ std::uint32_t crc24a(const Bits& data) {
   return reg;
 }
 
+std::uint32_t crc24a(const Bits& data) { return crc24a(data.data(), data.size()); }
+
 Bits attach_crc(const Bits& data) {
   const std::uint32_t crc = crc24a(data);
   Bits out = data;
@@ -31,19 +34,18 @@ Bits attach_crc(const Bits& data) {
   return out;
 }
 
-bool check_crc(const Bits& data_with_crc) {
-  if (data_with_crc.size() < static_cast<std::size_t>(kCrcBits)) return false;
-  const Bits payload(data_with_crc.begin(),
-                     data_with_crc.end() - kCrcBits);
-  const std::uint32_t expected = crc24a(payload);
+bool check_crc(const std::uint8_t* bits, std::size_t n) {
+  if (n < static_cast<std::size_t>(kCrcBits)) return false;
+  const std::size_t payload_bits = n - static_cast<std::size_t>(kCrcBits);
+  const std::uint32_t expected = crc24a(bits, payload_bits);
   std::uint32_t actual = 0;
-  for (int i = 0; i < kCrcBits; ++i) {
-    actual = (actual << 1) |
-             data_with_crc[data_with_crc.size() -
-                           static_cast<std::size_t>(kCrcBits) +
-                           static_cast<std::size_t>(i)];
-  }
+  for (std::size_t i = payload_bits; i < n; ++i)
+    actual = (actual << 1) | bits[i];
   return actual == expected;
+}
+
+bool check_crc(const Bits& data_with_crc) {
+  return check_crc(data_with_crc.data(), data_with_crc.size());
 }
 
 Bits strip_crc(const Bits& data_with_crc) {

@@ -22,11 +22,18 @@ inline constexpr int kCrcBits = 24;
 /// Computes the 24-bit CRC of `data` (MSB-first bitwise division).
 std::uint32_t crc24a(const Bits& data);
 
+/// Pointer-span form of crc24a for callers that work on a prefix of a
+/// buffer without copying it.
+std::uint32_t crc24a(const std::uint8_t* bits, std::size_t n);
+
 /// Returns `data` with its 24 CRC bits appended (MSB first).
 Bits attach_crc(const Bits& data);
 
 /// True if `data_with_crc` (>= 24 bits) passes the CRC check.
 bool check_crc(const Bits& data_with_crc);
+
+/// Pointer-span form of check_crc; performs no allocation.
+bool check_crc(const std::uint8_t* bits, std::size_t n);
 
 /// Strips a verified CRC; requires check_crc() to be true.
 Bits strip_crc(const Bits& data_with_crc);

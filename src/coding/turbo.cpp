@@ -1,8 +1,12 @@
 #include "coding/turbo.hpp"
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <cmath>
 #include <limits>
+#include <memory>
+#include <mutex>
 
 #include "common/check.hpp"
 
@@ -11,9 +15,9 @@ namespace {
 
 constexpr int kStates = 8;
 constexpr int kTailSteps = 3;
-constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+constexpr float kNegInfF = -std::numeric_limits<float>::infinity();
 /// Standard extrinsic damping for max-log-MAP.
-constexpr double kExtrinsicScale = 0.75;
+constexpr float kExtrinsicScale = 0.75f;
 
 /// One RSC step: returns {feedback bit w (= next input to the shift
 /// register), parity bit z, next state}.
@@ -23,7 +27,7 @@ struct RscStep {
   unsigned next;
 };
 
-inline RscStep rsc_step(unsigned state, unsigned u) {
+constexpr RscStep rsc_step(unsigned state, unsigned u) {
   const unsigned w1 = state & 1u;         // w_{t-1}
   const unsigned w2 = (state >> 1) & 1u;  // w_{t-2}
   const unsigned w3 = (state >> 2) & 1u;  // w_{t-3}
@@ -34,11 +38,35 @@ inline RscStep rsc_step(unsigned state, unsigned u) {
 }
 
 /// Input that drives the register toward zero (termination).
-inline unsigned rsc_termination_input(unsigned state) {
+constexpr unsigned rsc_termination_input(unsigned state) {
   const unsigned w2 = (state >> 1) & 1u;
   const unsigned w3 = (state >> 2) & 1u;
   return w2 ^ w3;  // makes w = 0
 }
+
+/// The whole 8-state trellis, precomputed at compile time so the BCJR
+/// recursions are pure table walks: next state and parity per (state,
+/// input), plus the forced termination input per state.
+struct Trellis {
+  std::uint8_t next[kStates][2];
+  std::uint8_t parity[kStates][2];
+  std::uint8_t term[kStates];
+};
+
+constexpr Trellis build_trellis() {
+  Trellis t{};
+  for (unsigned s = 0; s < kStates; ++s) {
+    for (unsigned u = 0; u < 2; ++u) {
+      const auto step = rsc_step(s, u);
+      t.next[s][u] = static_cast<std::uint8_t>(step.next);
+      t.parity[s][u] = static_cast<std::uint8_t>(step.z);
+    }
+    t.term[s] = static_cast<std::uint8_t>(rsc_termination_input(s));
+  }
+  return t;
+}
+
+constexpr Trellis kTrellis = build_trellis();
 
 /// Encodes one RSC stream over `input`; appends (x, z) tail pairs to
 /// `tail` while terminating.
@@ -46,110 +74,19 @@ void rsc_encode(const Bits& input, Bits& parity, Bits& tail) {
   unsigned state = 0;
   parity.reserve(parity.size() + input.size());
   for (std::uint8_t u : input) {
-    const auto step = rsc_step(state, u);
-    parity.push_back(static_cast<std::uint8_t>(step.z));
-    state = step.next;
+    parity.push_back(kTrellis.parity[state][u]);
+    state = kTrellis.next[state][u];
   }
   for (int t = 0; t < kTailSteps; ++t) {
-    const unsigned x = rsc_termination_input(state);
-    const auto step = rsc_step(state, x);
-    PRAN_CHECK(step.w == 0, "termination input did not zero the feedback");
+    const unsigned x = kTrellis.term[state];
     tail.push_back(static_cast<std::uint8_t>(x));
-    tail.push_back(static_cast<std::uint8_t>(step.z));
-    state = step.next;
+    tail.push_back(kTrellis.parity[state][x]);
+    state = kTrellis.next[state][x];
   }
   PRAN_CHECK(state == 0, "RSC termination failed");
 }
 
-/// Max-log-MAP decode of one constituent code.
-///
-/// `sys` and `apriori` have K entries; `parity` has K entries; `tail_sys`
-/// and `tail_parity` have kTailSteps entries each. Returns the extrinsic
-/// LLRs (K entries); `posterior` (optional out) receives sys+apriori+ext.
-Llrs map_decode(const Llrs& sys, const Llrs& parity, const Llrs& apriori,
-                const Llrs& tail_sys, const Llrs& tail_parity) {
-  const std::size_t k = sys.size();
-  const std::size_t steps = k + kTailSteps;
-
-  // gamma contribution helper: log-metric of (bit b against LLR l).
-  auto half = [](double l, unsigned b) { return b ? -0.5 * l : 0.5 * l; };
-
-  // Forward recursion.
-  std::vector<std::array<double, kStates>> alpha(steps + 1);
-  alpha[0].fill(kNegInf);
-  alpha[0][0] = 0.0;
-  for (std::size_t t = 0; t < steps; ++t) {
-    alpha[t + 1].fill(kNegInf);
-    const bool tail = t >= k;
-    const double ls = tail ? tail_sys[t - k] : sys[t];
-    const double la = tail ? 0.0 : apriori[t];
-    const double lp = tail ? tail_parity[t - k] : parity[t];
-    for (int s = 0; s < kStates; ++s) {
-      if (alpha[t][static_cast<std::size_t>(s)] == kNegInf) continue;
-      for (unsigned u = 0; u < 2; ++u) {
-        if (tail && u != rsc_termination_input(static_cast<unsigned>(s)))
-          continue;  // tail inputs are forced
-        const auto step = rsc_step(static_cast<unsigned>(s), u);
-        const double g = half(ls + la, u) + half(lp, step.z);
-        auto& a = alpha[t + 1][step.next];
-        a = std::max(a, alpha[t][static_cast<std::size_t>(s)] + g);
-      }
-    }
-  }
-
-  // Backward recursion.
-  std::vector<std::array<double, kStates>> beta(steps + 1);
-  beta[steps].fill(kNegInf);
-  beta[steps][0] = 0.0;  // terminated trellis
-  for (std::size_t t = steps; t-- > 0;) {
-    beta[t].fill(kNegInf);
-    const bool tail = t >= k;
-    const double ls = tail ? tail_sys[t - k] : sys[t];
-    const double la = tail ? 0.0 : apriori[t];
-    const double lp = tail ? tail_parity[t - k] : parity[t];
-    for (int s = 0; s < kStates; ++s) {
-      for (unsigned u = 0; u < 2; ++u) {
-        if (tail && u != rsc_termination_input(static_cast<unsigned>(s)))
-          continue;
-        const auto step = rsc_step(static_cast<unsigned>(s), u);
-        if (beta[t + 1][step.next] == kNegInf) continue;
-        const double g = half(ls + la, u) + half(lp, step.z);
-        auto& b = beta[t] [static_cast<std::size_t>(s)];
-        b = std::max(b, beta[t + 1][step.next] + g);
-      }
-    }
-  }
-
-  // Posterior LLRs for the information positions, then extrinsic.
-  Llrs extrinsic(k, 0.0);
-  for (std::size_t t = 0; t < k; ++t) {
-    double best0 = kNegInf, best1 = kNegInf;
-    for (int s = 0; s < kStates; ++s) {
-      if (alpha[t][static_cast<std::size_t>(s)] == kNegInf) continue;
-      for (unsigned u = 0; u < 2; ++u) {
-        const auto step = rsc_step(static_cast<unsigned>(s), u);
-        if (beta[t + 1][step.next] == kNegInf) continue;
-        const double g = half(sys[t] + apriori[t], u) + half(parity[t], step.z);
-        const double metric = alpha[t][static_cast<std::size_t>(s)] + g +
-                              beta[t + 1][step.next];
-        (u == 0 ? best0 : best1) = std::max(u == 0 ? best0 : best1, metric);
-      }
-    }
-    const double posterior = best0 - best1;  // log(P0/P1)
-    extrinsic[t] = posterior - sys[t] - apriori[t];
-  }
-  return extrinsic;
-}
-
-}  // namespace
-
-bool turbo_block_size_ok(std::size_t k) noexcept {
-  if (k < 64 || k > 8192) return false;
-  return (k & (k - 1)) == 0;
-}
-
-std::vector<std::size_t> turbo_interleaver(std::size_t k) {
-  PRAN_REQUIRE(turbo_block_size_ok(k), "unsupported turbo block size");
+std::vector<std::size_t> build_interleaver(std::size_t k) {
   // QPP form with f1 odd and f2 even — a permutation for power-of-two K.
   const std::size_t f2 = k / 4;
   std::size_t f1 = 3 * k / 8 + 1;
@@ -164,10 +101,39 @@ std::vector<std::size_t> turbo_interleaver(std::size_t k) {
   return pi;
 }
 
+/// Per-K interleaver memo: supported K are the 8 powers of two in
+/// [64, 8192], so a fixed slot table suffices. Entries are built once
+/// (including the O(K) permutation check) and shared by every encoder and
+/// decoder thread thereafter.
+const std::vector<std::size_t>& cached_interleaver(std::size_t k) {
+  PRAN_REQUIRE(turbo_block_size_ok(k), "unsupported turbo block size");
+  static std::mutex mutex;
+  static std::array<std::unique_ptr<const std::vector<std::size_t>>, 8> memo;
+  const auto slot =
+      static_cast<std::size_t>(std::countr_zero(k)) - 6;  // k=64 -> 0
+  std::lock_guard<std::mutex> lock(mutex);
+  auto& entry = memo[slot];
+  if (!entry)
+    entry = std::make_unique<const std::vector<std::size_t>>(
+        build_interleaver(k));
+  return *entry;
+}
+
+}  // namespace
+
+bool turbo_block_size_ok(std::size_t k) noexcept {
+  if (k < 64 || k > 8192) return false;
+  return (k & (k - 1)) == 0;
+}
+
+std::vector<std::size_t> turbo_interleaver(std::size_t k) {
+  return cached_interleaver(k);  // copy out; the memo keeps the original
+}
+
 Bits turbo_encode(const Bits& info) {
   PRAN_REQUIRE(turbo_block_size_ok(info.size()),
                "unsupported turbo block size");
-  const auto pi = turbo_interleaver(info.size());
+  const auto& pi = cached_interleaver(info.size());
 
   Bits interleaved(info.size());
   for (std::size_t i = 0; i < info.size(); ++i) interleaved[i] = info[pi[i]];
@@ -185,60 +151,182 @@ Bits turbo_encode(const Bits& info) {
   return out;
 }
 
-TurboResult turbo_decode(const Llrs& llrs, std::size_t k, int max_iterations,
-                         const std::function<bool(const Bits&)>& early_exit) {
+void TurboDecoder::ensure_capacity(std::size_t k) {
+  if (k <= capacity_k_) return;
+  const std::size_t steps = k + kTailSteps;
+  beta_.resize((steps + 1) * kStates);
+  sys_.resize(steps);
+  par1_.resize(steps);
+  par2_.resize(steps);
+  sys_int_.resize(steps);
+  half_par1_.resize(steps);
+  half_par2_.resize(steps);
+  half_sys_.resize(steps);
+  ext1_.resize(k);
+  ext2_.resize(k);
+  apriori2_.resize(k);
+  ext2_deint_.resize(k);
+  capacity_k_ = k;
+}
+
+/// Max-log-MAP pass over one constituent code.
+///
+/// `half_sys_apriori[t]` is 0.5*(systematic + a-priori) for step t (tail
+/// steps carry 0.5*tail_sys, the a-priori being zero there);
+/// `half_parity[t]` is 0.5*parity. `sys`/`apriori` are the unsummed K-entry
+/// inputs the extrinsic subtracts back out. Writes K extrinsic LLRs.
+///
+/// The backward (beta) metrics are materialized in the flat workspace
+/// buffer; the forward (alpha) recursion keeps only the live 8-entry row
+/// and fuses the posterior/extrinsic computation into the same sweep, so
+/// each trellis step is touched exactly twice with zero allocation.
+void TurboDecoder::map_pass(const float* half_sys_apriori,
+                            const float* half_parity, const float* sys,
+                            const float* apriori, std::size_t k,
+                            float* extrinsic) {
+  const std::size_t steps = k + kTailSteps;
+  float* beta = beta_.data();
+
+  // Terminal condition: the trellis ends in state zero.
+  {
+    float* row = beta + steps * kStates;
+    std::fill(row, row + kStates, kNegInfF);
+    row[0] = 0.0f;
+  }
+
+  // Backward recursion. In the tail the input is forced to the
+  // termination bit, so each state has exactly one outgoing branch.
+  for (std::size_t t = steps; t-- > 0;) {
+    const float hs = half_sys_apriori[t];
+    const float hp = half_parity[t];
+    const float* next_row = beta + (t + 1) * kStates;
+    float* row = beta + t * kStates;
+    if (t >= k) {
+      for (int s = 0; s < kStates; ++s) {
+        const unsigned u = kTrellis.term[s];
+        const float g =
+            (u ? -hs : hs) + (kTrellis.parity[s][u] ? -hp : hp);
+        row[s] = next_row[kTrellis.next[s][u]] + g;
+      }
+    } else {
+#pragma GCC unroll 8
+      for (int s = 0; s < kStates; ++s) {
+        const float m0 = next_row[kTrellis.next[s][0]] + hs +
+                         (kTrellis.parity[s][0] ? -hp : hp);
+        const float m1 = next_row[kTrellis.next[s][1]] - hs +
+                         (kTrellis.parity[s][1] ? -hp : hp);
+        row[s] = std::max(m0, m1);
+      }
+    }
+  }
+
+  // Forward recursion fused with the posterior pass. Only the live alpha
+  // row is kept; the tail needs no extrinsic, so the sweep stops at K.
+  float alpha[kStates];
+  float next_alpha[kStates];
+  std::fill(alpha + 1, alpha + kStates, kNegInfF);
+  alpha[0] = 0.0f;
+  for (std::size_t t = 0; t < k; ++t) {
+    const float hs = half_sys_apriori[t];
+    const float hp = half_parity[t];
+    const float* next_row = beta + (t + 1) * kStates;
+    std::fill(next_alpha, next_alpha + kStates, kNegInfF);
+    float best0 = kNegInfF;
+    float best1 = kNegInfF;
+#pragma GCC unroll 8
+    for (int s = 0; s < kStates; ++s) {
+      const float a = alpha[s];
+      const int n0 = kTrellis.next[s][0];
+      const int n1 = kTrellis.next[s][1];
+      const float m0 = a + hs + (kTrellis.parity[s][0] ? -hp : hp);
+      const float m1 = a - hs + (kTrellis.parity[s][1] ? -hp : hp);
+      best0 = std::max(best0, m0 + next_row[n0]);
+      best1 = std::max(best1, m1 + next_row[n1]);
+      next_alpha[n0] = std::max(next_alpha[n0], m0);
+      next_alpha[n1] = std::max(next_alpha[n1], m1);
+    }
+    std::copy(next_alpha, next_alpha + kStates, alpha);
+    // posterior = log(P0/P1); extrinsic removes the direct inputs.
+    extrinsic[t] = (best0 - best1) - sys[t] - apriori[t];
+  }
+}
+
+const TurboResult& TurboDecoder::decode(
+    const Llrs& llrs, std::size_t k, int max_iterations,
+    const std::function<bool(const Bits&)>& early_exit) {
   PRAN_REQUIRE(turbo_block_size_ok(k), "unsupported turbo block size");
   PRAN_REQUIRE(llrs.size() == turbo_encoded_length(k),
                "LLR length does not match turbo_encoded_length(k)");
   PRAN_REQUIRE(max_iterations >= 1, "need at least one iteration");
 
-  const auto pi = turbo_interleaver(k);
-  const Llrs sys(llrs.begin(), llrs.begin() + static_cast<std::ptrdiff_t>(k));
-  const Llrs par1(llrs.begin() + static_cast<std::ptrdiff_t>(k),
-                  llrs.begin() + static_cast<std::ptrdiff_t>(2 * k));
-  const Llrs par2(llrs.begin() + static_cast<std::ptrdiff_t>(2 * k),
-                  llrs.begin() + static_cast<std::ptrdiff_t>(3 * k));
-  // Tail layout: enc1 (x,z) x3, then enc2 (x,z) x3.
-  Llrs tail_sys1(3), tail_par1(3), tail_sys2(3), tail_par2(3);
-  for (int t = 0; t < 3; ++t) {
-    tail_sys1[static_cast<std::size_t>(t)] = llrs[3 * k + 2 * t];
-    tail_par1[static_cast<std::size_t>(t)] = llrs[3 * k + 2 * t + 1];
-    tail_sys2[static_cast<std::size_t>(t)] = llrs[3 * k + 6 + 2 * t];
-    tail_par2[static_cast<std::size_t>(t)] = llrs[3 * k + 6 + 2 * t + 1];
+  ensure_capacity(k);
+  const auto& pi = cached_interleaver(k);
+
+  // Demultiplex into the flat float workspace. Layout per stream:
+  // [0, k) info positions, [k, k+3) tail. Tail layout on the wire:
+  // enc1 (x, z) x3, then enc2 (x, z) x3.
+  for (std::size_t i = 0; i < k; ++i) {
+    sys_[i] = static_cast<float>(llrs[i]);
+    par1_[i] = static_cast<float>(llrs[k + i]);
+    par2_[i] = static_cast<float>(llrs[2 * k + i]);
+  }
+  for (std::size_t t = 0; t < kTailSteps; ++t) {
+    sys_[k + t] = static_cast<float>(llrs[3 * k + 2 * t]);
+    par1_[k + t] = static_cast<float>(llrs[3 * k + 2 * t + 1]);
+    sys_int_[k + t] = static_cast<float>(llrs[3 * k + 6 + 2 * t]);
+    par2_[k + t] = static_cast<float>(llrs[3 * k + 6 + 2 * t + 1]);
+  }
+  for (std::size_t i = 0; i < k; ++i) sys_int_[i] = sys_[pi[i]];
+
+  const std::size_t steps = k + kTailSteps;
+  for (std::size_t t = 0; t < steps; ++t) {
+    half_par1_[t] = 0.5f * par1_[t];
+    half_par2_[t] = 0.5f * par2_[t];
   }
 
-  Llrs sys_int(k);
-  for (std::size_t i = 0; i < k; ++i) sys_int[i] = sys[pi[i]];
-
-  Llrs ext2_deint(k, 0.0);  // extrinsic from decoder 2, natural order
-  TurboResult result;
-  result.info.assign(k, 0);
+  std::fill(ext2_deint_.begin(), ext2_deint_.begin() +
+                                     static_cast<std::ptrdiff_t>(k), 0.0f);
+  result_.info.assign(k, 0);
+  result_.iterations = 0;
+  result_.converged = false;
 
   for (int iter = 1; iter <= max_iterations; ++iter) {
-    // Decoder 1 in natural order.
-    Llrs ext1 =
-        map_decode(sys, par1, ext2_deint, tail_sys1, tail_par1);
-    for (double& e : ext1) e *= kExtrinsicScale;
+    // Decoder 1 in natural order; a-priori is decoder 2's extrinsic.
+    for (std::size_t t = 0; t < k; ++t)
+      half_sys_[t] = 0.5f * (sys_[t] + ext2_deint_[t]);
+    for (std::size_t t = k; t < steps; ++t) half_sys_[t] = 0.5f * sys_[t];
+    map_pass(half_sys_.data(), half_par1_.data(), sys_.data(),
+             ext2_deint_.data(), k, ext1_.data());
+    for (std::size_t i = 0; i < k; ++i) ext1_[i] *= kExtrinsicScale;
 
     // Decoder 2 in interleaved order.
-    Llrs apriori2(k);
-    for (std::size_t i = 0; i < k; ++i) apriori2[i] = ext1[pi[i]];
-    Llrs ext2 = map_decode(sys_int, par2, apriori2, tail_sys2, tail_par2);
-    for (double& e : ext2) e *= kExtrinsicScale;
-    for (std::size_t i = 0; i < k; ++i) ext2_deint[pi[i]] = ext2[i];
+    for (std::size_t i = 0; i < k; ++i) apriori2_[i] = ext1_[pi[i]];
+    for (std::size_t t = 0; t < k; ++t)
+      half_sys_[t] = 0.5f * (sys_int_[t] + apriori2_[t]);
+    for (std::size_t t = k; t < steps; ++t) half_sys_[t] = 0.5f * sys_int_[t];
+    map_pass(half_sys_.data(), half_par2_.data(), sys_int_.data(),
+             apriori2_.data(), k, ext2_.data());
+    for (std::size_t i = 0; i < k; ++i)
+      ext2_deint_[pi[i]] = ext2_[i] * kExtrinsicScale;
 
     // Posterior and hard decision.
     for (std::size_t i = 0; i < k; ++i) {
-      const double posterior = sys[i] + ext1[i] + ext2_deint[i];
-      result.info[i] = posterior < 0.0 ? 1 : 0;
+      const float posterior = sys_[i] + ext1_[i] + ext2_deint_[i];
+      result_.info[i] = posterior < 0.0f ? 1 : 0;
     }
-    result.iterations = iter;
-    if (early_exit && early_exit(result.info)) {
-      result.converged = true;
+    result_.iterations = iter;
+    if (early_exit && early_exit(result_.info)) {
+      result_.converged = true;
       break;
     }
   }
-  return result;
+  return result_;
+}
+
+TurboResult turbo_decode(const Llrs& llrs, std::size_t k, int max_iterations,
+                         const std::function<bool(const Bits&)>& early_exit) {
+  thread_local TurboDecoder decoder;
+  return decoder.decode(llrs, k, max_iterations, early_exit);
 }
 
 }  // namespace pran::coding

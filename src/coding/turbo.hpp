@@ -48,12 +48,53 @@ struct TurboResult {
   bool converged = false;  ///< True if the early-exit predicate fired.
 };
 
+/// Reusable max-log-MAP decoder workspace.
+///
+/// Holds the flat float alpha/beta/extrinsic buffers and the precomputed
+/// 8-state trellis the BCJR recursions walk, so repeated decodes perform
+/// zero heap allocation once the buffers have grown to the largest K seen
+/// (the srsRAN `tdec_t` idiom). One instance per thread: decode() is not
+/// reentrant, but distinct instances are fully independent — the parallel
+/// BLER harness keeps one per worker slot.
+class TurboDecoder {
+ public:
+  TurboDecoder() = default;
+
+  /// Same contract as the free turbo_decode(); the returned reference
+  /// (including `info`) aliases internal storage and is invalidated by the
+  /// next decode() on this instance.
+  const TurboResult& decode(const Llrs& llrs, std::size_t k,
+                            int max_iterations = 8,
+                            const std::function<bool(const Bits&)>&
+                                early_exit = nullptr);
+
+ private:
+  void ensure_capacity(std::size_t k);
+  /// One constituent max-log-MAP pass; see turbo.cpp for buffer layout.
+  void map_pass(const float* half_sys_apriori, const float* half_parity,
+                const float* sys, const float* apriori, std::size_t k,
+                float* extrinsic);
+
+  std::size_t capacity_k_ = 0;
+  const std::vector<std::size_t>* pi_ = nullptr;  // cached interleaver
+  std::vector<float> beta_;        // (steps+1) * 8 backward metrics
+  std::vector<float> sys_, par1_, par2_, sys_int_;  // steps entries each
+  std::vector<float> half_par1_, half_par2_;        // 0.5 * parity LLRs
+  std::vector<float> half_sys_;    // per-iteration 0.5*(sys+apriori)
+  std::vector<float> ext1_, ext2_, apriori2_, ext2_deint_;
+  TurboResult result_;
+};
+
 /// Decodes `llrs` (length turbo_encoded_length(k), same layout as the
 /// encoder output; sign convention log(P0/P1)). Runs up to
 /// `max_iterations` full iterations; if `early_exit` is non-null it is
 /// called with the current hard decision after each iteration and decoding
 /// stops once it returns true (e.g. a CRC check — how real decoders save
 /// most of their iterations at good SNR).
+///
+/// Thin wrapper over a thread-local TurboDecoder workspace: repeated calls
+/// from one thread reuse the same buffers and pay no allocation beyond the
+/// returned copy.
 TurboResult turbo_decode(const Llrs& llrs, std::size_t k,
                          int max_iterations = 8,
                          const std::function<bool(const Bits&)>& early_exit =

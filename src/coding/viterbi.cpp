@@ -1,5 +1,6 @@
 #include "coding/viterbi.hpp"
 
+#include <algorithm>
 #include <array>
 #include <bit>
 #include <limits>
@@ -9,94 +10,114 @@
 namespace pran::coding {
 namespace {
 
-/// Precomputed encoder outputs for register value `reg` in [0, 128).
-struct BranchTable {
-  // outputs[reg][k] in {0,1} for generator k.
-  std::array<std::array<std::uint8_t, kCodeRateDen>, 2 * kNumStates> outputs;
+constexpr float kNegInfF = -std::numeric_limits<float>::infinity();
 
-  BranchTable() {
-    for (unsigned reg = 0; reg < 2 * kNumStates; ++reg)
+/// Encoder output sign pattern per register value `reg` in [0, 128):
+/// bit k of pattern[reg] is generator k's output. The three generator
+/// outputs admit only 8 distinct sign combinations, so each trellis step
+/// needs just 8 candidate branch metrics — computed once per step and
+/// indexed by this table, instead of 3 lookups + adds per branch.
+struct BranchTable {
+  std::array<std::uint8_t, 2 * kNumStates> pattern;
+
+  constexpr BranchTable() : pattern{} {
+    for (unsigned reg = 0; reg < 2 * kNumStates; ++reg) {
+      unsigned p = 0;
       for (int k = 0; k < kCodeRateDen; ++k)
-        outputs[reg][static_cast<std::size_t>(k)] = static_cast<std::uint8_t>(
-            std::popcount(reg & kGenerators[k]) & 1u);
+        p |= (std::popcount(reg & kGenerators[k]) & 1u) << k;
+      pattern[reg] = static_cast<std::uint8_t>(p);
+    }
   }
 };
 
-const BranchTable& branch_table() {
-  static const BranchTable table;
-  return table;
-}
+constexpr BranchTable kBranchTable{};
 
 }  // namespace
 
-ViterbiResult viterbi_decode(const Llrs& llrs, std::size_t info_bits) {
+const ViterbiResult& ViterbiDecoder::decode(const Llrs& llrs,
+                                            std::size_t info_bits) {
   PRAN_REQUIRE(info_bits >= 1, "need at least one information bit");
   const std::size_t total_steps = info_bits + kConstraintLength - 1;
   PRAN_REQUIRE(llrs.size() == kCodeRateDen * total_steps,
                "LLR length does not match encoded_length(info_bits)");
 
-  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
-  std::vector<double> metric(kNumStates, kNegInf);
-  std::vector<double> next_metric(kNumStates, kNegInf);
-  metric[0] = 0.0;  // encoder starts in the zero state
+  metric_.assign(kNumStates, kNegInfF);
+  next_metric_.assign(kNumStates, kNegInfF);
+  metric_[0] = 0.0f;  // encoder starts in the zero state
 
-  // decisions[t][ns] = 1 if the winning predecessor is (ns>>1)|32.
-  std::vector<std::vector<std::uint8_t>> decisions(
-      total_steps, std::vector<std::uint8_t>(kNumStates, 0));
+  // decisions_[t * kNumStates + ns] = 1 if the winning predecessor is
+  // (ns >> 1) | 32.
+  if (decisions_.size() < total_steps * kNumStates)
+    decisions_.resize(total_steps * kNumStates);
 
-  const auto& table = branch_table();
+  float* metric = metric_.data();
+  float* next_metric = next_metric_.data();
   for (std::size_t t = 0; t < total_steps; ++t) {
     const double* llr = &llrs[kCodeRateDen * t];
-    std::fill(next_metric.begin(), next_metric.end(), kNegInf);
+    // The 8 possible branch metrics for this step, indexed by the
+    // generator-output pattern (accumulated in generator order, matching
+    // the per-branch sum).
+    const auto l0 = static_cast<float>(llr[0]);
+    const auto l1 = static_cast<float>(llr[1]);
+    const auto l2 = static_cast<float>(llr[2]);
+    float combo[8];
+    for (int p = 0; p < 8; ++p)
+      combo[p] = ((p & 1) ? -l0 : l0) + ((p & 2) ? -l1 : l1) +
+                 ((p & 4) ? -l2 : l2);
+
+    std::uint8_t* decision = decisions_.data() + t * kNumStates;
+    std::fill(next_metric, next_metric + kNumStates, kNegInfF);
     for (int ns = 0; ns < kNumStates; ++ns) {
       const unsigned b = static_cast<unsigned>(ns) & 1u;
       const int p0 = ns >> 1;
       const int p1 = (ns >> 1) | (kNumStates >> 1);
-      for (int which = 0; which < 2; ++which) {
-        const int p = which ? p1 : p0;
-        if (metric[static_cast<std::size_t>(p)] == kNegInf) continue;
-        const unsigned reg = (static_cast<unsigned>(p) << 1) | b;
-        double branch = 0.0;
-        for (int k = 0; k < kCodeRateDen; ++k) {
-          const double l = llr[k];
-          branch += table.outputs[reg][static_cast<std::size_t>(k)] ? -l : l;
-        }
-        const double candidate = metric[static_cast<std::size_t>(p)] + branch;
-        if (candidate > next_metric[static_cast<std::size_t>(ns)]) {
-          next_metric[static_cast<std::size_t>(ns)] = candidate;
-          decisions[t][static_cast<std::size_t>(ns)] =
-              static_cast<std::uint8_t>(which);
-        }
-      }
+      const unsigned reg0 = (static_cast<unsigned>(p0) << 1) | b;
+      const unsigned reg1 = (static_cast<unsigned>(p1) << 1) | b;
+      const float c0 = metric[p0] + combo[kBranchTable.pattern[reg0]];
+      const float c1 = metric[p1] + combo[kBranchTable.pattern[reg1]];
+      // Ties go to predecessor 0, as in the branch-by-branch formulation.
+      const bool pick1 = c1 > c0;
+      next_metric[ns] = pick1 ? c1 : c0;
+      decision[ns] = pick1 ? 1 : 0;
     }
-    metric.swap(next_metric);
+    std::swap(metric, next_metric);
   }
 
   // Traceback from the zero state (the encoder terminates there).
-  ViterbiResult result;
-  result.path_metric = metric[0];
-  Bits inputs(total_steps, 0);
+  result_.path_metric = metric[0];
+  if (inputs_.size() < total_steps) inputs_.resize(total_steps);
   int state = 0;
   for (std::size_t t = total_steps; t-- > 0;) {
-    inputs[t] = static_cast<std::uint8_t>(state & 1);
-    const int which = decisions[t][static_cast<std::size_t>(state)];
+    inputs_[t] = static_cast<std::uint8_t>(state & 1);
+    const int which = decisions_[t * kNumStates + static_cast<std::size_t>(state)];
     state = (state >> 1) | (which ? (kNumStates >> 1) : 0);
   }
   PRAN_CHECK(state == 0, "traceback did not return to the start state");
 
-  result.info.assign(inputs.begin(),
-                     inputs.begin() + static_cast<std::ptrdiff_t>(info_bits));
-  return result;
+  result_.info.assign(inputs_.begin(),
+                      inputs_.begin() + static_cast<std::ptrdiff_t>(info_bits));
+  return result_;
+}
+
+const ViterbiResult& ViterbiDecoder::decode_hard(const Bits& coded,
+                                                 std::size_t info_bits) {
+  hard_llrs_.clear();
+  hard_llrs_.reserve(coded.size());
+  for (std::uint8_t bit : coded) {
+    PRAN_REQUIRE(bit <= 1, "bit vectors must contain only 0/1");
+    hard_llrs_.push_back(bit ? -1.0 : 1.0);
+  }
+  return decode(hard_llrs_, info_bits);
+}
+
+ViterbiResult viterbi_decode(const Llrs& llrs, std::size_t info_bits) {
+  thread_local ViterbiDecoder decoder;
+  return decoder.decode(llrs, info_bits);
 }
 
 ViterbiResult viterbi_decode_hard(const Bits& coded, std::size_t info_bits) {
-  Llrs llrs;
-  llrs.reserve(coded.size());
-  for (std::uint8_t bit : coded) {
-    PRAN_REQUIRE(bit <= 1, "bit vectors must contain only 0/1");
-    llrs.push_back(bit ? -1.0 : 1.0);
-  }
-  return viterbi_decode(llrs, info_bits);
+  thread_local ViterbiDecoder decoder;
+  return decoder.decode_hard(coded, info_bits);
 }
 
 }  // namespace pran::coding

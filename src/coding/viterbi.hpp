@@ -23,9 +23,39 @@ struct ViterbiResult {
   double path_metric = 0.0;  ///< Correlation metric of the winning path.
 };
 
+/// Reusable Viterbi decoder workspace.
+///
+/// Holds the flat float path-metric buffers and the per-step decision
+/// matrix, plus a precomputed branch-output table, so repeated decodes
+/// perform zero heap allocation once the buffers have grown to the largest
+/// block seen. One instance per thread; distinct instances are fully
+/// independent (the parallel BLER harness keeps one per worker slot).
+class ViterbiDecoder {
+ public:
+  ViterbiDecoder() = default;
+
+  /// Same contract as the free viterbi_decode(); the returned reference
+  /// (including `info`) aliases internal storage and is invalidated by the
+  /// next decode on this instance.
+  const ViterbiResult& decode(const Llrs& llrs, std::size_t info_bits);
+
+  /// Hard-decision decode of coded bits.
+  const ViterbiResult& decode_hard(const Bits& coded, std::size_t info_bits);
+
+ private:
+  std::vector<float> metric_, next_metric_;   // kNumStates each
+  std::vector<std::uint8_t> decisions_;       // total_steps * kNumStates
+  std::vector<std::uint8_t> inputs_;          // traceback scratch
+  Llrs hard_llrs_;                            // decode_hard scratch
+  ViterbiResult result_;
+};
+
 /// Decodes `llrs` (length must be a multiple of 3 and at least 3*7).
 /// `info_bits` is the original information length; llrs must cover
 /// encoded_length(info_bits) coded bits.
+///
+/// Thin wrapper over a thread-local ViterbiDecoder workspace: repeated
+/// calls from one thread reuse the same buffers.
 ViterbiResult viterbi_decode(const Llrs& llrs, std::size_t info_bits);
 
 /// Convenience: hard-decision decode of coded bits.

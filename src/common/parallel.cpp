@@ -1,0 +1,94 @@
+#include "common/parallel.hpp"
+
+namespace pran {
+
+unsigned ThreadPool::default_threads() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (unsigned slot = 0; slot < threads; ++slot)
+    workers_.emplace_back([this, slot] { worker_loop(slot); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop(unsigned slot) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const IndexFn* job = nullptr;
+    std::size_t count = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] {
+        return shutdown_ || (job_ != nullptr && generation_ != seen_generation);
+      });
+      if (shutdown_ && job_ == nullptr) return;
+      seen_generation = generation_;
+      job = job_;
+      count = job_count_;
+      ++inflight_;
+    }
+    for (;;) {
+      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      try {
+        (*job)(slot, i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--inflight_ == 0) done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::for_each(std::size_t count, const IndexFn& fn) {
+  if (count == 0) return;
+  std::lock_guard<std::mutex> submit(submit_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    job_count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  wake_.notify_all();
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // All indices claimed and every worker that joined the job has left it.
+    done_.wait(lock, [&] {
+      return inflight_ == 0 && next_.load(std::memory_order_relaxed) >= count;
+    });
+    job_ = nullptr;
+    error = first_error_;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void parallel_for_each(unsigned threads, std::size_t count,
+                       const ThreadPool::IndexFn& fn) {
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(0, i);
+    return;
+  }
+  ThreadPool pool(threads);
+  pool.for_each(count, fn);
+}
+
+}  // namespace pran

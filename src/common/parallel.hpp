@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file parallel.hpp
+/// Deterministic data-parallel execution for Monte-Carlo workloads.
+///
+/// `ThreadPool` is a small fixed-size pool of persistent workers;
+/// `ThreadPool::for_each(count, fn)` fans indices [0, count) across them
+/// and blocks until every index has run. Work items self-schedule off a
+/// shared atomic cursor, so load-balancing is automatic, and the callback
+/// receives a stable worker slot in [0, size()) so callers can keep
+/// per-worker workspaces or partial accumulators without locking.
+///
+/// Determinism contract: the pool assigns *indices*, never data, and makes
+/// no promise about which worker runs which index. Callers get
+/// thread-count-independent results by deriving everything stochastic from
+/// the index (e.g. `rng.stream(i)` from common/rng.hpp) and by combining
+/// per-item results commutatively (counter sums) or by index (slot i of a
+/// results array). Every BLER sweep in coding/ follows this pattern.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pran {
+
+class ThreadPool {
+ public:
+  /// Item callback: (worker_slot, index). `worker_slot` is stable for the
+  /// lifetime of one worker and lies in [0, size()).
+  using IndexFn = std::function<void(unsigned, std::size_t)>;
+
+  /// Spawns `threads` persistent workers (clamped to >= 1). The default
+  /// follows the hardware.
+  explicit ThreadPool(unsigned threads = default_threads());
+
+  /// Joins all workers. Must not be called while a for_each is running on
+  /// another thread.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// Runs fn(slot, i) for every i in [0, count), blocking until all items
+  /// finish. Items self-schedule; if any callback throws, the first
+  /// exception is rethrown here after the remaining items drain. Reentrant
+  /// calls from different threads serialize; calling from inside a
+  /// callback deadlocks (don't).
+  void for_each(std::size_t count, const IndexFn& fn);
+
+  /// std::thread::hardware_concurrency() with a floor of 1.
+  static unsigned default_threads() noexcept;
+
+ private:
+  void worker_loop(unsigned slot);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;                  // guards everything below
+  std::condition_variable wake_;      // workers wait for a job / shutdown
+  std::condition_variable done_;      // for_each waits for completion
+  const IndexFn* job_ = nullptr;      // non-null while a job is active
+  std::size_t job_count_ = 0;
+  std::atomic<std::size_t> next_{0};  // next index to claim
+  std::size_t inflight_ = 0;          // workers still inside the job
+  std::uint64_t generation_ = 0;      // bumps per job so workers don't rerun
+  std::exception_ptr first_error_;
+  bool shutdown_ = false;
+  std::mutex submit_mutex_;  // serializes concurrent for_each callers
+};
+
+/// One-shot convenience: runs fn(slot, i) over [0, count) on `threads`
+/// workers without requiring the caller to keep a pool. threads <= 1 runs
+/// inline on the calling thread (slot 0) with zero thread overhead.
+void parallel_for_each(unsigned threads, std::size_t count,
+                       const ThreadPool::IndexFn& fn);
+
+}  // namespace pran

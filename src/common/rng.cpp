@@ -38,6 +38,40 @@ Rng::result_type Rng::operator()() noexcept {
 
 Rng Rng::fork() noexcept { return Rng{(*this)()}; }
 
+void Rng::jump() noexcept {
+  // Blackman & Vigna's jump polynomial for xoshiro256: advances 2^128 steps.
+  static constexpr std::uint64_t kJump[] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::uint64_t word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (std::uint64_t{1} << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      (*this)();
+    }
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
+Rng Rng::stream(std::uint64_t index) const noexcept {
+  // O(1) split: hash (state, index) through splitmix64 into a fresh seed.
+  // The Rng constructor re-mixes, so even adjacent indices land in
+  // well-separated states.
+  std::uint64_t x = s_[0] ^ rotl(s_[2], 29);
+  std::uint64_t h = splitmix64(x);
+  x = index ^ s_[3];
+  h ^= splitmix64(x);
+  return Rng{h};
+}
+
 double Rng::uniform() noexcept {
   // 53 random mantissa bits -> uniform in [0, 1).
   return static_cast<double>((*this)() >> 11) * 0x1.0p-53;

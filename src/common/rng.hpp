@@ -33,6 +33,17 @@ class Rng {
   /// seeded from the parent's output, advancing the parent.
   Rng fork() noexcept;
 
+  /// Advances this generator by 2^128 draws (the canonical xoshiro256 jump
+  /// polynomial): 2^128 non-overlapping subsequences for parallel use.
+  void jump() noexcept;
+
+  /// Derives the `index`-th substream of this generator without advancing
+  /// it. Substreams are independent of each other and of the parent, and
+  /// depend only on (parent state, index) — the foundation of
+  /// thread-count-independent Monte-Carlo: give trial i stream(i) and the
+  /// results are identical no matter how trials are scheduled.
+  Rng stream(std::uint64_t index) const noexcept;
+
   /// Uniform double in [0, 1).
   double uniform() noexcept;
 

@@ -1,0 +1,161 @@
+// Tests for the deterministic thread pool (common/parallel.hpp) and the
+// RNG substream machinery it leans on. This binary carries the ctest
+// label "tsan": configure with -DPRAN_SANITIZE=thread and run
+// `ctest -L tsan` to race-check the pool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "coding/bler.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+
+namespace pran {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  constexpr std::size_t kCount = 10000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.for_each(kCount, [&](unsigned slot, std::size_t i) {
+    EXPECT_LT(slot, 4u);
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.for_each(100, [&](unsigned, std::size_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 4950u);
+  }
+}
+
+TEST(ThreadPool, ZeroCountIsANoop) {
+  ThreadPool pool(2);
+  pool.for_each(0, [&](unsigned, std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, PropagatesTheFirstException) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.for_each(50,
+                    [&](unsigned, std::size_t i) {
+                      ran.fetch_add(1, std::memory_order_relaxed);
+                      if (i == 7) throw std::runtime_error("boom");
+                    }),
+      std::runtime_error);
+  // The job drains: remaining items still run even after a throw.
+  EXPECT_EQ(ran.load(), 50);
+  // And the pool is still usable afterwards.
+  std::atomic<int> after{0};
+  pool.for_each(10, [&](unsigned, std::size_t) {
+    after.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(after.load(), 10);
+}
+
+TEST(ParallelForEach, InlinePathMatchesPoolPath) {
+  // threads<=1 runs inline on the caller; results must match a real pool.
+  std::vector<int> inline_out(64, 0), pool_out(64, 0);
+  parallel_for_each(1, 64, [&](unsigned slot, std::size_t i) {
+    EXPECT_EQ(slot, 0u);
+    inline_out[i] = static_cast<int>(i * i);
+  });
+  parallel_for_each(4, 64,
+                    [&](unsigned, std::size_t i) {
+                      pool_out[i] = static_cast<int>(i * i);
+                    });
+  EXPECT_EQ(inline_out, pool_out);
+}
+
+TEST(RngStream, SubstreamsAreDeterministicAndOrderFree) {
+  Rng a(123), b(123);
+  // Derive in different orders; stream(i) depends only on (state, index).
+  Rng a5 = a.stream(5), a9 = a.stream(9);
+  Rng b9 = b.stream(9), b5 = b.stream(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a5(), b5());
+    EXPECT_EQ(a9(), b9());
+  }
+  // Deriving does not advance the parent.
+  EXPECT_EQ(a(), b());
+}
+
+TEST(RngStream, DistinctIndicesDecorrelate) {
+  Rng base(7);
+  Rng s0 = base.stream(0), s1 = base.stream(1);
+  int agree = 0;
+  const int n = 64;
+  for (int i = 0; i < n; ++i)
+    if ((s0() & 1u) == (s1() & 1u)) ++agree;
+  EXPECT_GT(agree, 8);   // not complementary
+  EXPECT_LT(agree, 56);  // not identical
+}
+
+TEST(RngJump, AdvancesToADisjointSubsequence) {
+  Rng jumped(42);
+  jumped.jump();
+  Rng plain(42);
+  // 2^128 steps away: the next outputs cannot match a fresh generator.
+  bool all_equal = true;
+  for (int i = 0; i < 16; ++i)
+    if (jumped() != plain()) all_equal = false;
+  EXPECT_FALSE(all_equal);
+}
+
+// The satellite determinism guarantee: a BLER sweep fanned over any number
+// of workers produces exactly the counts of the serial run, because every
+// block draws from an index-derived substream and counters merge
+// commutatively.
+TEST(ParallelBler, CountsAreThreadCountIndependent) {
+  coding::LinkConfig config;
+  config.info_bits = 96;
+  config.code_rate = 0.5;
+  const double esn0 = -1.0;  // mid-waterfall: errors and successes mixed
+  const std::size_t blocks = 300;
+
+  auto sweep = [&](unsigned threads) {
+    Rng rng(2024);
+    if (threads == 1) return run_link(config, esn0, blocks, rng);
+    ThreadPool pool(threads);
+    return run_link(config, esn0, blocks, rng, &pool);
+  };
+  const auto serial = sweep(1);
+  EXPECT_GT(serial.block_errors, 0u);
+  EXPECT_LT(serial.block_errors, blocks);
+  for (unsigned threads : {2u, 8u}) {
+    const auto parallel = sweep(threads);
+    EXPECT_EQ(parallel.blocks, serial.blocks) << threads;
+    EXPECT_EQ(parallel.block_errors, serial.block_errors) << threads;
+    EXPECT_EQ(parallel.bit_errors, serial.bit_errors) << threads;
+    EXPECT_EQ(parallel.bits, serial.bits) << threads;
+    EXPECT_EQ(parallel.undetected_errors, serial.undetected_errors)
+        << threads;
+  }
+}
+
+TEST(ParallelBler, RepeatedSweepsWithSamePoolAreIdentical) {
+  coding::LinkConfig config;
+  config.info_bits = 64;
+  config.code_rate = 1.0 / 3.0;
+  ThreadPool pool(4);
+  Rng rng1(5), rng2(5);
+  const auto first = coding::run_link(config, -2.0, 200, rng1, &pool);
+  const auto second = coding::run_link(config, -2.0, 200, rng2, &pool);
+  EXPECT_EQ(first.block_errors, second.block_errors);
+  EXPECT_EQ(first.bit_errors, second.bit_errors);
+}
+
+}  // namespace
+}  // namespace pran

@@ -2,13 +2,24 @@
 //
 //   $ pran_sim --cells 12 --servers 6 --placer milp --seconds 5
 //   $ pran_sim --cells 8 --fronthaul-gbps 10 --compression 3 --format csv
+//   $ pran_sim --cells 8 --replicas 16 --threads 4   # multi-seed sweep
 //
-// The exit code is 0 when the run completed with zero deadline misses and
-// no outages, 1 otherwise — handy in scripts.
+// With --replicas N > 1 the tool runs N independent deployments whose
+// seeds are derived from --seed via RNG substreams, fanned across a
+// thread pool (--threads), and reports one KPI row per replicate plus
+// mean/min/max — the quick answer to "is this configuration's result
+// seed-luck?". Replicate rows are identical for any thread count.
+//
+// The exit code is 0 when every run completed with zero deadline misses
+// and no outages, 1 otherwise — handy in scripts.
 
 #include <cstdio>
+#include <vector>
 
 #include "common/flags.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "core/deployment.hpp"
@@ -38,6 +49,8 @@ int main(int argc, char** argv) {
   flags.add_double("compression", 1.0, "fronthaul I/Q compression ratio");
   flags.add_int("fail-server", -1, "fail this server halfway through");
   flags.add_int("seed", 42, "random seed");
+  flags.add_int("replicas", 1, "independent seed replicates to run");
+  flags.add_int("threads", 1, "worker threads for --replicas > 1");
   flags.add_string("format", "text", "output: text | csv");
 
   if (!flags.parse(argc, argv)) {
@@ -98,13 +111,81 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  core::Deployment deployment(config);
   const long fail_server = flags.get_int("fail-server");
-  if (fail_server >= 0) {
-    if (fail_server >= config.num_servers) {
-      std::fprintf(stderr, "--fail-server out of range\n");
-      return 2;
+  if (fail_server >= 0 && fail_server >= config.num_servers) {
+    std::fprintf(stderr, "--fail-server out of range\n");
+    return 2;
+  }
+  const long replicas = flags.get_int("replicas");
+  if (replicas < 1) {
+    std::fprintf(stderr, "--replicas must be >= 1\n");
+    return 2;
+  }
+
+  auto run_once = [&](const core::DeploymentConfig& run_config) {
+    core::Deployment run(run_config);
+    if (fail_server >= 0)
+      run.fail_server_at(sim::from_seconds(seconds / 2.0),
+                         static_cast<int>(fail_server));
+    run.run_for(sim::from_seconds(seconds));
+    return run.kpis();
+  };
+
+  if (replicas > 1) {
+    // Seeds come from substreams of the base seed, so the set of
+    // replicates is a pure function of --seed/--replicas, and each row is
+    // computed by whichever worker claims it — same table at any
+    // --threads.
+    const Rng base(config.seed);
+    std::vector<core::DeploymentKpis> kpis_by_replica(
+        static_cast<std::size_t>(replicas));
+    std::vector<std::uint64_t> seeds(static_cast<std::size_t>(replicas));
+    parallel_for_each(
+        static_cast<unsigned>(flags.get_int("threads")),
+        static_cast<std::size_t>(replicas), [&](unsigned, std::size_t i) {
+          core::DeploymentConfig run_config = config;
+          Rng seeder = base.stream(i);
+          run_config.seed = seeder();
+          seeds[i] = run_config.seed;
+          kpis_by_replica[i] = run_once(run_config);
+        });
+
+    Table table({"replica", "seed", "miss_ratio", "deadline_misses",
+                 "migrations", "mean_active_servers", "outage_cell_ttis",
+                 "energy_joules"});
+    Samples miss_ratio, active_servers, energy;
+    bool all_clean = true;
+    for (std::size_t i = 0; i < kpis_by_replica.size(); ++i) {
+      const auto& k = kpis_by_replica[i];
+      table.row()
+          .cell(static_cast<long long>(i))
+          .cell(std::to_string(seeds[i]))
+          .cell(k.miss_ratio, 6)
+          .cell(static_cast<long long>(k.deadline_misses))
+          .cell(k.migrations)
+          .cell(k.mean_active_servers, 3)
+          .cell(static_cast<long long>(k.outage_cell_ttis))
+          .cell(k.energy_joules, 1);
+      miss_ratio.add(k.miss_ratio);
+      active_servers.add(k.mean_active_servers);
+      energy.add(k.energy_joules);
+      all_clean = all_clean && k.deadline_misses == 0 && k.dropped == 0 &&
+                  k.outage_cell_ttis == 0;
     }
+    if (flags.get_string("format") == "csv")
+      std::printf("%s", table.to_csv().c_str());
+    else
+      std::printf("%s", table.render().c_str());
+    std::printf(
+        "replicas=%ld  miss_ratio mean=%.6f [%.6f, %.6f]  "
+        "active_servers mean=%.3f  energy mean=%.1f J\n",
+        replicas, miss_ratio.mean(), miss_ratio.min(), miss_ratio.max(),
+        active_servers.mean(), energy.mean());
+    return all_clean ? 0 : 1;
+  }
+
+  core::Deployment deployment(config);
+  if (fail_server >= 0) {
     deployment.fail_server_at(sim::from_seconds(seconds / 2.0),
                               static_cast<int>(fail_server));
   }
