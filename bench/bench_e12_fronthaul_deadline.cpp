@@ -30,7 +30,8 @@ Point run(int cells, double rate_gbps, double compression) {
   config.start_hour = 11.0;
   config.day_compression = 60.0;
   config.shared_fronthaul =
-      fronthaul::LinkParams{rate_gbps * 1e9, 25 * sim::kMicrosecond};
+      fronthaul::LinkParams{units::BitRate{rate_gbps * 1e9},
+                            25 * sim::kMicrosecond};
   config.fronthaul_compression = compression;
   core::Deployment d(config);
   d.run_for(600 * sim::kMillisecond);

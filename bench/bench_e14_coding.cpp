@@ -43,7 +43,7 @@ void print_waterfalls(ThreadPool& pool) {
       LinkConfig config;
       config.info_bits = 256;
       config.code_rate = rate;
-      const auto stats = run_link(config, esn0, 200, rng, &pool);
+      const auto stats = run_link(config, units::Db{esn0}, 200, rng, &pool);
       table.cell(stats.bler(), 3);
     }
   }
@@ -85,7 +85,7 @@ void BM_ViterbiDecode(benchmark::State& state) {
   Rng rng(2);
   const auto info = random_bits(static_cast<std::size_t>(state.range(0)), rng);
   const auto coded = convolutional_encode(info);
-  const auto llrs = transmit_bpsk(coded, 3.0, rng);
+  const auto llrs = transmit_bpsk(coded, units::Db{3.0}, rng);
   for (auto _ : state) {
     benchmark::DoNotOptimize(viterbi_decode(llrs, info.size()));
   }
@@ -102,7 +102,7 @@ void BM_FullLinkRoundTrip(benchmark::State& state) {
   config.info_bits = 1024;
   config.code_rate = 0.5;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(round_trip_block(config, 3.0, rng));
+    benchmark::DoNotOptimize(round_trip_block(config, units::Db{3.0}, rng));
   }
   state.counters["blocks_per_s"] = benchmark::Counter(
       static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);

@@ -22,7 +22,7 @@ using namespace pran;
 double full_band_mbps(int cqi) {
   if (cqi == 0) return 0.0;
   const int mcs = lte::mcs_from_cqi(cqi);
-  return lte::prb_rate_bps(mcs) * 100 / 1e6;  // 100 PRBs
+  return lte::prb_rate_bps(mcs).value() * 100 / 1e6;  // 100 PRBs
 }
 
 }  // namespace

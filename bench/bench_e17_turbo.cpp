@@ -46,7 +46,7 @@ Bits random_bits(std::size_t n, Rng& rng) {
 /// outcome depends only on the substream, not on scheduling.
 bool decode_trial(std::size_t k, double esn0, int iters, Rng trial_rng) {
   const Bits info = random_bits(k, trial_rng);
-  const Llrs llrs = transmit_bpsk(turbo_encode(info), esn0, trial_rng);
+  const Llrs llrs = transmit_bpsk(turbo_encode(info), units::Db{esn0}, trial_rng);
   return turbo_decode(llrs, k, iters).info == info;
 }
 
@@ -90,7 +90,7 @@ void print_tables(ThreadPool& pool) {
                     Rng trial_rng = base.stream(t);
                     const Bits info = random_bits(k, trial_rng);
                     const Llrs llrs =
-                        transmit_bpsk(turbo_encode(info), esn0, trial_rng);
+                        transmit_bpsk(turbo_encode(info), units::Db{esn0}, trial_rng);
                     const auto result = turbo_decode(
                         llrs, k, 8,
                         [&](const Bits& hard) { return hard == info; });
@@ -127,7 +127,7 @@ void BM_TurboDecodeIteration(benchmark::State& state) {
   const int iters = static_cast<int>(state.range(1));
   Rng rng(9);
   const Bits info = random_bits(k, rng);
-  const Llrs llrs = transmit_bpsk(turbo_encode(info), -3.0, rng);
+  const Llrs llrs = transmit_bpsk(turbo_encode(info), units::Db{-3.0}, rng);
   for (auto _ : state) {
     benchmark::DoNotOptimize(turbo_decode(llrs, k, iters));
   }

@@ -50,7 +50,7 @@ int main() {
   const auto summary = core::analyze_pooling(trace, server);
   Table hours({"hour", "total_gops_per_tti", "pooled_servers"});
   for (const auto& pt : summary.series)
-    hours.row().cell(pt.hour, 0).cell(pt.total_gops, 2).cell(pt.pooled_servers);
+    hours.row().cell(pt.hour, 0).cell(pt.total_gops.value(), 2).cell(pt.pooled_servers);
   std::printf("%s\n", hours.render().c_str());
   std::printf(
       "pooling saves %.0f%% of servers vs peak provisioning and %.0f%% vs "

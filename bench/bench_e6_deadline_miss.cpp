@@ -81,8 +81,12 @@ RunResult run(double load, pran::cluster::SchedPolicy policy, int ttis) {
       if (o.missed_deadline()) ++dl_missed;
     }
   }
-  if (done) result.miss_ratio = static_cast<double>(missed) / done;
-  if (dl_done) result.dl_miss_ratio = static_cast<double>(dl_missed) / dl_done;
+  if (done)
+    result.miss_ratio =
+        static_cast<double>(missed) / static_cast<double>(done);
+  if (dl_done)
+    result.dl_miss_ratio =
+        static_cast<double>(dl_missed) / static_cast<double>(dl_done);
   return result;
 }
 

@@ -27,8 +27,8 @@ int main() {
   std::printf(
       "E7: fronthaul compression (4x20 MHz cell, raw line rate %s, "
       "%zu-sample capture, PAPR %.1f dB)\n\n",
-      format_bitrate(line_rate_bps(cpri)).c_str(), capture.size(),
-      papr_db(capture));
+      format_bitrate(line_rate_bps(cpri).value()).c_str(), capture.size(),
+      papr_db(capture).value());
 
   std::vector<std::unique_ptr<Codec>> codecs;
   codecs.push_back(std::make_unique<FixedPointCodec>(12));
@@ -53,19 +53,20 @@ int main() {
       .cell(1.0, 2)
       .cell(0.0, 3)
       .cell("inf")
-      .cell(format_bitrate(line_rate_bps(cpri)))
-      .cell(cells_per_link(link_gbps * 1e9, line_rate_bps(cpri)));
+      .cell(format_bitrate(line_rate_bps(cpri).value()))
+      .cell(cells_per_link(units::BitRate{link_gbps * 1e9},
+                           line_rate_bps(cpri)));
   for (const auto& codec : codecs) {
     const auto result = codec->roundtrip(capture);
     const double ratio = Codec::compression_ratio(capture.size(), result.bits);
-    const double rate = compressed_line_rate_bps(cpri, ratio);
+    const units::BitRate rate = compressed_line_rate_bps(cpri, ratio);
     table.row()
         .cell(codec->name())
         .cell(ratio, 2)
         .cell(100.0 * evm(capture, result.decoded), 3)
-        .cell(sqnr_db(capture, result.decoded), 1)
-        .cell(format_bitrate(rate))
-        .cell(cells_per_link(link_gbps * 1e9, rate));
+        .cell(sqnr_db(capture, result.decoded).value(), 1)
+        .cell(format_bitrate(rate.value()))
+        .cell(cells_per_link(units::BitRate{link_gbps * 1e9}, rate));
   }
   std::printf("%s\n", table.render().c_str());
   std::printf(

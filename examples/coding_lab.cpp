@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   std::printf("coding lab: %zu info bits at Es/N0 = %.1f dB\n\n", k, esn0);
 
   // Uncoded BPSK.
-  const auto raw_llrs = transmit_bpsk(info, esn0, rng);
+  const auto raw_llrs = transmit_bpsk(info, units::Db{esn0}, rng);
   const auto raw_hard = hard_decisions(raw_llrs);
   std::size_t raw_errors = 0;
   for (std::size_t i = 0; i < k; ++i)
@@ -42,14 +42,14 @@ int main(int argc, char** argv) {
   const Bits framed = attach_crc(info);
   const Bits conv = convolutional_encode(framed);
   const Bits matched = rate_match(conv, output_bits_for_rate(framed.size(), 0.5));
-  const auto conv_llrs = transmit_bpsk(matched, esn0, rng);
+  const auto conv_llrs = transmit_bpsk(matched, units::Db{esn0}, rng);
   const auto conv_decoded =
       viterbi_decode(rate_dematch(conv_llrs, conv.size()), framed.size());
   const bool conv_ok = check_crc(conv_decoded.info);
 
   // Turbo rate ~1/3 with CRC-gated early exit.
   const Bits turbo = turbo_encode(info);
-  const auto turbo_llrs = transmit_bpsk(turbo, esn0, rng);
+  const auto turbo_llrs = transmit_bpsk(turbo, units::Db{esn0}, rng);
   const auto turbo_result = turbo_decode(
       turbo_llrs, k, 8, [&](const Bits& hard) { return hard == info; });
 
@@ -60,7 +60,9 @@ int main(int argc, char** argv) {
       conv_ok ? "CRC ok" : "CRC FAILED");
   table.row()
       .cell("turbo, early exit")
-      .cell(static_cast<double>(k) / turbo_encoded_length(k), 2)
+      .cell(static_cast<double>(k) /
+                static_cast<double>(turbo_encoded_length(k)),
+            2)
       .cell(turbo_result.converged
                 ? ("clean after " + std::to_string(turbo_result.iterations) +
                    " iteration(s)")
@@ -74,13 +76,13 @@ int main(int argc, char** argv) {
     LinkConfig link;
     link.info_bits = k;
     link.code_rate = 0.5;
-    const auto conv_stats = run_link(link, snr, 30, rng);
+    const auto conv_stats = run_link(link, units::Db{snr}, 30, rng);
     int turbo_errors = 0;
     for (int t = 0; t < 30; ++t) {
       Bits payload;
       for (std::size_t i = 0; i < k; ++i)
         payload.push_back(rng.bernoulli(0.5) ? 1 : 0);
-      const auto llrs = transmit_bpsk(turbo_encode(payload), snr, rng);
+      const auto llrs = transmit_bpsk(turbo_encode(payload), units::Db{snr}, rng);
       if (turbo_decode(llrs, k, 6).info != payload) ++turbo_errors;
     }
     wf.row()

@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
 
   std::printf(
       "fronthaul explorer: EVM budget %.1f%%, raw cell rate %s\n\n",
-      evm_budget * 100.0, format_bitrate(line_rate_bps(cpri)).c_str());
+      evm_budget * 100.0, format_bitrate(line_rate_bps(cpri).value()).c_str());
 
   struct Entry {
     std::string name;
@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
         .cell(ratio, 2)
         .cell(e * 100.0, 3)
         .cell(fits ? "yes" : "no")
-        .cell(format_bitrate(compressed_line_rate_bps(cpri, ratio)));
+        .cell(format_bitrate(compressed_line_rate_bps(cpri, ratio).value()));
     if (fits) admissible.push_back({codec->name(), ratio, e});
   };
 
@@ -80,7 +80,8 @@ int main(int argc, char** argv) {
       "densest admissible codec: %s (%.2fx, EVM %.2f%%) -> %zu cells per "
       "10G link instead of %zu\n",
       best->name.c_str(), best->ratio, best->evm_value * 100.0,
-      cells_per_link(10e9, compressed_line_rate_bps(cpri, best->ratio)),
-      cells_per_link(10e9, line_rate_bps(cpri)));
+      cells_per_link(units::BitRate{10e9},
+                     compressed_line_rate_bps(cpri, best->ratio)),
+      cells_per_link(units::BitRate{10e9}, line_rate_bps(cpri)));
   return 0;
 }

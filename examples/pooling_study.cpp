@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
   Table hourly({"hour", "fleet_gops_per_tti", "pooled_servers"});
   for (std::size_t i = 0; i < summary.series.size(); i += 2) {
     const auto& pt = summary.series[i];
-    hourly.row().cell(pt.hour, 1).cell(pt.total_gops, 2).cell(
+    hourly.row().cell(pt.hour, 1).cell(pt.total_gops.value(), 2).cell(
         pt.pooled_servers);
   }
   std::printf("%s\n", hourly.render().c_str());

@@ -6,19 +6,18 @@
 
 namespace pran::coding {
 
-double awgn_sigma(double esn0_db) {
-  const double esn0 = std::pow(10.0, esn0_db / 10.0);
-  return std::sqrt(1.0 / (2.0 * esn0));
+double awgn_sigma(units::Db esn0) {
+  return std::sqrt(1.0 / (2.0 * units::to_linear(esn0)));
 }
 
-Llrs transmit_bpsk(const Bits& bits, double esn0_db, Rng& rng) {
+Llrs transmit_bpsk(const Bits& bits, units::Db esn0, Rng& rng) {
   Llrs llrs;
-  transmit_bpsk(bits, esn0_db, rng, llrs);
+  transmit_bpsk(bits, esn0, rng, llrs);
   return llrs;
 }
 
-void transmit_bpsk(const Bits& bits, double esn0_db, Rng& rng, Llrs& out) {
-  const double sigma = awgn_sigma(esn0_db);
+void transmit_bpsk(const Bits& bits, units::Db esn0, Rng& rng, Llrs& out) {
+  const double sigma = awgn_sigma(esn0);
   const double scale = 2.0 / (sigma * sigma);
   out.clear();
   out.reserve(bits.size());

@@ -8,19 +8,20 @@
 
 #include "coding/viterbi.hpp"
 #include "common/rng.hpp"
+#include "common/units.hpp"
 
 namespace pran::coding {
 
-/// Noise standard deviation for a given Es/N0 in dB (unit symbol energy).
-double awgn_sigma(double esn0_db);
+/// Noise standard deviation for a given Es/N0 (unit symbol energy).
+double awgn_sigma(units::Db esn0);
 
 /// Transmits `bits` as BPSK (+1 for 0, -1 for 1) through AWGN at the given
 /// Es/N0 and returns per-bit LLRs.
-Llrs transmit_bpsk(const Bits& bits, double esn0_db, Rng& rng);
+Llrs transmit_bpsk(const Bits& bits, units::Db esn0, Rng& rng);
 
 /// Out-parameter form: clears and fills `out`, reusing its capacity —
 /// allocation-free once `out` has grown.
-void transmit_bpsk(const Bits& bits, double esn0_db, Rng& rng, Llrs& out);
+void transmit_bpsk(const Bits& bits, units::Db esn0, Rng& rng, Llrs& out);
 
 /// Hard decisions from LLRs (ties resolve to 0).
 Bits hard_decisions(const Llrs& llrs);

@@ -5,6 +5,8 @@
 #include "coding/viterbi.hpp"
 #include "common/check.hpp"
 
+#include "common/narrow.hpp"
+
 namespace pran::coding {
 namespace {
 
@@ -44,7 +46,7 @@ struct BlockOutcome {
   bool payload_match = false;
 };
 
-BlockOutcome send_block(const LinkConfig& config, double esn0_db, Rng& rng,
+BlockOutcome send_block(const LinkConfig& config, units::Db esn0, Rng& rng,
                         const LinkPlan& plan, LinkWorkspace& ws) {
   ws.payload.clear();
   ws.payload.reserve(config.info_bits);
@@ -55,7 +57,7 @@ BlockOutcome send_block(const LinkConfig& config, double esn0_db, Rng& rng,
   ws.with_crc.reserve(plan.framed_bits);
   const std::uint32_t crc = crc24a(ws.payload);
   for (int i = kCrcBits - 1; i >= 0; --i)
-    ws.with_crc.push_back(static_cast<std::uint8_t>((crc >> i) & 1u));
+    ws.with_crc.push_back(narrow_cast<std::uint8_t>((crc >> i) & 1u));
 
   convolutional_encode(ws.with_crc, ws.coded);
 
@@ -63,7 +65,7 @@ BlockOutcome send_block(const LinkConfig& config, double esn0_db, Rng& rng,
   ws.matched.reserve(plan.pattern.size());
   for (std::size_t pos : plan.pattern) ws.matched.push_back(ws.coded[pos]);
 
-  transmit_bpsk(ws.matched, esn0_db, rng, ws.llrs);
+  transmit_bpsk(ws.matched, esn0, rng, ws.llrs);
   if (!config.soft_decision) {
     // Hard decision: quantise to ±1 before de-matching.
     for (double& l : ws.llrs) l = l < 0.0 ? -1.0 : 1.0;
@@ -108,7 +110,7 @@ void merge(LinkStats& into, const LinkStats& from) {
 
 }  // namespace
 
-LinkStats run_link(const LinkConfig& config, double esn0_db,
+LinkStats run_link(const LinkConfig& config, units::Db esn0,
                    std::size_t blocks, Rng& rng, ThreadPool* pool) {
   PRAN_REQUIRE(blocks >= 1, "need at least one block");
   PRAN_REQUIRE(config.info_bits >= 8, "payload too small");
@@ -123,7 +125,7 @@ LinkStats run_link(const LinkConfig& config, double esn0_db,
   const auto trial = [&](unsigned slot, std::size_t i) {
     Rng trial_rng = base.stream(i);
     const auto outcome =
-        send_block(config, esn0_db, trial_rng, plan, workspaces[slot]);
+        send_block(config, esn0, trial_rng, plan, workspaces[slot]);
     accumulate(partial[slot], config, outcome);
   };
   if (pool) {
@@ -137,7 +139,7 @@ LinkStats run_link(const LinkConfig& config, double esn0_db,
   return stats;
 }
 
-bool round_trip_block(const LinkConfig& config, double esn0_db, Rng& rng) {
+bool round_trip_block(const LinkConfig& config, units::Db esn0, Rng& rng) {
   thread_local LinkWorkspace workspace;
   thread_local LinkPlan plan;
   thread_local std::size_t plan_info_bits = 0;
@@ -147,7 +149,7 @@ bool round_trip_block(const LinkConfig& config, double esn0_db, Rng& rng) {
     plan_info_bits = config.info_bits;
     plan_rate = config.code_rate;
   }
-  const auto outcome = send_block(config, esn0_db, rng, plan, workspace);
+  const auto outcome = send_block(config, esn0, rng, plan, workspace);
   return outcome.crc_ok && outcome.payload_match;
 }
 

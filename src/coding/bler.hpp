@@ -44,11 +44,11 @@ struct LinkStats {
 /// state and the block index — never on scheduling. Passing a ThreadPool
 /// fans the blocks across its workers, each with a preallocated workspace,
 /// and is guaranteed to produce counts identical to the serial run.
-LinkStats run_link(const LinkConfig& config, double esn0_db,
+LinkStats run_link(const LinkConfig& config, units::Db esn0,
                    std::size_t blocks, Rng& rng, ThreadPool* pool = nullptr);
 
 /// One full round trip of a single block; returns true if the CRC-verified
 /// payload matched (used by tests and the throughput bench).
-bool round_trip_block(const LinkConfig& config, double esn0_db, Rng& rng);
+bool round_trip_block(const LinkConfig& config, units::Db esn0, Rng& rng);
 
 }  // namespace pran::coding

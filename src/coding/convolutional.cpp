@@ -4,6 +4,8 @@
 
 #include "common/check.hpp"
 
+#include "common/narrow.hpp"
+
 namespace pran::coding {
 
 Bits convolutional_encode(const Bits& info) {
@@ -22,7 +24,7 @@ void convolutional_encode(const Bits& info, Bits& out) {
     const unsigned reg = (state << 1) | bit;
     for (unsigned g : kGenerators) {
       out.push_back(
-          static_cast<std::uint8_t>(std::popcount(reg & g) & 1u));
+          narrow_cast<std::uint8_t>(std::popcount(reg & g) & 1u));
     }
     state = reg & (kNumStates - 1);
   };

@@ -2,6 +2,8 @@
 
 #include "common/check.hpp"
 
+#include "common/narrow.hpp"
+
 namespace pran::coding {
 
 std::uint32_t crc24a(const std::uint8_t* bits, std::size_t n) {
@@ -30,7 +32,7 @@ Bits attach_crc(const Bits& data) {
   Bits out = data;
   out.reserve(data.size() + kCrcBits);
   for (int i = kCrcBits - 1; i >= 0; --i)
-    out.push_back(static_cast<std::uint8_t>((crc >> i) & 1u));
+    out.push_back(narrow_cast<std::uint8_t>((crc >> i) & 1u));
   return out;
 }
 

@@ -10,6 +10,8 @@
 
 #include "common/check.hpp"
 
+#include "common/narrow.hpp"
+
 namespace pran::coding {
 namespace {
 
@@ -58,10 +60,10 @@ constexpr Trellis build_trellis() {
   for (unsigned s = 0; s < kStates; ++s) {
     for (unsigned u = 0; u < 2; ++u) {
       const auto step = rsc_step(s, u);
-      t.next[s][u] = static_cast<std::uint8_t>(step.next);
-      t.parity[s][u] = static_cast<std::uint8_t>(step.z);
+      t.next[s][u] = narrow_cast<std::uint8_t>(step.next);
+      t.parity[s][u] = narrow_cast<std::uint8_t>(step.z);
     }
-    t.term[s] = static_cast<std::uint8_t>(rsc_termination_input(s));
+    t.term[s] = narrow_cast<std::uint8_t>(rsc_termination_input(s));
   }
   return t;
 }
@@ -79,7 +81,7 @@ void rsc_encode(const Bits& input, Bits& parity, Bits& tail) {
   }
   for (int t = 0; t < kTailSteps; ++t) {
     const unsigned x = kTrellis.term[state];
-    tail.push_back(static_cast<std::uint8_t>(x));
+    tail.push_back(narrow_cast<std::uint8_t>(x));
     tail.push_back(kTrellis.parity[state][x]);
     state = kTrellis.next[state][x];
   }

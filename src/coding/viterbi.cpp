@@ -7,6 +7,8 @@
 
 #include "common/check.hpp"
 
+#include "common/narrow.hpp"
+
 namespace pran::coding {
 namespace {
 
@@ -25,7 +27,7 @@ struct BranchTable {
       unsigned p = 0;
       for (int k = 0; k < kCodeRateDen; ++k)
         p |= (std::popcount(reg & kGenerators[k]) & 1u) << k;
-      pattern[reg] = static_cast<std::uint8_t>(p);
+      pattern[reg] = narrow_cast<std::uint8_t>(p);
     }
   }
 };
@@ -88,7 +90,7 @@ const ViterbiResult& ViterbiDecoder::decode(const Llrs& llrs,
   if (inputs_.size() < total_steps) inputs_.resize(total_steps);
   int state = 0;
   for (std::size_t t = total_steps; t-- > 0;) {
-    inputs_[t] = static_cast<std::uint8_t>(state & 1);
+    inputs_[t] = narrow_cast<std::uint8_t>(state & 1);
     const int which = decisions_[t * kNumStates + static_cast<std::size_t>(state)];
     state = (state >> 1) | (which ? (kNumStates >> 1) : 0);
   }

@@ -5,6 +5,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "common/narrow.hpp"
+
 namespace pran {
 
 std::vector<std::string> split(const std::string& s, char delim) {
@@ -25,8 +27,8 @@ std::vector<std::string> split(const std::string& s, char delim) {
 std::string trim(const std::string& s) {
   std::size_t b = 0;
   std::size_t e = s.size();
-  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
-  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  while (b < e && std::isspace(narrow_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(narrow_cast<unsigned char>(s[e - 1]))) --e;
   return s.substr(b, e - b);
 }
 

@@ -1,0 +1,269 @@
+#pragma once
+
+/// \file units.hpp
+/// Strong types for the physical quantities PRAN's planning math mixes:
+/// dB vs linear power, Hz vs PRBs, bits vs bytes, µs vs simulated ns,
+/// giga-operations. The cost model, link budget, fronthaul codecs, and
+/// schedulers all pass these quantities across module boundaries, and a
+/// bare `double` lets a dB value flow into a linear-power sum (or a byte
+/// count into a bit budget) without complaint. These wrappers make such
+/// mixing a compile error: every type supports arithmetic only with
+/// itself, construction is explicit, and cross-unit conversions are
+/// named free/static functions (`to_linear`, `to_db`, `Bytes::from_bits`,
+/// `Micros::from_time`). Negative-compilation tests under
+/// `tests/units_compile_fail/` pin the "does not build" guarantees.
+///
+/// Hot-path kernels (turbo/Viterbi workspaces, FFTs) keep raw floats
+/// internally — the strong types live on API surfaces, where the unit of
+/// a value crosses an abstraction boundary, and unwrap to raw scalars in
+/// one place via `value()` / `count()`.
+
+#include <cstdint>
+#include <cmath>
+#include <ostream>
+
+#include "sim/time.hpp"
+
+namespace pran::units {
+
+namespace detail {
+
+/// CRTP base: additive quantity over representation `Rep`. Supplies the
+/// explicit constructor, accessor, same-type +/- and comparisons. No
+/// cross-type operators exist anywhere, so `Db + LinearPower` (or any
+/// other mixed pair) fails to compile by construction.
+template <typename Derived, typename Rep>
+class Additive {
+ public:
+  using rep = Rep;
+
+  constexpr Additive() = default;
+  constexpr explicit Additive(Rep v) noexcept : v_(v) {}
+
+  friend constexpr Derived operator+(Derived a, Derived b) noexcept {
+    return Derived{a.v_ + b.v_};
+  }
+  friend constexpr Derived operator-(Derived a, Derived b) noexcept {
+    return Derived{a.v_ - b.v_};
+  }
+  constexpr Derived operator-() const noexcept { return Derived{-v_}; }
+  constexpr Derived& operator+=(Derived o) noexcept {
+    v_ += o.v_;
+    return self();
+  }
+  constexpr Derived& operator-=(Derived o) noexcept {
+    v_ -= o.v_;
+    return self();
+  }
+  friend constexpr bool operator==(Derived a, Derived b) noexcept {
+    return a.v_ == b.v_;
+  }
+  friend constexpr bool operator!=(Derived a, Derived b) noexcept {
+    return a.v_ != b.v_;
+  }
+  friend constexpr bool operator<(Derived a, Derived b) noexcept {
+    return a.v_ < b.v_;
+  }
+  friend constexpr bool operator<=(Derived a, Derived b) noexcept {
+    return a.v_ <= b.v_;
+  }
+  friend constexpr bool operator>(Derived a, Derived b) noexcept {
+    return a.v_ > b.v_;
+  }
+  friend constexpr bool operator>=(Derived a, Derived b) noexcept {
+    return a.v_ >= b.v_;
+  }
+
+ protected:
+  constexpr Rep raw() const noexcept { return v_; }
+  constexpr Rep& raw() noexcept { return v_; }
+
+ private:
+  constexpr Derived& self() noexcept { return static_cast<Derived&>(*this); }
+  Rep v_{};
+};
+
+/// Additive plus dimensionless scaling (`2 * rate`, `power / 4`). Scaling
+/// is deliberately absent from logarithmic types: doubling a dB value is
+/// squaring the underlying ratio, which is never what load math means.
+template <typename Derived, typename Rep>
+class Scalable : public Additive<Derived, Rep> {
+ public:
+  using Additive<Derived, Rep>::Additive;
+
+  friend constexpr Derived operator*(Derived a, double s) noexcept {
+    return Derived{static_cast<Rep>(static_cast<double>(a.value()) * s)};
+  }
+  friend constexpr Derived operator*(double s, Derived a) noexcept {
+    return a * s;
+  }
+  friend constexpr Derived operator/(Derived a, double s) noexcept {
+    return Derived{static_cast<Rep>(static_cast<double>(a.value()) / s)};
+  }
+  /// Ratio of two like quantities is dimensionless.
+  friend constexpr double operator/(Derived a, Derived b) noexcept {
+    return static_cast<double>(a.value()) / static_cast<double>(b.value());
+  }
+  constexpr Rep value() const noexcept { return this->raw(); }
+};
+
+}  // namespace detail
+
+// ---------------------------------------------------------------- power
+
+/// A logarithmic ratio or level in decibels (dB, or dBm when used as an
+/// absolute power level). Additive: gains and losses chain by +/-.
+class Db : public detail::Additive<Db, double> {
+ public:
+  using Additive::Additive;
+  constexpr double value() const noexcept { return raw(); }
+};
+
+/// Power (or any ratio) on the linear scale; when absolute, in milliwatts
+/// so `to_db` yields dBm. Linear powers add (noise + interference) and
+/// scale, which dB levels must not.
+class LinearPower : public detail::Scalable<LinearPower, double> {
+ public:
+  using Scalable::Scalable;
+};
+
+/// dB -> linear ratio (dBm -> mW).
+inline double to_linear(Db db) noexcept {
+  return std::pow(10.0, db.value() / 10.0);
+}
+
+/// dB -> linear power object.
+inline LinearPower to_linear_power(Db db) noexcept {
+  return LinearPower{to_linear(db)};
+}
+
+/// Linear ratio (mW) -> dB (dBm).
+inline Db to_db(LinearPower p) noexcept {
+  return Db{10.0 * std::log10(p.value())};
+}
+
+// ------------------------------------------------------------ frequency
+
+/// Frequency or bandwidth in hertz.
+class Hertz : public detail::Scalable<Hertz, double> {
+ public:
+  using Scalable::Scalable;
+};
+
+inline constexpr Hertz kKilohertz{1e3};
+inline constexpr Hertz kMegahertz{1e6};
+
+// ----------------------------------------------------------- data sizes
+
+class Bytes;
+
+/// An exact bit count (transport blocks, encoded payloads). Integer so
+/// off-by-8 bugs cannot hide in fractions; fractional *rates* belong in
+/// BitRate.
+class Bits : public detail::Additive<Bits, std::int64_t> {
+ public:
+  using Additive::Additive;
+  constexpr std::int64_t count() const noexcept { return raw(); }
+  /// Named conversion: 8 bits per byte, exact.
+  static constexpr Bits from_bytes(Bytes b) noexcept;
+};
+
+/// An exact byte count.
+class Bytes : public detail::Additive<Bytes, std::int64_t> {
+ public:
+  using Additive::Additive;
+  constexpr std::int64_t count() const noexcept { return raw(); }
+  /// Named conversion, rounding up to whole bytes (a 12-bit payload
+  /// occupies 2 bytes on any byte-aligned transport).
+  static constexpr Bytes from_bits(Bits b) noexcept;
+};
+
+constexpr Bits Bits::from_bytes(Bytes b) noexcept {
+  return Bits{b.count() * 8};
+}
+
+constexpr Bytes Bytes::from_bits(Bits b) noexcept {
+  return Bytes{(b.count() + 7) / 8};
+}
+
+/// Data rate in bits per second. Double-valued: line rates carry
+/// fractional-overhead factors (8b/10b, control words) that are not whole
+/// bits per second.
+class BitRate : public detail::Scalable<BitRate, double> {
+ public:
+  using Scalable::Scalable;
+  /// Named conversion: an exact amount of data over an exact duration.
+  static BitRate per_second(Bits amount, double seconds) noexcept {
+    return BitRate{static_cast<double>(amount.count()) / seconds};
+  }
+};
+
+// -------------------------------------------------------------- spectrum
+
+/// A count of LTE physical resource blocks. Distinct from Hertz (a PRB is
+/// 180 kHz but scheduling math counts blocks, not hertz) and from Bits
+/// (capacity depends on MCS).
+class PrbCount : public detail::Additive<PrbCount, int> {
+ public:
+  using Additive::Additive;
+  constexpr int count() const noexcept { return raw(); }
+};
+
+// --------------------------------------------------------------- compute
+
+/// Giga-operations of base-band compute (the cost model's currency).
+class Gops : public detail::Scalable<Gops, double> {
+ public:
+  using Scalable::Scalable;
+};
+
+// ------------------------------------------------------------------ time
+
+/// A duration in microseconds, bridging to the simulator's integer
+/// nanosecond clock (sim::Time) through named conversions only. Keeps
+/// wall-clock-style budgets (HARQ 3 ms, per-subframe decode time) from
+/// mixing with raw ns counts or bare doubles.
+class Micros : public detail::Scalable<Micros, double> {
+ public:
+  using Scalable::Scalable;
+  /// Simulated-clock duration closest to this many microseconds.
+  constexpr sim::Time to_time() const noexcept {
+    return sim::from_microseconds(value());
+  }
+  /// Named conversion from the simulator clock.
+  static constexpr Micros from_time(sim::Time t) noexcept {
+    return Micros{sim::to_microseconds(t)};
+  }
+};
+
+// -------------------------------------------------------------- printing
+
+inline std::ostream& operator<<(std::ostream& os, Db v) {
+  return os << v.value() << " dB";
+}
+inline std::ostream& operator<<(std::ostream& os, LinearPower v) {
+  return os << v.value() << " mW";
+}
+inline std::ostream& operator<<(std::ostream& os, Hertz v) {
+  return os << v.value() << " Hz";
+}
+inline std::ostream& operator<<(std::ostream& os, Bits v) {
+  return os << v.count() << " bit";
+}
+inline std::ostream& operator<<(std::ostream& os, Bytes v) {
+  return os << v.count() << " B";
+}
+inline std::ostream& operator<<(std::ostream& os, BitRate v) {
+  return os << v.value() << " bit/s";
+}
+inline std::ostream& operator<<(std::ostream& os, PrbCount v) {
+  return os << v.count() << " PRB";
+}
+inline std::ostream& operator<<(std::ostream& os, Gops v) {
+  return os << v.value() << " Gop";
+}
+inline std::ostream& operator<<(std::ostream& os, Micros v) {
+  return os << v.value() << " us";
+}
+
+}  // namespace pran::units

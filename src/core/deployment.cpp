@@ -38,8 +38,8 @@ Deployment::Deployment(DeploymentConfig config)
   if (config_.shared_fronthaul) {
     fronthaul_link_.emplace(*config_.shared_fronthaul);
     fronthaul_bits_per_subframe_ = fronthaul::subframe_bits(
-        30.72e6, fronthaul::kCpriSampleBits, lte::CellConfig{}.antennas,
-        config_.fronthaul_compression);
+        units::Hertz{30.72e6}, fronthaul::kCpriSampleBits,
+        lte::CellConfig{}.antennas, config_.fronthaul_compression);
   }
 
   // Compute cluster.

@@ -161,7 +161,7 @@ class Deployment {
   std::unique_ptr<cluster::Executor> executor_;
   std::unique_ptr<Controller> controller_;
   std::optional<fronthaul::FronthaulLink> fronthaul_link_;
-  double fronthaul_bits_per_subframe_ = 0.0;
+  units::Bits fronthaul_bits_per_subframe_{0};
   Pipeline pipeline_;
   double standard_gops_cache_ = 0.0;  // scratch, see tick()
   std::int64_t tti_counter_ = 0;

@@ -18,17 +18,18 @@ double PoolingSummary::savings_vs_dedicated() const noexcept {
                    static_cast<double>(dedicated_bbus);
 }
 
-int ffd_bin_count(std::vector<double> demands, double capacity) {
-  PRAN_REQUIRE(capacity > 0.0, "bin capacity must be positive");
+int ffd_bin_count(std::vector<units::Gops> demands, units::Gops capacity) {
+  PRAN_REQUIRE(capacity > units::Gops{0.0}, "bin capacity must be positive");
   std::sort(demands.begin(), demands.end(), std::greater<>());
-  std::vector<double> bins;
-  for (double d : demands) {
-    PRAN_REQUIRE(d >= 0.0, "demand must be non-negative");
-    PRAN_REQUIRE(d <= capacity + 1e-12,
+  std::vector<units::Gops> bins;
+  const units::Gops slack{1e-12};
+  for (units::Gops d : demands) {
+    PRAN_REQUIRE(d >= units::Gops{0.0}, "demand must be non-negative");
+    PRAN_REQUIRE(d <= capacity + slack,
                  "a single demand exceeds server capacity");
     bool placed = false;
-    for (double& b : bins) {
-      if (b + d <= capacity + 1e-12) {
+    for (units::Gops& b : bins) {
+      if (b + d <= capacity + slack) {
         b += d;
         placed = true;
         break;
@@ -44,7 +45,7 @@ PoolingSummary analyze_pooling(const workload::DayTrace& trace,
                                double headroom, double safety) {
   PRAN_REQUIRE(headroom > 0.0 && headroom <= 1.0, "headroom outside (0, 1]");
   PRAN_REQUIRE(safety >= 1.0, "safety factor below 1");
-  const double capacity = headroom * server.gops_per_tti();
+  const units::Gops capacity{headroom * server.gops_per_tti()};
 
   PoolingSummary summary;
   const int slots = trace.slots_per_day();
@@ -53,10 +54,10 @@ PoolingSummary analyze_pooling(const workload::DayTrace& trace,
     PoolingPoint pt;
     pt.slot = s;
     pt.hour = trace.hour_of_slot(s);
-    std::vector<double> demands;
+    std::vector<units::Gops> demands;
     demands.reserve(trace.cells().size());
     for (const auto& cell : trace.cells()) {
-      const double d = safety * cell.gops[static_cast<std::size_t>(s)];
+      const units::Gops d{safety * cell.gops[static_cast<std::size_t>(s)]};
       demands.push_back(d);
       pt.total_gops += d;
     }
@@ -67,12 +68,12 @@ PoolingSummary analyze_pooling(const workload::DayTrace& trace,
   }
 
   // Peak provisioning: each cell sized for its own busiest slot.
-  std::vector<double> peaks;
+  std::vector<units::Gops> peaks;
   peaks.reserve(trace.cells().size());
   for (const auto& cell : trace.cells()) {
     double peak = 0.0;
     for (double g : cell.gops) peak = std::max(peak, g);
-    peaks.push_back(safety * peak);
+    peaks.push_back(units::Gops{safety * peak});
   }
   summary.peak_provisioned_servers = ffd_bin_count(std::move(peaks), capacity);
   summary.dedicated_bbus = static_cast<int>(trace.cells().size());

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "cluster/executor.hpp"
+#include "common/units.hpp"
 #include "workload/trace.hpp"
 
 namespace pran::core {
@@ -19,8 +20,8 @@ namespace pran::core {
 struct PoolingPoint {
   int slot = 0;
   double hour = 0.0;
-  double total_gops = 0.0;   ///< Fleet-wide demand this slot.
-  int pooled_servers = 0;    ///< Bins needed when re-packing this slot.
+  units::Gops total_gops{0.0};  ///< Fleet-wide demand this slot.
+  int pooled_servers = 0;       ///< Bins needed when re-packing this slot.
 };
 
 struct PoolingSummary {
@@ -39,7 +40,7 @@ struct PoolingSummary {
 
 /// First-fit-decreasing bin count for packing `demands` into bins of size
 /// `capacity` (> max demand required for feasibility; throws otherwise).
-int ffd_bin_count(std::vector<double> demands, double capacity);
+int ffd_bin_count(std::vector<units::Gops> demands, units::Gops capacity);
 
 /// Runs the pooled-vs-peak analysis. `headroom` derates server capacity,
 /// `safety` inflates every demand (the controller's planning margins).

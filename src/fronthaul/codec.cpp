@@ -27,11 +27,11 @@ double peak_magnitude(const std::vector<Cplx>& block) {
 
 }  // namespace
 
-double Codec::compression_ratio(std::size_t n_samples, std::size_t bits) {
-  PRAN_REQUIRE(bits > 0, "encoded size must be positive");
+double Codec::compression_ratio(std::size_t n_samples, units::Bits bits) {
+  PRAN_REQUIRE(bits > units::Bits{0}, "encoded size must be positive");
   const double raw =
       static_cast<double>(n_samples) * 2.0 * static_cast<double>(kCpriSampleBits);
-  return raw / static_cast<double>(bits);
+  return raw / static_cast<double>(bits.count());
 }
 
 // ---------------------------------------------------------------- FixedPoint
@@ -57,7 +57,8 @@ CodecResult FixedPointCodec::roundtrip(const std::vector<Cplx>& block) const {
                              quantize_unit(v.imag() / scale, bits_) * scale);
   }
   // Payload plus one 32-bit scale per block.
-  out.bits = block.size() * 2 * static_cast<std::size_t>(bits_) + 32;
+  out.bits = units::Bits{
+      static_cast<std::int64_t>(block.size()) * 2 * bits_ + 32};
   return out;
 }
 
@@ -97,8 +98,10 @@ CodecResult BlockFloatCodec::roundtrip(const std::vector<Cplx>& block) const {
           quantize_unit(block[i].imag() / scale, mantissa_bits_) * scale};
     }
   }
-  out.bits = block.size() * 2 * static_cast<std::size_t>(mantissa_bits_) +
-             groups * 6;  // 6-bit exponent per group
+  out.bits = units::Bits{static_cast<std::int64_t>(block.size()) * 2 *
+                             mantissa_bits_ +
+                         static_cast<std::int64_t>(groups) * 6};
+  // (6-bit exponent per group)
   return out;
 }
 
@@ -131,7 +134,8 @@ CodecResult MuLawCodec::roundtrip(const std::vector<Cplx>& block) const {
     out.decoded.emplace_back(expand(quantize_unit(compand(v.real()), bits_)),
                              expand(quantize_unit(compand(v.imag()), bits_)));
   }
-  out.bits = block.size() * 2 * static_cast<std::size_t>(bits_) + 32;
+  out.bits = units::Bits{
+      static_cast<std::int64_t>(block.size()) * 2 * bits_ + 32};
   return out;
 }
 

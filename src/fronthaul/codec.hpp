@@ -21,6 +21,7 @@
 #include <memory>
 #include <string>
 
+#include "common/units.hpp"
 #include "fronthaul/dsp.hpp"
 
 namespace pran::fronthaul {
@@ -31,7 +32,7 @@ inline constexpr int kCpriSampleBits = 15;
 /// Result of pushing a block through a codec.
 struct CodecResult {
   std::vector<Cplx> decoded;  ///< Samples after decode, same size as input.
-  std::size_t bits = 0;       ///< Encoded size in bits.
+  units::Bits bits{0};        ///< Encoded size.
 };
 
 class Codec {
@@ -42,7 +43,7 @@ class Codec {
   virtual CodecResult roundtrip(const std::vector<Cplx>& block) const = 0;
 
   /// Compression ratio vs. uncompressed 15-bit I/Q for a block of n samples.
-  static double compression_ratio(std::size_t n_samples, std::size_t bits);
+  static double compression_ratio(std::size_t n_samples, units::Bits bits);
 };
 
 /// Uniform scalar quantiser; scale chosen per block from the peak magnitude

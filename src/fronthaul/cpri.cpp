@@ -6,33 +6,38 @@
 
 namespace pran::fronthaul {
 
-double payload_rate_bps(const CpriParams& params) {
-  PRAN_REQUIRE(params.sample_rate_hz > 0.0, "sample rate must be positive");
+using units::BitRate;
+using units::Hertz;
+
+BitRate payload_rate_bps(const CpriParams& params) {
+  PRAN_REQUIRE(params.sample_rate_hz > Hertz{0.0},
+               "sample rate must be positive");
   PRAN_REQUIRE(params.bits_per_component > 0, "sample width must be positive");
   PRAN_REQUIRE(params.antennas > 0, "cell needs at least one antenna");
-  return params.sample_rate_hz * 2.0 *
-         static_cast<double>(params.bits_per_component) *
-         static_cast<double>(params.antennas);
+  return BitRate{params.sample_rate_hz.value() * 2.0 *
+                 static_cast<double>(params.bits_per_component) *
+                 static_cast<double>(params.antennas)};
 }
 
-double line_rate_bps(const CpriParams& params) {
+BitRate line_rate_bps(const CpriParams& params) {
   return payload_rate_bps(params) * params.control_overhead *
          params.line_coding;
 }
 
-double compressed_line_rate_bps(const CpriParams& params,
-                                double compression_ratio) {
+BitRate compressed_line_rate_bps(const CpriParams& params,
+                                 double compression_ratio) {
   PRAN_REQUIRE(compression_ratio > 0.0, "compression ratio must be positive");
   return payload_rate_bps(params) / compression_ratio *
          params.control_overhead * params.line_coding;
 }
 
-std::size_t cells_per_link(double link_capacity_bps,
-                           double per_cell_rate_bps) {
-  PRAN_REQUIRE(link_capacity_bps >= 0.0, "link capacity must be non-negative");
-  PRAN_REQUIRE(per_cell_rate_bps > 0.0, "per-cell rate must be positive");
-  return static_cast<std::size_t>(
-      std::floor(link_capacity_bps / per_cell_rate_bps));
+std::size_t cells_per_link(BitRate link_capacity, BitRate per_cell_rate) {
+  PRAN_REQUIRE(link_capacity >= BitRate{0.0},
+               "link capacity must be non-negative");
+  PRAN_REQUIRE(per_cell_rate > BitRate{0.0},
+               "per-cell rate must be positive");
+  // Ratio of two like rates is dimensionless.
+  return static_cast<std::size_t>(std::floor(link_capacity / per_cell_rate));
 }
 
 }  // namespace pran::fronthaul

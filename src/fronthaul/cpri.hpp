@@ -7,11 +7,13 @@
 
 #include <cstddef>
 
+#include "common/units.hpp"
+
 namespace pran::fronthaul {
 
 /// Fronthaul link parameters for one cell.
 struct CpriParams {
-  double sample_rate_hz = 30.72e6;  ///< 20 MHz LTE sampling rate.
+  units::Hertz sample_rate_hz{30.72e6};  ///< 20 MHz LTE sampling rate.
   int bits_per_component = 15;      ///< CPRI I/Q word width.
   int antennas = 4;
   /// CPRI control-word overhead: one control word per 15 data words.
@@ -21,18 +23,19 @@ struct CpriParams {
 };
 
 /// Payload bit rate (I/Q only, before control and line coding).
-double payload_rate_bps(const CpriParams& params);
+units::BitRate payload_rate_bps(const CpriParams& params);
 
 /// Line rate on the fibre, including control words and 8b/10b.
-double line_rate_bps(const CpriParams& params);
+units::BitRate line_rate_bps(const CpriParams& params);
 
 /// Line rate when the I/Q payload is compressed by `compression_ratio`
 /// (> 0); control and line-coding overheads still apply.
-double compressed_line_rate_bps(const CpriParams& params,
-                                double compression_ratio);
+units::BitRate compressed_line_rate_bps(const CpriParams& params,
+                                        double compression_ratio);
 
 /// Number of cells a fronthaul link of `link_capacity_bps` can carry at the
 /// given per-cell line rate.
-std::size_t cells_per_link(double link_capacity_bps, double per_cell_rate_bps);
+std::size_t cells_per_link(units::BitRate link_capacity,
+                           units::BitRate per_cell_rate);
 
 }  // namespace pran::fronthaul

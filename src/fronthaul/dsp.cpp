@@ -62,12 +62,12 @@ double rms(const std::vector<Cplx>& x) noexcept {
   return std::sqrt(acc / static_cast<double>(x.size()));
 }
 
-double papr_db(const std::vector<Cplx>& x) {
+units::Db papr_db(const std::vector<Cplx>& x) {
   const double r = rms(x);
   PRAN_REQUIRE(r > 0.0, "PAPR of an all-zero block");
   double peak = 0.0;
   for (const auto& v : x) peak = std::max(peak, std::norm(v));
-  return 10.0 * std::log10(peak / (r * r));
+  return units::to_db(units::LinearPower{peak / (r * r)});
 }
 
 double evm(const std::vector<Cplx>& reference, const std::vector<Cplx>& test) {
@@ -81,11 +81,11 @@ double evm(const std::vector<Cplx>& reference, const std::vector<Cplx>& test) {
   return std::sqrt(acc / static_cast<double>(reference.size())) / ref_rms;
 }
 
-double sqnr_db(const std::vector<Cplx>& reference,
-               const std::vector<Cplx>& test) {
+units::Db sqnr_db(const std::vector<Cplx>& reference,
+                  const std::vector<Cplx>& test) {
   const double e = evm(reference, test);
-  if (e <= 0.0) return 200.0;  // effectively lossless
-  return -20.0 * std::log10(e);
+  if (e <= 0.0) return units::Db{200.0};  // effectively lossless
+  return units::Db{-20.0 * std::log10(e)};
 }
 
 }  // namespace pran::fronthaul

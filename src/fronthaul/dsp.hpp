@@ -9,6 +9,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/units.hpp"
+
 namespace pran::fronthaul {
 
 using Cplx = std::complex<double>;
@@ -30,15 +32,15 @@ void ifft(std::vector<Cplx>& x);
 /// Root-mean-square magnitude of a block; 0 for an empty block.
 double rms(const std::vector<Cplx>& x) noexcept;
 
-/// Peak-to-average power ratio in dB; requires non-zero RMS.
-double papr_db(const std::vector<Cplx>& x);
+/// Peak-to-average power ratio; requires non-zero RMS.
+units::Db papr_db(const std::vector<Cplx>& x);
 
 /// Error vector magnitude of `test` against `reference` (same size,
 /// non-zero reference RMS): rms(test - reference) / rms(reference).
 double evm(const std::vector<Cplx>& reference, const std::vector<Cplx>& test);
 
-/// Signal-to-quantisation-noise ratio in dB: 20*log10(1/EVM).
-double sqnr_db(const std::vector<Cplx>& reference,
-               const std::vector<Cplx>& test);
+/// Signal-to-quantisation-noise ratio: 20*log10(1/EVM).
+units::Db sqnr_db(const std::vector<Cplx>& reference,
+                  const std::vector<Cplx>& test);
 
 }  // namespace pran::fronthaul

@@ -7,19 +7,23 @@
 
 namespace pran::fronthaul {
 
+using units::Bits;
+using units::BitRate;
+using units::Hertz;
+
 FronthaulLink::FronthaulLink(LinkParams params) : params_(params) {
-  PRAN_REQUIRE(params_.rate_bps > 0.0, "link rate must be positive");
+  PRAN_REQUIRE(params_.rate_bps > BitRate{0.0}, "link rate must be positive");
   PRAN_REQUIRE(params_.propagation >= 0, "propagation must be non-negative");
 }
 
-sim::Time FronthaulLink::enqueue(sim::Time ready, double bits) {
-  PRAN_REQUIRE(bits >= 0.0, "burst size must be non-negative");
+sim::Time FronthaulLink::enqueue(sim::Time ready, Bits bits) {
+  PRAN_REQUIRE(bits >= Bits{0}, "burst size must be non-negative");
   PRAN_REQUIRE(ready >= last_ready_, "FIFO ingress requires ordered bursts");
   last_ready_ = ready;
 
   const sim::Time start = std::max(ready, next_free_);
-  const auto tx = static_cast<sim::Time>(
-      std::llround(bits / params_.rate_bps * 1e9));
+  const auto tx = static_cast<sim::Time>(std::llround(
+      static_cast<double>(bits.count()) / params_.rate_bps.value() * 1e9));
   next_free_ = start + tx;
   busy_ += tx;
   max_queue_delay_ = std::max(max_queue_delay_, start - ready);
@@ -33,15 +37,16 @@ double FronthaulLink::utilization(sim::Time horizon) const {
   return sim::to_seconds(std::min(busy_, horizon)) / sim::to_seconds(horizon);
 }
 
-double subframe_bits(double sample_rate_hz, int bits_per_component,
-                     int antennas, double compression_ratio) {
-  PRAN_REQUIRE(sample_rate_hz > 0.0, "sample rate must be positive");
+Bits subframe_bits(Hertz sample_rate, int bits_per_component, int antennas,
+                   double compression_ratio) {
+  PRAN_REQUIRE(sample_rate > Hertz{0.0}, "sample rate must be positive");
   PRAN_REQUIRE(bits_per_component > 0, "sample width must be positive");
   PRAN_REQUIRE(antennas > 0, "need at least one antenna");
   PRAN_REQUIRE(compression_ratio > 0.0, "compression ratio must be positive");
-  return sample_rate_hz * 1e-3 * 2.0 *
-         static_cast<double>(bits_per_component) *
-         static_cast<double>(antennas) / compression_ratio;
+  return Bits{std::llround(sample_rate.value() * 1e-3 * 2.0 *
+                           static_cast<double>(bits_per_component) *
+                           static_cast<double>(antennas) /
+                           compression_ratio)};
 }
 
 }  // namespace pran::fronthaul

@@ -15,15 +15,20 @@
 /// enqueued in nondecreasing ready order (the deployment generates TTIs in
 /// time order), the FIFO schedule can be computed eagerly and the arrival
 /// time returned to the caller, who uses it as the job's release time.
+///
+/// Burst sizes are exact `units::Bits` and the fibre capacity a
+/// `units::BitRate`, so a byte count (or a compressed fractional rate)
+/// cannot silently land where wire bits belong.
 
 #include <cstdint>
 
+#include "common/units.hpp"
 #include "sim/time.hpp"
 
 namespace pran::fronthaul {
 
 struct LinkParams {
-  double rate_bps = 25e9;                       ///< Fibre capacity.
+  units::BitRate rate_bps{25e9};                   ///< Fibre capacity.
   sim::Time propagation = 25 * sim::kMicrosecond;  ///< One-way, ~5 km.
 };
 
@@ -36,10 +41,10 @@ class FronthaulLink {
   /// Enqueues a burst of `bits` that is ready to start at `ready`;
   /// returns the time its last bit arrives at the far end. `ready` must
   /// be nondecreasing across calls (FIFO ingress).
-  sim::Time enqueue(sim::Time ready, double bits);
+  sim::Time enqueue(sim::Time ready, units::Bits bits);
 
   /// Total bits accepted so far.
-  double bits_carried() const noexcept { return bits_carried_; }
+  units::Bits bits_carried() const noexcept { return bits_carried_; }
 
   /// Time the transmitter has spent serialising.
   sim::Time busy_time() const noexcept { return busy_; }
@@ -59,13 +64,14 @@ class FronthaulLink {
   sim::Time last_ready_ = 0;
   sim::Time busy_ = 0;
   sim::Time max_queue_delay_ = 0;
-  double bits_carried_ = 0.0;
+  units::Bits bits_carried_{0};
   std::uint64_t bursts_ = 0;
 };
 
 /// Bits one cell's subframe occupies on the wire: sample-rate * 1 ms worth
-/// of I/Q words across all antennas, divided by the compression ratio.
-double subframe_bits(double sample_rate_hz, int bits_per_component,
-                     int antennas, double compression_ratio);
+/// of I/Q words across all antennas, divided by the compression ratio
+/// (rounded to the nearest whole bit).
+units::Bits subframe_bits(units::Hertz sample_rate, int bits_per_component,
+                          int antennas, double compression_ratio);
 
 }  // namespace pran::fronthaul

@@ -5,17 +5,19 @@
 
 #include "common/check.hpp"
 
+#include "common/narrow.hpp"
+
 namespace pran::lp {
 namespace {
 
 bool lp_name_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+  return std::isalnum(narrow_cast<unsigned char>(c)) || c == '_' || c == '.';
 }
 
 std::string sanitise(const std::string& name, int index) {
   std::string out;
   for (char c : name) out += lp_name_char(c) ? c : '_';
-  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0])))
+  if (out.empty() || std::isdigit(narrow_cast<unsigned char>(out[0])))
     out = "x" + std::to_string(index) + "_" + out;
   return out;
 }
@@ -65,10 +67,10 @@ LpExport write_lp_format(const Model& model) {
     std::string result;
     for (std::size_t i = 0; i < text.size();) {
       if (text[i] == 'v' && i + 1 < text.size() &&
-          std::isdigit(static_cast<unsigned char>(text[i + 1]))) {
+          std::isdigit(narrow_cast<unsigned char>(text[i + 1]))) {
         std::size_t j = i + 1;
         while (j < text.size() &&
-               std::isdigit(static_cast<unsigned char>(text[j])))
+               std::isdigit(narrow_cast<unsigned char>(text[j])))
           ++j;
         const int idx = std::stoi(text.substr(i + 1, j - i - 1));
         result += names[static_cast<std::size_t>(idx)];

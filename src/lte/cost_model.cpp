@@ -67,7 +67,9 @@ StageCost CostModel::allocation_cost(const CellConfig& cell,
   const double layers = static_cast<double>(cell.mimo_layers);
   const double mod_bits = static_cast<double>(bits_per_symbol(entry.mod));
   const double tb_bits =
-      static_cast<double>(transport_block_bits(alloc.mcs, alloc.n_prb)) *
+      static_cast<double>(
+          transport_block_bits(alloc.mcs, units::PrbCount{alloc.n_prb})
+              .count()) *
       layers;
 
   cost[Stage::kChannelEstimation] =
@@ -111,9 +113,9 @@ StageCost CostModel::peak_cost(const CellConfig& cell, Direction dir,
   return subframe_cost(cell, allocs, dir);
 }
 
-double CostModel::time_us(const StageCost& cost, double core_gops) {
+units::Micros CostModel::time_us(const StageCost& cost, double core_gops) {
   PRAN_REQUIRE(core_gops > 0.0, "core capacity must be positive");
-  return cost.total() / core_gops * 1e6;
+  return units::Micros{cost.total() / core_gops * 1e6};
 }
 
 }  // namespace pran::lte

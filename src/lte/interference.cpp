@@ -23,8 +23,8 @@ std::size_t InterferenceMap::index_of(int cell_id) const {
   return 0;
 }
 
-double InterferenceMap::received_dbm(double x_m, double y_m,
-                                     int cell_id) const {
+units::Db InterferenceMap::received_dbm(double x_m, double y_m,
+                                        int cell_id) const {
   const auto& c = cells_[index_of(cell_id)];
   const double dx = x_m - c.x_m;
   const double dy = y_m - c.y_m;
@@ -34,10 +34,10 @@ double InterferenceMap::received_dbm(double x_m, double y_m,
 
 int InterferenceMap::best_server(double x_m, double y_m) const {
   int best = cells_.front().cell_id;
-  double best_dbm = received_dbm(x_m, y_m, best);
+  units::Db best_dbm = received_dbm(x_m, y_m, best);
   for (const auto& c : cells_) {
-    const double dbm = received_dbm(x_m, y_m, c.cell_id);
-    if (dbm > best_dbm + 1e-12) {
+    const units::Db dbm = received_dbm(x_m, y_m, c.cell_id);
+    if (dbm > best_dbm + units::Db{1e-12}) {
       best = c.cell_id;
       best_dbm = dbm;
     }
@@ -45,29 +45,29 @@ int InterferenceMap::best_server(double x_m, double y_m) const {
   return best;
 }
 
-double InterferenceMap::sinr_db(double x_m, double y_m, int serving_cell,
-                                const std::vector<double>& activity) const {
+units::Db InterferenceMap::sinr_db(double x_m, double y_m, int serving_cell,
+                                   const std::vector<double>& activity) const {
   PRAN_REQUIRE(activity.size() == cells_.size(),
                "activity vector must match the cell count");
   const std::size_t serving = index_of(serving_cell);
 
-  const double signal_mw =
-      std::pow(10.0, received_dbm(x_m, y_m, serving_cell) / 10.0);
-  const double noise_mw =
-      std::pow(10.0, noise_power_dbm(budget_.bandwidth_per_prb_hz,
-                                     budget_.noise_figure_db) /
-                         10.0);
-  double interference_mw = 0.0;
+  // Powers only combine on the linear scale; the strong types make the
+  // dBm -> mW hops explicit.
+  const units::LinearPower signal =
+      units::to_linear_power(received_dbm(x_m, y_m, serving_cell));
+  const units::LinearPower noise = units::to_linear_power(noise_power_dbm(
+      budget_.bandwidth_per_prb_hz, budget_.noise_figure_db));
+  units::LinearPower interference{0.0};
   for (std::size_t j = 0; j < cells_.size(); ++j) {
     if (j == serving) continue;
     const double a = activity[j];
     PRAN_REQUIRE(a >= 0.0 && a <= 1.0, "activity outside [0, 1]");
     if (a == 0.0) continue;
-    interference_mw +=
-        a * std::pow(10.0,
-                     received_dbm(x_m, y_m, cells_[j].cell_id) / 10.0);
+    interference +=
+        a * units::to_linear_power(received_dbm(x_m, y_m, cells_[j].cell_id));
   }
-  return 10.0 * std::log10(signal_mw / (noise_mw + interference_mw));
+  return units::to_db(
+      units::LinearPower{signal / (noise + interference)});
 }
 
 int InterferenceMap::cqi_at(double x_m, double y_m, int serving_cell,

@@ -34,17 +34,17 @@ class InterferenceMap {
   const std::vector<SitePosition>& cells() const noexcept { return cells_; }
 
   /// Received power in dBm at (x, y) from the given cell.
-  double received_dbm(double x_m, double y_m, int cell_id) const;
+  units::Db received_dbm(double x_m, double y_m, int cell_id) const;
 
   /// Cell with the strongest received power at (x, y) (lowest id wins
   /// ties) — the natural serving cell.
   int best_server(double x_m, double y_m) const;
 
-  /// SINR in dB at (x, y) served by `serving_cell`, given each cell's
+  /// SINR at (x, y) served by `serving_cell`, given each cell's
   /// activity factor in [0, 1] (index-aligned with cells()). The serving
   /// cell's own activity does not matter for its UE's SINR.
-  double sinr_db(double x_m, double y_m, int serving_cell,
-                 const std::vector<double>& activity) const;
+  units::Db sinr_db(double x_m, double y_m, int serving_cell,
+                    const std::vector<double>& activity) const;
 
   /// Convenience: SINR -> CQI through the attenuated-Shannon mapping.
   int cqi_at(double x_m, double y_m, int serving_cell,

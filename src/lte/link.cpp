@@ -7,26 +7,31 @@
 
 namespace pran::lte {
 
-double pathloss_db(double meters) {
+using units::BitRate;
+using units::Db;
+using units::Hertz;
+using units::PrbCount;
+
+Db pathloss_db(double meters) {
   PRAN_REQUIRE(meters >= 0.0, "distance must be non-negative");
   const double d_km = std::max(meters, 1.0) / 1000.0;
-  return 128.1 + 37.6 * std::log10(std::max(d_km, 0.001));
+  return Db{128.1 + 37.6 * std::log10(std::max(d_km, 0.001))};
 }
 
-double noise_power_dbm(double bandwidth_hz, double noise_figure_db) {
-  PRAN_REQUIRE(bandwidth_hz > 0.0, "bandwidth must be positive");
+Db noise_power_dbm(Hertz bandwidth, Db noise_figure) {
+  PRAN_REQUIRE(bandwidth > Hertz{0.0}, "bandwidth must be positive");
   // kTB at 290 K is -174 dBm/Hz.
-  return -174.0 + 10.0 * std::log10(bandwidth_hz) + noise_figure_db;
+  return Db{-174.0 + 10.0 * std::log10(bandwidth.value())} + noise_figure;
 }
 
-double snr_db(double meters, const LinkBudget& budget) {
-  const double rx_dbm = budget.tx_power_dbm - pathloss_db(meters);
+Db snr_db(double meters, const LinkBudget& budget) {
+  const Db rx_dbm = budget.tx_power_dbm - pathloss_db(meters);
   return rx_dbm -
          noise_power_dbm(budget.bandwidth_per_prb_hz, budget.noise_figure_db);
 }
 
-double spectral_efficiency(double snr_db_value, const LinkBudget& budget) {
-  const double snr_linear = std::pow(10.0, snr_db_value / 10.0);
+double spectral_efficiency(Db snr, const LinkBudget& budget) {
+  const double snr_linear = units::to_linear(snr);
   const double eff =
       budget.implementation_margin * std::log2(1.0 + snr_linear);
   return std::clamp(eff, 0.0, budget.max_spectral_eff);
@@ -36,17 +41,17 @@ int cqi_at_distance(double meters, const LinkBudget& budget) {
   return cqi_from_efficiency(spectral_efficiency(snr_db(meters, budget), budget));
 }
 
-double prb_rate_bps(int mcs_index) {
+BitRate prb_rate_bps(int mcs_index) {
   // One PRB carries kUsableRePerPrb usable resource elements per 1 ms TTI.
-  return mcs(mcs_index).spectral_eff * static_cast<double>(kUsableRePerPrb) /
-         1e-3;
+  return BitRate{mcs(mcs_index).spectral_eff *
+                 static_cast<double>(kUsableRePerPrb) / 1e-3};
 }
 
-int prbs_for_rate(double rate_bps, int mcs_index) {
-  PRAN_REQUIRE(rate_bps >= 0.0, "rate must be non-negative");
-  if (rate_bps == 0.0) return 0;
-  const double per_prb = prb_rate_bps(mcs_index);
-  return static_cast<int>(std::ceil(rate_bps / per_prb));
+PrbCount prbs_for_rate(BitRate rate, int mcs_index) {
+  PRAN_REQUIRE(rate >= BitRate{0.0}, "rate must be non-negative");
+  if (rate == BitRate{0.0}) return PrbCount{0};
+  const BitRate per_prb = prb_rate_bps(mcs_index);
+  return PrbCount{static_cast<int>(std::ceil(rate / per_prb))};
 }
 
 }  // namespace pran::lte

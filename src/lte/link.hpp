@@ -7,7 +7,12 @@
 /// are only inputs to the compute-cost model, so fidelity of *shape*
 /// (efficiency falls with distance, saturates near the cell) is what
 /// matters.
+///
+/// All dB/dBm, Hz, and bit/s quantities cross this API as strong unit
+/// types (common/units.hpp): a path loss cannot be added to a linear
+/// power, and a byte-per-second rate cannot slip into `prbs_for_rate`.
 
+#include "common/units.hpp"
 #include "lte/mcs.hpp"
 
 namespace pran::lte {
@@ -17,35 +22,35 @@ struct LinkBudget {
   /// Effective per-PRB transmit power. 17 dBm/PRB (~37 dBm across a
   /// 100-PRB carrier) calibrates the cell so CQI spans the full table:
   /// 15 near the site, ~8 at 800 m, out-of-range beyond ~2 km.
-  double tx_power_dbm = 17.0;
-  double noise_figure_db = 7.0;     ///< Receiver noise figure.
-  double bandwidth_per_prb_hz = 180e3;
+  units::Db tx_power_dbm{17.0};
+  units::Db noise_figure_db{7.0};  ///< Receiver noise figure.
+  units::Hertz bandwidth_per_prb_hz{180e3};
   double implementation_margin = 0.75;  ///< Fraction of Shannon achieved.
   double max_spectral_eff = 5.5547;     ///< Cap at CQI-15 efficiency.
 };
 
-/// Path loss in dB for distance `meters` (>= 1), 3GPP UMa:
+/// Path loss for distance `meters` (>= 1), 3GPP UMa:
 /// 128.1 + 37.6 log10(d_km).
-double pathloss_db(double meters);
+units::Db pathloss_db(double meters);
 
-/// Thermal noise power in dBm over `bandwidth_hz` at 290 K, plus the noise
+/// Thermal noise power (dBm) over `bandwidth` at 290 K, plus the noise
 /// figure.
-double noise_power_dbm(double bandwidth_hz, double noise_figure_db);
+units::Db noise_power_dbm(units::Hertz bandwidth, units::Db noise_figure);
 
-/// Per-PRB SNR in dB at `meters` from the antenna under `budget`.
-double snr_db(double meters, const LinkBudget& budget = {});
+/// Per-PRB SNR at `meters` from the antenna under `budget`.
+units::Db snr_db(double meters, const LinkBudget& budget = {});
 
-/// Attenuated-Shannon spectral efficiency (bits per symbol) for a given SNR
-/// in dB, capped at the table maximum.
-double spectral_efficiency(double snr_db_value, const LinkBudget& budget = {});
+/// Attenuated-Shannon spectral efficiency (bits per symbol) for a given
+/// SNR, capped at the table maximum.
+double spectral_efficiency(units::Db snr, const LinkBudget& budget = {});
 
 /// End-to-end convenience: distance -> CQI (0..15).
 int cqi_at_distance(double meters, const LinkBudget& budget = {});
 
-/// Achievable rate in bit/s for one PRB at the given MCS (TTI = 1 ms).
-double prb_rate_bps(int mcs_index);
+/// Achievable rate for one PRB at the given MCS (TTI = 1 ms).
+units::BitRate prb_rate_bps(int mcs_index);
 
-/// PRBs needed to carry `rate_bps` at the given MCS (ceil); 0 for rate 0.
-int prbs_for_rate(double rate_bps, int mcs_index);
+/// PRBs needed to carry `rate` at the given MCS (ceil); 0 for rate 0.
+units::PrbCount prbs_for_rate(units::BitRate rate, int mcs_index);
 
 }  // namespace pran::lte

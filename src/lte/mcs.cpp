@@ -106,22 +106,24 @@ int mcs_from_cqi(int cqi_index) {
   return best;
 }
 
-int transport_block_bits(int mcs_index, int n_prb) {
-  PRAN_REQUIRE(n_prb >= 0, "PRB count must be non-negative");
-  if (n_prb == 0) return 0;
+units::Bits transport_block_bits(int mcs_index, units::PrbCount n_prb) {
+  PRAN_REQUIRE(n_prb >= units::PrbCount{0}, "PRB count must be non-negative");
+  if (n_prb == units::PrbCount{0}) return units::Bits{0};
   const auto& entry = mcs(mcs_index);
   const double bits = entry.spectral_eff *
                       static_cast<double>(kUsableRePerPrb) *
-                      static_cast<double>(n_prb);
-  const int whole = static_cast<int>(bits);
-  return whole - whole % 8;
+                      static_cast<double>(n_prb.count());
+  const auto whole = static_cast<std::int64_t>(bits);
+  return units::Bits{whole - whole % 8};
 }
 
-int code_block_count(int tb_bits) {
-  PRAN_REQUIRE(tb_bits >= 0, "transport block size must be non-negative");
-  if (tb_bits == 0) return 0;
-  constexpr int kMaxCodeBlockBits = 6144;
-  return (tb_bits + kMaxCodeBlockBits - 1) / kMaxCodeBlockBits;
+int code_block_count(units::Bits tb_bits) {
+  PRAN_REQUIRE(tb_bits >= units::Bits{0},
+               "transport block size must be non-negative");
+  if (tb_bits == units::Bits{0}) return 0;
+  constexpr std::int64_t kMaxCodeBlockBits = 6144;
+  return static_cast<int>((tb_bits.count() + kMaxCodeBlockBits - 1) /
+                          kMaxCodeBlockBits);
 }
 
 }  // namespace pran::lte

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/units.hpp"
+
 namespace pran::lte {
 
 enum class Modulation : std::uint8_t { kQpsk = 2, kQam16 = 4, kQam64 = 6 };
@@ -59,13 +61,13 @@ int mcs_from_cqi(int cqi_index);
 /// reference-signal overhead (168 raw, ~140 usable).
 inline constexpr int kUsableRePerPrb = 140;
 
-/// Transport-block size in bits for `n_prb` PRBs at MCS `mcs_index`.
+/// Transport-block size for `n_prb` PRBs at MCS `mcs_index`.
 /// Approximates 36.213: floor(spectral_eff * usable REs), floored to a
 /// multiple of 8 bits (byte-aligned MAC PDU).
-int transport_block_bits(int mcs_index, int n_prb);
+units::Bits transport_block_bits(int mcs_index, units::PrbCount n_prb);
 
 /// Number of code blocks a transport block of `tb_bits` is segmented into
 /// (turbo-coder block limit 6144 bits, TS 36.212).
-int code_block_count(int tb_bits);
+int code_block_count(units::Bits tb_bits);
 
 }  // namespace pran::lte

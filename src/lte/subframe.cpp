@@ -29,7 +29,8 @@ SubframeJob SubframeFactory::uplink_job(
   job.cost = model_.subframe_cost(config_, allocs, Direction::kUplink);
   int code_blocks = 0;
   for (const auto& a : allocs)
-    code_blocks += code_block_count(transport_block_bits(a.mcs, a.n_prb)) *
+    code_blocks += code_block_count(
+                       transport_block_bits(a.mcs, units::PrbCount{a.n_prb})) *
                    config_.mimo_layers;
   job.parallelism = std::max(1, code_blocks);
   // Over-the-air during [tti, tti+1); last sample lands one fronthaul

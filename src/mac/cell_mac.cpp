@@ -34,7 +34,7 @@ std::vector<lte::Allocation> CellMac::run_tti() {
     ue.advance_channel();
     ue.advance_traffic();
   }
-  grants_ = scheduler_->schedule(ues_, config_.cell.n_prb);
+  grants_ = scheduler_->schedule(ues_, units::PrbCount{config_.cell.n_prb});
   ++ttis_;
 
   std::vector<lte::Allocation> allocs;

@@ -34,8 +34,8 @@ Grant Scheduler::make_grant(Ue& ue, int prbs) {
   const int cqi = ue.current_cqi();
   if (cqi == 0 || prbs <= 0) return grant;
   const int mcs = lte::mcs_from_cqi(cqi);
-  const int tb_bits = lte::transport_block_bits(mcs, prbs);
-  const double drained = ue.drain(static_cast<double>(tb_bits) / 8.0);
+  const units::Bits tb = lte::transport_block_bits(mcs, units::PrbCount{prbs});
+  const double drained = ue.drain(static_cast<double>(tb.count()) / 8.0);
   grant.allocation = lte::Allocation{prbs, mcs, iterations_for(mcs)};
   grant.served_bits = drained * 8.0;
   return grant;
@@ -45,7 +45,8 @@ int Scheduler::useful_prbs(const Ue& ue, int available) {
   if (available <= 0 || ue.current_cqi() == 0) return 0;
   if (ue.config().traffic == TrafficKind::kFullBuffer) return available;
   const int mcs = lte::mcs_from_cqi(ue.current_cqi());
-  const int bits_per_prb = lte::transport_block_bits(mcs, 1);
+  const auto bits_per_prb =
+      static_cast<int>(lte::transport_block_bits(mcs, units::PrbCount{1}).count());
   if (bits_per_prb <= 0) return 0;
   const double needed_bits = ue.backlog_bytes() * 8.0;
   const int needed =
@@ -54,8 +55,9 @@ int Scheduler::useful_prbs(const Ue& ue, int available) {
 }
 
 std::vector<Grant> RoundRobinScheduler::schedule(std::vector<Ue>& ues,
-                                                 int n_prb) {
-  PRAN_REQUIRE(n_prb >= 0, "PRB budget must be non-negative");
+                                                 units::PrbCount budget) {
+  PRAN_REQUIRE(budget >= units::PrbCount{0}, "PRB budget must be non-negative");
+  const int n_prb = budget.count();
   std::vector<Grant> grants;
   if (ues.empty() || n_prb == 0) return grants;
 
@@ -92,8 +94,9 @@ std::vector<Grant> RoundRobinScheduler::schedule(std::vector<Ue>& ues,
 }
 
 std::vector<Grant> MaxRateScheduler::schedule(std::vector<Ue>& ues,
-                                              int n_prb) {
-  PRAN_REQUIRE(n_prb >= 0, "PRB budget must be non-negative");
+                                              units::PrbCount budget) {
+  PRAN_REQUIRE(budget >= units::PrbCount{0}, "PRB budget must be non-negative");
+  const int n_prb = budget.count();
   std::vector<std::size_t> order(ues.size());
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
@@ -120,14 +123,15 @@ std::vector<Grant> MaxRateScheduler::schedule(std::vector<Ue>& ues,
 }
 
 std::vector<Grant> ProportionalFairScheduler::schedule(std::vector<Ue>& ues,
-                                                       int n_prb) {
-  PRAN_REQUIRE(n_prb >= 0, "PRB budget must be non-negative");
+                                                       units::PrbCount budget) {
+  PRAN_REQUIRE(budget >= units::PrbCount{0}, "PRB budget must be non-negative");
+  const int n_prb = budget.count();
   // PF metric: achievable rate this TTI / average served rate.
   auto metric = [&](const Ue& ue) {
     const int cqi = ue.current_cqi();
     if (cqi == 0) return 0.0;
     const int mcs = lte::mcs_from_cqi(cqi);
-    const double inst_rate = lte::prb_rate_bps(mcs);
+    const double inst_rate = lte::prb_rate_bps(mcs).value();
     return inst_rate / ue.average_throughput_bps();
   };
 

@@ -36,7 +36,8 @@ class Scheduler {
   /// Allocates up to `n_prb` PRBs among `ues` for one TTI. Must not grant
   /// a UE with no data, must not exceed the PRB budget, and must set each
   /// grant's MCS from the UE's current CQI.
-  virtual std::vector<Grant> schedule(std::vector<Ue>& ues, int n_prb) = 0;
+  virtual std::vector<Grant> schedule(std::vector<Ue>& ues,
+                                      units::PrbCount n_prb) = 0;
 
  protected:
   /// Builds a grant of `prbs` PRBs for `ue` at its current CQI, draining
@@ -51,7 +52,8 @@ class Scheduler {
 class RoundRobinScheduler : public Scheduler {
  public:
   std::string name() const override { return "round-robin"; }
-  std::vector<Grant> schedule(std::vector<Ue>& ues, int n_prb) override;
+  std::vector<Grant> schedule(std::vector<Ue>& ues,
+                              units::PrbCount n_prb) override;
 
  private:
   std::size_t next_ = 0;
@@ -60,7 +62,8 @@ class RoundRobinScheduler : public Scheduler {
 class MaxRateScheduler : public Scheduler {
  public:
   std::string name() const override { return "max-rate"; }
-  std::vector<Grant> schedule(std::vector<Ue>& ues, int n_prb) override;
+  std::vector<Grant> schedule(std::vector<Ue>& ues,
+                              units::PrbCount n_prb) override;
 };
 
 class ProportionalFairScheduler : public Scheduler {
@@ -68,7 +71,8 @@ class ProportionalFairScheduler : public Scheduler {
   explicit ProportionalFairScheduler(double window_ttis = 100.0)
       : window_(window_ttis) {}
   std::string name() const override { return "proportional-fair"; }
-  std::vector<Grant> schedule(std::vector<Ue>& ues, int n_prb) override;
+  std::vector<Grant> schedule(std::vector<Ue>& ues,
+                              units::PrbCount n_prb) override;
 
  private:
   double window_;

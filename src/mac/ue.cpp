@@ -17,8 +17,8 @@ Ue::Ue(UeConfig config, std::uint64_t seed) : config_(config), rng_(seed) {
 
 void Ue::advance_channel() {
   // 3 dB log-normal fast fading around the distance-determined SNR.
-  fading_db_ = rng_.normal(0.0, 3.0);
-  const double snr = lte::snr_db(config_.distance_m) + fading_db_;
+  fading_db_ = units::Db{rng_.normal(0.0, 3.0)};
+  const units::Db snr = lte::snr_db(config_.distance_m) + fading_db_;
   cqi_ = lte::cqi_from_efficiency(lte::spectral_efficiency(snr));
 }
 
@@ -51,12 +51,12 @@ double Ue::drain(double bytes) {
   return taken;
 }
 
-void Ue::update_average(double served_bits, double window_ttis) {
+void Ue::update_average(double served, double window_ttis) {
   PRAN_REQUIRE(window_ttis >= 1.0, "PF window must be >= 1 TTI");
   const double alpha = 1.0 / window_ttis;
-  const double served_bps = served_bits / 1e-3;  // bits per 1 ms TTI
+  const double served_bps = served / 1e-3;  // bits per 1 ms TTI
   avg_tput_bps_ = (1.0 - alpha) * avg_tput_bps_ + alpha * served_bps;
-  total_bits_ += served_bits;
+  total_bits_ += served;
 }
 
 }  // namespace pran::mac

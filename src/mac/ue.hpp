@@ -60,8 +60,10 @@ class Ue {
   /// Exponentially averaged served throughput (bit/s) for PF metrics.
   double average_throughput_bps() const noexcept { return avg_tput_bps_; }
 
-  /// Folds one TTI's served bits into the PF average (alpha = 1/window).
-  void update_average(double served_bits, double window_ttis = 100.0);
+  /// Folds one TTI's served bits (`served`, possibly fractional — the
+  /// backlog drains in fractional bytes) into the PF average
+  /// (alpha = 1/window).
+  void update_average(double served, double window_ttis = 100.0);
 
   /// Total bits served so far.
   double total_served_bits() const noexcept { return total_bits_; }
@@ -69,7 +71,7 @@ class Ue {
  private:
   UeConfig config_;
   Rng rng_;
-  double fading_db_ = 0.0;
+  units::Db fading_db_{0.0};
   int cqi_ = 0;
   double backlog_bytes_ = 0.0;
   double rate_scale_ = 1.0;

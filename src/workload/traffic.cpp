@@ -9,9 +9,9 @@ namespace pran::workload {
 
 const std::vector<ServiceClass>& default_service_mix() {
   static const std::vector<ServiceClass> mix = {
-      {"heavy", 20e6, 0.25},
-      {"medium", 5e6, 0.25},
-      {"light", 1e6, 0.50},
+      {"heavy", units::BitRate{20e6}, 0.25},
+      {"medium", units::BitRate{5e6}, 0.25},
+      {"light", units::BitRate{1e6}, 0.50},
   };
   return mix;
 }
@@ -66,7 +66,7 @@ TrafficModel::TrafficModel(CellSite site, DiurnalProfile profile,
     const double d = std::sqrt(calib.uniform()) * site_.radius_m;
     const double dist = std::max(d, site_.min_distance_m);
     const int mcs = lte::mcs_from_cqi(std::max(1, lte::cqi_at_distance(dist)));
-    total += lte::prbs_for_rate(chosen->rate_bps, mcs);
+    total += lte::prbs_for_rate(chosen->rate_bps, mcs).count();
   }
   mean_prbs_per_ue_ = total / kCalibrationDraws;
   PRAN_CHECK(mean_prbs_per_ue_ > 0.0, "calibration produced zero PRBs/UE");
@@ -106,7 +106,7 @@ std::vector<lte::Allocation> TrafficModel::sample_subframe_with(
     if (cqi == 0) continue;  // out of coverage this TTI
     const int mcs = lte::mcs_from_cqi(cqi);
     const int prbs =
-        std::min(lte::prbs_for_rate(chosen->rate_bps, mcs), prbs_left);
+        std::min(lte::prbs_for_rate(chosen->rate_bps, mcs).count(), prbs_left);
     if (prbs == 0) continue;
     const double rate = lte::mcs(mcs).code_rate;
     allocs.push_back(

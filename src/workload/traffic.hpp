@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/units.hpp"
 #include "lte/cost_model.hpp"
 #include "lte/link.hpp"
 #include "workload/diurnal.hpp"
@@ -23,7 +24,7 @@ namespace pran::workload {
 /// A service class: demanded rate plus mix weight.
 struct ServiceClass {
   const char* name;
-  double rate_bps;
+  units::BitRate rate_bps;
   double weight;
 };
 

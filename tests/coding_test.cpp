@@ -116,7 +116,7 @@ TEST(Viterbi, SoftBeatsHardAtSameSnr) {
   LinkConfig config;
   config.info_bits = 200;
   config.code_rate = 1.0 / 2.0;
-  const double esn0 = -1.0;
+  const units::Db esn0{-1.0};
 
   config.soft_decision = true;
   const auto soft = run_link(config, esn0, 150, rng);
@@ -182,14 +182,14 @@ TEST(RateMatch, OutputBitsForRate) {
 
 TEST(Awgn, SigmaMatchesDefinition) {
   // Es/N0 = 0 dB -> sigma^2 = 0.5.
-  EXPECT_NEAR(awgn_sigma(0.0), std::sqrt(0.5), 1e-12);
-  EXPECT_GT(awgn_sigma(-5.0), awgn_sigma(5.0));
+  EXPECT_NEAR(awgn_sigma(units::Db{0.0}), std::sqrt(0.5), 1e-12);
+  EXPECT_GT(awgn_sigma(units::Db{-5.0}), awgn_sigma(units::Db{5.0}));
 }
 
 TEST(Awgn, HighSnrIsEssentiallyNoiseless) {
   Rng rng(10);
   const Bits bits = random_bits(1000, rng);
-  const auto llrs = transmit_bpsk(bits, 20.0, rng);
+  const auto llrs = transmit_bpsk(bits, units::Db{20.0}, rng);
   EXPECT_EQ(hard_decisions(llrs), bits);
 }
 
@@ -197,12 +197,13 @@ TEST(Awgn, UncodedBerMatchesTheory) {
   // BER = Q(sqrt(2 Es/N0)); at 4 dB that is ~1.25%.
   Rng rng(11);
   const Bits bits = random_bits(200000, rng);
-  const auto llrs = transmit_bpsk(bits, 4.0, rng);
+  const auto llrs = transmit_bpsk(bits, units::Db{4.0}, rng);
   const auto hard = hard_decisions(llrs);
   std::size_t errors = 0;
   for (std::size_t i = 0; i < bits.size(); ++i)
     if (hard[i] != bits[i]) ++errors;
-  const double ber = static_cast<double>(errors) / bits.size();
+  const double ber =
+      static_cast<double>(errors) / static_cast<double>(bits.size());
   EXPECT_NEAR(ber, 0.0125, 0.004);
 }
 
@@ -212,7 +213,7 @@ TEST(Link, CleanAtHighSnrAcrossRates) {
     LinkConfig config;
     config.info_bits = 128;
     config.code_rate = rate;
-    const auto stats = run_link(config, 8.0, 40, rng);
+    const auto stats = run_link(config, units::Db{8.0}, 40, rng);
     EXPECT_EQ(stats.block_errors, 0u) << "rate " << rate;
     EXPECT_EQ(stats.undetected_errors, 0u);
   }
@@ -225,7 +226,7 @@ TEST(Link, BlerMonotoneInSnr) {
   config.code_rate = 0.5;
   double prev = 1.1;
   for (double esn0 : {-4.0, -1.0, 3.0}) {
-    const auto stats = run_link(config, esn0, 120, rng);
+    const auto stats = run_link(config, units::Db{esn0}, 120, rng);
     EXPECT_LE(stats.bler(), prev + 0.08) << "esn0 " << esn0;
     prev = stats.bler();
   }
@@ -238,7 +239,7 @@ TEST(Link, HigherRateNeedsMoreSnr) {
   low.info_bits = high.info_bits = 96;
   low.code_rate = 1.0 / 3.0;
   high.code_rate = 0.8;
-  const double esn0 = -1.5;
+  const units::Db esn0{-1.5};
   const auto stats_low = run_link(low, esn0, 120, rng);
   const auto stats_high = run_link(high, esn0, 120, rng);
   EXPECT_LT(stats_low.bler(), stats_high.bler());
@@ -251,7 +252,7 @@ TEST(Link, CodingBeatsUncodedAtModerateSnr) {
   LinkConfig config;
   config.info_bits = 96;
   config.code_rate = 0.5;
-  const auto stats = run_link(config, 2.0, 100, rng);
+  const auto stats = run_link(config, units::Db{2.0}, 100, rng);
   EXPECT_LT(stats.bler(), 0.05);
 }
 

@@ -25,7 +25,7 @@ double block_error_rate(std::size_t k, double esn0, int iterations,
   for (int t = 0; t < trials; ++t) {
     const Bits info = random_bits(k, rng);
     const Bits coded = turbo_encode(info);
-    const Llrs llrs = transmit_bpsk(coded, esn0, rng);
+    const Llrs llrs = transmit_bpsk(coded, units::Db{esn0}, rng);
     const auto result = turbo_decode(llrs, k, iterations);
     if (result.info != info) ++errors;
   }
@@ -119,7 +119,7 @@ TEST(TurboDecode, BeatsViterbiAtSameRateAndSnr) {
   for (int t = 0; t < 40; ++t) {
     const Bits info = random_bits(256, rng);
     const Bits coded = convolutional_encode(info);
-    const Llrs llrs = transmit_bpsk(coded, esn0, rng);
+    const Llrs llrs = transmit_bpsk(coded, units::Db{esn0}, rng);
     const auto decoded = viterbi_decode(llrs, info.size());
     if (decoded.info != info) ++conv_errors;
   }
@@ -136,7 +136,7 @@ TEST(TurboDecode, EarlyExitSavesIterationsAtGoodSnr) {
     for (int t = 0; t < trials; ++t) {
       const Bits info = random_bits(k, rng);
       const Bits coded = turbo_encode(info);
-      const Llrs llrs = transmit_bpsk(coded, esn0, rng);
+      const Llrs llrs = transmit_bpsk(coded, units::Db{esn0}, rng);
       const auto result = turbo_decode(
           llrs, k, 8, [&](const Bits& hard) { return hard == info; });
       total += result.iterations;

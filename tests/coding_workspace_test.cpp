@@ -25,6 +25,8 @@
 #include "coding/turbo.hpp"
 #include "coding/viterbi.hpp"
 
+#include "common/narrow.hpp"
+
 namespace pran::coding {
 namespace {
 
@@ -176,7 +178,7 @@ struct BranchTable {
   BranchTable() {
     for (unsigned reg = 0; reg < 2 * kNumStates; ++reg)
       for (int g = 0; g < kCodeRateDen; ++g)
-        outputs[reg][static_cast<std::size_t>(g)] = static_cast<std::uint8_t>(
+        outputs[reg][static_cast<std::size_t>(g)] = narrow_cast<std::uint8_t>(
             std::popcount(reg & kGenerators[g]) & 1u);
   }
 };
@@ -209,7 +211,7 @@ ViterbiResult viterbi_decode(const Llrs& llrs, std::size_t info_bits) {
         if (candidate > next_metric[static_cast<std::size_t>(ns)]) {
           next_metric[static_cast<std::size_t>(ns)] = candidate;
           decisions[t][static_cast<std::size_t>(ns)] =
-              static_cast<std::uint8_t>(which);
+              narrow_cast<std::uint8_t>(which);
         }
       }
     }
@@ -220,7 +222,7 @@ ViterbiResult viterbi_decode(const Llrs& llrs, std::size_t info_bits) {
   Bits inputs(total_steps, 0);
   int state = 0;
   for (std::size_t t = total_steps; t-- > 0;) {
-    inputs[t] = static_cast<std::uint8_t>(state & 1);
+    inputs[t] = narrow_cast<std::uint8_t>(state & 1);
     const int which = decisions[t][static_cast<std::size_t>(state)];
     state = (state >> 1) | (which ? (kNumStates >> 1) : 0);
   }
@@ -246,7 +248,7 @@ TEST(WorkspaceTurbo, MatchesSeedDecoderAtOperatingSnr) {
       for (std::uint64_t seed = 1; seed <= 5; ++seed) {
         Rng rng(seed * 7919 + k);
         const Bits info = random_bits(k, rng);
-        const Llrs llrs = transmit_bpsk(turbo_encode(info), esn0, rng);
+        const Llrs llrs = transmit_bpsk(turbo_encode(info), units::Db{esn0}, rng);
         const auto fast = turbo_decode(llrs, k, 8);
         const auto golden = ref::turbo_decode(llrs, k, 8, nullptr);
         EXPECT_EQ(fast.info, golden.info)
@@ -265,7 +267,7 @@ TEST(WorkspaceTurbo, MatchesSeedIterationCountsWithEarlyExit) {
     for (std::uint64_t seed = 1; seed <= 5; ++seed) {
       Rng rng(seed * 104729 + k);
       const Bits info = random_bits(k, rng);
-      const Llrs llrs = transmit_bpsk(turbo_encode(info), -2.5, rng);
+      const Llrs llrs = transmit_bpsk(turbo_encode(info), units::Db{-2.5}, rng);
       auto gate = [&](const Bits& hard) { return hard == info; };
       const auto fast = turbo_decode(llrs, k, 8, gate);
       const auto golden = ref::turbo_decode(llrs, k, 8, gate);
@@ -299,7 +301,7 @@ TEST(WorkspaceTurbo, OneInstanceHandlesChangingBlockSizes) {
   for (const std::size_t k : {1024u, 64u, 256u, 64u, 1024u}) {
     Rng rng(k + 17);
     const Bits info = random_bits(k, rng);
-    const Llrs llrs = transmit_bpsk(turbo_encode(info), -2.0, rng);
+    const Llrs llrs = transmit_bpsk(turbo_encode(info), units::Db{-2.0}, rng);
     const auto& shared = reused.decode(llrs, k, 8);
     TurboDecoder fresh;
     const auto& isolated = fresh.decode(llrs, k, 8);
@@ -315,7 +317,7 @@ TEST(WorkspaceViterbi, MatchesSeedDecoder) {
         Rng rng(seed * 31 + info_bits);
         const Bits info = random_bits(info_bits, rng);
         const Bits coded = convolutional_encode(info);
-        const Llrs llrs = transmit_bpsk(coded, esn0, rng);
+        const Llrs llrs = transmit_bpsk(coded, units::Db{esn0}, rng);
         const auto fast = viterbi_decode(llrs, info_bits);
         const auto golden = ref::viterbi_decode(llrs, info_bits);
         EXPECT_EQ(fast.info, golden.info)

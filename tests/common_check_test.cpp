@@ -1,0 +1,86 @@
+#include "common/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace pran {
+namespace {
+
+// The diagnostic quality of ContractViolation is a contract of its own:
+// pran-lint insists every PRAN_REQUIRE / PRAN_CHECK carries a message, and
+// these tests pin down that the message — plus the failed expression and the
+// source location — actually survives into what().
+
+TEST(CheckTest, RequirePassesWhenConditionHolds) {
+  EXPECT_NO_THROW(PRAN_REQUIRE(1 + 1 == 2, "arithmetic still works"));
+  EXPECT_NO_THROW(PRAN_CHECK(true, "trivially true"));
+}
+
+TEST(CheckTest, RequireThrowsContractViolation) {
+  EXPECT_THROW(PRAN_REQUIRE(false, "must not be reached"), ContractViolation);
+  // ContractViolation derives from std::logic_error so callers can catch
+  // broadly without knowing about PRAN internals.
+  EXPECT_THROW(PRAN_REQUIRE(false, "must not be reached"), std::logic_error);
+}
+
+TEST(CheckTest, RequireMessageEmbedsExpressionAndLocation) {
+  std::string what;
+  const int prbs = -3;
+  try {
+    PRAN_REQUIRE(prbs >= 0, "PRB count cannot be negative");
+    FAIL() << "PRAN_REQUIRE(false, ...) did not throw";
+  } catch (const ContractViolation& e) {
+    what = e.what();
+  }
+  EXPECT_NE(what.find("precondition"), std::string::npos) << what;
+  EXPECT_NE(what.find("prbs >= 0"), std::string::npos) << what;
+  EXPECT_NE(what.find("common_check_test.cpp"), std::string::npos) << what;
+  EXPECT_NE(what.find("PRB count cannot be negative"), std::string::npos)
+      << what;
+}
+
+TEST(CheckTest, CheckMessageEmbedsExpressionAndLocation) {
+  std::string what;
+  const double scale = -1.0;
+  try {
+    PRAN_CHECK(scale > 0.0, "scale factor went non-positive");
+    FAIL() << "PRAN_CHECK(false, ...) did not throw";
+  } catch (const ContractViolation& e) {
+    what = e.what();
+  }
+  EXPECT_NE(what.find("invariant"), std::string::npos) << what;
+  EXPECT_NE(what.find("scale > 0.0"), std::string::npos) << what;
+  EXPECT_NE(what.find("common_check_test.cpp"), std::string::npos) << what;
+  EXPECT_NE(what.find("scale factor went non-positive"), std::string::npos)
+      << what;
+}
+
+TEST(CheckTest, LocationLineMatchesFailingCheck) {
+  std::string what;
+  const int expected_line = __LINE__ + 2;
+  try {
+    PRAN_REQUIRE(false, "line capture probe");
+  } catch (const ContractViolation& e) {
+    what = e.what();
+  }
+  const std::string needle = ":" + std::to_string(expected_line);
+  EXPECT_NE(what.find(needle), std::string::npos) << what;
+}
+
+TEST(CheckTest, MessageExpressionIsEvaluated) {
+  // The msg argument may be a runtime expression; it must be evaluated and
+  // embedded, not stringified.
+  const int id = 42;
+  std::string what;
+  try {
+    PRAN_CHECK(false, "bad cell id " + std::to_string(id));
+  } catch (const ContractViolation& e) {
+    what = e.what();
+  }
+  EXPECT_NE(what.find("bad cell id 42"), std::string::npos) << what;
+}
+
+}  // namespace
+}  // namespace pran

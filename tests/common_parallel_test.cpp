@@ -122,7 +122,7 @@ TEST(ParallelBler, CountsAreThreadCountIndependent) {
   coding::LinkConfig config;
   config.info_bits = 96;
   config.code_rate = 0.5;
-  const double esn0 = -1.0;  // mid-waterfall: errors and successes mixed
+  const units::Db esn0{-1.0};  // mid-waterfall: errors and successes mixed
   const std::size_t blocks = 300;
 
   auto sweep = [&](unsigned threads) {
@@ -151,8 +151,8 @@ TEST(ParallelBler, RepeatedSweepsWithSamePoolAreIdentical) {
   config.code_rate = 1.0 / 3.0;
   ThreadPool pool(4);
   Rng rng1(5), rng2(5);
-  const auto first = coding::run_link(config, -2.0, 200, rng1, &pool);
-  const auto second = coding::run_link(config, -2.0, 200, rng2, &pool);
+  const auto first = coding::run_link(config, units::Db{-2.0}, 200, rng1, &pool);
+  const auto second = coding::run_link(config, units::Db{-2.0}, 200, rng2, &pool);
   EXPECT_EQ(first.block_errors, second.block_errors);
   EXPECT_EQ(first.bit_errors, second.bit_errors);
 }

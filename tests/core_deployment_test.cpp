@@ -152,12 +152,18 @@ TEST(Deployment, MissesForCellFilterWorks) {
 }
 
 TEST(Pooling, FfdBinCount) {
-  EXPECT_EQ(ffd_bin_count({0.5, 0.5, 0.5, 0.5}, 1.0), 2);
-  EXPECT_EQ(ffd_bin_count({0.6, 0.6, 0.6}, 1.0), 3);
-  EXPECT_EQ(ffd_bin_count({}, 1.0), 0);
-  EXPECT_EQ(ffd_bin_count({0.3, 0.3, 0.3, 0.7, 0.7}, 1.0), 3);
-  EXPECT_THROW(ffd_bin_count({1.5}, 1.0), pran::ContractViolation);
-  EXPECT_THROW(ffd_bin_count({0.1}, 0.0), pran::ContractViolation);
+  using units::Gops;
+  auto g = [](std::initializer_list<double> xs) {
+    std::vector<Gops> out;
+    for (double x : xs) out.push_back(Gops{x});
+    return out;
+  };
+  EXPECT_EQ(ffd_bin_count(g({0.5, 0.5, 0.5, 0.5}), Gops{1.0}), 2);
+  EXPECT_EQ(ffd_bin_count(g({0.6, 0.6, 0.6}), Gops{1.0}), 3);
+  EXPECT_EQ(ffd_bin_count(g({}), Gops{1.0}), 0);
+  EXPECT_EQ(ffd_bin_count(g({0.3, 0.3, 0.3, 0.7, 0.7}), Gops{1.0}), 3);
+  EXPECT_THROW(ffd_bin_count(g({1.5}), Gops{1.0}), pran::ContractViolation);
+  EXPECT_THROW(ffd_bin_count(g({0.1}), Gops{0.0}), pran::ContractViolation);
 }
 
 TEST(Pooling, AnalysisShowsMultiplexingGain) {

@@ -27,7 +27,7 @@ DeploymentConfig kitchen_sink() {
   config.mac_ue_peak_bps = 2e6;
 
   config.shared_fronthaul =
-      fronthaul::LinkParams{25e9, 25 * sim::kMicrosecond};
+      fronthaul::LinkParams{units::BitRate{25e9}, 25 * sim::kMicrosecond};
   config.fronthaul_compression = 2.0;
 
   config.harq_retransmissions = true;

@@ -18,16 +18,18 @@ std::vector<Cplx> test_block(std::uint64_t seed = 1, std::size_t symbols = 2) {
 
 TEST(CompressionRatio, AgainstCpriBaseline) {
   // 100 samples at 2x15 bits = 3000 bits; encoded in 1000 -> ratio 3.
-  EXPECT_DOUBLE_EQ(Codec::compression_ratio(100, 1000), 3.0);
-  EXPECT_THROW(Codec::compression_ratio(100, 0), pran::ContractViolation);
+  EXPECT_DOUBLE_EQ(Codec::compression_ratio(100, units::Bits{1000}), 3.0);
+  EXPECT_THROW(Codec::compression_ratio(100, units::Bits{0}),
+               pran::ContractViolation);
 }
 
 TEST(FixedPoint, HighWidthIsNearLossless) {
   const auto block = test_block();
   FixedPointCodec codec(16);
   const auto result = codec.roundtrip(block);
-  EXPECT_GT(sqnr_db(block, result.decoded), 70.0);
-  EXPECT_EQ(result.bits, block.size() * 32 + 32);
+  EXPECT_GT(sqnr_db(block, result.decoded).value(), 70.0);
+  EXPECT_EQ(result.bits,
+            units::Bits{static_cast<std::int64_t>(block.size()) * 32 + 32});
 }
 
 TEST(FixedPoint, SqnrImprovesWithBits) {
@@ -35,7 +37,7 @@ TEST(FixedPoint, SqnrImprovesWithBits) {
   double prev = -100.0;
   for (int bits : {4, 6, 8, 10, 12}) {
     FixedPointCodec codec(bits);
-    const double s = sqnr_db(block, codec.roundtrip(block).decoded);
+    const double s = sqnr_db(block, codec.roundtrip(block).decoded).value();
     EXPECT_GT(s, prev) << bits << " bits";
     prev = s;
   }
@@ -43,9 +45,9 @@ TEST(FixedPoint, SqnrImprovesWithBits) {
 
 TEST(FixedPoint, ApproachesSixDbPerBit) {
   const auto block = test_block();
-  const double s8 = sqnr_db(block, FixedPointCodec(8).roundtrip(block).decoded);
+  const double s8 = sqnr_db(block, FixedPointCodec(8).roundtrip(block).decoded).value();
   const double s12 =
-      sqnr_db(block, FixedPointCodec(12).roundtrip(block).decoded);
+      sqnr_db(block, FixedPointCodec(12).roundtrip(block).decoded).value();
   EXPECT_NEAR(s12 - s8, 24.0, 4.0);
 }
 
@@ -61,9 +63,9 @@ TEST(BlockFloat, BeatsFixedPointAtSameWidth) {
   // one global scale.
   const auto block = test_block(7, 4);
   const double fixed =
-      sqnr_db(block, FixedPointCodec(8).roundtrip(block).decoded);
+      sqnr_db(block, FixedPointCodec(8).roundtrip(block).decoded).value();
   const double bfp =
-      sqnr_db(block, BlockFloatCodec(8, 32).roundtrip(block).decoded);
+      sqnr_db(block, BlockFloatCodec(8, 32).roundtrip(block).decoded).value();
   EXPECT_GT(bfp, fixed);
 }
 
@@ -72,7 +74,8 @@ TEST(BlockFloat, BitsAccountForExponents) {
   BlockFloatCodec codec(9, 64);
   const auto result = codec.roundtrip(block);
   const std::size_t groups = (block.size() + 63) / 64;
-  EXPECT_EQ(result.bits, block.size() * 18 + groups * 6);
+  EXPECT_EQ(result.bits,
+            units::Bits{static_cast<std::int64_t>(block.size() * 18 + groups * 6)});
 }
 
 TEST(BlockFloat, HandlesAllZeroGroups) {
@@ -110,16 +113,16 @@ TEST(MuLaw, BeatsUniformOnWideDynamicRangeInput) {
     }
   }
   ASSERT_GT(quiet_ref.size(), 100u);
-  EXPECT_GT(sqnr_db(quiet_ref, quiet_mulaw),
-            sqnr_db(quiet_ref, quiet_uniform) + 6.0);
+  EXPECT_GT(sqnr_db(quiet_ref, quiet_mulaw).value(),
+            sqnr_db(quiet_ref, quiet_uniform).value() + 6.0);
 }
 
 TEST(MuLaw, WithinAFewDbOfUniformOnOfdm) {
   // On near-Gaussian OFDM both quantisers are comparable.
   const auto block = test_block(11, 4);
   const double uniform =
-      sqnr_db(block, FixedPointCodec(6).roundtrip(block).decoded);
-  const double mulaw = sqnr_db(block, MuLawCodec(6).roundtrip(block).decoded);
+      sqnr_db(block, FixedPointCodec(6).roundtrip(block).decoded).value();
+  const double mulaw = sqnr_db(block, MuLawCodec(6).roundtrip(block).decoded).value();
   EXPECT_NEAR(mulaw, uniform, 6.0);
 }
 
@@ -143,7 +146,7 @@ TEST(Pruning, LosslessForInBandSignal) {
   const auto block = generate_capture(rng, 2, params);
   PruningCodec codec(std::make_unique<FixedPointCodec>(16), 2048, 1536);
   const auto result = codec.roundtrip(block);
-  EXPECT_GT(sqnr_db(block, result.decoded), 60.0);
+  EXPECT_GT(sqnr_db(block, result.decoded).value(), 60.0);
 }
 
 TEST(Pruning, CutsBitsByKeptFraction) {
@@ -151,8 +154,7 @@ TEST(Pruning, CutsBitsByKeptFraction) {
   PruningCodec codec(std::make_unique<FixedPointCodec>(8), 2048, 1024);
   const auto result = codec.roundtrip(block);
   // Inner codec sees half the samples.
-  const std::size_t expected =
-      2 * (1024 * 2 * 8 + 32);  // two FFT frames
+  const units::Bits expected{2 * (1024 * 2 * 8 + 32)};  // two FFT frames
   EXPECT_EQ(result.bits, expected);
   EXPECT_EQ(result.decoded.size(), block.size());
 }

@@ -12,43 +12,46 @@ TEST(Cpri, PayloadRateMatchesFirstPrinciples) {
   CpriParams p;
   p.antennas = 1;
   // 30.72 Msps * 2 * 15 bits = 921.6 Mbps per antenna.
-  EXPECT_NEAR(payload_rate_bps(p), 921.6e6, 1e3);
+  EXPECT_NEAR(payload_rate_bps(p).value(), 921.6e6, 1e3);
 }
 
 TEST(Cpri, LineRateIncludesOverheads) {
   CpriParams p;
   p.antennas = 1;
   // 921.6M * 16/15 * 10/8 = 1.2288 Gbps — the classic CPRI option-2 rate.
-  EXPECT_NEAR(line_rate_bps(p), 1.2288e9, 1e3);
+  EXPECT_NEAR(line_rate_bps(p).value(), 1.2288e9, 1e3);
 }
 
 TEST(Cpri, FourAntennaCellNeedsFiveGigabits) {
   CpriParams p;  // 4 antennas default
-  EXPECT_NEAR(line_rate_bps(p), 4.9152e9, 1e4);
+  EXPECT_NEAR(line_rate_bps(p).value(), 4.9152e9, 1e4);
 }
 
 TEST(Cpri, CompressionDividesPayloadOnly) {
   CpriParams p;
-  const double full = line_rate_bps(p);
-  EXPECT_NEAR(compressed_line_rate_bps(p, 3.0), full / 3.0, 1.0);
+  const double full = line_rate_bps(p).value();
+  EXPECT_NEAR(compressed_line_rate_bps(p, 3.0).value(), full / 3.0, 1.0);
   EXPECT_THROW(compressed_line_rate_bps(p, 0.0), pran::ContractViolation);
 }
 
 TEST(Cpri, CellsPerLink) {
   CpriParams p;  // ~4.9 Gbps per cell
-  EXPECT_EQ(cells_per_link(10e9, line_rate_bps(p)), 2u);
-  EXPECT_EQ(cells_per_link(10e9, compressed_line_rate_bps(p, 3.0)), 6u);
-  EXPECT_EQ(cells_per_link(1e9, line_rate_bps(p)), 0u);
-  EXPECT_THROW(cells_per_link(1e9, 0.0), pran::ContractViolation);
+  EXPECT_EQ(cells_per_link(units::BitRate{10e9}, line_rate_bps(p)), 2u);
+  EXPECT_EQ(
+      cells_per_link(units::BitRate{10e9}, compressed_line_rate_bps(p, 3.0)),
+      6u);
+  EXPECT_EQ(cells_per_link(units::BitRate{1e9}, line_rate_bps(p)), 0u);
+  EXPECT_THROW(cells_per_link(units::BitRate{1e9}, units::BitRate{0.0}),
+               pran::ContractViolation);
 }
 
 TEST(Cpri, RejectsDegenerateParams) {
   CpriParams p;
   p.antennas = 0;
-  EXPECT_THROW(payload_rate_bps(p), pran::ContractViolation);
+  EXPECT_THROW(payload_rate_bps(p).value(), pran::ContractViolation);
   p.antennas = 1;
-  p.sample_rate_hz = 0.0;
-  EXPECT_THROW(payload_rate_bps(p), pran::ContractViolation);
+  p.sample_rate_hz = units::Hertz{0.0};
+  EXPECT_THROW(payload_rate_bps(p).value(), pran::ContractViolation);
 }
 
 }  // namespace

@@ -10,9 +10,9 @@ namespace pran::fronthaul {
 namespace {
 
 TEST(FronthaulLink, IdleLinkDeliversAfterTxPlusPropagation) {
-  FronthaulLink link({1e9, 10 * sim::kMicrosecond});  // 1 Gbps
+  FronthaulLink link({units::BitRate{1e9}, 10 * sim::kMicrosecond});
   // 1 Mbit at 1 Gbps = 1 ms serialisation.
-  const sim::Time arrival = link.enqueue(0, 1e6);
+  const sim::Time arrival = link.enqueue(0, units::Bits{1'000'000});
   EXPECT_EQ(arrival, sim::kMillisecond + 10 * sim::kMicrosecond);
   EXPECT_EQ(link.busy_time(), sim::kMillisecond);
   EXPECT_EQ(link.max_queue_delay(), 0);
@@ -20,42 +20,46 @@ TEST(FronthaulLink, IdleLinkDeliversAfterTxPlusPropagation) {
 }
 
 TEST(FronthaulLink, FifoQueueingDelaysSecondBurst) {
-  FronthaulLink link({1e9, 0});
-  (void)link.enqueue(0, 1e6);               // busy until 1 ms
-  const sim::Time arrival = link.enqueue(0, 1e6);
+  FronthaulLink link({units::BitRate{1e9}, 0});
+  (void)link.enqueue(0, units::Bits{1'000'000});               // busy until 1 ms
+  const sim::Time arrival = link.enqueue(0, units::Bits{1'000'000});
   EXPECT_EQ(arrival, 2 * sim::kMillisecond);
   EXPECT_EQ(link.max_queue_delay(), sim::kMillisecond);
 }
 
 TEST(FronthaulLink, GapsLeaveLinkIdle) {
-  FronthaulLink link({1e9, 0});
-  (void)link.enqueue(0, 1e5);  // 100 us
-  const sim::Time arrival = link.enqueue(sim::kMillisecond, 1e5);
+  FronthaulLink link({units::BitRate{1e9}, 0});
+  (void)link.enqueue(0, units::Bits{100'000});  // 100 us
+  const sim::Time arrival = link.enqueue(sim::kMillisecond, units::Bits{100'000});
   EXPECT_EQ(arrival, sim::kMillisecond + 100 * sim::kMicrosecond);
   EXPECT_EQ(link.max_queue_delay(), 0);
 }
 
 TEST(FronthaulLink, UtilizationAndCarriedBits) {
-  FronthaulLink link({1e9, 0});
-  (void)link.enqueue(0, 5e5);  // 0.5 ms busy
+  FronthaulLink link({units::BitRate{1e9}, 0});
+  (void)link.enqueue(0, units::Bits{500'000});  // 0.5 ms busy
   EXPECT_NEAR(link.utilization(sim::kMillisecond), 0.5, 1e-9);
-  EXPECT_DOUBLE_EQ(link.bits_carried(), 5e5);
+  EXPECT_EQ(link.bits_carried(), units::Bits{500'000});
 }
 
 TEST(FronthaulLink, RejectsOutOfOrderIngressAndBadParams) {
-  FronthaulLink link({1e9, 0});
-  (void)link.enqueue(sim::kMillisecond, 1.0);
-  EXPECT_THROW(link.enqueue(0, 1.0), pran::ContractViolation);
-  EXPECT_THROW(FronthaulLink({0.0, 0}), pran::ContractViolation);
-  EXPECT_THROW(link.enqueue(sim::kMillisecond, -1.0),
+  FronthaulLink link({units::BitRate{1e9}, 0});
+  (void)link.enqueue(sim::kMillisecond, units::Bits{1});
+  EXPECT_THROW(link.enqueue(0, units::Bits{1}), pran::ContractViolation);
+  EXPECT_THROW(FronthaulLink({units::BitRate{0.0}, 0}),
+               pran::ContractViolation);
+  EXPECT_THROW(link.enqueue(sim::kMillisecond, units::Bits{-1}),
                pran::ContractViolation);
 }
 
 TEST(SubframeBits, MatchesCpriArithmetic) {
   // 30.72 Msps * 1 ms * 2 * 15 * 4 antennas = 3.6864 Mbit per subframe.
-  EXPECT_NEAR(subframe_bits(30.72e6, 15, 4, 1.0), 3.6864e6, 1.0);
-  EXPECT_NEAR(subframe_bits(30.72e6, 15, 4, 3.0), 1.2288e6, 1.0);
-  EXPECT_THROW(subframe_bits(30.72e6, 15, 4, 0.0), pran::ContractViolation);
+  EXPECT_EQ(subframe_bits(units::Hertz{30.72e6}, 15, 4, 1.0),
+            units::Bits{3'686'400});
+  EXPECT_EQ(subframe_bits(units::Hertz{30.72e6}, 15, 4, 3.0),
+            units::Bits{1'228'800});
+  EXPECT_THROW(subframe_bits(units::Hertz{30.72e6}, 15, 4, 0.0),
+               pran::ContractViolation);
 }
 
 TEST(SharedFronthaul, DeploymentCarriesTrafficOnTheLink) {
@@ -64,24 +68,25 @@ TEST(SharedFronthaul, DeploymentCarriesTrafficOnTheLink) {
   config.num_servers = 3;
   config.seed = 5;
   // 25G link: 4 cells * 3.69 Mbit/ms = 14.7 Mbit/ms -> ~59% utilisation.
-  config.shared_fronthaul = LinkParams{25e9, 25 * sim::kMicrosecond};
+  config.shared_fronthaul =
+      LinkParams{units::BitRate{25e9}, 25 * sim::kMicrosecond};
   core::Deployment d(config);
   d.run_for(500 * sim::kMillisecond);
 
   ASSERT_NE(d.fronthaul_link(), nullptr);
-  EXPECT_GT(d.fronthaul_link()->bits_carried(), 0.0);
+  EXPECT_GT(d.fronthaul_link()->bits_carried(), units::Bits{0});
   EXPECT_NEAR(d.fronthaul_link()->utilization(d.now()), 0.59, 0.05);
   // Plenty of capacity: deadlines still met.
   EXPECT_EQ(d.kpis().deadline_misses, 0u);
 }
 
 TEST(SharedFronthaul, CongestedLinkCausesMisses) {
-  auto run = [](double rate_bps, double compression) {
+  auto run = [](units::BitRate rate, double compression) {
     core::DeploymentConfig config;
     config.num_cells = 6;
     config.num_servers = 4;
     config.seed = 5;
-    config.shared_fronthaul = LinkParams{rate_bps, 25 * sim::kMicrosecond};
+    config.shared_fronthaul = LinkParams{rate, 25 * sim::kMicrosecond};
     config.fronthaul_compression = compression;
     core::Deployment d(config);
     d.run_for(500 * sim::kMillisecond);
@@ -89,10 +94,10 @@ TEST(SharedFronthaul, CongestedLinkCausesMisses) {
   };
   // 6 cells * 3.69 Mbit/ms = 22 Mbit/ms. On a 10G link that is 2.2x the
   // capacity: queueing grows without bound and deadlines collapse.
-  const auto congested = run(10e9, 1.0);
+  const auto congested = run(units::BitRate{10e9}, 1.0);
   EXPECT_GT(congested.miss_ratio, 0.5);
   // 3x compression brings it to 0.73x capacity: healthy again.
-  const auto compressed = run(10e9, 3.0);
+  const auto compressed = run(units::BitRate{10e9}, 3.0);
   EXPECT_EQ(compressed.deadline_misses, 0u);
 }
 

@@ -141,7 +141,7 @@ TEST(CostModel, ZeroPrbAllocationIsFree) {
 TEST(CostModel, TimeOnCore) {
   StageCost cost{};
   cost[Stage::kDecode] = 0.15;  // 0.15 Gop
-  EXPECT_NEAR(CostModel::time_us(cost, 150.0), 1000.0, 1e-6);  // 1 ms
+  EXPECT_NEAR(CostModel::time_us(cost, 150.0).value(), 1000.0, 1e-6);
   EXPECT_THROW(CostModel::time_us(cost, 0.0), ContractViolation);
 }
 
@@ -150,7 +150,7 @@ TEST(CostModel, PeakMeetsHarqBudgetOnDefaultCore) {
   const auto peak = model.peak_cost(kCell, Direction::kUplink);
   // Worst case must fit inside the 3 ms HARQ budget on a 150 GOPS core —
   // otherwise no placement can ever be deadline-feasible.
-  EXPECT_LT(CostModel::time_us(peak, 150.0), 3000.0);
+  EXPECT_LT(CostModel::time_us(peak, 150.0), units::Micros{3000.0});
 }
 
 TEST(StageNames, AreStable) {

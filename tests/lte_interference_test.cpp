@@ -14,36 +14,36 @@ InterferenceMap two_cells(double spacing = 1000.0) {
 
 TEST(Interference, SingleCellReducesToSnr) {
   InterferenceMap map(linear_layout(1, 500.0));
-  const double sinr = map.sinr_db(200.0, 0.0, 0, {0.0});
-  EXPECT_NEAR(sinr, snr_db(200.0), 0.1);
+  const units::Db sinr = map.sinr_db(200.0, 0.0, 0, {0.0});
+  EXPECT_NEAR((sinr - snr_db(200.0)).value(), 0.0, 0.1);
 }
 
 TEST(Interference, NeighbourActivityDegradesSinr) {
   auto map = two_cells();
   // UE near cell 0 (at x=200).
-  const double quiet = map.sinr_db(200.0, 0.0, 0, {0.0, 0.0});
-  const double half = map.sinr_db(200.0, 0.0, 0, {0.0, 0.5});
-  const double busy = map.sinr_db(200.0, 0.0, 0, {0.0, 1.0});
+  const units::Db quiet = map.sinr_db(200.0, 0.0, 0, {0.0, 0.0});
+  const units::Db half = map.sinr_db(200.0, 0.0, 0, {0.0, 0.5});
+  const units::Db busy = map.sinr_db(200.0, 0.0, 0, {0.0, 1.0});
   EXPECT_GT(quiet, half);
   EXPECT_GT(half, busy);
 }
 
 TEST(Interference, ServingCellOwnActivityIrrelevant) {
   auto map = two_cells();
-  const double a = map.sinr_db(200.0, 0.0, 0, {0.0, 0.5});
-  const double b = map.sinr_db(200.0, 0.0, 0, {1.0, 0.5});
-  EXPECT_DOUBLE_EQ(a, b);
+  const units::Db a = map.sinr_db(200.0, 0.0, 0, {0.0, 0.5});
+  const units::Db b = map.sinr_db(200.0, 0.0, 0, {1.0, 0.5});
+  EXPECT_DOUBLE_EQ(a.value(), b.value());
 }
 
 TEST(Interference, EdgeUeSuffersMost) {
   auto map = two_cells();
   const std::vector<double> busy{1.0, 1.0};
-  const double near_sinr = map.sinr_db(100.0, 0.0, 0, busy);
-  const double edge_sinr = map.sinr_db(490.0, 0.0, 0, busy);
-  EXPECT_GT(near_sinr, edge_sinr + 10.0);
+  const units::Db near_sinr = map.sinr_db(100.0, 0.0, 0, busy);
+  const units::Db edge_sinr = map.sinr_db(490.0, 0.0, 0, busy);
+  EXPECT_GT(near_sinr, edge_sinr + units::Db{10.0});
   // At the exact midpoint with a full-power neighbour, SINR ~ 0 dB.
-  const double mid = map.sinr_db(500.0, 0.0, 0, busy);
-  EXPECT_NEAR(mid, 0.0, 1.0);
+  const units::Db mid = map.sinr_db(500.0, 0.0, 0, busy);
+  EXPECT_NEAR(mid.value(), 0.0, 1.0);
 }
 
 TEST(Interference, BestServerIsNearest) {

@@ -14,21 +14,23 @@ TEST(Pathloss, GrowsWithDistance) {
 }
 
 TEST(Pathloss, MatchesUmaFormulaAtOneKm) {
-  EXPECT_NEAR(pathloss_db(1000.0), 128.1, 1e-9);
+  EXPECT_NEAR(pathloss_db(1000.0).value(), 128.1, 1e-9);
 }
 
 TEST(Pathloss, ClampsTinyDistances) {
   // Below 1 m the distance is clamped, so no -inf.
-  EXPECT_DOUBLE_EQ(pathloss_db(0.0), pathloss_db(1.0));
+  EXPECT_DOUBLE_EQ(pathloss_db(0.0).value(), pathloss_db(1.0).value());
   EXPECT_THROW(pathloss_db(-5.0), ContractViolation);
 }
 
 TEST(NoisePower, ScalesWithBandwidth) {
-  const double narrow = noise_power_dbm(180e3, 7.0);
-  const double wide = noise_power_dbm(18e6, 7.0);
-  EXPECT_NEAR(wide - narrow, 20.0, 1e-9);  // 100x bandwidth = +20 dB
+  const units::Db narrow =
+      noise_power_dbm(units::Hertz{180e3}, units::Db{7.0});
+  const units::Db wide = noise_power_dbm(units::Hertz{18e6}, units::Db{7.0});
+  // 100x bandwidth = +20 dB.
+  EXPECT_NEAR((wide - narrow).value(), 20.0, 1e-9);
   // 180 kHz, NF 7: -174 + 52.55 + 7 ≈ -114.4 dBm.
-  EXPECT_NEAR(narrow, -114.45, 0.05);
+  EXPECT_NEAR(narrow.value(), -114.45, 0.05);
 }
 
 TEST(Snr, DecreasesWithDistance) {
@@ -38,15 +40,15 @@ TEST(Snr, DecreasesWithDistance) {
 
 TEST(SpectralEfficiency, SaturatesAtCap) {
   const LinkBudget budget;
-  EXPECT_DOUBLE_EQ(spectral_efficiency(100.0, budget),
+  EXPECT_DOUBLE_EQ(spectral_efficiency(units::Db{100.0}, budget),
                    budget.max_spectral_eff);
-  EXPECT_NEAR(spectral_efficiency(-30.0, budget), 0.0, 2e-3);
+  EXPECT_NEAR(spectral_efficiency(units::Db{-30.0}, budget), 0.0, 2e-3);
 }
 
 TEST(SpectralEfficiency, AttenuatedShannonShape) {
   const LinkBudget budget;
   // At 0 dB SNR, Shannon gives 1 bit: attenuated to 0.75.
-  EXPECT_NEAR(spectral_efficiency(0.0, budget), 0.75, 1e-6);
+  EXPECT_NEAR(spectral_efficiency(units::Db{0.0}, budget), 0.75, 1e-6);
 }
 
 TEST(CqiAtDistance, MonotoneNonIncreasing) {
@@ -65,25 +67,27 @@ TEST(CqiAtDistance, NearCellIsTopCqi) {
 
 TEST(PrbRate, MatchesSpectralEfficiency) {
   // One PRB at MCS 28: 5.55 bits/RE * 140 RE / 1 ms ≈ 777 kbps.
-  EXPECT_NEAR(prb_rate_bps(28), 777700, 5000);
+  EXPECT_NEAR(prb_rate_bps(28).value(), 777700, 5000);
   EXPECT_GT(prb_rate_bps(10), prb_rate_bps(0));
 }
 
 TEST(PrbsForRate, CeilsAndHandlesZero) {
-  EXPECT_EQ(prbs_for_rate(0.0, 10), 0);
-  const double one_prb = prb_rate_bps(10);
-  EXPECT_EQ(prbs_for_rate(one_prb, 10), 1);
-  EXPECT_EQ(prbs_for_rate(one_prb + 1.0, 10), 2);
-  EXPECT_THROW(prbs_for_rate(-1.0, 10), ContractViolation);
+  EXPECT_EQ(prbs_for_rate(units::BitRate{0.0}, 10), units::PrbCount{0});
+  const units::BitRate one_prb = prb_rate_bps(10);
+  EXPECT_EQ(prbs_for_rate(one_prb, 10), units::PrbCount{1});
+  EXPECT_EQ(prbs_for_rate(one_prb + units::BitRate{1.0}, 10),
+            units::PrbCount{2});
+  EXPECT_THROW(prbs_for_rate(units::BitRate{-1.0}, 10), ContractViolation);
 }
 
 TEST(PrbsForRate, TwentyMbpsNeedsManyPrbs) {
   // A heavy (20 Mb/s) UE at MCS 28 needs ~26 PRBs.
-  const int prbs = prbs_for_rate(20e6, 28);
-  EXPECT_GE(prbs, 20);
-  EXPECT_LE(prbs, 32);
+  const units::PrbCount prbs = prbs_for_rate(units::BitRate{20e6}, 28);
+  EXPECT_GE(prbs.count(), 20);
+  EXPECT_LE(prbs.count(), 32);
   // At a poor MCS the same rate is much more expensive.
-  EXPECT_GT(prbs_for_rate(20e6, 5), 2 * prbs);
+  EXPECT_GT(prbs_for_rate(units::BitRate{20e6}, 5).count(),
+            2 * prbs.count());
 }
 
 }  // namespace

@@ -85,36 +85,42 @@ TEST(McsFromCqi, IsMonotoneAndBounded) {
 }
 
 TEST(TransportBlock, ScalesWithPrbsAndMcs) {
-  EXPECT_EQ(transport_block_bits(0, 0), 0);
-  const int one = transport_block_bits(10, 1);
-  const int fifty = transport_block_bits(10, 50);
+  using units::PrbCount;
+  EXPECT_EQ(transport_block_bits(0, PrbCount{0}).count(), 0);
+  const auto one = transport_block_bits(10, PrbCount{1}).count();
+  const auto fifty = transport_block_bits(10, PrbCount{50}).count();
   EXPECT_GT(one, 0);
   // Near-linear in PRBs (byte flooring allows small deviation).
-  EXPECT_NEAR(fifty, one * 50, 8 * 50);
+  EXPECT_NEAR(static_cast<double>(fifty), static_cast<double>(one * 50),
+              8 * 50);
   // Near-monotone in MCS (tiny dips at modulation switches are authentic).
   for (int m = 1; m <= 28; ++m)
-    EXPECT_GE(transport_block_bits(m, 25),
-              static_cast<int>(0.99 * transport_block_bits(m - 1, 25)));
+    EXPECT_GE(
+        static_cast<double>(transport_block_bits(m, PrbCount{25}).count()),
+        0.99 *
+            static_cast<double>(
+                transport_block_bits(m - 1, PrbCount{25}).count()));
 }
 
 TEST(TransportBlock, FullBandAtTopMcs) {
   // 100 PRBs at MCS 28: ~5.55 bits/RE * 140 RE * 100 ≈ 77.7 kbit.
-  const int bits = transport_block_bits(28, 100);
+  const auto bits = transport_block_bits(28, units::PrbCount{100}).count();
   EXPECT_GT(bits, 75000);
   EXPECT_LT(bits, 80000);
   EXPECT_EQ(bits % 8, 0);
 }
 
 TEST(TransportBlock, RejectsNegativePrbs) {
-  EXPECT_THROW(transport_block_bits(5, -1), ContractViolation);
+  EXPECT_THROW(transport_block_bits(5, units::PrbCount{-1}),
+               ContractViolation);
 }
 
 TEST(CodeBlocks, SegmentationAtTurboLimit) {
-  EXPECT_EQ(code_block_count(0), 0);
-  EXPECT_EQ(code_block_count(1), 1);
-  EXPECT_EQ(code_block_count(6144), 1);
-  EXPECT_EQ(code_block_count(6145), 2);
-  EXPECT_EQ(code_block_count(3 * 6144 + 1), 4);
+  EXPECT_EQ(code_block_count(units::Bits{0}), 0);
+  EXPECT_EQ(code_block_count(units::Bits{1}), 1);
+  EXPECT_EQ(code_block_count(units::Bits{6144}), 1);
+  EXPECT_EQ(code_block_count(units::Bits{6145}), 2);
+  EXPECT_EQ(code_block_count(units::Bits{3 * 6144 + 1}), 4);
 }
 
 TEST(BitsPerSymbol, MatchesConstellation) {

@@ -95,7 +95,7 @@ TEST(Schedulers, NeverExceedPrbBudget) {
     auto ues = mixed_population();
     for (int tti = 0; tti < 50; ++tti) {
       for (auto& ue : ues) ue.advance_channel();
-      const auto grants = sched->schedule(ues, 100);
+      const auto grants = sched->schedule(ues, units::PrbCount{100});
       int total = 0;
       std::set<int> seen;
       for (const auto& g : grants) {
@@ -112,7 +112,7 @@ TEST(Schedulers, GrantMcsMatchesUeCqi) {
   auto sched = make_scheduler("max-rate");
   auto ues = mixed_population();
   for (auto& ue : ues) ue.advance_channel();
-  const auto grants = sched->schedule(ues, 100);
+  const auto grants = sched->schedule(ues, units::PrbCount{100});
   ASSERT_FALSE(grants.empty());
   for (const auto& g : grants) {
     const auto& ue = ues[static_cast<std::size_t>(g.ue_id)];
@@ -124,7 +124,7 @@ TEST(Schedulers, MaxRatePicksBestChannelFirst) {
   auto sched = make_scheduler("max-rate");
   auto ues = mixed_population();
   for (auto& ue : ues) ue.advance_channel();
-  const auto grants = sched->schedule(ues, 100);
+  const auto grants = sched->schedule(ues, units::PrbCount{100});
   ASSERT_FALSE(grants.empty());
   // Full-buffer: the single grant goes to the highest-CQI UE.
   int best = 0;
@@ -140,7 +140,7 @@ TEST(Schedulers, RoundRobinSharesAmongActiveUes) {
   std::set<int> served;
   for (int tti = 0; tti < 8; ++tti) {
     for (auto& ue : ues) ue.advance_channel();
-    for (const auto& g : sched->schedule(ues, 100)) served.insert(g.ue_id);
+    for (const auto& g : sched->schedule(ues, units::PrbCount{100})) served.insert(g.ue_id);
   }
   // Every UE (even cell edge) gets service within a few TTIs.
   EXPECT_EQ(served.size(), ues.size());

@@ -1,0 +1,11 @@
+// MUST NOT COMPILE: bits and bytes differ by a factor the compiler cannot
+// see; summing them silently miscounts by 8x. Cross the boundary only via
+// Bits::from_bytes / Bytes::from_bits.
+
+#include "common/units.hpp"
+
+int main() {
+  const auto total = pran::units::Bits{8} + pran::units::Bytes{1};
+  (void)total;
+  return 0;
+}

@@ -1,0 +1,11 @@
+// MUST NOT COMPILE: a bit count does not convert to a byte count without
+// the caller choosing a rounding rule; Bytes::from_bits (ceiling) is the
+// only path.
+
+#include "common/units.hpp"
+
+int main() {
+  const pran::units::Bytes storage = pran::units::Bits{12};
+  (void)storage;
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Positive control for the negative-compilation suite: exercises the
+// legitimate strong-unit API. If this file ever fails to build, the
+// "must not compile" results of the sibling cases are meaningless, so the
+// CMake harness requires this one to succeed first.
+
+#include "common/units.hpp"
+
+int main() {
+  using namespace pran::units;
+
+  // dB chains additively; conversions to/from the linear scale are named.
+  const Db gain = Db{3.0} + Db{4.0} - Db{1.0};
+  const double ratio = to_linear(gain);
+  const LinearPower power = to_linear_power(gain) + LinearPower{0.5};
+  const Db back = to_db(power);
+
+  // Exact data sizes convert only through named constructors.
+  const Bits bits = Bits::from_bytes(Bytes{10}) + Bits{4};
+  const Bytes bytes = Bytes::from_bits(bits);
+
+  // Scalable quantities take dimensionless factors and form ratios.
+  const Hertz band = kKilohertz * 180.0;
+  const double prbs_worth = band / Hertz{180e3};
+  const BitRate rate = BitRate::per_second(bits, 1e-3) * 2.0;
+  const Gops demand = Gops{0.3} / 2.0;
+
+  // Time bridges the simulator clock through named conversions.
+  const pran::sim::Time t = Micros{10.0}.to_time();
+  const Micros us = Micros::from_time(t);
+
+  return (ratio > 0.0 && back.value() > 0.0 && bytes.count() > 0 &&
+          prbs_worth > 0.0 && rate.value() > 0.0 && demand.value() > 0.0 &&
+          us.value() > 0.0)
+             ? 0
+             : 1;
+}

@@ -1,0 +1,12 @@
+// MUST NOT COMPILE: adding a logarithmic level to a linear power skips
+// the 10^(x/10) conversion — the classic link-budget bug these types
+// exist to stop. The only path between the scales is to_linear_power() /
+// to_db().
+
+#include "common/units.hpp"
+
+int main() {
+  const auto sum = pran::units::Db{3.0} + pran::units::LinearPower{2.0};
+  (void)sum;
+  return 0;
+}

@@ -1,0 +1,11 @@
+// MUST NOT COMPILE: scaling a dB value by a dimensionless factor squares
+// (or worse) the underlying linear ratio — "twice the power" is +3 dB, not
+// 2 * dB. Db is therefore additive-only; scale on the linear side.
+
+#include "common/units.hpp"
+
+int main() {
+  const auto doubled = 2.0 * pran::units::Db{10.0};
+  (void)doubled;
+  return 0;
+}

@@ -1,0 +1,13 @@
+// MUST NOT COMPILE: a bare double carries no unit, so it must not convert
+// into a dB quantity implicitly — the caller has to write Db{x} and thereby
+// assert the unit at the call site.
+
+#include "common/units.hpp"
+
+double snr_from_somewhere() { return 7.0; }
+
+int main() {
+  const pran::units::Db snr = snr_from_somewhere();
+  (void)snr;
+  return 0;
+}

@@ -1,0 +1,12 @@
+// MUST NOT COMPILE: sim::Time is an integer nanosecond count; Micros is a
+// microsecond duration. Adding them directly is off by 1000x — the bridge
+// is Micros::from_time / Micros::to_time.
+
+#include "common/units.hpp"
+
+int main() {
+  const pran::sim::Time deadline = 3 * pran::sim::kMillisecond;
+  const auto budget = pran::units::Micros{150.0} + deadline;
+  (void)budget;
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Lint fixture: must trip [check-message] and nothing else.
+#define PRAN_REQUIRE(...)
+#define PRAN_CHECK(...)
+
+void validate(int n, double scale) {
+  PRAN_REQUIRE(n > 0);
+  PRAN_CHECK(scale >= 0.0, "");
+  PRAN_REQUIRE(n < 100,
+               "in-range count");  // fine: has a real message
+  PRAN_CHECK(scale < 1e9, "scale stays finite");
+}

@@ -1,0 +1,8 @@
+// Lint fixture: must trip [narrowing-cast] and nothing else.
+#include <cstdint>
+
+std::uint8_t truncate_counter(int big) {
+  const auto small = static_cast<std::uint8_t>(big);
+  const auto shorter = static_cast< unsigned short >(big);
+  return static_cast<std::uint8_t>(small + shorter);
+}

@@ -1,0 +1,9 @@
+// Lint fixture: must trip [raw-rng] and nothing else.
+#include <cstdlib>
+#include <random>
+
+int roll_dice() {
+  std::mt19937 gen(42);
+  std::srand(7);
+  return static_cast<int>(gen()) + rand() % 6;
+}

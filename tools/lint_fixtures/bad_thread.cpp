@@ -1,0 +1,10 @@
+// Lint fixture: must trip [raw-thread] and nothing else.
+#include <future>
+#include <thread>
+
+void spawn_worker() {
+  std::thread worker([] {});
+  auto result = std::async([] { return 42; });
+  worker.join();
+  (void)result;
+}

@@ -1,0 +1,10 @@
+// Lint fixture: must trip [unit-param] and nothing else.
+#pragma once
+
+namespace fixture {
+
+double attenuate(double gain_db, int stages);
+void budget(double payload_bits, double deadline_us);
+void fine(double meters, double ratio);  // unitless names: no finding
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Lint fixture: must produce no findings. Uses each banned spelling only
+// inside comments and string literals, where the linter must not look,
+// plus the sanctioned alternatives.
+//
+// std::thread, std::async, std::mt19937, rand(), static_cast<std::uint8_t>
+#define PRAN_REQUIRE(...)
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+template <typename T, typename U>
+T narrow_cast(U v) noexcept {
+  return static_cast<T>(v);
+}
+
+inline std::string describe() {
+  return "calls rand() via std::mt19937 on a std::thread";
+}
+
+inline std::uint8_t low_byte(int v) {
+  PRAN_REQUIRE(v >= 0, "value must be non-negative");
+  // A checked narrowing goes through narrow_cast, not a bare static_cast.
+  const auto wide = static_cast<std::int64_t>(v);
+  return narrow_cast<std::uint8_t>(wide & 0xff);
+}
+
+}  // namespace fixture

@@ -1,0 +1,494 @@
+// pran-lint — the project's own static-analysis pass.
+//
+// A deliberately small, dependency-free linter (no libclang): it strips
+// comments and string literals with a character-level scanner, then runs
+// line/token-oriented rules that encode PRAN's conventions:
+//
+//   raw-thread       std::thread / std::async outside common/parallel.*
+//                    (all concurrency goes through ThreadPool so sweeps
+//                    stay deterministic and tsan-able in one place)
+//   raw-rng          rand()/srand()/std::mt19937 outside common/rng.*
+//                    (reproducibility: every draw comes from pran::Rng)
+//   narrowing-cast   static_cast to a sub-32-bit integer type; use
+//                    narrow<T>() / narrow_cast<T>() from common/narrow.hpp
+//                    so lossy conversions are checked or visibly asserted
+//   check-message    PRAN_REQUIRE / PRAN_CHECK without a non-empty message
+//                    (ContractViolation text is the first debugging clue)
+//   unit-param       a `double` parameter named *_db/*_dbm/*_bits/*_us in a
+//                    public header under src/ — those quantities now have
+//                    strong types in common/units.hpp
+//
+// Modes:
+//   pran-lint --root <repo>      lint src/ tools/ bench/ examples/ tests/;
+//                                exit 1 if any finding
+//   pran-lint --selftest <dir>   run the rules over the fixture snippets in
+//                                <dir> and verify each bad_* file trips
+//                                exactly the rule its name declares and
+//                                good.* trips none; exit 1 on mismatch
+//
+// Both modes are registered with ctest (see tools/CMakeLists.txt).
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/narrow.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+// --------------------------------------------------------------- scanning
+
+/// Replaces comments (and, if `strip_strings`, string/char literal
+/// *contents*) with spaces, preserving newlines so line numbers survive.
+/// The quote delimiters stay, so downstream parsing can still tell an
+/// empty literal ("") from a non-empty one ("<blanks>") and commas inside
+/// strings can never confuse argument splitting.
+std::string strip(const std::string& src, bool strip_strings) {
+  std::string out = src;
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(pran::narrow_cast<unsigned char>(
+                                   src[i - 1])) &&
+                               src[i - 1] != '_'))) {
+          std::size_t p = i + 2;
+          raw_delim.clear();
+          while (p < src.size() && src[p] != '(') raw_delim += src[p++];
+          state = State::kRawString;
+          if (strip_strings)  // keep the opening quote at i + 1
+            for (std::size_t k = i + 2; k <= p && k < src.size(); ++k)
+              out[k] = ' ';
+          if (strip_strings) out[i] = ' ';
+          i = p;
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n')
+          state = State::kCode;
+        else
+          out[i] = ' ';
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = out[i + 1] = ' ';
+          state = State::kCode;
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          if (strip_strings) out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;  // keep the closing quote
+        } else if (strip_strings && c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          if (strip_strings) out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;  // keep the closing quote
+        } else if (strip_strings && c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRawString: {
+        const std::string close = ")" + raw_delim + "\"";
+        if (src.compare(i, close.size(), close) == 0) {
+          if (strip_strings)  // keep the closing quote
+            for (std::size_t k = i; k + 1 < i + close.size(); ++k)
+              out[k] = ' ';
+          i += close.size() - 1;
+          state = State::kCode;
+        } else if (strip_strings && c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t line_of(const std::string& text, std::size_t pos) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(text.begin(), text.begin() + static_cast<long>(pos),
+                            '\n'));
+}
+
+bool ident_char(char c) {
+  return std::isalnum(pran::narrow_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Finds identifier-boundary occurrences of `token` in `text`.
+std::vector<std::size_t> find_token(const std::string& text,
+                                    std::string_view token) {
+  std::vector<std::size_t> hits;
+  std::size_t pos = 0;
+  while ((pos = text.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || (!ident_char(text[pos - 1]) &&
+                                      text[pos - 1] != ':');
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= text.size() || !ident_char(text[end]);
+    if (left_ok && right_ok) hits.push_back(pos);
+    pos = end;
+  }
+  return hits;
+}
+
+std::string squeeze(std::string_view s) {
+  std::string out;
+  for (char c : s) {
+    if (std::isspace(pran::narrow_cast<unsigned char>(c))) {
+      if (!out.empty() && out.back() != ' ') out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  const std::size_t b = out.find_first_not_of(' ');
+  return b == std::string::npos ? std::string{} : out.substr(b);
+}
+
+bool path_contains(const std::string& path, std::string_view needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+// ------------------------------------------------------------------ rules
+
+void rule_raw_thread(const std::string& path, const std::string& code,
+                     std::vector<Finding>& out) {
+  if (path_contains(path, "common/parallel.")) return;
+  for (const char* token : {"std::thread", "std::async"}) {
+    for (std::size_t pos : find_token(code, token)) {
+      out.push_back({path, line_of(code, pos), "raw-thread",
+                     std::string(token) +
+                         " outside common/parallel.*; use pran::ThreadPool "
+                         "so sweeps stay deterministic"});
+    }
+  }
+}
+
+void rule_raw_rng(const std::string& path, const std::string& code,
+                  std::vector<Finding>& out) {
+  if (path_contains(path, "common/rng.")) return;
+  for (const char* token : {"std::mt19937", "std::mt19937_64", "std::rand",
+                            "std::srand", "rand", "srand"}) {
+    const std::string_view tok{token};
+    for (std::size_t pos : find_token(code, token)) {
+      // Bare `rand`/`srand` only count as the libc functions when called.
+      if (tok == "rand" || tok == "srand") {
+        std::size_t p = pos + tok.size();
+        while (p < code.size() &&
+               std::isspace(pran::narrow_cast<unsigned char>(code[p])))
+          ++p;
+        if (p >= code.size() || code[p] != '(') continue;
+      }
+      out.push_back({path, line_of(code, pos), "raw-rng",
+                     std::string(token) +
+                         " outside common/rng.*; draw from pran::Rng so "
+                         "experiments reproduce"});
+    }
+  }
+}
+
+const std::set<std::string>& narrow_targets() {
+  static const std::set<std::string> kTargets{
+      "std::int8_t",   "std::int16_t",  "std::uint8_t", "std::uint16_t",
+      "int8_t",        "int16_t",       "uint8_t",      "uint16_t",
+      "short",         "unsigned short", "short int",   "unsigned short int",
+      "char",          "signed char",   "unsigned char"};
+  return kTargets;
+}
+
+void rule_narrowing_cast(const std::string& path, const std::string& code,
+                         std::vector<Finding>& out) {
+  if (path_contains(path, "common/narrow.hpp")) return;
+  for (std::size_t pos : find_token(code, "static_cast")) {
+    std::size_t p = pos + std::string_view("static_cast").size();
+    while (p < code.size() && std::isspace(pran::narrow_cast<unsigned char>(code[p])))
+      ++p;
+    if (p >= code.size() || code[p] != '<') continue;
+    int depth = 0;
+    const std::size_t type_begin = p + 1;
+    std::size_t type_end = type_begin;
+    for (std::size_t q = p; q < code.size(); ++q) {
+      if (code[q] == '<') ++depth;
+      if (code[q] == '>' && --depth == 0) {
+        type_end = q;
+        break;
+      }
+    }
+    const std::string type =
+        squeeze(std::string_view(code).substr(type_begin,
+                                              type_end - type_begin));
+    if (narrow_targets().count(type) != 0) {
+      out.push_back({path, line_of(code, pos), "narrowing-cast",
+                     "static_cast<" + type +
+                         "> may truncate; use narrow<>/narrow_cast<> from "
+                         "common/narrow.hpp"});
+    }
+  }
+}
+
+void rule_check_message(const std::string& path, const std::string& text,
+                        std::vector<Finding>& out) {
+  if (path_contains(path, "common/check.hpp")) return;
+  for (const char* macro : {"PRAN_REQUIRE", "PRAN_CHECK"}) {
+    for (std::size_t pos : find_token(text, macro)) {
+      // Skip preprocessor lines (the macro's own #define).
+      std::size_t ls = text.rfind('\n', pos);
+      ls = ls == std::string::npos ? 0 : ls + 1;
+      while (ls < pos && std::isspace(pran::narrow_cast<unsigned char>(text[ls])))
+        ++ls;
+      if (text[ls] == '#') continue;
+      std::size_t p = pos + std::string_view(macro).size();
+      while (p < text.size() &&
+             std::isspace(pran::narrow_cast<unsigned char>(text[p])))
+        ++p;
+      if (p >= text.size() || text[p] != '(') continue;
+      // Split the argument list at top-level commas.
+      int depth = 0;
+      std::size_t arg_start = p + 1;
+      std::vector<std::string> args;
+      for (std::size_t q = p; q < text.size(); ++q) {
+        const char c = text[q];
+        if (c == '(' || c == '[' || c == '{') ++depth;
+        if (c == ')' || c == ']' || c == '}') {
+          --depth;
+          if (depth == 0) {
+            args.push_back(squeeze(
+                std::string_view(text).substr(arg_start, q - arg_start)));
+            break;
+          }
+        }
+        if (c == ',' && depth == 1) {
+          args.push_back(squeeze(
+              std::string_view(text).substr(arg_start, q - arg_start)));
+          arg_start = q + 1;
+        }
+      }
+      const bool has_message = args.size() >= 2 && !args.back().empty() &&
+                               args.back().front() == '"' &&
+                               args.back() != "\"\"";
+      if (!has_message) {
+        out.push_back({path, line_of(text, pos), "check-message",
+                       std::string(macro) +
+                           " needs a non-empty string message — it is the "
+                           "first clue in a ContractViolation"});
+      }
+    }
+  }
+}
+
+void rule_unit_param(const std::string& path, const std::string& code,
+                     std::vector<Finding>& out) {
+  if (!path_contains(path, "src/") || !path.ends_with(".hpp")) return;
+  const std::vector<std::string> suffixes{"_db", "_dbm", "_bits", "_us"};
+  int depth = 0;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const char c = code[i];
+    if (c == '(') ++depth;
+    if (c == ')') depth = std::max(0, depth - 1);
+    if (depth < 1 || !ident_char(c)) continue;
+    std::size_t end = i;
+    while (end < code.size() && ident_char(code[end])) ++end;
+    const std::string word = code.substr(i, end - i);
+    if (word == "double" && (i == 0 || !ident_char(code[i - 1]))) {
+      std::size_t p = end;
+      while (p < code.size() &&
+             std::isspace(pran::narrow_cast<unsigned char>(code[p])))
+        ++p;
+      std::size_t name_end = p;
+      while (name_end < code.size() && ident_char(code[name_end])) ++name_end;
+      const std::string name = code.substr(p, name_end - p);
+      for (const auto& suffix : suffixes) {
+        if (name.size() > suffix.size() && name.ends_with(suffix)) {
+          out.push_back(
+              {path, line_of(code, i), "unit-param",
+               "double parameter `" + name +
+                   "` in a public header carries a unit in its name; use "
+                   "the strong type from common/units.hpp"});
+          break;
+        }
+      }
+    }
+    i = end - 1;
+  }
+}
+
+// ------------------------------------------------------------------ driver
+
+std::vector<Finding> lint_file(const std::string& display_path,
+                               const std::string& content) {
+  const std::string code = strip(content, /*strip_strings=*/true);
+  std::vector<Finding> findings;
+  rule_raw_thread(display_path, code, findings);
+  rule_raw_rng(display_path, code, findings);
+  rule_narrowing_cast(display_path, code, findings);
+  rule_check_message(display_path, code, findings);
+  rule_unit_param(display_path, code, findings);
+  return findings;
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool lintable(const fs::path& p) {
+  const auto ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+int run_tree(const fs::path& root) {
+  const std::vector<std::string> subdirs{"src", "tools", "bench", "examples",
+                                         "tests"};
+  std::vector<Finding> findings;
+  std::size_t files = 0;
+  for (const auto& sub : subdirs) {
+    const fs::path dir = root / sub;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file() || !lintable(entry.path())) continue;
+      const std::string display =
+          fs::relative(entry.path(), root).generic_string();
+      if (display.find("lint_fixtures") != std::string::npos) continue;
+      if (display.find("units_compile_fail") != std::string::npos) continue;
+      ++files;
+      const auto file_findings = lint_file(display, read_file(entry.path()));
+      findings.insert(findings.end(), file_findings.begin(),
+                      file_findings.end());
+    }
+  }
+  for (const auto& f : findings)
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.message.c_str());
+  std::printf("pran-lint: %zu file(s), %zu finding(s)\n", files,
+              findings.size());
+  return findings.empty() ? 0 : 1;
+}
+
+/// Fixture contract: bad_<tag>.* must trip the rule named by <tag> (see
+/// map below) at least once and no other rule; good.* must trip nothing.
+int run_selftest(const fs::path& dir) {
+  const std::vector<std::pair<std::string, std::string>> expect{
+      {"bad_thread", "raw-thread"},
+      {"bad_rng", "raw-rng"},
+      {"bad_narrow", "narrowing-cast"},
+      {"bad_check_msg", "check-message"},
+      {"bad_unit_param", "unit-param"},
+  };
+  int failures = 0;
+  std::size_t checked = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file() || !lintable(entry.path())) continue;
+    const std::string stem = entry.path().stem().string();
+    // Fixtures live under a fake src/ prefix so header-only rules fire.
+    const std::string display = "src/lint_fixture/" + entry.path().filename().string();
+    const auto findings = lint_file(display, read_file(entry.path()));
+    ++checked;
+    if (stem.rfind("good", 0) == 0) {
+      if (!findings.empty()) {
+        ++failures;
+        std::fprintf(stderr, "SELFTEST FAIL: %s should be clean but got:\n",
+                     entry.path().filename().string().c_str());
+        for (const auto& f : findings)
+          std::fprintf(stderr, "  line %zu [%s] %s\n", f.line, f.rule.c_str(),
+                       f.message.c_str());
+      }
+      continue;
+    }
+    const auto it =
+        std::find_if(expect.begin(), expect.end(), [&](const auto& e) {
+          return stem.rfind(e.first, 0) == 0;
+        });
+    if (it == expect.end()) {
+      ++failures;
+      std::fprintf(stderr, "SELFTEST FAIL: unknown fixture %s\n",
+                   entry.path().filename().string().c_str());
+      continue;
+    }
+    const bool fired = std::any_of(
+        findings.begin(), findings.end(),
+        [&](const Finding& f) { return f.rule == it->second; });
+    const bool others = std::any_of(
+        findings.begin(), findings.end(),
+        [&](const Finding& f) { return f.rule != it->second; });
+    if (!fired || others) {
+      ++failures;
+      std::fprintf(stderr,
+                   "SELFTEST FAIL: %s expected only rule [%s]; got %zu "
+                   "finding(s):\n",
+                   entry.path().filename().string().c_str(),
+                   it->second.c_str(), findings.size());
+      for (const auto& f : findings)
+        std::fprintf(stderr, "  line %zu [%s] %s\n", f.line, f.rule.c_str(),
+                     f.message.c_str());
+    }
+  }
+  if (checked < expect.size() + 1) {
+    ++failures;
+    std::fprintf(stderr,
+                 "SELFTEST FAIL: only %zu fixture(s) found in %s — expected "
+                 "one per rule plus good.cpp\n",
+                 checked, dir.string().c_str());
+  }
+  if (failures == 0)
+    std::printf("pran-lint selftest: %zu fixture(s), all rules fire\n",
+                checked);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.size() == 2 && args[0] == "--root") return run_tree(args[1]);
+  if (args.size() == 2 && args[0] == "--selftest") return run_selftest(args[1]);
+  std::fprintf(stderr,
+               "usage: pran-lint --root <repo-root> | --selftest "
+               "<fixture-dir>\n");
+  return 2;
+}

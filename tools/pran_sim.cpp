@@ -101,7 +101,8 @@ int main(int argc, char** argv) {
   }
   if (flags.get_double("fronthaul-gbps") > 0.0) {
     config.shared_fronthaul = fronthaul::LinkParams{
-        flags.get_double("fronthaul-gbps") * 1e9, 25 * sim::kMicrosecond};
+        units::BitRate{flags.get_double("fronthaul-gbps") * 1e9},
+        25 * sim::kMicrosecond};
     config.fronthaul_compression = flags.get_double("compression");
   }
 
