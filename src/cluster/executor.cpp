@@ -25,7 +25,7 @@ Executor::Executor(sim::Engine& engine, std::vector<ServerSpec> specs,
   for (auto& spec : specs) {
     PRAN_REQUIRE(spec.cores >= 1, "server needs at least one core");
     PRAN_REQUIRE(spec.gops_per_core > 0.0, "core capacity must be positive");
-    servers_.push_back(Server{std::move(spec), false, {}, {}});
+    servers_.push_back(Server{std::move(spec), false, 1.0, {}, {}});
   }
 }
 
@@ -55,7 +55,8 @@ sim::Time Executor::exec_time(const Server& s, const lte::SubframeJob& job,
   // residual serial part (FFT, MAC) is folded into the same scaling as a
   // deliberate simplification (documented in DESIGN.md).
   const double seconds =
-      job.total_gops() / (s.spec.gops_per_core * static_cast<double>(width));
+      job.total_gops() /
+      (s.spec.gops_per_core * s.speed_factor * static_cast<double>(width));
   return static_cast<sim::Time>(std::llround(seconds * 1e9));
 }
 
@@ -177,6 +178,29 @@ void Executor::restore_server(int server_id) {
   Server& s = server(server_id);
   PRAN_REQUIRE(s.failed, "server is not failed");
   s.failed = false;
+}
+
+void Executor::degrade_server(int server_id, double factor) {
+  PRAN_REQUIRE(factor > 0.0 && factor <= 1.0,
+               "degrade factor outside (0, 1]");
+  Server& s = server(server_id);
+  PRAN_REQUIRE(!s.failed, "cannot degrade a failed server");
+  s.speed_factor = factor;
+  // Queued jobs will start at the degraded speed via dispatch(); jobs
+  // already running keep their scheduled completion (deliberate: the slow
+  // clock only bites work started under it).
+}
+
+void Executor::restore_speed(int server_id) {
+  server(server_id).speed_factor = 1.0;
+}
+
+bool Executor::is_degraded(int server_id) const {
+  return server(server_id).speed_factor < 1.0;
+}
+
+double Executor::speed_factor(int server_id) const {
+  return server(server_id).speed_factor;
 }
 
 Executor::Stats Executor::stats() const {

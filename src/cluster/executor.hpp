@@ -91,12 +91,24 @@ class Executor {
   void submit(int server_id, const lte::SubframeJob& job);
 
   /// Fails a server: all queued and in-flight jobs are dropped.
+  /// Deliver faults through faults::FaultInjector, not directly.
   void fail_server(int server_id);
 
   /// Brings a failed server back empty.
   void restore_server(int server_id);
 
   bool is_failed(int server_id) const;
+
+  /// Degrades a server: jobs *started* from now on run at `factor` of the
+  /// nominal per-core speed (the straggler case — the server still answers
+  /// heartbeats). In-flight jobs keep their original completion time.
+  void degrade_server(int server_id, double factor);
+
+  /// Returns a degraded server to nominal speed.
+  void restore_speed(int server_id);
+
+  bool is_degraded(int server_id) const;
+  double speed_factor(int server_id) const;
 
   void set_completion_callback(CompletionCallback cb) {
     on_complete_ = std::move(cb);
@@ -139,6 +151,8 @@ class Executor {
   struct Server {
     ServerSpec spec;
     bool failed = false;
+    /// Effective per-core speed multiplier (< 1 while degraded).
+    double speed_factor = 1.0;
     std::deque<std::pair<std::uint64_t, lte::SubframeJob>> pending;
     std::vector<Running> running;  ///< size <= spec.cores
   };

@@ -13,6 +13,10 @@ Controller::Controller(ControllerConfig config, std::unique_ptr<Placer> placer,
       placer_(std::move(placer)),
       servers_(std::move(servers)),
       available_(servers_.size(), true),
+      quarantined_(servers_.size(), false),
+      quarantined_until_(servers_.size(), 0),
+      backoff_(servers_.size(), config.quarantine_base),
+      failure_times_(servers_.size()),
       demand_(std::move(initial_demand)),
       placement_(demand_.size(), -1) {
   PRAN_REQUIRE(placer_ != nullptr, "controller needs a placer");
@@ -23,6 +27,14 @@ Controller::Controller(ControllerConfig config, std::unique_ptr<Placer> placer,
   PRAN_REQUIRE(config_.ema_alpha > 0.0 && config_.ema_alpha <= 1.0,
                "EMA alpha outside (0, 1]");
   PRAN_REQUIRE(config_.demand_safety >= 1.0, "safety factor below 1");
+  if (config_.quarantine) {
+    PRAN_REQUIRE(config_.flap_threshold >= 1, "flap threshold below 1");
+    PRAN_REQUIRE(config_.flap_window > 0, "flap window must be positive");
+    PRAN_REQUIRE(config_.quarantine_base > 0,
+                 "quarantine backoff must be positive");
+    PRAN_REQUIRE(config_.quarantine_multiplier >= 1.0,
+                 "quarantine multiplier below 1");
+  }
 }
 
 void Controller::observe(int cell_index, double gops) {
@@ -59,6 +71,7 @@ PlacementProblem Controller::make_problem() const {
   PlacementProblem problem;
   problem.headroom = config_.headroom;
   problem.migration_weight = config_.migration_weight;
+  problem.survivable = config_.survivable;
   problem.cells = demand_;
   for (std::size_t c = 0; c < problem.cells.size(); ++c)
     problem.cells[c].gops_per_tti = estimated_demand(static_cast<int>(c));
@@ -98,6 +111,7 @@ EpochReport Controller::replan() {
     PlacementProblem problem;
     problem.headroom = config_.headroom;
     problem.migration_weight = config_.migration_weight;
+    problem.survivable = config_.survivable;
     for (std::size_t s = 0; s < servers_.size(); ++s)
       if (available_[s]) problem.servers.push_back(servers_[s]);
 
@@ -159,12 +173,20 @@ bool Controller::server_available(int server_id) const {
   return available_[static_cast<std::size_t>(server_id)];
 }
 
-int Controller::handle_failure(int server_id) {
+int Controller::handle_failure(int server_id, sim::Time now) {
   PRAN_REQUIRE(server_id >= 0 && server_id < num_servers(),
                "unknown server id");
-  PRAN_REQUIRE(available_[static_cast<std::size_t>(server_id)],
-               "server already marked failed");
-  available_[static_cast<std::size_t>(server_id)] = false;
+  const auto idx = static_cast<std::size_t>(server_id);
+  failure_times_[idx].push_back(now);
+  if (quarantined_[idx]) {
+    // A quarantined server failed again before release: it hosts no cells,
+    // so there is nothing to rescue. It stays out of the pool; the failure
+    // timestamp above extends its flap history.
+    quarantined_[idx] = false;
+    return 0;
+  }
+  PRAN_REQUIRE(available_[idx], "server already marked failed");
+  available_[idx] = false;
 
   // Current spare capacity per surviving server, against estimated demand.
   std::vector<double> load(servers_.size(), 0.0);
@@ -206,12 +228,46 @@ int Controller::handle_failure(int server_id) {
   return outages;
 }
 
-void Controller::handle_recovery(int server_id) {
+RecoveryDecision Controller::handle_recovery(int server_id, sim::Time now) {
   PRAN_REQUIRE(server_id >= 0 && server_id < num_servers(),
                "unknown server id");
-  PRAN_REQUIRE(!available_[static_cast<std::size_t>(server_id)],
-               "server is not failed");
-  available_[static_cast<std::size_t>(server_id)] = true;
+  const auto idx = static_cast<std::size_t>(server_id);
+  PRAN_REQUIRE(!available_[idx], "server is not failed");
+  if (config_.quarantine) {
+    auto& times = failure_times_[idx];
+    const sim::Time cutoff = now - config_.flap_window;
+    times.erase(std::remove_if(times.begin(), times.end(),
+                               [&](sim::Time t) { return t < cutoff; }),
+                times.end());
+    if (static_cast<int>(times.size()) >= config_.flap_threshold) {
+      quarantined_[idx] = true;
+      quarantined_until_[idx] = now + backoff_[idx];
+      backoff_[idx] = static_cast<sim::Time>(
+          static_cast<double>(backoff_[idx]) * config_.quarantine_multiplier);
+      ++quarantine_events_;
+      return {false, quarantined_until_[idx]};
+    }
+    backoff_[idx] = config_.quarantine_base;
+  }
+  available_[idx] = true;
+  return {true, 0};
+}
+
+int Controller::release_quarantines(sim::Time now) {
+  int released = 0;
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    if (!quarantined_[s] || quarantined_until_[s] > now) continue;
+    quarantined_[s] = false;
+    available_[s] = true;
+    ++released;
+  }
+  return released;
+}
+
+bool Controller::server_quarantined(int server_id) const {
+  PRAN_REQUIRE(server_id >= 0 && server_id < num_servers(),
+               "unknown server id");
+  return quarantined_[static_cast<std::size_t>(server_id)];
 }
 
 }  // namespace pran::core

@@ -34,6 +34,28 @@ struct ControllerConfig {
   /// largest-demand cells (into outage) until the rest fit, instead of
   /// keeping a stale overloaded placement.
   bool shed_on_infeasible = false;
+
+  /// Survivable placement: the placer must reserve enough spare headroom
+  /// that any single server's cells re-pack into the survivors (see
+  /// PlacementProblem::survivable). Costs extra active servers.
+  bool survivable = false;
+
+  /// Flap quarantine: a server that failed `flap_threshold` times within
+  /// `flap_window` of its recovery is NOT returned to the placement pool;
+  /// it is held out for an exponentially growing backoff
+  /// (quarantine_base, then x quarantine_multiplier per consecutive
+  /// quarantine) before release_quarantines() readmits it.
+  bool quarantine = false;
+  int flap_threshold = 3;
+  sim::Time flap_window = 10 * sim::kSecond;
+  sim::Time quarantine_base = 2 * sim::kSecond;
+  double quarantine_multiplier = 2.0;
+};
+
+/// Outcome of Controller::handle_recovery.
+struct RecoveryDecision {
+  bool accepted = true;            ///< False: the server was quarantined.
+  sim::Time quarantined_until = 0; ///< Valid when !accepted.
 };
 
 /// One epoch's planning outcome, for KPI reporting.
@@ -77,13 +99,22 @@ class Controller {
 
   /// Marks a server failed and re-places its cells into spare capacity.
   /// Returns the number of cells that could NOT be rescued (outage).
-  int handle_failure(int server_id);
+  /// `now` timestamps the failure for the flap-quarantine window.
+  int handle_failure(int server_id, sim::Time now = 0);
 
   /// Returns a failed server to the available pool (cells migrate back only
-  /// at the next replan).
-  void handle_recovery(int server_id);
+  /// at the next replan) — unless it flapped `flap_threshold` times within
+  /// `flap_window`, in which case it is quarantined until the returned
+  /// backoff expiry (quarantine must be enabled in the config).
+  RecoveryDecision handle_recovery(int server_id, sim::Time now = 0);
+
+  /// Readmits quarantined servers whose backoff has expired; returns how
+  /// many were released. Call before replan() each epoch.
+  int release_quarantines(sim::Time now);
 
   bool server_available(int server_id) const;
+  bool server_quarantined(int server_id) const;
+  int quarantine_events() const noexcept { return quarantine_events_; }
   int num_cells() const noexcept { return static_cast<int>(demand_.size()); }
   int num_servers() const noexcept {
     return static_cast<int>(servers_.size());
@@ -99,6 +130,12 @@ class Controller {
   std::unique_ptr<Placer> placer_;
   std::vector<cluster::ServerSpec> servers_;
   std::vector<bool> available_;
+  /// Flap-quarantine state (all index-aligned with servers_).
+  std::vector<bool> quarantined_;
+  std::vector<sim::Time> quarantined_until_;
+  std::vector<sim::Time> backoff_;
+  std::vector<std::vector<sim::Time>> failure_times_;
+  int quarantine_events_ = 0;
   std::vector<CellDemand> demand_;      ///< EMA state (un-inflated).
   std::vector<double> demand_scale_;    ///< Forecast multipliers (optional).
   std::vector<int> placement_;          ///< Current cell -> server (-1 outage).

@@ -106,38 +106,65 @@ Deployment::Deployment(DeploymentConfig config)
                                              specs, std::move(initial));
 
   // Dropped jobs are failovers in flight: resubmit to the cell's (already
-  // re-planned) new server if one exists.
+  // re-planned) new server if one exists; otherwise the subframe is gone
+  // over the air and owes its HARQ consequence like any missed decode.
   executor_->set_drop_callback(
       [this](const lte::SubframeJob& job, int server_id) {
-        (void)server_id;
+        if (monitor_ && executor_->is_failed(server_id) &&
+            !monitor_->believes_down(server_id))
+          ++blind_window_drops_;
         const int target = controller_->server_of(job.cell_id);
         if (target >= 0 && !executor_->is_failed(target) &&
-            engine_.now() < job.deadline)
+            engine_.now() < job.deadline) {
           executor_->submit(target, job);
+          return;
+        }
+        handle_harq_loss(job);
       });
 
   // HARQ feedback: a missed uplink decode means no ACK reached the UE, so
   // the same transport block arrives again 8 TTIs later — real extra load.
+  // Dropped jobs already settled their HARQ debt in the drop callback.
   executor_->set_completion_callback([this](const cluster::JobOutcome& o) {
-    if (!config_.harq_retransmissions || o.dropped) return;
-    if (!o.missed_deadline() || o.job.direction != lte::Direction::kUplink)
-      return;
-    if (o.job.harq_retx >= config_.max_harq_retx) {
-      ++lost_tbs_;
-      return;
-    }
-    lte::SubframeJob retx = o.job;
-    ++retx.harq_retx;
-    retx.release += lte::kHarqProcesses * sim::kTti;
-    retx.deadline += lte::kHarqProcesses * sim::kTti;
-    const int target = controller_->server_of(retx.cell_id);
-    if (target < 0 || executor_->is_failed(target)) {
-      ++lost_tbs_;
-      return;
-    }
-    ++harq_retx_count_;
-    executor_->submit(target, retx);
+    if (o.dropped || !o.missed_deadline()) return;
+    handle_harq_loss(o.job);
   });
+
+  // Fault delivery: scripted plans and stochastic MTBF/MTTR processes both
+  // funnel through the injector; the controller hears about crashes either
+  // at the fault instant (oracle) or from the health monitor.
+  fault_time_.assign(static_cast<std::size_t>(config_.num_servers), 0);
+  injector_ = std::make_unique<faults::FaultInjector>(
+      engine_, *executor_, &trace_, config_.seed * 0x9E3779B9u + 0xFA);
+  injector_->set_fault_callback([this](int server_id, faults::FaultKind kind) {
+    on_server_fault(server_id, kind);
+  });
+  injector_->set_recovery_callback(
+      [this](int server_id, faults::FaultKind kind) {
+        on_server_recovery(server_id, kind);
+      });
+  if (config_.stochastic_faults.enabled())
+    injector_->arm_stochastic(config_.stochastic_faults);
+
+  PRAN_REQUIRE(config_.heartbeat_period >= 0,
+               "heartbeat period must be non-negative");
+  if (config_.heartbeat_period > 0) {
+    faults::HealthMonitorConfig mc;
+    mc.heartbeat_period = config_.heartbeat_period;
+    mc.miss_threshold = config_.heartbeat_miss_threshold;
+    monitor_.emplace(engine_, *executor_, mc, &trace_);
+    monitor_->set_down_callback([this](int server_id, sim::Time at) {
+      detection_latency_total_ +=
+          at - fault_time_[static_cast<std::size_t>(server_id)];
+      close_energy_interval();
+      failover_outages_ += controller_->handle_failure(server_id, at);
+      current_active_servers_ =
+          PlacementResult{controller_->placement()}.active_servers();
+    });
+    monitor_->set_up_callback([this](int server_id, sim::Time at) {
+      record_recovery_decision(server_id, at);
+    });
+  }
 
   const auto first_plan = controller_->replan();
   PRAN_REQUIRE(first_plan.feasible,
@@ -220,9 +247,12 @@ void Deployment::epoch_replan() {
     controller_->set_demand_scale(std::move(scale));
   }
   // Close the energy-accounting interval under the outgoing placement.
-  active_server_seconds_ += sim::to_seconds(engine_.now() - energy_mark_) *
-                            static_cast<double>(current_active_servers_);
-  energy_mark_ = engine_.now();
+  close_energy_interval();
+
+  const int released = controller_->release_quarantines(engine_.now());
+  if (released > 0)
+    trace_.emit(engine_.now(), "quarantine",
+                std::to_string(released) + " server(s) released");
 
   const auto report = controller_->replan();
   if (report.feasible) current_active_servers_ = report.active_servers;
@@ -236,29 +266,79 @@ void Deployment::epoch_replan() {
 
 void Deployment::run_until(sim::Time t) { engine_.run_until(t); }
 
+void Deployment::close_energy_interval() {
+  active_server_seconds_ += sim::to_seconds(engine_.now() - energy_mark_) *
+                            static_cast<double>(current_active_servers_);
+  energy_mark_ = engine_.now();
+}
+
+void Deployment::on_server_fault(int server_id, faults::FaultKind kind) {
+  if (kind == faults::FaultKind::kDegrade) return;  // capacity stays mapped
+  fault_time_[static_cast<std::size_t>(server_id)] = engine_.now();
+  if (monitor_) return;  // the controller stays blind until detection
+  // Oracle mode: re-place cells *before* the injector fails the executor,
+  // so the drop callback forwards in-flight jobs to their new homes.
+  close_energy_interval();
+  failover_outages_ +=
+      controller_->handle_failure(server_id, engine_.now());
+  current_active_servers_ =
+      PlacementResult{controller_->placement()}.active_servers();
+}
+
+void Deployment::on_server_recovery(int server_id, faults::FaultKind kind) {
+  if (kind == faults::FaultKind::kDegrade) return;
+  if (monitor_) return;  // recovery is observed through heartbeats
+  record_recovery_decision(server_id, engine_.now());
+}
+
+void Deployment::record_recovery_decision(int server_id, sim::Time now) {
+  const auto decision = controller_->handle_recovery(server_id, now);
+  if (!decision.accepted)
+    trace_.emit(now, "quarantine",
+                "server " + std::to_string(server_id) +
+                    " quarantined until t=" +
+                    std::to_string(sim::to_seconds(
+                        decision.quarantined_until)) +
+                    "s");
+}
+
+void Deployment::handle_harq_loss(const lte::SubframeJob& job) {
+  if (!config_.harq_retransmissions ||
+      job.direction != lte::Direction::kUplink)
+    return;
+  if (job.harq_retx >= config_.max_harq_retx) {
+    ++lost_tbs_;
+    return;
+  }
+  lte::SubframeJob retx = job;
+  ++retx.harq_retx;
+  retx.release += lte::kHarqProcesses * sim::kTti;
+  retx.deadline += lte::kHarqProcesses * sim::kTti;
+  const int target = controller_->server_of(retx.cell_id);
+  if (target < 0 || executor_->is_failed(target)) {
+    ++lost_tbs_;
+    return;
+  }
+  ++harq_retx_count_;
+  executor_->submit(target, retx);
+}
+
 void Deployment::fail_server_at(sim::Time t, int server_id) {
-  engine_.schedule_at(t, [this, server_id] {
-    trace_.emit(engine_.now(), "failure",
-                "server " + std::to_string(server_id) + " failed");
-    // Order matters: re-place cells first so the executor's drop callback
-    // can forward in-flight jobs to their new homes.
-    active_server_seconds_ += sim::to_seconds(engine_.now() - energy_mark_) *
-                              static_cast<double>(current_active_servers_);
-    energy_mark_ = engine_.now();
-    failover_outages_ += controller_->handle_failure(server_id);
-    executor_->fail_server(server_id);
-    current_active_servers_ =
-        PlacementResult{controller_->placement()}.active_servers();
-  });
+  PRAN_REQUIRE(server_id >= 0 && server_id < config_.num_servers,
+               "unknown server id");
+  PRAN_REQUIRE(t >= engine_.now(), "fault time is in the past");
+  faults::FaultEvent event;
+  event.kind = faults::FaultKind::kCrash;
+  event.at = t;
+  event.servers = {server_id};
+  injector_->schedule(event);
 }
 
 void Deployment::restore_server_at(sim::Time t, int server_id) {
-  engine_.schedule_at(t, [this, server_id] {
-    trace_.emit(engine_.now(), "failure",
-                "server " + std::to_string(server_id) + " restored");
-    executor_->restore_server(server_id);
-    controller_->handle_recovery(server_id);
-  });
+  PRAN_REQUIRE(server_id >= 0 && server_id < config_.num_servers,
+               "unknown server id");
+  PRAN_REQUIRE(t >= engine_.now(), "restore time is in the past");
+  injector_->schedule_restore(t, server_id);
 }
 
 DeploymentKpis Deployment::kpis() const {
@@ -274,6 +354,19 @@ DeploymentKpis Deployment::kpis() const {
   k.outage_cell_ttis = outage_cell_ttis_;
   k.harq_retransmissions = harq_retx_count_;
   k.lost_transport_blocks = lost_tbs_;
+
+  k.faults_injected = injector_->faults_delivered();
+  k.degrade_events = injector_->degrade_faults();
+  k.quarantine_events = controller_->quarantine_events();
+  k.blind_window_drops = blind_window_drops_;
+  if (monitor_) {
+    k.fault_detections = monitor_->detections();
+    if (k.fault_detections > 0)
+      k.mean_detection_latency_ms = sim::to_seconds(detection_latency_total_) *
+                                    1e3 / k.fault_detections;
+  } else {
+    k.fault_detections = injector_->crash_faults();
+  }
 
   // Energy: idle draw for every powered-server-second plus the busy-core
   // increment for every core-second of actual processing.

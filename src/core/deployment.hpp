@@ -20,6 +20,8 @@
 #include "cluster/executor.hpp"
 #include "core/controller.hpp"
 #include "core/pipeline.hpp"
+#include "faults/health.hpp"
+#include "faults/injector.hpp"
 #include "fronthaul/link.hpp"
 #include "mac/cell_mac.hpp"
 #include "sim/engine.hpp"
@@ -77,6 +79,18 @@ struct DeploymentConfig {
   double peak_prb_utilization = 0.85;
   std::uint64_t seed = 42;
 
+  /// Stochastic per-server fault processes (disabled unless mtbf_seconds
+  /// is set); scripted faults via fail_server_at/restore_server_at work
+  /// either way. All faults are delivered by a faults::FaultInjector.
+  faults::StochasticFaultConfig stochastic_faults;
+  /// Failure detection. 0 = oracle: the controller learns of a crash at
+  /// the fault instant (the idealisation benches E8/E9 use). > 0 = a
+  /// faults::HealthMonitor polls at this period and the controller only
+  /// reacts after `heartbeat_miss_threshold` consecutive missed beats —
+  /// subframes submitted to the corpse meanwhile are blind-window drops.
+  sim::Time heartbeat_period = 0;
+  int heartbeat_miss_threshold = 3;
+
   /// Pipeline run by every cell; defaults to the standard uplink pipeline.
   std::optional<Pipeline> pipeline;
 
@@ -108,6 +122,18 @@ struct DeploymentKpis {
   /// Cluster energy consumed (idle draw of active servers + busy-core
   /// increments), in joules.
   double energy_joules = 0.0;
+  /// Faults delivered by the injector (scripted + stochastic).
+  int faults_injected = 0;
+  /// Degrade (straggler) faults among those.
+  int degrade_events = 0;
+  /// Crashes the health monitor declared (equals crashes in oracle mode).
+  int fault_detections = 0;
+  /// Mean fault-to-declaration latency (0 in oracle mode).
+  double mean_detection_latency_ms = 0.0;
+  /// Jobs dropped on a dead server before the monitor declared it down.
+  std::uint64_t blind_window_drops = 0;
+  /// Recoveries the controller refused because the server was flapping.
+  int quarantine_events = 0;
 };
 
 class Deployment {
@@ -123,9 +149,11 @@ class Deployment {
   sim::Time now() const noexcept { return engine_.now(); }
   double hour_at(sim::Time t) const;
 
-  /// Injects a server failure at absolute time `t` (>= now).
+  /// Injects a server crash at absolute time `t` (>= now). Delivered via
+  /// the fault injector: crashing an already-down server is a traced no-op.
   void fail_server_at(sim::Time t, int server_id);
-  /// Restores a failed server at absolute time `t`.
+  /// Restores a failed server at absolute time `t` (>= now). Restoring a
+  /// healthy server is a traced no-op.
   void restore_server_at(sim::Time t, int server_id);
 
   DeploymentKpis kpis() const;
@@ -140,6 +168,13 @@ class Deployment {
   }
   const cluster::Executor& executor() const noexcept { return *executor_; }
   const Controller& controller() const noexcept { return *controller_; }
+  /// Fault delivery authority; benches use it for degrade/correlated plans.
+  faults::FaultInjector& injector() noexcept { return *injector_; }
+  const faults::FaultInjector& injector() const noexcept { return *injector_; }
+  /// Health monitor (nullptr in oracle mode, heartbeat_period == 0).
+  const faults::HealthMonitor* monitor() const noexcept {
+    return monitor_ ? &*monitor_ : nullptr;
+  }
   const sim::Trace& trace() const noexcept { return trace_; }
   const DeploymentConfig& config() const noexcept { return config_; }
 
@@ -150,6 +185,13 @@ class Deployment {
   void tick();          ///< One TTI: sample, build jobs, submit.
   void epoch_replan();  ///< Controller epoch.
   std::unique_ptr<Placer> make_placer() const;
+  /// HARQ consequence of an unrecoverable subframe (drop or missed
+  /// deadline): retransmission 8 TTIs later, or a lost transport block.
+  void handle_harq_loss(const lte::SubframeJob& job);
+  void close_energy_interval();
+  void on_server_fault(int server_id, faults::FaultKind kind);
+  void on_server_recovery(int server_id, faults::FaultKind kind);
+  void record_recovery_decision(int server_id, sim::Time now);
 
   DeploymentConfig config_;
   sim::Engine engine_;
@@ -160,6 +202,8 @@ class Deployment {
   std::vector<lte::SubframeFactory> factories_;
   std::unique_ptr<cluster::Executor> executor_;
   std::unique_ptr<Controller> controller_;
+  std::unique_ptr<faults::FaultInjector> injector_;
+  std::optional<faults::HealthMonitor> monitor_;
   std::optional<fronthaul::FronthaulLink> fronthaul_link_;
   units::Bits fronthaul_bits_per_subframe_{0};
   Pipeline pipeline_;
@@ -167,6 +211,11 @@ class Deployment {
   std::int64_t tti_counter_ = 0;
   int failover_outages_ = 0;
   std::uint64_t outage_cell_ttis_ = 0;
+  /// Fault bookkeeping: when each server last crashed (for detection
+  /// latency), accumulated latency, and drops inside the blind window.
+  std::vector<sim::Time> fault_time_;
+  sim::Time detection_latency_total_ = 0;
+  std::uint64_t blind_window_drops_ = 0;
   std::uint64_t harq_retx_count_ = 0;
   std::uint64_t lost_tbs_ = 0;
   /// Energy accounting: powered-server-seconds accrued so far plus the

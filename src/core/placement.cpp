@@ -71,6 +71,45 @@ bool placement_fits(const PlacementProblem& problem,
   return true;
 }
 
+bool placement_survives_any_single_failure(
+    const PlacementProblem& problem, const std::vector<int>& assignment) {
+  const auto loads = server_loads(problem, assignment);
+  const std::size_t S = problem.servers.size();
+  if (S < 2) return false;
+  for (std::size_t victim = 0; victim < S; ++victim) {
+    if (loads[victim] <= 0.0) continue;
+    // The victim's cells, largest first — the order Controller's failover
+    // rescue uses — into the survivors' residual headroom.
+    std::vector<std::size_t> cells;
+    for (std::size_t c = 0; c < assignment.size(); ++c)
+      if (static_cast<std::size_t>(assignment[c]) == victim) cells.push_back(c);
+    std::sort(cells.begin(), cells.end(), [&](std::size_t a, std::size_t b) {
+      if (problem.cells[a].gops_per_tti != problem.cells[b].gops_per_tti)
+        return problem.cells[a].gops_per_tti > problem.cells[b].gops_per_tti;
+      return a < b;
+    });
+    // Rescue targets are the servers the plan actually uses: idle servers
+    // are powered down / returned to the cloud in PRAN, so the guarantee
+    // must hold among the hot survivors alone.
+    std::vector<double> residual(S, 0.0);
+    for (std::size_t s = 0; s < S; ++s)
+      if (s != victim && loads[s] > 0.0)
+        residual[s] = budget(problem, s) - loads[s];
+    for (std::size_t c : cells) {
+      const double d = problem.cells[c].gops_per_tti;
+      bool placed = false;
+      for (std::size_t s = 0; s < S && !placed; ++s) {
+        if (s == victim || loads[s] <= 0.0 || residual[s] + 1e-12 < d)
+          continue;
+        residual[s] -= d;
+        placed = true;
+      }
+      if (!placed) return false;
+    }
+  }
+  return true;
+}
+
 lp::Model build_placement_model(const PlacementProblem& problem) {
   validate(problem);
   const std::size_t C = problem.cells.size();
@@ -105,6 +144,25 @@ lp::Model build_placement_model(const PlacementProblem& problem) {
       load += problem.cells[c].gops_per_tti * lp::LinearExpr(x[c][s]);
     load -= budget(problem, s) * lp::LinearExpr(y[s]);
     model.add_constraint("cap_s" + std::to_string(s), load <= 0.0);
+  }
+
+  // Survivable mode (aggregate N+1 redundancy): for every server s, the
+  // headroom capacity of the *other* active servers must cover the whole
+  // demand — since all cells are placed, load excluding s plus load on s
+  // is the constant total D, so "spare excluding s >= load on s" is
+  //   sum_{s' != s} h B_{s'} y_{s'} >= D.
+  // The redundancy is priced by the active-server objective: survivability
+  // costs exactly the extra y_s it forces on.
+  if (problem.survivable && S >= 2) {
+    double total_demand = 0.0;
+    for (const auto& c : problem.cells) total_demand += c.gops_per_tti;
+    for (std::size_t s = 0; s < S; ++s) {
+      lp::LinearExpr spare;
+      for (std::size_t o = 0; o < S; ++o)
+        if (o != s) spare += budget(problem, o) * lp::LinearExpr(y[o]);
+      model.add_constraint("survive_s" + std::to_string(s),
+                           spare >= total_demand);
+    }
   }
 
   // Symmetry breaking for runs of identical servers: y_s >= y_{s+1}.
@@ -143,6 +201,7 @@ PlacementResult MilpPlacer::place(const PlacementProblem& problem) {
   validate(problem);
   const std::size_t C = problem.cells.size();
   const std::size_t S = problem.servers.size();
+  if (problem.survivable && S < 2) return {};  // nothing can survive a loss
 
   const lp::Model model = build_placement_model(problem);
   const auto milp = lp::MilpSolver{options_}.solve(model);
@@ -167,6 +226,39 @@ PlacementResult MilpPlacer::place(const PlacementProblem& problem) {
   }
   PRAN_CHECK(placement_fits(problem, result.server_of_cell),
              "MILP solution violates capacity");
+
+  if (problem.survivable &&
+      !placement_survives_any_single_failure(problem, result.server_of_cell)) {
+    // The survive_s constraints reserve aggregate spare across the powered
+    // set y, but the solver may still concentrate the cells on a subset of
+    // it. Re-pack across the whole powered set (first-fit with cap
+    // tightening) so the redundancy is realised by the hosting servers
+    // themselves; the powered-set size — the objective — is unchanged.
+    std::vector<int> powered;
+    for (std::size_t s = 0; s < S; ++s)
+      if (milp.x[C * S + s] > 0.5) powered.push_back(static_cast<int>(s));
+    PlacementProblem sub = problem;
+    sub.previous.reset();
+    sub.servers.clear();
+    for (int s : powered)
+      sub.servers.push_back(problem.servers[static_cast<std::size_t>(s)]);
+    const PlacementResult packed = FirstFitPlacer(/*sticky=*/false).place(sub);
+    if (!packed.feasible) {
+      // Aggregate spare exists but no per-victim re-pack does
+      // (bin-packing granularity): report honestly as infeasible.
+      result.feasible = false;
+      result.server_of_cell.clear();
+      return result;
+    }
+    for (std::size_t c = 0; c < C; ++c)
+      result.server_of_cell[c] =
+          powered[static_cast<std::size_t>(packed.server_of_cell[c])];
+    PRAN_CHECK(placement_fits(problem, result.server_of_cell),
+               "survivable re-pack violates capacity");
+    PRAN_CHECK(placement_survives_any_single_failure(problem,
+                                                     result.server_of_cell),
+               "survivable re-pack lost the redundancy guarantee");
+  }
   return result;
 }
 
@@ -185,69 +277,85 @@ PlacementResult FirstFitPlacer::place(const PlacementProblem& problem) {
     return a < b;
   });
 
-  std::vector<double> load(S, 0.0);
-  std::vector<bool> active(S, false);
-  std::vector<int> assignment(C, -1);
-  auto fits = [&](std::size_t s, double d) {
-    return load[s] + d <= budget(problem, s) + 1e-12;
+  // One first-fit-decreasing pass with per-server caps scaled by
+  // `cap_scale`. Returns the assignment, or nullopt when some cell has no
+  // room under the scaled caps.
+  auto pack = [&](double cap_scale) -> std::optional<std::vector<int>> {
+    std::vector<double> load(S, 0.0);
+    std::vector<bool> active(S, false);
+    std::vector<int> assignment(C, -1);
+    auto fits = [&](std::size_t s, double d) {
+      return load[s] + d <= cap_scale * budget(problem, s) + 1e-12;
+    };
+
+    for (std::size_t idx : order) {
+      const double d = problem.cells[idx].gops_per_tti;
+      int chosen = -1;
+
+      // Affinity: stay where the cell was last epoch if it still fits.
+      if (sticky_ && problem.previous) {
+        const int prev = (*problem.previous)[idx];
+        if (prev >= 0 && static_cast<std::size_t>(prev) < S &&
+            fits(static_cast<std::size_t>(prev), d))
+          chosen = prev;
+      }
+      // First active server with room.
+      if (chosen < 0) {
+        for (std::size_t s = 0; s < S; ++s) {
+          if (active[s] && fits(s, d)) {
+            chosen = static_cast<int>(s);
+            break;
+          }
+        }
+      }
+      // Open the smallest inactive server that fits.
+      if (chosen < 0) {
+        double best_budget = 0.0;
+        for (std::size_t s = 0; s < S; ++s) {
+          if (active[s] || !fits(s, d)) continue;
+          const double b = budget(problem, s);
+          if (chosen < 0 || b < best_budget) {
+            chosen = static_cast<int>(s);
+            best_budget = b;
+          }
+        }
+      }
+      if (chosen < 0) return std::nullopt;
+      assignment[idx] = chosen;
+      load[static_cast<std::size_t>(chosen)] += d;
+      active[static_cast<std::size_t>(chosen)] = true;
+    }
+    return assignment;
   };
 
   const auto start = std::chrono::steady_clock::now();
-  for (std::size_t idx : order) {
-    const double d = problem.cells[idx].gops_per_tti;
-    int chosen = -1;
+  auto finish = [&](std::optional<std::vector<int>> assignment) {
+    PlacementResult result;
+    result.solve_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (!assignment) return result;  // infeasible under this heuristic
+    result.server_of_cell = std::move(*assignment);
+    result.feasible = true;
+    PRAN_CHECK(placement_fits(problem, result.server_of_cell),
+               "first-fit produced an overloaded server");
+    return result;
+  };
 
-    // Affinity: stay where the cell was last epoch if it still fits.
-    if (sticky_ && problem.previous) {
-      const int prev = (*problem.previous)[idx];
-      if (prev >= 0 && static_cast<std::size_t>(prev) < S &&
-          fits(static_cast<std::size_t>(prev), d))
-        chosen = prev;
-    }
-    // First active server with room.
-    if (chosen < 0) {
-      for (std::size_t s = 0; s < S; ++s) {
-        if (active[s] && fits(s, d)) {
-          chosen = static_cast<int>(s);
-          break;
-        }
-      }
-    }
-    // Open the smallest inactive server that fits.
-    if (chosen < 0) {
-      double best_budget = 0.0;
-      for (std::size_t s = 0; s < S; ++s) {
-        if (active[s] || !fits(s, d)) continue;
-        const double b = budget(problem, s);
-        if (chosen < 0 || b < best_budget) {
-          chosen = static_cast<int>(s);
-          best_budget = b;
-        }
-      }
-    }
-    if (chosen < 0) {
-      // Infeasible under this heuristic; report failure.
-      PlacementResult result;
-      result.solve_seconds =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        start)
-              .count();
-      return result;
-    }
-    assignment[idx] = chosen;
-    load[static_cast<std::size_t>(chosen)] += d;
-    active[static_cast<std::size_t>(chosen)] = true;
+  if (!problem.survivable) return finish(pack(1.0));
+
+  // Survivable mode: tighten the per-server cap until every victim's cells
+  // re-pack into the survivors (tighter caps spread load over more
+  // servers, leaving more residual headroom everywhere). A pack failure is
+  // final — even tighter caps only get harder to satisfy.
+  if (S < 2) return finish(std::nullopt);
+  for (double cap_scale = 1.0; cap_scale > 0.05; cap_scale *= 0.85) {
+    auto assignment = pack(cap_scale);
+    if (!assignment) break;
+    if (placement_survives_any_single_failure(problem, *assignment))
+      return finish(std::move(assignment));
   }
-
-  PlacementResult result;
-  result.server_of_cell = std::move(assignment);
-  result.feasible = true;
-  result.solve_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-  PRAN_CHECK(placement_fits(problem, result.server_of_cell),
-             "first-fit produced an overloaded server");
-  return result;
+  return finish(std::nullopt);
 }
 
 // -------------------------------------------------------- StaticPeakPlacer

@@ -55,6 +55,15 @@ struct PlacementProblem {
   /// Objective weight of one migration, in units of "servers". Must be
   /// < 1/|cells| to keep server count lexicographically dominant.
   double migration_weight = 0.0;
+  /// Survivable mode: reserve enough spare headroom that any single
+  /// server's cells can be re-packed into the surviving *hosting* servers
+  /// (idle servers are powered down / returned to the cloud, so they do
+  /// not count as rescue capacity). The MILP prices the redundancy in its
+  /// active-server objective via aggregate spare constraints, then
+  /// re-packs across the powered set so the guarantee holds per victim;
+  /// the first-fit heuristic tightens per-server caps (spreading load)
+  /// until a per-victim first-fit re-pack succeeds.
+  bool survivable = false;
 };
 
 /// Result of a placement decision.
@@ -77,6 +86,13 @@ bool placement_fits(const PlacementProblem& problem,
 /// Total demand landing on each server under `assignment`.
 std::vector<double> server_loads(const PlacementProblem& problem,
                                  const std::vector<int>& assignment);
+
+/// True if, for every server, its cells re-pack (first-fit, largest first)
+/// into the residual headroom of the *other cell-hosting* servers — i.e.
+/// the placement survives any single-server loss without outage, without
+/// counting on powered-down spares.
+bool placement_survives_any_single_failure(const PlacementProblem& problem,
+                                           const std::vector<int>& assignment);
 
 /// Builds the MILP formulation (exposed for tests and the solver-scaling
 /// bench). Variables are ordered x_{c,s} row-major, then y_s.

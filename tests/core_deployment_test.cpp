@@ -75,7 +75,7 @@ TEST(Deployment, FailoverKeepsCellsAlive) {
   // Cell 0 lives elsewhere and keeps processing.
   EXPECT_NE(d.controller().server_of(0), victim);
   EXPECT_GT(kpis.subframes_processed, 0u);
-  EXPECT_EQ(d.trace().count("failure"), 1u);
+  EXPECT_EQ(d.trace().count("fault"), 1u);
 }
 
 TEST(Deployment, RestoreReturnsServerToPool) {

@@ -89,7 +89,7 @@ TEST(FullStack, TraceRecordsControllerAndFailures) {
   d.fail_server_at(d.now(), victim);
   d.run_for(100 * sim::kMillisecond);
   EXPECT_GE(d.trace().count("controller"), 1u);
-  EXPECT_EQ(d.trace().count("failure"), 1u);
+  EXPECT_EQ(d.trace().count("fault"), 1u);
 }
 
 }  // namespace

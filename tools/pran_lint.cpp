@@ -17,6 +17,11 @@
 //   unit-param       a `double` parameter named *_db/*_dbm/*_bits/*_us in a
 //                    public header under src/ — those quantities now have
 //                    strong types in common/units.hpp
+//   fault-bypass     calling Executor::fail_server / restore_server /
+//                    degrade_server / restore_speed directly outside
+//                    src/faults/ (and tests) — faults must flow through
+//                    faults::FaultInjector so they are traced, idempotent
+//                    and visible to the health monitor
 //
 // Modes:
 //   pran-lint --root <repo>      lint src/ tools/ bench/ examples/ tests/;
@@ -356,6 +361,40 @@ void rule_unit_param(const std::string& path, const std::string& code,
   }
 }
 
+void rule_fault_bypass(const std::string& path, const std::string& code,
+                       std::vector<Finding>& out) {
+  // The injector implements delivery, the executor declares/defines the
+  // mutators, and tests may drive them directly to pin executor semantics.
+  if (path_contains(path, "src/faults/") ||
+      path_contains(path, "src/cluster/executor.") ||
+      path_contains(path, "tests/"))
+    return;
+  for (const char* token :
+       {"fail_server", "restore_server", "degrade_server", "restore_speed"}) {
+    for (std::size_t pos : find_token(code, token)) {
+      // Only member calls count (`x.fail_server(...)` / `x->fail_server(`):
+      // plain identifiers (locals, Deployment's fail_server_at, ...) are
+      // not executor mutations.
+      std::size_t b = pos;
+      while (b > 0 && std::isspace(pran::narrow_cast<unsigned char>(
+                          code[b - 1])))
+        --b;
+      const bool member = b > 0 && (code[b - 1] == '.' || code[b - 1] == '>');
+      std::size_t p = pos + std::string_view(token).size();
+      while (p < code.size() &&
+             std::isspace(pran::narrow_cast<unsigned char>(code[p])))
+        ++p;
+      const bool call = p < code.size() && code[p] == '(';
+      if (!member || !call) continue;
+      out.push_back({path, line_of(code, pos), "fault-bypass",
+                     std::string(token) +
+                         " called directly; deliver faults through "
+                         "faults::FaultInjector so they are traced, "
+                         "idempotent and monitor-visible"});
+    }
+  }
+}
+
 // ------------------------------------------------------------------ driver
 
 std::vector<Finding> lint_file(const std::string& display_path,
@@ -367,6 +406,7 @@ std::vector<Finding> lint_file(const std::string& display_path,
   rule_narrowing_cast(display_path, code, findings);
   rule_check_message(display_path, code, findings);
   rule_unit_param(display_path, code, findings);
+  rule_fault_bypass(display_path, code, findings);
   return findings;
 }
 
@@ -419,6 +459,7 @@ int run_selftest(const fs::path& dir) {
       {"bad_narrow", "narrowing-cast"},
       {"bad_check_msg", "check-message"},
       {"bad_unit_param", "unit-param"},
+      {"bad_fault_bypass", "fault-bypass"},
   };
   int failures = 0;
   std::size_t checked = 0;
