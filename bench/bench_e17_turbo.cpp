@@ -22,6 +22,8 @@
 #include <cstdio>
 #include <vector>
 
+#include "telemetry/telemetry.hpp"
+
 #include "coding/awgn.hpp"
 #include "coding/turbo.hpp"
 #include "common/flags.hpp"
@@ -151,6 +153,10 @@ int main(int argc, char** argv) {
   Flags flags("bench_e17_turbo", "E17: turbo iteration economy");
   flags.add_int("threads", static_cast<long>(ThreadPool::default_threads()),
                 "worker threads for the Monte-Carlo sweeps");
+  flags.add_string("metrics-out", "",
+                   "write a telemetry snapshot to this file (.json or .csv)");
+  flags.add_string("trace-out", "",
+                   "write Chrome trace-event JSON to this file");
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
                  flags.usage().c_str());
@@ -166,5 +172,9 @@ int main(int argc, char** argv) {
   std::printf("E17c: measured turbo decode throughput (google-benchmark, "
               "single thread)\n\n");
   benchmark::RunSpecifiedBenchmarks();
+  if (!flags.get_string("metrics-out").empty())
+    pran::telemetry::write_metrics_file(flags.get_string("metrics-out"));
+  if (!flags.get_string("trace-out").empty())
+    pran::telemetry::write_chrome_trace_file(flags.get_string("trace-out"));
   return 0;
 }

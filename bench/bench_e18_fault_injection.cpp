@@ -23,6 +23,7 @@
 #include "common/flags.hpp"
 #include "common/parallel.hpp"
 #include "common/table.hpp"
+#include "telemetry/telemetry.hpp"
 #include "core/deployment.hpp"
 
 namespace {
@@ -208,6 +209,10 @@ int main(int argc, char** argv) {
               "flap quarantine");
   flags.add_int("threads", static_cast<long>(ThreadPool::default_threads()),
                 "worker threads for the detection sweep");
+  flags.add_string("metrics-out", "",
+                   "write a telemetry snapshot to this file (.json or .csv)");
+  flags.add_string("trace-out", "",
+                   "write Chrome trace-event JSON to this file");
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
                  flags.usage().c_str());
@@ -223,5 +228,9 @@ int main(int argc, char** argv) {
   run_detection_sweep(threads);
   run_survivability_table();
   run_quarantine_table();
+  if (!flags.get_string("metrics-out").empty())
+    pran::telemetry::write_metrics_file(flags.get_string("metrics-out"));
+  if (!flags.get_string("trace-out").empty())
+    pran::telemetry::write_chrome_trace_file(flags.get_string("trace-out"));
   return 0;
 }

@@ -11,6 +11,7 @@
 #include "common/check.hpp"
 
 #include "common/narrow.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace pran::coding {
 namespace {
@@ -327,6 +328,7 @@ const TurboResult& TurboDecoder::decode(
 
 TurboResult turbo_decode(const Llrs& llrs, std::size_t k, int max_iterations,
                          const std::function<bool(const Bits&)>& early_exit) {
+  PRAN_SPAN("turbo_decode", static_cast<std::int64_t>(k));
   thread_local TurboDecoder decoder;
   return decoder.decode(llrs, k, max_iterations, early_exit);
 }

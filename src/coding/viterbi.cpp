@@ -8,6 +8,7 @@
 #include "common/check.hpp"
 
 #include "common/narrow.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace pran::coding {
 namespace {
@@ -113,11 +114,13 @@ const ViterbiResult& ViterbiDecoder::decode_hard(const Bits& coded,
 }
 
 ViterbiResult viterbi_decode(const Llrs& llrs, std::size_t info_bits) {
+  PRAN_SPAN("viterbi_decode", static_cast<std::int64_t>(info_bits));
   thread_local ViterbiDecoder decoder;
   return decoder.decode(llrs, info_bits);
 }
 
 ViterbiResult viterbi_decode_hard(const Bits& coded, std::size_t info_bits) {
+  PRAN_SPAN("viterbi_decode_hard", static_cast<std::int64_t>(info_bits));
   thread_local ViterbiDecoder decoder;
   return decoder.decode_hard(coded, info_bits);
 }

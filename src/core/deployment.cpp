@@ -5,6 +5,8 @@
 
 #include "common/check.hpp"
 #include "fronthaul/codec.hpp"
+#include "telemetry/bridge.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace pran::core {
 
@@ -12,6 +14,13 @@ Deployment::Deployment(DeploymentConfig config)
     : config_(std::move(config)),
       pipeline_(config_.pipeline ? *config_.pipeline
                                  : Pipeline::standard_uplink()) {
+  // Mirror controller/fault/quarantine trace events into the global
+  // telemetry state (per-category counters + simulated-time markers).
+  if (telemetry::enabled()) {
+    trace_bridge_ = std::make_unique<telemetry::SimTraceBridge>(
+        telemetry::registry(), telemetry::spans());
+    trace_.set_sink(trace_bridge_.get());
+  }
   PRAN_REQUIRE(config_.num_cells >= 1, "deployment needs cells");
   PRAN_REQUIRE(config_.num_servers >= 1, "deployment needs servers");
   PRAN_REQUIRE(config_.epoch >= sim::kTti, "epoch must be at least one TTI");
@@ -126,6 +135,9 @@ Deployment::Deployment(DeploymentConfig config)
   // the same transport block arrives again 8 TTIs later — real extra load.
   // Dropped jobs already settled their HARQ debt in the drop callback.
   executor_->set_completion_callback([this](const cluster::JobOutcome& o) {
+    PRAN_SIM_SPAN("subframe_job", o.server_id, o.start, o.finish - o.start,
+                  o.job.cell_id, o.job.tti);
+    if (o.missed_deadline()) PRAN_COUNTER_INC("deployment.deadline_misses");
     if (o.dropped || !o.missed_deadline()) return;
     handle_harq_loss(o.job);
   });
@@ -154,8 +166,11 @@ Deployment::Deployment(DeploymentConfig config)
     mc.miss_threshold = config_.heartbeat_miss_threshold;
     monitor_.emplace(engine_, *executor_, mc, &trace_);
     monitor_->set_down_callback([this](int server_id, sim::Time at) {
-      detection_latency_total_ +=
+      const sim::Time latency =
           at - fault_time_[static_cast<std::size_t>(server_id)];
+      detection_latency_total_ += latency;
+      PRAN_HIST_OBSERVE("monitor.detection_latency_ms", 0.0, 1000.0, 50,
+                        sim::to_seconds(latency) * 1e3);
       close_energy_interval();
       failover_outages_ += controller_->handle_failure(server_id, at);
       current_active_servers_ =
@@ -174,6 +189,8 @@ Deployment::Deployment(DeploymentConfig config)
   engine_.schedule_at(0, [this] { tick(); });
   engine_.schedule_at(config_.epoch, [this] { epoch_replan(); });
 }
+
+Deployment::~Deployment() = default;
 
 std::unique_ptr<Placer> Deployment::make_placer() const {
   switch (config_.placer) {
@@ -196,6 +213,7 @@ double Deployment::hour_at(sim::Time t) const {
 }
 
 void Deployment::tick() {
+  PRAN_SPAN("deployment_tick", tti_counter_);
   const double hour = hour_at(engine_.now());
   for (std::size_t c = 0; c < cells_.size(); ++c) {
     std::vector<lte::Allocation> allocs;
@@ -254,8 +272,17 @@ void Deployment::epoch_replan() {
     trace_.emit(engine_.now(), "quarantine",
                 std::to_string(released) + " server(s) released");
 
-  const auto report = controller_->replan();
+  const auto report = [this] {
+    PRAN_SPAN("controller_replan");
+    return controller_->replan();
+  }();
   if (report.feasible) current_active_servers_ = report.active_servers;
+  PRAN_COUNTER_INC("controller.epochs");
+  if (!report.feasible) PRAN_COUNTER_INC("controller.infeasible_epochs");
+  PRAN_COUNTER_ADD("controller.migrations",
+                   static_cast<std::uint64_t>(report.migrations));
+  PRAN_HIST_OBSERVE("controller.solve_ms", 0.0, 50.0, 50,
+                    report.solve_seconds * 1e3);
   std::ostringstream os;
   os << "epoch " << report.epoch << " feasible=" << report.feasible
      << " active=" << report.active_servers
@@ -293,6 +320,7 @@ void Deployment::on_server_recovery(int server_id, faults::FaultKind kind) {
 
 void Deployment::record_recovery_decision(int server_id, sim::Time now) {
   const auto decision = controller_->handle_recovery(server_id, now);
+  if (!decision.accepted) PRAN_COUNTER_INC("controller.quarantine_events");
   if (!decision.accepted)
     trace_.emit(now, "quarantine",
                 "server " + std::to_string(server_id) +

@@ -28,6 +28,10 @@
 #include "sim/trace.hpp"
 #include "workload/traffic.hpp"
 
+namespace pran::telemetry {
+class SimTraceBridge;
+}
+
 namespace pran::core {
 
 struct DeploymentConfig {
@@ -139,6 +143,7 @@ struct DeploymentKpis {
 class Deployment {
  public:
   explicit Deployment(DeploymentConfig config);
+  ~Deployment();  ///< Out-of-line: trace_bridge_ is incomplete here.
 
   /// Runs until `t` (absolute simulated time, monotone across calls).
   void run_until(sim::Time t);
@@ -196,6 +201,8 @@ class Deployment {
   DeploymentConfig config_;
   sim::Engine engine_;
   sim::Trace trace_;
+  /// Mirrors trace records into global telemetry (null when disabled).
+  std::unique_ptr<telemetry::SimTraceBridge> trace_bridge_;
   std::vector<workload::TrafficModel> cells_;
   /// Populated only in kMacScheduled mode (index-aligned with cells_).
   std::vector<mac::CellMac> macs_;

@@ -1,0 +1,88 @@
+#include "core/kpi_export.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace pran::core {
+
+namespace {
+
+void set_gauge(telemetry::MetricsRegistry& registry, std::string_view prefix,
+               std::string_view name, double value) {
+  registry.set(registry.gauge(std::string(prefix) + std::string(name)), value);
+}
+
+}  // namespace
+
+void export_kpis(const DeploymentKpis& kpis,
+                 telemetry::MetricsRegistry& registry,
+                 std::string_view prefix) {
+  const auto set = [&](std::string_view name, double value) {
+    set_gauge(registry, prefix, name, value);
+  };
+  set("subframes_processed", static_cast<double>(kpis.subframes_processed));
+  set("deadline_misses", static_cast<double>(kpis.deadline_misses));
+  set("dropped", static_cast<double>(kpis.dropped));
+  set("miss_ratio", kpis.miss_ratio);
+  set("migrations", kpis.migrations);
+  set("mean_active_servers", kpis.mean_active_servers);
+  set("mean_plan_seconds", kpis.mean_plan_seconds);
+  set("failover_outage_cells", kpis.failover_outage_cells);
+  set("infeasible_epochs", kpis.infeasible_epochs);
+  set("shed_cell_epochs", kpis.shed_cell_epochs);
+  set("outage_cell_ttis", static_cast<double>(kpis.outage_cell_ttis));
+  set("harq_retransmissions",
+      static_cast<double>(kpis.harq_retransmissions));
+  set("lost_transport_blocks",
+      static_cast<double>(kpis.lost_transport_blocks));
+  set("energy_joules", kpis.energy_joules);
+  set("faults_injected", kpis.faults_injected);
+  set("degrade_events", kpis.degrade_events);
+  set("fault_detections", kpis.fault_detections);
+  set("mean_detection_latency_ms", kpis.mean_detection_latency_ms);
+  set("blind_window_drops", static_cast<double>(kpis.blind_window_drops));
+  set("quarantine_events", kpis.quarantine_events);
+}
+
+void export_deployment(const Deployment& deployment,
+                       telemetry::MetricsRegistry& registry) {
+  export_kpis(deployment.kpis(), registry);
+
+  const auto& executor = deployment.executor();
+  const auto stats = executor.stats();
+  set_gauge(registry, "executor.", "completed",
+            static_cast<double>(stats.completed));
+  set_gauge(registry, "executor.", "missed",
+            static_cast<double>(stats.missed));
+  set_gauge(registry, "executor.", "dropped",
+            static_cast<double>(stats.dropped));
+  set_gauge(registry, "executor.", "busy_seconds", stats.total_busy_seconds);
+  const sim::Time window = deployment.now();
+  if (window > 0) {
+    for (int s = 0; s < executor.num_servers(); ++s)
+      set_gauge(registry, "executor.",
+                "utilization.server-" + std::to_string(s),
+                executor.utilization(s, window));
+  }
+
+  const auto& reports = deployment.controller().reports();
+  set_gauge(registry, "solver.", "epochs",
+            static_cast<double>(reports.size()));
+  if (!reports.empty()) {
+    double total = 0.0, worst = 0.0;
+    for (const auto& r : reports) {
+      total += r.solve_seconds;
+      worst = std::max(worst, r.solve_seconds);
+    }
+    set_gauge(registry, "solver.", "mean_solve_seconds",
+              total / static_cast<double>(reports.size()));
+    set_gauge(registry, "solver.", "max_solve_seconds", worst);
+  }
+  set_gauge(registry, "solver.", "total_migrations",
+            deployment.controller().total_migrations());
+
+  set_gauge(registry, "trace.", "dropped_records",
+            static_cast<double>(deployment.trace().dropped()));
+}
+
+}  // namespace pran::core

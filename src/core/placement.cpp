@@ -1,11 +1,11 @@
 #include "core/placement.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <numeric>
 
 #include "common/check.hpp"
+#include "telemetry/clock.hpp"
 
 namespace pran::core {
 namespace {
@@ -328,12 +328,10 @@ PlacementResult FirstFitPlacer::place(const PlacementProblem& problem) {
     return assignment;
   };
 
-  const auto start = std::chrono::steady_clock::now();
+  const telemetry::Stopwatch stopwatch;
   auto finish = [&](std::optional<std::vector<int>> assignment) {
     PlacementResult result;
-    result.solve_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
+    result.solve_seconds = stopwatch.elapsed_seconds();
     if (!assignment) return result;  // infeasible under this heuristic
     result.server_of_cell = std::move(*assignment);
     result.feasible = true;

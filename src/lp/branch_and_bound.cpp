@@ -1,11 +1,11 @@
 #include "lp/branch_and_bound.hpp"
 
-#include <chrono>
 #include <cmath>
 #include <queue>
 
 #include "common/check.hpp"
 #include "lp/presolve.hpp"
+#include "telemetry/clock.hpp"
 
 namespace pran::lp {
 
@@ -65,12 +65,8 @@ MilpResult MilpSolver::solve(const Model& model) const {
 
 MilpResult MilpSolver::solve_impl(const Model& root) const {
   PRAN_REQUIRE(root.num_variables() > 0, "model has no variables");
-  const auto start = std::chrono::steady_clock::now();
-  auto elapsed = [&] {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start)
-        .count();
-  };
+  const telemetry::Stopwatch stopwatch;
+  auto elapsed = [&] { return stopwatch.elapsed_seconds(); };
 
   const double sense_sign = root.sense() == Sense::kMinimize ? 1.0 : -1.0;
   // Internal objective values are always "minimise": internal = sign * model.

@@ -1,0 +1,30 @@
+#include "telemetry/bridge.hpp"
+
+namespace pran::telemetry {
+
+SimTraceBridge::SimTraceBridge(MetricsRegistry& registry, SpanCollector& spans,
+                               std::int32_t track)
+    : registry_(registry), spans_(spans), track_(track) {}
+
+void SimTraceBridge::on_record(const sim::TraceRecord& record) {
+  auto counter_it = counters_.find(record.category_id);
+  if (counter_it == counters_.end()) {
+    counter_it =
+        counters_
+            .emplace(record.category_id,
+                     registry_.counter("trace." + record.category))
+            .first;
+  }
+  registry_.add(counter_it->second);
+
+  auto name_it = span_names_.find(record.category_id);
+  if (name_it == span_names_.end()) {
+    name_it = span_names_
+                  .emplace(record.category_id,
+                           spans_.intern("trace." + record.category))
+                  .first;
+  }
+  spans_.instant_sim(name_it->second, track_, record.at);
+}
+
+}  // namespace pran::telemetry

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file bridge.hpp
+/// Glue between the simulation's Trace and the telemetry layer: a
+/// sim::TraceSink that mirrors every enabled trace record into the global
+/// telemetry state — a per-category counter ("trace.<category>") in the
+/// metrics registry plus an instant marker on the simulated-time track of
+/// the span collector, so controller/fault/quarantine events line up with
+/// job spans in the exported Chrome trace.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "sim/trace.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
+
+namespace pran::telemetry {
+
+class SimTraceBridge : public sim::TraceSink {
+ public:
+  /// `track` is the simulated-time row the markers appear on in the
+  /// exported trace (kept separate from server tracks, which are >= 0).
+  SimTraceBridge(MetricsRegistry& registry, SpanCollector& spans,
+                 std::int32_t track = -1);
+
+  void on_record(const sim::TraceRecord& record) override;
+
+ private:
+  MetricsRegistry& registry_;
+  SpanCollector& spans_;
+  std::int32_t track_;
+  /// Both caches are keyed by the trace's dense category ids, so steady
+  /// state is two vector lookups per record — no string hashing.
+  std::unordered_map<std::uint32_t, CounterId> counters_;
+  std::unordered_map<std::uint32_t, std::uint32_t> span_names_;
+};
+
+}  // namespace pran::telemetry

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file clock.hpp
+/// The telemetry layer's wall clock. This header is the ONE place in src/
+/// allowed to touch std::chrono (pran-lint's adhoc-timing rule enforces
+/// it): every wall-clock measurement in the libraries goes through
+/// Stopwatch or a span, so all timings share one monotonic clock and show
+/// up in the same exported snapshot instead of ad-hoc locals.
+
+#include <chrono>
+#include <cstdint>
+
+namespace pran::telemetry {
+
+/// Monotonic nanoseconds since an arbitrary process-local origin
+/// (std::chrono::steady_clock, so immune to NTP steps).
+inline std::int64_t wall_now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Minimal monotonic stopwatch. Replaces the ad-hoc
+/// `std::chrono::steady_clock::now()` pairs that used to live in the
+/// solver and placer hot paths.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(wall_now_ns()) {}
+
+  void reset() noexcept { start_ = wall_now_ns(); }
+
+  std::int64_t elapsed_ns() const noexcept { return wall_now_ns() - start_; }
+
+  double elapsed_seconds() const noexcept {
+    return static_cast<double>(elapsed_ns()) / 1e9;
+  }
+
+ private:
+  std::int64_t start_;
+};
+
+}  // namespace pran::telemetry

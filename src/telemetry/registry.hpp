@@ -1,0 +1,185 @@
+#pragma once
+
+/// \file registry.hpp
+/// Thread-safe metrics registry: counters, gauges and fixed-bucket
+/// histograms, sharded so hot-path updates are wait-free.
+///
+/// Sharding model: each thread owns a stable small index
+/// (`thread_index()`, handed out once per thread from a global counter)
+/// that selects one of `Config::shards` per-metric arenas. An update is a
+/// single relaxed `fetch_add` on the calling thread's arena slot — no
+/// locks, no CAS loops — and distinct threads touch distinct cache
+/// regions, so instrumented hot paths (the turbo decoder wrapper, the
+/// executor tick) pay a handful of nanoseconds. `snapshot()` merges the
+/// arenas.
+///
+/// Determinism contract (the `--threads` invariance the parallel sweeps
+/// guarantee): counter adds and histogram observations are commutative
+/// integer sums — histogram value sums are accumulated in fixed-point
+/// (microunit) integers precisely so the merged snapshot is a pure
+/// function of the *multiset* of observations, independent of which
+/// thread recorded each one or of shard count. Gauges are last-write-wins
+/// and should be set from one logical owner (they carry end-of-run KPI
+/// values, not hot-path increments).
+///
+/// Registration (`counter()` / `gauge()` / `histogram()`) takes a mutex
+/// and is idempotent per name; do it once at startup or via the
+/// static-local caching in the PRAN_COUNTER_* macros. Capacities are
+/// fixed at construction so arenas never reallocate under concurrent
+/// writers.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace pran::telemetry {
+
+/// Stable, dense per-thread index (first call on each thread claims the
+/// next value). Used to pick a metrics shard; also exported for span
+/// lanes and tests.
+unsigned thread_index() noexcept;
+
+/// Fixed-point scale for histogram value sums: 1e6 ticks per unit keeps
+/// the merge order-independent (integer adds commute exactly, double adds
+/// do not) at a precision of one microunit per observation.
+inline constexpr double kSumScale = 1e6;
+
+struct CounterId {
+  std::uint32_t index = 0;
+};
+struct GaugeId {
+  std::uint32_t index = 0;
+};
+struct HistogramId {
+  std::uint32_t index = 0;
+};
+
+/// Point-in-time merged view of a registry; the exportable artifact
+/// behind `--metrics-out`. Entries are sorted by name so two snapshots of
+/// identical state serialise identically byte for byte.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramValue {
+    std::string name;
+    double lo = 0.0;
+    double hi = 1.0;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t underflow = 0;
+    std::uint64_t overflow = 0;
+    /// Sum of observed values (fixed-point accumulated, microunit exact).
+    double sum = 0.0;
+
+    std::uint64_t total() const noexcept;
+    double mean() const noexcept;
+    /// Approximate quantile from the binned data (upper-edge convention,
+    /// matching pran::Histogram); under/overflow count toward rank.
+    double quantile(double q) const;
+    double bucket_lo(std::size_t i) const noexcept;
+    double bucket_hi(std::size_t i) const noexcept;
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  /// One JSON document: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string to_json() const;
+  /// Flat CSV (kind,name,value,lo,hi,underflow,overflow,sum,buckets) that
+  /// round-trips through from_csv(); the format pran-report consumes.
+  std::string to_csv() const;
+  static MetricsSnapshot from_csv(const std::string& text);
+};
+
+class MetricsRegistry {
+ public:
+  struct Config {
+    std::size_t max_counters = 256;
+    std::size_t max_gauges = 160;
+    std::size_t max_histograms = 48;
+    std::size_t max_bins = 64;
+    unsigned shards = 16;
+  };
+
+  MetricsRegistry();  ///< Default Config.
+  explicit MetricsRegistry(Config config);
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Register-or-look-up by name. Re-registering an existing name returns
+  /// the same id (histograms must repeat the same bounds).
+  CounterId counter(std::string_view name);
+  GaugeId gauge(std::string_view name);
+  HistogramId histogram(std::string_view name, double lo, double hi,
+                        std::size_t bins);
+
+  /// Wait-free: one relaxed fetch_add on the calling thread's shard.
+  void add(CounterId id, std::uint64_t n = 1) noexcept;
+  /// Last-write-wins store; set from a single logical owner.
+  void set(GaugeId id, double value) noexcept;
+  /// Wait-free: bucket fetch_add plus a fixed-point sum fetch_add.
+  void observe(HistogramId id, double value) noexcept;
+
+  /// Merged value across shards (tests and quick checks).
+  std::uint64_t counter_value(CounterId id) const;
+  double gauge_value(GaugeId id) const;
+
+  std::size_t num_counters() const;
+  std::size_t num_gauges() const;
+  std::size_t num_histograms() const;
+  const Config& config() const noexcept { return config_; }
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  struct HistogramMeta {
+    std::string name;
+    double lo = 0.0;
+    double hi = 1.0;
+    double inv_width = 1.0;
+    std::size_t bins = 1;
+  };
+
+  std::size_t hist_cell(unsigned shard, std::uint32_t id,
+                        std::size_t bucket) const noexcept {
+    return (static_cast<std::size_t>(shard) * config_.max_histograms + id) *
+               (config_.max_bins + 2) +
+           bucket;
+  }
+
+  Config config_;
+
+  mutable std::mutex mutex_;  // guards registration state only
+  std::unordered_map<std::string, std::uint32_t> counter_ids_;
+  std::unordered_map<std::string, std::uint32_t> gauge_ids_;
+  std::unordered_map<std::string, std::uint32_t> histogram_ids_;
+  /// Names/meta live in fixed arrays (never reallocated) so readers can
+  /// index them lock-free while another thread registers.
+  std::unique_ptr<std::string[]> counter_names_;
+  std::unique_ptr<std::string[]> gauge_names_;
+  std::unique_ptr<HistogramMeta[]> histogram_meta_;
+  std::atomic<std::uint32_t> counter_count_{0};
+  std::atomic<std::uint32_t> gauge_count_{0};
+  std::atomic<std::uint32_t> histogram_count_{0};
+
+  /// Arenas, shard-major: shard s's slots are contiguous, so one thread's
+  /// updates stay in its own cache lines.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counter_cells_;
+  std::unique_ptr<std::atomic<double>[]> gauge_cells_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> hist_buckets_;
+  std::unique_ptr<std::atomic<std::int64_t>[]> hist_sums_;
+};
+
+}  // namespace pran::telemetry

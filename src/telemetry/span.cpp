@@ -1,0 +1,315 @@
+#include "telemetry/span.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/narrow.hpp"
+
+namespace pran::telemetry {
+
+namespace {
+
+/// Thread-local lane cache. Keyed by a process-unique collector id (never
+/// reused), so a stale entry for a destroyed collector can never alias a
+/// new one. One entry per (thread, collector) pair — bounded in practice.
+struct LaneRef {
+  std::uint64_t collector_id;
+  unsigned lane;
+};
+
+thread_local std::vector<LaneRef> t_lane_cache;
+
+std::uint64_t next_collector_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// Chrome trace timestamps are microseconds; keep three decimals of ns.
+std::string us_from_ns(std::int64_t ns) {
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os << std::fixed << std::setprecision(3)
+     << static_cast<double>(ns) / 1e3;
+  return os.str();
+}
+
+}  // namespace
+
+SpanCollector::SpanCollector() : SpanCollector(Config()) {}
+
+SpanCollector::SpanCollector(Config config)
+    : config_(config),
+      collector_id_(next_collector_id()),
+      epoch_ns_(wall_now_ns()) {
+  PRAN_REQUIRE(config_.ring_capacity >= 1, "ring capacity must be >= 1");
+  PRAN_REQUIRE(config_.max_lanes >= 1, "collector needs at least one lane");
+  PRAN_REQUIRE(config_.hist_lo_us < config_.hist_hi_us,
+               "aggregate histogram needs lo < hi");
+  PRAN_REQUIRE(config_.hist_bins >= 1, "aggregate histogram needs bins");
+  lanes_.resize(config_.max_lanes);
+  for (auto& lane : lanes_) lane.ring.reserve(config_.ring_capacity);
+}
+
+SpanCollector::~SpanCollector() = default;
+
+std::uint32_t SpanCollector::intern(std::string_view name) {
+  PRAN_REQUIRE(!name.empty(), "span name must be non-empty");
+  std::lock_guard<std::mutex> lock(names_mutex_);
+  const auto it = name_ids_.find(std::string(name));
+  if (it != name_ids_.end()) return it->second;
+  const auto id = narrow_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(name);
+  name_ids_.emplace(std::string(name), id);
+  return id;
+}
+
+const std::string& SpanCollector::name(std::uint32_t id) const {
+  std::lock_guard<std::mutex> lock(names_mutex_);
+  PRAN_REQUIRE(id < names_.size(), "unknown span name id");
+  return names_[id];
+}
+
+SpanCollector::Lane* SpanCollector::lane() noexcept {
+  for (const LaneRef& ref : t_lane_cache)
+    if (ref.collector_id == collector_id_) {
+      if (ref.lane >= config_.max_lanes) return nullptr;  // overflow thread
+      return &lanes_[ref.lane];
+    }
+  const unsigned claimed = lanes_used_.fetch_add(1, std::memory_order_relaxed);
+  t_lane_cache.push_back(LaneRef{collector_id_, claimed});
+  if (claimed >= config_.max_lanes) return nullptr;
+  return &lanes_[claimed];
+}
+
+void SpanCollector::push(Lane* lane, const SpanRecord& record) noexcept {
+  if (lane == nullptr) {
+    overflow_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (lane->ring.size() < config_.ring_capacity) {
+    lane->ring.push_back(record);  // capacity reserved: no allocation
+  } else {
+    lane->ring[lane->count % config_.ring_capacity] = record;
+  }
+  ++lane->count;
+}
+
+void SpanCollector::record_wall(std::uint32_t name_id, std::uint16_t depth,
+                                std::int64_t start_ns, std::int64_t end_ns,
+                                std::int64_t arg0,
+                                std::int64_t arg1) noexcept {
+  SpanRecord r;
+  r.name_id = name_id;
+  r.kind = SpanKind::kWall;
+  r.depth = depth;
+  r.start_ns = start_ns - epoch_ns_;
+  r.duration_ns = end_ns - start_ns;
+  r.arg0 = arg0;
+  r.arg1 = arg1;
+  push(lane(), r);
+}
+
+void SpanCollector::emit_sim(std::uint32_t name_id, std::int32_t track,
+                             std::int64_t start_sim_ns,
+                             std::int64_t duration_ns, std::int64_t arg0,
+                             std::int64_t arg1) noexcept {
+  SpanRecord r;
+  r.name_id = name_id;
+  r.kind = SpanKind::kSim;
+  r.track = track;
+  r.start_ns = start_sim_ns;
+  r.duration_ns = duration_ns;
+  r.arg0 = arg0;
+  r.arg1 = arg1;
+  push(lane(), r);
+}
+
+void SpanCollector::instant_sim(std::uint32_t name_id, std::int32_t track,
+                                std::int64_t at_sim_ns,
+                                std::int64_t arg0) noexcept {
+  SpanRecord r;
+  r.name_id = name_id;
+  r.kind = SpanKind::kInstantSim;
+  r.track = track;
+  r.start_ns = at_sim_ns;
+  r.arg0 = arg0;
+  push(lane(), r);
+}
+
+std::uint16_t SpanCollector::enter() noexcept {
+  Lane* l = lane();
+  if (l == nullptr) return 0;
+  return l->depth++;
+}
+
+void SpanCollector::leave() noexcept {
+  Lane* l = lane();
+  if (l != nullptr && l->depth > 0) --l->depth;
+}
+
+void* SpanCollector::begin_span() noexcept {
+  Lane* l = lane();
+  if (l != nullptr) ++l->depth;
+  return l;
+}
+
+void SpanCollector::end_span(void* lane, std::uint32_t name_id,
+                             std::int64_t start_ns, std::int64_t end_ns,
+                             std::int64_t arg0, std::int64_t arg1) noexcept {
+  Lane* l = static_cast<Lane*>(lane);
+  SpanRecord r;
+  r.name_id = name_id;
+  r.kind = SpanKind::kWall;
+  r.depth = l != nullptr && l->depth > 0 ? --l->depth : 0;
+  r.start_ns = start_ns - epoch_ns_;
+  r.duration_ns = end_ns - start_ns;
+  r.arg0 = arg0;
+  r.arg1 = arg1;
+  push(l, r);
+}
+
+std::vector<SpanRecord> SpanCollector::records() const {
+  std::vector<SpanRecord> out;
+  for (const Lane& lane : lanes_) {
+    const std::size_t kept =
+        std::min<std::uint64_t>(lane.count, config_.ring_capacity);
+    if (kept == 0) continue;
+    // Oldest-first: the ring's logical start is count % capacity once full.
+    const std::size_t start =
+        lane.count <= config_.ring_capacity
+            ? 0
+            : static_cast<std::size_t>(lane.count % config_.ring_capacity);
+    for (std::size_t i = 0; i < kept; ++i)
+      out.push_back(lane.ring[(start + i) % config_.ring_capacity]);
+  }
+  return out;
+}
+
+std::uint64_t SpanCollector::recorded() const {
+  std::uint64_t total = overflow_dropped_.load(std::memory_order_relaxed);
+  for (const Lane& lane : lanes_) total += lane.count;
+  return total;
+}
+
+std::uint64_t SpanCollector::dropped() const {
+  std::uint64_t dropped = overflow_dropped_.load(std::memory_order_relaxed);
+  for (const Lane& lane : lanes_)
+    if (lane.count > config_.ring_capacity)
+      dropped += lane.count - config_.ring_capacity;
+  return dropped;
+}
+
+void SpanCollector::clear() {
+  for (Lane& lane : lanes_) {
+    lane.ring.clear();
+    lane.count = 0;
+    lane.depth = 0;
+  }
+  overflow_dropped_.store(0, std::memory_order_relaxed);
+}
+
+unsigned SpanCollector::lanes_in_use() const {
+  return std::min(lanes_used_.load(std::memory_order_relaxed),
+                  config_.max_lanes);
+}
+
+std::string SpanCollector::to_chrome_trace() const {
+  // Copy names once so we do not take the mutex per record.
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(names_mutex_);
+    names = names_;
+  }
+  constexpr int kWallPid = 1;
+  constexpr int kSimPid = 2;
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os << "{\"traceEvents\":[\n";
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << kWallPid
+     << ",\"args\":{\"name\":\"wall-clock\"}},\n";
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << kSimPid
+     << ",\"args\":{\"name\":\"simulated-time\"}}";
+  for (unsigned t = 0; t < lanes_in_use(); ++t)
+    os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << kWallPid
+       << ",\"tid\":" << t << ",\"args\":{\"name\":\"thread-" << t << "\"}}";
+
+  unsigned lane_index = 0;
+  for (const Lane& lane : lanes_) {
+    const std::size_t kept =
+        std::min<std::uint64_t>(lane.count, config_.ring_capacity);
+    const std::size_t start =
+        lane.count <= config_.ring_capacity
+            ? 0
+            : static_cast<std::size_t>(lane.count % config_.ring_capacity);
+    for (std::size_t i = 0; i < kept; ++i) {
+      const SpanRecord& r = lane.ring[(start + i) % config_.ring_capacity];
+      const std::string& name =
+          r.name_id < names.size() ? names[r.name_id] : names.emplace_back("?");
+      os << ",\n{\"name\":\"" << json_escape(name) << "\",";
+      if (r.kind == SpanKind::kInstantSim) {
+        os << "\"ph\":\"i\",\"s\":\"t\",\"pid\":" << kSimPid
+           << ",\"tid\":" << r.track;
+      } else if (r.kind == SpanKind::kSim) {
+        os << "\"ph\":\"X\",\"dur\":" << us_from_ns(r.duration_ns)
+           << ",\"pid\":" << kSimPid << ",\"tid\":" << r.track;
+      } else {
+        os << "\"ph\":\"X\",\"dur\":" << us_from_ns(r.duration_ns)
+           << ",\"pid\":" << kWallPid << ",\"tid\":" << lane_index;
+      }
+      os << ",\"ts\":" << us_from_ns(r.start_ns);
+      if (r.arg0 != kNoArg || r.arg1 != kNoArg) {
+        os << ",\"args\":{";
+        bool first = true;
+        if (r.arg0 != kNoArg) {
+          os << "\"arg0\":" << r.arg0;
+          first = false;
+        }
+        if (r.arg1 != kNoArg) os << (first ? "" : ",") << "\"arg1\":" << r.arg1;
+        os << "}";
+      }
+      os << "}";
+    }
+    ++lane_index;
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+void SpanCollector::aggregate_into(MetricsRegistry& registry,
+                                   std::string_view prefix) const {
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(names_mutex_);
+    names = names_;
+  }
+  std::vector<HistogramId> ids;
+  ids.reserve(names.size());
+  for (const std::string& n : names)
+    ids.push_back(registry.histogram(std::string(prefix) + n,
+                                     config_.hist_lo_us, config_.hist_hi_us,
+                                     config_.hist_bins));
+  for (const SpanRecord& r : records()) {
+    if (r.kind == SpanKind::kInstantSim) continue;
+    if (r.name_id >= ids.size()) continue;
+    registry.observe(ids[r.name_id],
+                     static_cast<double>(r.duration_ns) / 1e3);
+  }
+  registry.set(registry.gauge("spans.recorded"),
+               static_cast<double>(recorded()));
+  registry.set(registry.gauge("spans.dropped"),
+               static_cast<double>(dropped()));
+}
+
+}  // namespace pran::telemetry

@@ -1,0 +1,192 @@
+#pragma once
+
+/// \file span.hpp
+/// Pipeline-stage spans: named, nested intervals recorded into per-thread
+/// ring buffers and exported as Chrome trace-event JSON (loadable in
+/// Perfetto / chrome://tracing) or folded into aggregate stage-latency
+/// histograms.
+///
+/// Two time bases share one collector:
+///  * wall spans — `ScopedSpan` (usually via the PRAN_SPAN macro) measures
+///    real compute with the steady clock: kernel wrappers, solver calls,
+///    the deployment tick. Each recording thread owns a lane, so the hot
+///    path is a clock read plus a ring write — no locks, no allocation.
+///  * sim spans — `emit_sim()` records intervals in *simulated*
+///    nanoseconds on a virtual track (e.g. "server 3 ran cell 5's
+///    subframe from t=12 ms for 0.4 ms"). The discrete-event engine is
+///    single-threaded, so these land in the calling thread's lane too.
+///
+/// Rings overwrite oldest-first once full (`dropped()` counts what fell
+/// out), so a long run can always export its tail. Reading APIs
+/// (records / to_chrome_trace / aggregate_into) must only run while no
+/// thread is recording — quiesce the pool first, like every sweep does.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "telemetry/clock.hpp"
+#include "telemetry/registry.hpp"
+
+namespace pran::telemetry {
+
+/// Sentinel for "no argument" on a span.
+inline constexpr std::int64_t kNoArg = INT64_MIN;
+
+enum class SpanKind : std::uint8_t {
+  kWall,        ///< Duration measured with the steady clock.
+  kSim,         ///< Duration in simulated time on a virtual track.
+  kInstantSim,  ///< Zero-duration marker in simulated time.
+};
+
+struct SpanRecord {
+  std::uint32_t name_id = 0;
+  SpanKind kind = SpanKind::kWall;
+  std::uint16_t depth = 0;      ///< Nesting depth within the thread (wall).
+  std::int32_t track = 0;       ///< Sim kinds: virtual track (server id...).
+  std::int64_t start_ns = 0;    ///< Wall: ns since epoch_ns(); sim: sim ns.
+  std::int64_t duration_ns = 0;
+  std::int64_t arg0 = kNoArg;
+  std::int64_t arg1 = kNoArg;
+};
+
+class SpanCollector {
+ public:
+  struct Config {
+    /// Span records kept per thread lane (ring buffer).
+    std::size_t ring_capacity = 1u << 15;
+    /// Thread lanes; threads beyond this drop their spans (counted).
+    unsigned max_lanes = 64;
+    /// Bucket range for aggregate_into()'s per-stage histograms, in µs.
+    double hist_lo_us = 0.0;
+    double hist_hi_us = 10'000.0;
+    std::size_t hist_bins = 50;
+  };
+
+  SpanCollector();  ///< Default Config.
+  explicit SpanCollector(Config config);
+  ~SpanCollector();
+
+  SpanCollector(const SpanCollector&) = delete;
+  SpanCollector& operator=(const SpanCollector&) = delete;
+
+  /// Interns a span name (mutex; cache the id — the PRAN_SPAN macro keeps
+  /// it in a function-local static).
+  std::uint32_t intern(std::string_view name);
+  const std::string& name(std::uint32_t id) const;
+
+  /// Records a finished wall span on the calling thread's lane. `start_ns`
+  /// and `end_ns` are wall_now_ns() values; ScopedSpan is the normal way
+  /// to call this.
+  void record_wall(std::uint32_t name_id, std::uint16_t depth,
+                   std::int64_t start_ns, std::int64_t end_ns,
+                   std::int64_t arg0 = kNoArg,
+                   std::int64_t arg1 = kNoArg) noexcept;
+
+  /// Records an interval in simulated time on virtual track `track`.
+  void emit_sim(std::uint32_t name_id, std::int32_t track,
+                std::int64_t start_sim_ns, std::int64_t duration_ns,
+                std::int64_t arg0 = kNoArg,
+                std::int64_t arg1 = kNoArg) noexcept;
+
+  /// Zero-duration marker in simulated time (trace events, faults...).
+  void instant_sim(std::uint32_t name_id, std::int32_t track,
+                   std::int64_t at_sim_ns,
+                   std::int64_t arg0 = kNoArg) noexcept;
+
+  /// Nesting-depth bookkeeping for ScopedSpan: returns the depth the new
+  /// span runs at and pushes one level on the calling thread's lane.
+  std::uint16_t enter() noexcept;
+  void leave() noexcept;
+
+  /// ScopedSpan fast path: one lane lookup for the whole span lifecycle.
+  /// begin_span() claims the calling thread's lane (nullptr on overflow)
+  /// and pushes one nesting level; end_span() pops it and records. The
+  /// opaque handle is only valid on the thread that called begin_span().
+  void* begin_span() noexcept;
+  void end_span(void* lane, std::uint32_t name_id, std::int64_t start_ns,
+                std::int64_t end_ns, std::int64_t arg0,
+                std::int64_t arg1) noexcept;
+
+  /// All retained records, lane by lane (each lane oldest-first). Only
+  /// call while no thread is recording.
+  std::vector<SpanRecord> records() const;
+  std::uint64_t recorded() const;  ///< Total ever recorded (incl. dropped).
+  std::uint64_t dropped() const;   ///< Overwritten by ring wrap + lane overflow.
+  void clear();
+
+  /// Chrome trace-event JSON (object format, {"traceEvents": [...]}).
+  /// Wall spans appear under process "wall-clock" with one row per
+  /// recording thread; sim spans under process "simulated-time" with one
+  /// row per track. Loadable in Perfetto / chrome://tracing.
+  std::string to_chrome_trace() const;
+
+  /// Folds span durations into per-stage latency histograms
+  /// ("<prefix><name>", µs, bounds from Config) plus drop/total counters,
+  /// so stage timings ride the same snapshot as every other metric.
+  void aggregate_into(MetricsRegistry& registry,
+                      std::string_view prefix = "span_us.") const;
+
+  /// Wall epoch: the steady-clock ns all wall spans are relative to.
+  std::int64_t epoch_ns() const noexcept { return epoch_ns_; }
+
+  const Config& config() const noexcept { return config_; }
+  unsigned lanes_in_use() const;
+
+ private:
+  struct Lane {
+    std::vector<SpanRecord> ring;
+    std::uint64_t count = 0;  ///< Total pushed; ring keeps the last cap.
+    std::uint16_t depth = 0;  ///< Owning thread's current nesting depth.
+  };
+
+  Lane* lane() noexcept;  ///< Calling thread's lane (nullptr on overflow).
+  void push(Lane* lane, const SpanRecord& record) noexcept;
+
+  Config config_;
+  std::uint64_t collector_id_;  ///< Unique per collector, keys TLS lookup.
+  std::int64_t epoch_ns_;
+  std::vector<Lane> lanes_;  ///< Sized max_lanes at construction, immutable.
+  std::atomic<unsigned> lanes_used_{0};
+  std::atomic<std::uint64_t> overflow_dropped_{0};
+
+  mutable std::mutex names_mutex_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, std::uint32_t> name_ids_;
+};
+
+/// RAII wall span; prefer the PRAN_SPAN macro, which interns the name once
+/// per call site and compiles away under PRAN_TELEMETRY=OFF.
+class ScopedSpan {
+ public:
+  ScopedSpan(SpanCollector& collector, std::uint32_t name_id,
+             std::int64_t arg0 = kNoArg, std::int64_t arg1 = kNoArg) noexcept
+      : collector_(collector),
+        name_id_(name_id),
+        arg0_(arg0),
+        arg1_(arg1),
+        lane_(collector.begin_span()),
+        start_ns_(wall_now_ns()) {}
+
+  ~ScopedSpan() {
+    collector_.end_span(lane_, name_id_, start_ns_, wall_now_ns(), arg0_,
+                        arg1_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  SpanCollector& collector_;
+  std::uint32_t name_id_;
+  std::int64_t arg0_;
+  std::int64_t arg1_;
+  void* lane_;
+  std::int64_t start_ns_;
+};
+
+}  // namespace pran::telemetry

@@ -1,0 +1,93 @@
+// Concurrency stress for the telemetry layer (labelled "tsan"): many
+// threads hammer one registry and one span collector, and merged results
+// must be invariant in the worker-thread count — the same guarantee the
+// parallel sweeps rely on when instrumentation is enabled.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/parallel.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
+
+namespace pran::telemetry {
+namespace {
+
+constexpr std::size_t kItems = 50'000;
+
+/// Deterministic per-item observation value: a pure function of the item
+/// index, so the *multiset* of observations is thread-count independent.
+double value_of(std::size_t i) {
+  return static_cast<double>((i * 2654435761u) % 1000) / 10.0;
+}
+
+std::string run_workload(unsigned threads) {
+  MetricsRegistry reg;
+  const CounterId c = reg.counter("stress.hits");
+  const HistogramId h = reg.histogram("stress.lat", 0.0, 100.0, 64);
+  const GaugeId g = reg.gauge("stress.last");
+  ThreadPool pool(threads);
+  pool.for_each(kItems, [&](unsigned, std::size_t i) {
+    reg.add(c);
+    if (i % 3 == 0) reg.add(c, 2);
+    reg.observe(h, value_of(i));
+  });
+  reg.set(g, 1.0);  // single logical owner: set after the parallel phase
+  return reg.snapshot().to_csv();
+}
+
+TEST(TelemetryStress, CountersAndHistogramsSurviveContention) {
+  MetricsRegistry reg;
+  const CounterId c = reg.counter("hits");
+  const HistogramId h = reg.histogram("lat", 0.0, 100.0, 32);
+  ThreadPool pool(8);
+  pool.for_each(kItems, [&](unsigned, std::size_t i) {
+    reg.add(c);
+    reg.observe(h, value_of(i));
+  });
+  EXPECT_EQ(reg.counter_value(c), kItems);
+  EXPECT_EQ(reg.snapshot().histograms[0].total(), kItems);
+}
+
+TEST(TelemetryStress, SnapshotIsThreadCountInvariant) {
+  const std::string baseline = run_workload(1);
+  EXPECT_EQ(run_workload(2), baseline);
+  EXPECT_EQ(run_workload(4), baseline);
+  EXPECT_EQ(run_workload(8), baseline);
+}
+
+TEST(TelemetryStress, ConcurrentRegistrationAndUpdates) {
+  MetricsRegistry reg;
+  ThreadPool pool(8);
+  // All threads race to register a small set of names while updating:
+  // registration must be idempotent and the updates must all land.
+  pool.for_each(kItems, [&](unsigned, std::size_t i) {
+    const CounterId c = reg.counter("c" + std::to_string(i % 8));
+    reg.add(c);
+  });
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 8u);
+  std::uint64_t total = 0;
+  for (const auto& c : snap.counters) total += c.value;
+  EXPECT_EQ(total, kItems);
+}
+
+TEST(TelemetryStress, SpansUnderContention) {
+  SpanCollector::Config config;
+  config.ring_capacity = kItems;  // one lane could claim every item
+  SpanCollector spans(config);
+  const auto id = spans.intern("stress.work");
+  ThreadPool pool(8);
+  pool.for_each(kItems, [&](unsigned, std::size_t) {
+    ScopedSpan s(spans, id);
+  });
+  EXPECT_EQ(spans.recorded(), kItems);
+  EXPECT_EQ(spans.dropped(), 0u);
+  MetricsRegistry reg;
+  spans.aggregate_into(reg);
+  EXPECT_EQ(reg.snapshot().histograms[0].total(), kItems);
+}
+
+}  // namespace
+}  // namespace pran::telemetry

@@ -1,0 +1,336 @@
+// Tests for the telemetry subsystem: registry semantics (bucket edges,
+// shard merging, snapshot determinism, CSV round-trip), span recording
+// (nesting, ring overwrite, Chrome export, aggregation) and the
+// sim::Trace rework (interning, capacity cap, sink routing).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "sim/trace.hpp"
+#include "telemetry/bridge.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace pran::telemetry {
+namespace {
+
+// ----------------------------------------------------------------- registry
+
+TEST(MetricsRegistry, CounterRegisterAddRead) {
+  MetricsRegistry reg;
+  const CounterId a = reg.counter("a");
+  const CounterId again = reg.counter("a");
+  EXPECT_EQ(a.index, again.index);
+  reg.add(a);
+  reg.add(a, 41);
+  EXPECT_EQ(reg.counter_value(a), 42u);
+  EXPECT_EQ(reg.num_counters(), 1u);
+}
+
+TEST(MetricsRegistry, GaugeLastWriteWins) {
+  MetricsRegistry reg;
+  const GaugeId g = reg.gauge("g");
+  reg.set(g, 1.5);
+  reg.set(g, -2.25);
+  EXPECT_DOUBLE_EQ(reg.gauge_value(g), -2.25);
+}
+
+TEST(MetricsRegistry, HistogramBucketEdges) {
+  MetricsRegistry reg;
+  const HistogramId h = reg.histogram("h", 0.0, 10.0, 10);
+  reg.observe(h, -0.001);  // underflow
+  reg.observe(h, 0.0);     // bucket 0 (lo is inclusive)
+  reg.observe(h, 0.999);   // bucket 0
+  reg.observe(h, 1.0);     // bucket 1
+  reg.observe(h, 9.999);   // bucket 9
+  reg.observe(h, 10.0);    // overflow (hi is exclusive)
+  reg.observe(h, 1e9);     // overflow
+
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const auto& hv = snap.histograms[0];
+  EXPECT_EQ(hv.underflow, 1u);
+  EXPECT_EQ(hv.overflow, 2u);
+  ASSERT_EQ(hv.buckets.size(), 10u);
+  EXPECT_EQ(hv.buckets[0], 2u);
+  EXPECT_EQ(hv.buckets[1], 1u);
+  EXPECT_EQ(hv.buckets[9], 1u);
+  EXPECT_EQ(hv.total(), 7u);
+  EXPECT_DOUBLE_EQ(hv.bucket_lo(3), 3.0);
+  EXPECT_DOUBLE_EQ(hv.bucket_hi(3), 4.0);
+}
+
+TEST(MetricsRegistry, HistogramRequiresMatchingBounds) {
+  MetricsRegistry reg;
+  (void)reg.histogram("h", 0.0, 10.0, 10);
+  EXPECT_NO_THROW((void)reg.histogram("h", 0.0, 10.0, 10));
+  EXPECT_ANY_THROW((void)reg.histogram("h", 0.0, 20.0, 10));
+}
+
+TEST(MetricsRegistry, FixedPointSumIsExact) {
+  MetricsRegistry reg;
+  const HistogramId h = reg.histogram("h", 0.0, 1.0, 4);
+  for (int i = 0; i < 3; ++i) reg.observe(h, 0.5);
+  const auto snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.histograms[0].sum, 1.5);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].mean(), 0.5);
+}
+
+TEST(MetricsRegistry, QuantileUpperEdgeConvention) {
+  MetricsRegistry reg;
+  const HistogramId h = reg.histogram("h", 0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) reg.observe(h, 0.5);  // all in bucket 0
+  const auto snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.histograms[0].quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].quantile(1.0), 1.0);
+}
+
+TEST(MetricsRegistry, ShardMergeSumsAcrossThreads) {
+  MetricsRegistry reg;
+  const CounterId c = reg.counter("hits");
+  const HistogramId h = reg.histogram("lat", 0.0, 100.0, 10);
+  constexpr std::size_t kItems = 10'000;
+  ThreadPool pool(4);
+  pool.for_each(kItems, [&](unsigned, std::size_t i) {
+    reg.add(c);
+    reg.observe(h, static_cast<double>(i % 100));
+  });
+  EXPECT_EQ(reg.counter_value(c), kItems);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.histograms[0].total(), kItems);
+}
+
+TEST(MetricsRegistry, SnapshotSortedByNameAndDeterministic) {
+  auto fill = [](MetricsRegistry& reg) {
+    reg.add(reg.counter("zebra"), 3);
+    reg.add(reg.counter("alpha"), 1);
+    reg.set(reg.gauge("mid"), 0.25);
+    reg.observe(reg.histogram("hist", 0.0, 1.0, 2), 0.75);
+  };
+  MetricsRegistry a, b;
+  fill(a);
+  fill(b);
+  const auto sa = a.snapshot();
+  EXPECT_EQ(sa.counters[0].name, "alpha");
+  EXPECT_EQ(sa.counters[1].name, "zebra");
+  EXPECT_EQ(sa.to_json(), b.snapshot().to_json());
+  EXPECT_EQ(sa.to_csv(), b.snapshot().to_csv());
+}
+
+TEST(MetricsSnapshot, CsvRoundTrips) {
+  MetricsRegistry reg;
+  reg.add(reg.counter("c"), 7);
+  reg.set(reg.gauge("g"), 3.14159);
+  const HistogramId h = reg.histogram("h", 0.5, 2.5, 4);
+  reg.observe(h, 0.4);
+  reg.observe(h, 1.0);
+  reg.observe(h, 99.0);
+  const auto snap = reg.snapshot();
+  const std::string csv = snap.to_csv();
+  const auto back = MetricsSnapshot::from_csv(csv);
+  EXPECT_EQ(back.to_csv(), csv);
+  ASSERT_EQ(back.histograms.size(), 1u);
+  EXPECT_EQ(back.histograms[0].underflow, 1u);
+  EXPECT_EQ(back.histograms[0].overflow, 1u);
+  EXPECT_DOUBLE_EQ(back.histograms[0].lo, 0.5);
+}
+
+// -------------------------------------------------------------------- spans
+
+TEST(SpanCollector, InternIsIdempotent) {
+  SpanCollector spans;
+  const auto id = spans.intern("stage");
+  EXPECT_EQ(spans.intern("stage"), id);
+  EXPECT_EQ(spans.name(id), "stage");
+}
+
+TEST(SpanCollector, ScopedSpanRecordsNesting) {
+  SpanCollector spans;
+  const auto outer = spans.intern("outer");
+  const auto inner = spans.intern("inner");
+  {
+    ScopedSpan a(spans, outer);
+    ScopedSpan b(spans, inner, /*arg0=*/7);
+  }
+  const auto records = spans.records();
+  ASSERT_EQ(records.size(), 2u);
+  // Inner finishes (and records) first.
+  EXPECT_EQ(records[0].name_id, inner);
+  EXPECT_EQ(records[0].depth, 1);
+  EXPECT_EQ(records[0].arg0, 7);
+  EXPECT_EQ(records[1].name_id, outer);
+  EXPECT_EQ(records[1].depth, 0);
+  EXPECT_GE(records[1].duration_ns, records[0].duration_ns);
+}
+
+TEST(SpanCollector, RingOverwritesOldestAndCountsDrops) {
+  SpanCollector::Config config;
+  config.ring_capacity = 4;
+  SpanCollector spans(config);
+  const auto id = spans.intern("s");
+  for (int i = 0; i < 10; ++i)
+    spans.emit_sim(id, 0, /*start=*/i, /*duration=*/1);
+  EXPECT_EQ(spans.recorded(), 10u);
+  EXPECT_EQ(spans.dropped(), 6u);
+  const auto records = spans.records();
+  ASSERT_EQ(records.size(), 4u);
+  // The tail survives, oldest-first.
+  EXPECT_EQ(records[0].start_ns, 6);
+  EXPECT_EQ(records[3].start_ns, 9);
+}
+
+TEST(SpanCollector, ChromeTraceExportsWallAndSimEvents) {
+  SpanCollector spans;
+  const auto wall = spans.intern("turbo_decode");
+  const auto sim_id = spans.intern("subframe_job");
+  {
+    ScopedSpan s(spans, wall);
+  }
+  spans.emit_sim(sim_id, /*track=*/3, /*start=*/1'000'000, /*duration=*/500,
+                 /*arg0=*/42);
+  spans.instant_sim(spans.intern("fault"), 3, 2'000'000);
+  const std::string json = spans.to_chrome_trace();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("turbo_decode"), std::string::npos);
+  EXPECT_NE(json.find("subframe_job"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("wall-clock"), std::string::npos);
+  EXPECT_NE(json.find("simulated-time"), std::string::npos);
+  EXPECT_NE(json.find("\"arg0\":42"), std::string::npos);
+}
+
+TEST(SpanCollector, AggregateIntoFoldsDurations) {
+  SpanCollector spans;
+  const auto id = spans.intern("stage");
+  // 3 sim spans of 2 µs each.
+  for (int i = 0; i < 3; ++i) spans.emit_sim(id, 0, i * 10, 2'000);
+  MetricsRegistry reg;
+  spans.aggregate_into(reg);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].name, "span_us.stage");
+  EXPECT_EQ(snap.histograms[0].total(), 3u);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].sum, 6.0);
+}
+
+TEST(SpanCollector, ParallelRecordingKeepsEverySpan) {
+  SpanCollector spans;
+  const auto id = spans.intern("work");
+  constexpr std::size_t kItems = 2'000;
+  ThreadPool pool(4);
+  pool.for_each(kItems, [&](unsigned, std::size_t) {
+    ScopedSpan s(spans, id);
+  });
+  EXPECT_EQ(spans.recorded(), kItems);
+  EXPECT_EQ(spans.dropped(), 0u);
+  EXPECT_GE(spans.lanes_in_use(), 1u);
+}
+
+// ------------------------------------------------------------ global facade
+
+TEST(TelemetryGlobals, MacrosRecordIntoGlobalState) {
+  reset_for_testing();
+  {
+    PRAN_SPAN("global_stage");
+    PRAN_COUNTER_INC("global_counter");
+    PRAN_COUNTER_ADD("global_counter", 4);
+    PRAN_GAUGE_SET("global_gauge", 2.5);
+    PRAN_HIST_OBSERVE("global_hist", 0.0, 10.0, 10, 3.0);
+    PRAN_SIM_SPAN("global_sim", 1, 0, 100);
+  }
+  if (!enabled()) GTEST_SKIP() << "telemetry compiled out";
+  EXPECT_EQ(registry().counter_value(registry().counter("global_counter")),
+            5u);
+  EXPECT_DOUBLE_EQ(registry().gauge_value(registry().gauge("global_gauge")),
+                   2.5);
+  EXPECT_EQ(spans().recorded(), 2u);
+  reset_for_testing();
+  EXPECT_EQ(registry().num_counters(), 0u);
+  EXPECT_EQ(spans().recorded(), 0u);
+}
+
+// ----------------------------------------------------------------- trace
+
+TEST(TraceRework, CapacityCapDropsNewestAndCounts) {
+  sim::Trace trace;
+  trace.set_capacity(2);
+  for (int i = 0; i < 5; ++i) trace.emit(i, "cat", "m" + std::to_string(i));
+  EXPECT_EQ(trace.records().size(), 2u);
+  EXPECT_EQ(trace.dropped(), 3u);
+  EXPECT_EQ(trace.records()[0].message, "m0");
+  trace.clear();
+  EXPECT_EQ(trace.dropped(), 0u);
+  trace.emit(9, "cat", "after");
+  EXPECT_EQ(trace.records().size(), 1u);
+}
+
+TEST(TraceRework, CategoryIdsAreInterned) {
+  sim::Trace trace;
+  trace.emit(1, "a", "x");
+  trace.emit(2, "b", "y");
+  trace.emit(3, "a", "z");
+  EXPECT_EQ(trace.records()[0].category_id, trace.records()[2].category_id);
+  EXPECT_NE(trace.records()[0].category_id, trace.records()[1].category_id);
+  EXPECT_EQ(trace.count("a"), 2u);
+}
+
+TEST(TraceRework, EnableFilterAppliesToKnownAndNewCategories) {
+  sim::Trace trace;
+  trace.emit(1, "keep", "seen before gating");
+  trace.set_enabled_categories({"keep"});
+  trace.emit(2, "keep", "yes");
+  trace.emit(3, "drop", "no");  // first seen while disabled
+  EXPECT_EQ(trace.count("keep"), 2u);
+  EXPECT_EQ(trace.count("drop"), 0u);
+  trace.set_enabled_categories({});
+  trace.emit(4, "drop", "now kept");
+  EXPECT_EQ(trace.count("drop"), 1u);
+}
+
+struct RecordingSink : sim::TraceSink {
+  std::vector<sim::TraceRecord> seen;
+  void on_record(const sim::TraceRecord& record) override {
+    seen.push_back(record);
+  }
+};
+
+TEST(TraceRework, SinkSeesEnabledRecordsIncludingCapped) {
+  sim::Trace trace;
+  RecordingSink sink;
+  trace.set_sink(&sink);
+  trace.set_capacity(1);
+  trace.set_enabled_categories({"keep"});
+  trace.emit(1, "keep", "a");
+  trace.emit(2, "keep", "b");  // capacity-dropped, still hits the sink
+  trace.emit(3, "drop", "c");  // disabled, sink never sees it
+  ASSERT_EQ(sink.seen.size(), 2u);
+  EXPECT_EQ(sink.seen[1].message, "b");
+  EXPECT_EQ(trace.records().size(), 1u);
+}
+
+TEST(SimTraceBridge, RoutesRecordsToRegistryAndSpans) {
+  MetricsRegistry reg;
+  SpanCollector spans;
+  SimTraceBridge bridge(reg, spans, /*track=*/-1);
+  sim::Trace trace;
+  trace.set_sink(&bridge);
+  trace.emit(1'000'000, "controller", "replanned");
+  trace.emit(2'000'000, "controller", "replanned again");
+  trace.emit(3'000'000, "quarantine", "server 3 refused");
+  EXPECT_EQ(reg.counter_value(reg.counter("trace.controller")), 2u);
+  EXPECT_EQ(reg.counter_value(reg.counter("trace.quarantine")), 1u);
+  const auto records = spans.records();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].kind, SpanKind::kInstantSim);
+  EXPECT_EQ(records[0].track, -1);
+  EXPECT_EQ(records[0].start_ns, 1'000'000);
+}
+
+}  // namespace
+}  // namespace pran::telemetry

@@ -1,0 +1,12 @@
+// Lint fixture: must trip [adhoc-timing] and nothing else.
+#include <chrono>
+#include <cstdio>
+
+double measure_something() {
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const double seconds = std::chrono::duration<double>(elapsed).count();
+  std::printf("took %f s\n", seconds);
+  fprintf(stderr, "done\n");
+  return seconds;
+}

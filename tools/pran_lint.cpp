@@ -22,6 +22,12 @@
 //                    src/faults/ (and tests) — faults must flow through
 //                    faults::FaultInjector so they are traced, idempotent
 //                    and visible to the health monitor
+//   adhoc-timing     std::chrono or printf/fprintf inside src/ outside
+//                    src/telemetry/ — libraries measure time through
+//                    telemetry::Stopwatch / PRAN_SPAN and report through
+//                    the metrics registry, so every number lands in the
+//                    exported snapshot instead of a stray stdout line
+//                    (tools, benches, examples and tests still print)
 //
 // Modes:
 //   pran-lint --root <repo>      lint src/ tools/ bench/ examples/ tests/;
@@ -395,6 +401,38 @@ void rule_fault_bypass(const std::string& path, const std::string& code,
   }
 }
 
+void rule_adhoc_timing(const std::string& path, const std::string& code,
+                       std::vector<Finding>& out) {
+  // Library code only: the CLI surface (tools/bench/examples/tests) is
+  // exactly where printing belongs. src/telemetry/ is the sanctioned home
+  // of the process clock and exporters.
+  if (path.rfind("src/", 0) != 0) return;
+  if (path_contains(path, "src/telemetry/")) return;
+  for (const char* token : {"chrono", "std::chrono"}) {
+    for (std::size_t pos : find_token(code, token)) {
+      out.push_back({path, line_of(code, pos), "adhoc-timing",
+                     "std::chrono in library code; measure through "
+                     "telemetry::Stopwatch / PRAN_SPAN so timings reach the "
+                     "exported snapshot"});
+    }
+  }
+  for (const char* token :
+       {"printf", "fprintf", "std::printf", "std::fprintf"}) {
+    for (std::size_t pos : find_token(code, token)) {
+      // Only calls count; the tokens also appear in identifiers' tails.
+      std::size_t p = pos + std::string_view(token).size();
+      while (p < code.size() &&
+             std::isspace(pran::narrow_cast<unsigned char>(code[p])))
+        ++p;
+      if (p >= code.size() || code[p] != '(') continue;
+      out.push_back({path, line_of(code, pos), "adhoc-timing",
+                     std::string(token) +
+                         " in library code; record through the telemetry "
+                         "registry (or trace) instead of printing"});
+    }
+  }
+}
+
 // ------------------------------------------------------------------ driver
 
 std::vector<Finding> lint_file(const std::string& display_path,
@@ -407,6 +445,7 @@ std::vector<Finding> lint_file(const std::string& display_path,
   rule_check_message(display_path, code, findings);
   rule_unit_param(display_path, code, findings);
   rule_fault_bypass(display_path, code, findings);
+  rule_adhoc_timing(display_path, code, findings);
   return findings;
 }
 
@@ -460,6 +499,7 @@ int run_selftest(const fs::path& dir) {
       {"bad_check_msg", "check-message"},
       {"bad_unit_param", "unit-param"},
       {"bad_fault_bypass", "fault-bypass"},
+      {"bad_timing", "adhoc-timing"},
   };
   int failures = 0;
   std::size_t checked = 0;

@@ -1,0 +1,120 @@
+// pran-report — render a telemetry snapshot as human-readable tables.
+//
+//   $ pran-sim --cells 8 --seconds 2 --metrics-out metrics.csv
+//   $ pran-report --in metrics.csv
+//   $ pran-report --in metrics.csv --prefix kpi.       # KPIs only
+//   $ pran-report --in metrics.csv --format csv        # machine-readable
+//
+// Consumes the CSV snapshot form written by --metrics-out (the JSON form
+// carries the same data for external tooling). Counters and gauges print
+// as name/value tables; histograms print count, mean and tail quantiles
+// computed from the fixed buckets.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "telemetry/registry.hpp"
+
+namespace {
+
+bool has_prefix(const std::string& name, const std::string& prefix) {
+  return prefix.empty() || name.rfind(prefix, 0) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pran;
+
+  Flags flags("pran_report", "render a telemetry metrics snapshot");
+  flags.add_string("in", "", "snapshot file written by --metrics-out (.csv)");
+  flags.add_string("prefix", "", "only show metrics whose name starts with this");
+  flags.add_string("format", "text", "output: text | csv");
+  if (!flags.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
+                 flags.usage().c_str());
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.usage().c_str());
+    return 0;
+  }
+  const std::string path = flags.get_string("in");
+  if (path.empty()) {
+    std::fprintf(stderr, "--in is required\n%s", flags.usage().c_str());
+    return 2;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  telemetry::MetricsSnapshot snapshot;
+  try {
+    snapshot = telemetry::MetricsSnapshot::from_csv(buffer.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cannot parse '%s': %s\n", path.c_str(), e.what());
+    return 2;
+  }
+
+  const std::string prefix = flags.get_string("prefix");
+  const bool csv = flags.get_string("format") == "csv";
+  auto print = [&](const Table& table, const char* title) {
+    if (csv) {
+      std::printf("%s", table.to_csv().c_str());
+      return;
+    }
+    std::printf("%s\n%s\n", title, table.render().c_str());
+  };
+
+  Table counters({"counter", "value"});
+  std::size_t counter_rows = 0;
+  for (const auto& c : snapshot.counters) {
+    if (!has_prefix(c.name, prefix)) continue;
+    counters.row().cell(c.name).cell(static_cast<long long>(c.value));
+    ++counter_rows;
+  }
+  if (counter_rows > 0) print(counters, "counters");
+
+  Table gauges({"gauge", "value"});
+  std::size_t gauge_rows = 0;
+  for (const auto& g : snapshot.gauges) {
+    if (!has_prefix(g.name, prefix)) continue;
+    gauges.row().cell(g.name).cell(g.value, 6);
+    ++gauge_rows;
+  }
+  if (gauge_rows > 0) print(gauges, "gauges");
+
+  Table histograms(
+      {"histogram", "count", "mean", "p50", "p95", "p99", "overflow"});
+  std::size_t histogram_rows = 0;
+  for (const auto& h : snapshot.histograms) {
+    if (!has_prefix(h.name, prefix)) continue;
+    if (h.total() == 0) continue;
+    histograms.row()
+        .cell(h.name)
+        .cell(static_cast<long long>(h.total()))
+        .cell(h.mean(), 3)
+        .cell(h.quantile(0.50), 3)
+        .cell(h.quantile(0.95), 3)
+        .cell(h.quantile(0.99), 3)
+        .cell(static_cast<long long>(h.overflow));
+    ++histogram_rows;
+  }
+  if (histogram_rows > 0) print(histograms, "histograms");
+
+  if (counter_rows + gauge_rows + histogram_rows == 0) {
+    std::printf("no metrics%s in %s\n",
+                prefix.empty() ? "" : (" with prefix '" + prefix + "'").c_str(),
+                path.c_str());
+  }
+  return 0;
+}

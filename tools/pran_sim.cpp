@@ -23,6 +23,8 @@
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "core/deployment.hpp"
+#include "core/kpi_export.hpp"
+#include "telemetry/telemetry.hpp"
 
 int main(int argc, char** argv) {
   using namespace pran;
@@ -52,6 +54,12 @@ int main(int argc, char** argv) {
   flags.add_int("replicas", 1, "independent seed replicates to run");
   flags.add_int("threads", 1, "worker threads for --replicas > 1");
   flags.add_string("format", "text", "output: text | csv");
+  flags.add_string("metrics-out", "",
+                   "write a telemetry snapshot (KPIs, counters, span "
+                   "histograms) to this file (.json or .csv)");
+  flags.add_string("trace-out", "",
+                   "write Chrome trace-event JSON to this file (open in "
+                   "Perfetto or chrome://tracing)");
 
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
@@ -123,6 +131,14 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const std::string metrics_out = flags.get_string("metrics-out");
+  const std::string trace_out = flags.get_string("trace-out");
+  auto write_telemetry = [&] {
+    if (!metrics_out.empty())
+      telemetry::write_metrics_file(metrics_out);
+    if (!trace_out.empty()) telemetry::write_chrome_trace_file(trace_out);
+  };
+
   auto run_once = [&](const core::DeploymentConfig& run_config) {
     core::Deployment run(run_config);
     if (fail_server >= 0)
@@ -182,6 +198,7 @@ int main(int argc, char** argv) {
         "active_servers mean=%.3f  energy mean=%.1f J\n",
         replicas, miss_ratio.mean(), miss_ratio.min(), miss_ratio.max(),
         active_servers.mean(), energy.mean());
+    write_telemetry();
     return all_clean ? 0 : 1;
   }
 
@@ -227,6 +244,9 @@ int main(int argc, char** argv) {
     std::printf("%s", table.to_csv().c_str());
   else
     std::printf("%s", table.render().c_str());
+
+  core::export_deployment(deployment, telemetry::registry());
+  write_telemetry();
 
   const bool clean = kpis.deadline_misses == 0 && kpis.dropped == 0 &&
                      kpis.outage_cell_ttis == 0;
