@@ -203,6 +203,13 @@ double Executor::speed_factor(int server_id) const {
   return server(server_id).speed_factor;
 }
 
+double Executor::pending_gops(int server_id) const {
+  const Server& s = server(server_id);
+  double gops = 0.0;
+  for (const auto& [token, job] : s.pending) gops += job.total_gops();
+  return gops;
+}
+
 Executor::Stats Executor::stats() const {
   Stats st;
   for (const auto& o : outcomes_) {

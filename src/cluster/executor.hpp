@@ -110,6 +110,11 @@ class Executor {
   bool is_degraded(int server_id) const;
   double speed_factor(int server_id) const;
 
+  /// Total work (gops) sitting in a server's pending queue — not yet
+  /// started. A load-shedding controller uses this as the lower bound on
+  /// how long a new submission would wait.
+  double pending_gops(int server_id) const;
+
   void set_completion_callback(CompletionCallback cb) {
     on_complete_ = std::move(cb);
   }

@@ -67,6 +67,20 @@ void Controller::set_demand_scale(std::vector<double> scale) {
   demand_scale_ = std::move(scale);
 }
 
+void Controller::set_cell_quarantine(std::vector<bool> quarantined) {
+  if (!quarantined.empty())
+    PRAN_REQUIRE(static_cast<int>(quarantined.size()) == num_cells(),
+                 "cell quarantine size must match the cell count");
+  cell_quarantined_ = std::move(quarantined);
+}
+
+bool Controller::cell_quarantined(int cell_index) const {
+  PRAN_REQUIRE(cell_index >= 0 && cell_index < num_cells(),
+               "unknown cell index");
+  return !cell_quarantined_.empty() &&
+         cell_quarantined_[static_cast<std::size_t>(cell_index)];
+}
+
 PlacementProblem Controller::make_problem() const {
   PlacementProblem problem;
   problem.headroom = config_.headroom;
@@ -100,10 +114,13 @@ EpochReport Controller::replan() {
     return report;
   }
 
-  // Included cells; admission control drops the largest-demand cells from
+  // Included cells; quarantined cells (degradation ladder) are excluded
+  // up front, and admission control drops the largest-demand cells from
   // this set until a feasible plan exists.
-  std::vector<std::size_t> included(demand_.size());
-  for (std::size_t c = 0; c < demand_.size(); ++c) included[c] = c;
+  std::vector<std::size_t> included;
+  included.reserve(demand_.size());
+  for (std::size_t c = 0; c < demand_.size(); ++c)
+    if (!cell_quarantined(static_cast<int>(c))) included.push_back(c);
 
   PlacementResult result;
   for (;;) {

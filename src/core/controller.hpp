@@ -89,6 +89,13 @@ class Controller {
   /// empty vector clears forecasting. Values must be positive.
   void set_demand_scale(std::vector<double> scale);
 
+  /// Marks cells administratively quarantined (the degradation ladder's
+  /// top rung): the next replan excludes them from placement, freeing
+  /// their capacity for the cells that remain. An empty vector clears all
+  /// quarantines; otherwise the size must match the cell count.
+  void set_cell_quarantine(std::vector<bool> quarantined);
+  bool cell_quarantined(int cell_index) const;
+
   /// Re-solves the placement for current estimates. Returns the report;
   /// on infeasibility the previous placement is kept.
   EpochReport replan();
@@ -138,6 +145,7 @@ class Controller {
   int quarantine_events_ = 0;
   std::vector<CellDemand> demand_;      ///< EMA state (un-inflated).
   std::vector<double> demand_scale_;    ///< Forecast multipliers (optional).
+  std::vector<bool> cell_quarantined_;  ///< Ladder quarantine (optional).
   std::vector<int> placement_;          ///< Current cell -> server (-1 outage).
   std::vector<EpochReport> reports_;
   std::int64_t epoch_counter_ = 0;

@@ -1,0 +1,153 @@
+#include "core/degradation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "fronthaul/codec.hpp"
+
+namespace pran::core {
+
+DegradationController::DegradationController(const DegradationConfig& config,
+                                             int num_cells)
+    : config_(config), num_cells_(num_cells), down_hold_(config.down_epochs) {
+  PRAN_REQUIRE(num_cells_ >= 1, "ladder needs cells");
+  PRAN_REQUIRE(config_.shed_fraction >= 0.0 && config_.shed_fraction <= 1.0,
+               "shed fraction outside [0, 1]");
+  PRAN_REQUIRE(
+      config_.quarantine_fraction >= 0.0 && config_.quarantine_fraction <= 1.0,
+      "quarantine fraction outside [0, 1]");
+  PRAN_REQUIRE(config_.up_epochs >= 1, "up hysteresis below 1 epoch");
+  PRAN_REQUIRE(config_.down_epochs >= 1, "down hysteresis below 1 epoch");
+  PRAN_REQUIRE(config_.backoff_multiplier >= 1.0, "backoff multiplier below 1");
+  PRAN_REQUIRE(config_.queue_delay_up_us > config_.queue_delay_down_us,
+               "queue-delay thresholds must leave a hysteresis band");
+  PRAN_REQUIRE(config_.loss_up > config_.loss_down,
+               "loss thresholds must leave a hysteresis band");
+  PRAN_REQUIRE(config_.miss_up > config_.miss_down,
+               "miss thresholds must leave a hysteresis band");
+  double prev = 1.0;
+  for (double factor : config_.compression_ladder) {
+    PRAN_REQUIRE(factor > prev,
+                 "compression ladder must be strictly increasing, each > 1");
+    prev = factor;
+  }
+}
+
+bool DegradationController::update(sim::Time now,
+                                   const DegradationSignals& signals) {
+  if (!config_.enabled) return false;
+  const bool stressed = signals.queue_delay_us > config_.queue_delay_up_us ||
+                        signals.loss_rate > config_.loss_up ||
+                        signals.miss_rate > config_.miss_up;
+  const bool calm = signals.queue_delay_us < config_.queue_delay_down_us &&
+                    signals.loss_rate < config_.loss_down &&
+                    signals.miss_rate < config_.miss_down;
+  if (stressed) {
+    ++stressed_epochs_;
+    calm_epochs_ = 0;
+  } else if (calm) {
+    ++calm_epochs_;
+    stressed_epochs_ = 0;
+  } else {
+    // Dead band between the thresholds: hold the rung, restart both
+    // consecutive-epoch counts.
+    stressed_epochs_ = 0;
+    calm_epochs_ = 0;
+  }
+
+  if (stressed_epochs_ >= config_.up_epochs && rung_ < max_rung()) {
+    ++rung_;
+    ++transitions_;
+    stressed_epochs_ = 0;
+    last_transition_ = now;
+    if (recovering_) {
+      // Re-escalation after a step-down: the link is marginal at this
+      // boundary, so the next step-down must earn a longer calm streak.
+      down_hold_ = static_cast<int>(std::ceil(
+          static_cast<double>(down_hold_) * config_.backoff_multiplier));
+      recovering_ = false;
+    }
+    return true;
+  }
+  if (calm_epochs_ >= down_hold_ && rung_ > 0) {
+    --rung_;
+    ++transitions_;
+    calm_epochs_ = 0;
+    last_transition_ = now;
+    recovering_ = true;
+    return true;
+  }
+  return false;
+}
+
+const char* DegradationController::rung_name() const noexcept {
+  if (rung_ == 0) return "normal";
+  if (rung_ < shed_rung()) return "compress";
+  if (rung_ < quarantine_rung()) return "shed";
+  return "quarantine";
+}
+
+double DegradationController::compression_multiplier() const noexcept {
+  if (rung_ == 0 || config_.compression_ladder.empty()) return 1.0;
+  const auto step = static_cast<std::size_t>(
+      std::min(rung_, static_cast<int>(config_.compression_ladder.size())));
+  return config_.compression_ladder[step - 1];
+}
+
+bool DegradationController::cell_shed_eligible(int cell) const {
+  PRAN_REQUIRE(cell >= 0 && cell < num_cells_, "unknown cell index");
+  const int count = std::min(
+      num_cells_,
+      static_cast<int>(std::ceil(
+          config_.shed_fraction * static_cast<double>(num_cells_) - 1e-9)));
+  return cell >= num_cells_ - count;
+}
+
+bool DegradationController::cell_quarantined(int cell) const {
+  PRAN_REQUIRE(cell >= 0 && cell < num_cells_, "unknown cell index");
+  if (!quarantining()) return false;
+  const int count =
+      std::min(num_cells_, static_cast<int>(std::ceil(
+                               config_.quarantine_fraction *
+                                   static_cast<double>(num_cells_) -
+                               1e-9)));
+  return cell >= num_cells_ - count;
+}
+
+double compression_penalty_bler(double total_ratio) {
+  PRAN_REQUIRE(total_ratio > 0.0, "compression ratio must be positive");
+  if (total_ratio <= 1.0) return 0.0;
+
+  // Mantissa width that reaches the ratio with a shared-exponent block
+  // float (the per-block 6-bit exponent is amortised over 32 samples).
+  const int mantissa = std::clamp(
+      static_cast<int>(std::llround(
+          static_cast<double>(fronthaul::kCpriSampleBits) / total_ratio)),
+      2, fronthaul::kCpriSampleBits);
+
+  // Deterministic Gaussian reference block: OFDM time-domain I/Q is
+  // Gaussian to a good approximation, and a fixed seed keeps the penalty
+  // a pure function of the ratio.
+  Rng rng(0x5EEDu);
+  std::vector<fronthaul::Cplx> block(2048);
+  for (auto& sample : block) sample = {rng.normal(), rng.normal()};
+
+  const fronthaul::BlockFloatCodec codec(mantissa);
+  const auto result = codec.roundtrip(block);
+  double signal = 0.0, error = 0.0;
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    signal += std::norm(block[i]);
+    error += std::norm(result.decoded[i] - block[i]);
+  }
+  const double evm = std::sqrt(error / signal);
+
+  // Power-law waterfall anchored at the 16-QAM EVM budget (12.5%): BLER
+  // falls three decades per decade of EVM margin and saturates at 0.5.
+  constexpr double kEvmBudget = 0.125;
+  return std::min(0.5, 0.5 * std::pow(evm / kEvmBudget, 3.0));
+}
+
+}  // namespace pran::core

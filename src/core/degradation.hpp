@@ -1,0 +1,151 @@
+#pragma once
+
+/// \file degradation.hpp
+/// Graceful-degradation ladder for fronthaul impairments.
+///
+/// When the shared fronthaul degrades (burst loss, a brownout, queueing
+/// creep), a PRAN deployment has cheaper currencies than deadline misses:
+/// it can spend signal quality, then low-priority capacity, before it
+/// spends coverage. The ladder encodes that order as rungs:
+///
+///   rung 0              — normal operation;
+///   rungs 1..N          — step up the I/Q compression ratio by the
+///                         configured ladder factors: the same traffic
+///                         needs fewer wire bits, at an EVM -> BLER cost
+///                         (see compression_penalty_bler);
+///   rung N+1 (shed)     — additionally shed *doomed* subframes of the
+///                         lowest-priority cells at ingress: a subframe
+///                         that cannot make its deadline is dropped
+///                         before it wastes wire and CPU, and its HARQ
+///                         debt is settled honestly (retransmission or a
+///                         lost transport block) instead of triggering a
+///                         retransmission storm;
+///   rung N+2 (quarant.) — additionally quarantine the lowest-priority
+///                         cells outright, freeing their wire and compute
+///                         for the cells that remain.
+///
+/// Anti-flap discipline: walking the ladder is cheap but oscillating on
+/// it is not (each compression change re-tunes the whole fronthaul), so
+/// transitions are hysteretic and rate-limited:
+///   * at most ONE rung move per update() call (one per epoch) — the
+///     per-epoch transition count is bounded by construction;
+///   * stepping up requires `up_epochs` consecutive stressed epochs,
+///     stepping down `down_epochs` consecutive calm ones, with separate
+///     enter/exit thresholds per signal (classic Schmitt trigger);
+///   * each time the controller re-escalates after a step-down, the calm
+///     period required for the next step-down doubles (exponential
+///     backoff, `backoff_multiplier`), so a marginal link settles on the
+///     safe rung instead of flapping across the boundary.
+///
+/// The controller is pure decision logic: it holds no references into the
+/// deployment and is driven entirely through update(), which keeps it
+/// deterministic and trivially testable.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace pran::core {
+
+/// Per-epoch health signals the ladder watches (telemetry-fed).
+struct DegradationSignals {
+  double queue_delay_us = 0.0;  ///< Worst fronthaul queueing delay seen.
+  double loss_rate = 0.0;       ///< Fronthaul burst-loss rate.
+  double miss_rate = 0.0;       ///< Deadline-miss rate at the executor.
+};
+
+struct DegradationConfig {
+  bool enabled = false;
+
+  /// Extra compression multipliers for rungs 1..N, strictly increasing,
+  /// each > 1. Applied on top of the deployment's base compression.
+  std::vector<double> compression_ladder = {1.5, 2.0};
+  /// Fraction of cells (lowest priority first) eligible for shedding on
+  /// the shed rung. Cell priority is by index: cell 0 is most important.
+  double shed_fraction = 0.25;
+  /// Fraction of cells quarantined outright on the quarantine rung.
+  double quarantine_fraction = 0.125;
+
+  /// Schmitt-trigger thresholds: stressed when ANY signal exceeds its
+  /// `*_up`, calm only when ALL signals are below their `*_down`.
+  double queue_delay_up_us = 300.0;
+  double queue_delay_down_us = 100.0;
+  double loss_up = 0.005;
+  double loss_down = 0.001;
+  double miss_up = 0.005;
+  double miss_down = 0.0005;
+
+  /// Consecutive stressed epochs required to step up one rung.
+  int up_epochs = 2;
+  /// Consecutive calm epochs required to step down one rung (initial
+  /// value; grows by backoff_multiplier on each re-escalation).
+  int down_epochs = 4;
+  double backoff_multiplier = 2.0;
+};
+
+/// Walks the rungs described above. One instance per deployment.
+class DegradationController {
+ public:
+  DegradationController(const DegradationConfig& config, int num_cells);
+
+  /// Feeds one epoch's signals; returns true when the rung changed.
+  /// Moves at most one rung per call.
+  bool update(sim::Time now, const DegradationSignals& signals);
+
+  int rung() const noexcept { return rung_; }
+  /// Highest rung: compression steps + shed + quarantine.
+  int max_rung() const noexcept {
+    return static_cast<int>(config_.compression_ladder.size()) + 2;
+  }
+  const char* rung_name() const noexcept;
+
+  /// Extra compression factor the current rung asks for (1.0 on rung 0;
+  /// the deepest ladder factor on the shed/quarantine rungs).
+  double compression_multiplier() const noexcept;
+
+  /// True on the shed rung or above.
+  bool shedding() const noexcept { return rung_ >= shed_rung(); }
+  /// True on the quarantine rung.
+  bool quarantining() const noexcept { return rung_ >= quarantine_rung(); }
+
+  /// True when `cell` may have doomed subframes shed while shedding() —
+  /// the lowest-priority (highest-index) shed_fraction of cells.
+  bool cell_shed_eligible(int cell) const;
+  /// True when `cell` is quarantined by the current rung.
+  bool cell_quarantined(int cell) const;
+
+  /// Total rung transitions so far (up + down).
+  std::uint64_t transitions() const noexcept { return transitions_; }
+  /// Current calm-epoch requirement for the next step-down (grows with
+  /// the exponential backoff; exposed for tests and KPIs).
+  int current_down_hold() const noexcept { return down_hold_; }
+  /// Time of the last transition (for traces).
+  sim::Time last_transition() const noexcept { return last_transition_; }
+
+ private:
+  int shed_rung() const noexcept {
+    return static_cast<int>(config_.compression_ladder.size()) + 1;
+  }
+  int quarantine_rung() const noexcept { return shed_rung() + 1; }
+
+  DegradationConfig config_;
+  int num_cells_;
+  int rung_ = 0;
+  int stressed_epochs_ = 0;
+  int calm_epochs_ = 0;
+  int down_hold_;           ///< Calm epochs needed for the next step-down.
+  bool recovering_ = false; ///< A step-down happened since the last step-up.
+  std::uint64_t transitions_ = 0;
+  sim::Time last_transition_ = 0;
+};
+
+/// Transport-block failure probability added by compressing the fronthaul
+/// at `total_ratio` (vs. 15-bit CPRI words): measures the EVM of a
+/// BlockFloatCodec round-trip at the mantissa width that achieves the
+/// ratio, on a deterministic Gaussian reference block, and maps EVM to
+/// BLER with a power-law waterfall calibrated for 16-QAM-class traffic.
+/// Returns 0 for ratio <= 1. Deterministic: same ratio, same penalty.
+double compression_penalty_bler(double total_ratio);
+
+}  // namespace pran::core

@@ -46,9 +46,28 @@ Deployment::Deployment(DeploymentConfig config)
 
   if (config_.shared_fronthaul) {
     fronthaul_link_.emplace(*config_.shared_fronthaul);
+    fronthaul_link_->set_late_threshold(config_.fronthaul_late_threshold);
     fronthaul_bits_per_subframe_ = fronthaul::subframe_bits(
         units::Hertz{30.72e6}, fronthaul::kCpriSampleBits,
         lte::CellConfig{}.antennas, config_.fronthaul_compression);
+    if (config_.fronthaul_impairments.enabled()) {
+      impairments_.emplace(config_.fronthaul_impairments,
+                           config_.seed * 0x9E3779B9u + 0xF0);
+      fronthaul_link_->set_impairment_hook(
+          [this](sim::Time ready, units::Bits bits) {
+            return impairments_->apply(ready, bits);
+          });
+    }
+  } else {
+    PRAN_REQUIRE(!config_.fronthaul_impairments.enabled(),
+                 "fronthaul impairments require a shared fronthaul link");
+  }
+  if (config_.degradation.enabled) {
+    PRAN_REQUIRE(config_.shared_fronthaul.has_value(),
+                 "the degradation ladder watches the shared fronthaul");
+    degradation_ = std::make_unique<DegradationController>(
+        config_.degradation, config_.num_cells);
+    quality_rng_ = Rng(config_.seed).stream(0xDEu);
   }
 
   // Compute cluster.
@@ -224,32 +243,109 @@ void Deployment::tick() {
       allocs = macs_[c].run_tti();
     }
     lte::SubframeJob job = factories_[c].uplink_job(tti_counter_, allocs);
-    if (fronthaul_link_) {
-      // Burst ready when the subframe ends over the air; arrival replaces
-      // the factory's idealised release.
-      const sim::Time ready = (tti_counter_ + 1) * sim::kTti;
-      job.release = std::max(
-          job.release,
-          fronthaul_link_->enqueue(ready, fronthaul_bits_per_subframe_));
-    }
     // Custom pipeline stages add work beyond the standard six.
     job.extra_gops =
         pipeline_.extra_gops(cells_[c].site().config, allocs,
                              job.cost.total());
+    // Drawn unconditionally per (cell, TTI) so the transport-block
+    // quality sequence never shifts when the ladder moves.
+    const double quality_draw = degradation_ ? quality_rng_.uniform() : 1.0;
+
+    if (degradation_ && degradation_->cell_quarantined(static_cast<int>(c))) {
+      // Ladder took the cell out of service: radio off, so no I/Q hits
+      // the wire — quarantine is the one rung that relieves the fibre
+      // itself. Demand estimation stays warm for readmission.
+      ++quarantined_cell_ttis_;
+      controller_->observe(static_cast<int>(c), job.total_gops());
+      continue;
+    }
+
+    bool burst_lost = false;
+    if (fronthaul_link_) {
+      // Burst ready when the subframe ends over the air; arrival replaces
+      // the factory's idealised release.
+      const sim::Time ready = (tti_counter_ + 1) * sim::kTti;
+      const fronthaul::BurstOutcome outcome = fronthaul_link_->enqueue_burst(
+          ready, fronthaul_bits_per_subframe_);
+      burst_lost = outcome.lost;
+      if (!outcome.lost) job.release = std::max(job.release, outcome.arrival);
+    }
+    // Demand estimation sees the radio load regardless of transport fate:
+    // a lossy fibre must not starve the placement of capacity.
     controller_->observe(static_cast<int>(c), job.total_gops());
 
+    if (burst_lost) {
+      // The samples never reached the pool: no decode, no ACK, and the
+      // UE's synchronous HARQ debt comes due like any missed deadline.
+      PRAN_COUNTER_INC("fronthaul.lost_bursts");
+      handle_harq_loss(job);
+      continue;
+    }
     const int server = controller_->server_of(static_cast<int>(c));
     if (server < 0) {
       ++outage_cell_ttis_;  // cell in outage: traffic lost this TTI
       continue;
     }
+    if (degradation_ && degradation_->shedding() &&
+        degradation_->cell_shed_eligible(static_cast<int>(c))) {
+      // Deadline-aware shedding: drop a subframe at ingress when the
+      // server's queued backlog plus this decode cannot finish inside
+      // the deadline, and settle its HARQ debt honestly instead of
+      // letting it rot in a queue and spawn a retransmission storm.
+      const auto estimated_exec = static_cast<sim::Time>(
+          (executor_->pending_gops(server) + job.total_gops()) /
+          (config_.server.gops_per_tti() * executor_->speed_factor(server)) *
+          static_cast<double>(sim::kTti));
+      if (job.release + estimated_exec > job.deadline) {
+        ++shed_subframes_;
+        PRAN_COUNTER_INC("fronthaul.shed_subframes");
+        handle_harq_loss(job);
+        continue;
+      }
+    }
     executor_->submit(server, job);
+    if (quality_draw < compression_penalty_) {
+      // The decode will run, but the harder compression cost this
+      // transport block its CRC: same HARQ consequence as a late decode.
+      ++compression_tb_failures_;
+      PRAN_COUNTER_INC("fronthaul.compression_tb_failures");
+      handle_harq_loss(job);
+    }
   }
   ++tti_counter_;
   engine_.schedule_in(sim::kTti, [this] { tick(); });
 }
 
 void Deployment::epoch_replan() {
+  if (fronthaul_link_) {
+    const fronthaul::FronthaulLink::Window window =
+        fronthaul_link_->take_window();
+    PRAN_COUNTER_ADD("fronthaul.late_bursts", window.late);
+    if (degradation_) {
+      // Telemetry-fed ladder signals: this epoch's fronthaul window plus
+      // the executor's deadline-miss delta since the previous epoch.
+      const auto stats = executor_->stats();
+      DegradationSignals signals;
+      signals.queue_delay_us = sim::to_microseconds(window.max_queue_delay);
+      signals.loss_rate = window.loss_rate();
+      const std::uint64_t done = stats.completed - epoch_completed_mark_;
+      const std::uint64_t missed = stats.missed - epoch_missed_mark_;
+      epoch_completed_mark_ = stats.completed;
+      epoch_missed_mark_ = stats.missed;
+      signals.miss_rate =
+          done ? static_cast<double>(missed) / static_cast<double>(done) : 0.0;
+      if (degradation_->update(engine_.now(), signals)) {
+        PRAN_COUNTER_INC("fronthaul.ladder_transitions");
+        apply_ladder_rung();
+        trace_.emit(engine_.now(), "degradation",
+                    std::string("rung ") +
+                        std::to_string(degradation_->rung()) + " (" +
+                        degradation_->rung_name() + ")");
+      }
+      PRAN_GAUGE_SET("fronthaul.ladder_rung",
+                     static_cast<double>(degradation_->rung()));
+    }
+  }
   if (config_.forecast_horizon_hours > 0.0) {
     // Scale each cell's estimate by the expected profile growth over the
     // horizon, so the plan covers the load at the *end* of the epoch.
@@ -292,6 +388,20 @@ void Deployment::epoch_replan() {
 }
 
 void Deployment::run_until(sim::Time t) { engine_.run_until(t); }
+
+void Deployment::apply_ladder_rung() {
+  const double multiplier = degradation_->compression_multiplier();
+  const double total_ratio = config_.fronthaul_compression * multiplier;
+  fronthaul_bits_per_subframe_ = fronthaul::subframe_bits(
+      units::Hertz{30.72e6}, fronthaul::kCpriSampleBits,
+      lte::CellConfig{}.antennas, total_ratio);
+  compression_penalty_ =
+      multiplier > 1.0 ? compression_penalty_bler(total_ratio) : 0.0;
+  std::vector<bool> quarantined(cells_.size(), false);
+  for (std::size_t c = 0; c < cells_.size(); ++c)
+    quarantined[c] = degradation_->cell_quarantined(static_cast<int>(c));
+  controller_->set_cell_quarantine(std::move(quarantined));
+}
 
 void Deployment::close_energy_interval() {
   active_server_seconds_ += sim::to_seconds(engine_.now() - energy_mark_) *
@@ -347,6 +457,24 @@ void Deployment::handle_harq_loss(const lte::SubframeJob& job) {
     ++lost_tbs_;
     return;
   }
+  if (degradation_ && degradation_->shedding()) {
+    // A retransmission that provably cannot meet its deadline is pure
+    // waste: executing it delays live traffic and ends in this same
+    // function. Shed it and settle the next round of debt immediately —
+    // the chain still terminates honestly at max_harq_retx. This is what
+    // breaks a retransmission storm: without it every miss re-enters the
+    // saturated queue and the overload sustains itself.
+    const auto estimated_exec = static_cast<sim::Time>(
+        (executor_->pending_gops(target) + retx.total_gops()) /
+        (config_.server.gops_per_tti() * executor_->speed_factor(target)) *
+        static_cast<double>(sim::kTti));
+    if (retx.release + estimated_exec > retx.deadline) {
+      ++shed_subframes_;
+      PRAN_COUNTER_INC("fronthaul.shed_subframes");
+      handle_harq_loss(retx);
+      return;
+    }
+  }
   ++harq_retx_count_;
   executor_->submit(target, retx);
 }
@@ -382,6 +510,19 @@ DeploymentKpis Deployment::kpis() const {
   k.outage_cell_ttis = outage_cell_ttis_;
   k.harq_retransmissions = harq_retx_count_;
   k.lost_transport_blocks = lost_tbs_;
+
+  if (fronthaul_link_) {
+    k.fronthaul_lost_bursts = fronthaul_link_->bursts_lost();
+    k.fronthaul_late_bursts = fronthaul_link_->late_bursts();
+  }
+  if (impairments_) k.fronthaul_brownouts = impairments_->brownouts();
+  k.shed_subframes = shed_subframes_;
+  k.compression_tb_failures = compression_tb_failures_;
+  k.quarantined_cell_ttis = quarantined_cell_ttis_;
+  if (degradation_) {
+    k.ladder_rung = degradation_->rung();
+    k.ladder_transitions = degradation_->transitions();
+  }
 
   k.faults_injected = injector_->faults_delivered();
   k.degrade_events = injector_->degrade_faults();

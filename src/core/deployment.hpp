@@ -18,8 +18,11 @@
 #include <vector>
 
 #include "cluster/executor.hpp"
+#include "common/rng.hpp"
 #include "core/controller.hpp"
+#include "core/degradation.hpp"
 #include "core/pipeline.hpp"
+#include "faults/fronthaul.hpp"
 #include "faults/health.hpp"
 #include "faults/injector.hpp"
 #include "fronthaul/link.hpp"
@@ -66,6 +69,15 @@ struct DeploymentConfig {
   std::optional<fronthaul::LinkParams> shared_fronthaul;
   /// I/Q compression ratio applied on the shared fronthaul (1 = raw CPRI).
   double fronthaul_compression = 1.0;
+
+  /// Fronthaul transport impairments (burst loss / jitter / brownouts) on
+  /// the shared fibre. Requires shared_fronthaul. Deterministic per seed.
+  faults::FronthaulImpairmentConfig fronthaul_impairments;
+  /// A burst counts as late when queueing + jitter exceeds this.
+  sim::Time fronthaul_late_threshold = 500 * sim::kMicrosecond;
+  /// Graceful-degradation ladder reacting to fronthaul stress (see
+  /// degradation.hpp). Requires shared_fronthaul when enabled.
+  DegradationConfig degradation;
 
   double start_hour = 8.0;       ///< Diurnal hour at t = 0.
   double day_compression = 3600; ///< Diurnal hours advance this x real time.
@@ -138,6 +150,22 @@ struct DeploymentKpis {
   std::uint64_t blind_window_drops = 0;
   /// Recoveries the controller refused because the server was flapping.
   int quarantine_events = 0;
+  /// I/Q bursts dropped on the fronthaul by the impairment model.
+  std::uint64_t fronthaul_lost_bursts = 0;
+  /// Bursts whose queueing + jitter exceeded the late threshold.
+  std::uint64_t fronthaul_late_bursts = 0;
+  /// Link-capacity brownout episodes delivered.
+  std::uint64_t fronthaul_brownouts = 0;
+  /// Doomed subframes shed at ingress by the degradation ladder.
+  std::uint64_t shed_subframes = 0;
+  /// Transport blocks failed by the ladder's compression EVM penalty.
+  std::uint64_t compression_tb_failures = 0;
+  /// Cell-TTIs skipped because the ladder quarantined the cell.
+  std::uint64_t quarantined_cell_ttis = 0;
+  /// Degradation rung at the end of the run (0 = normal).
+  int ladder_rung = 0;
+  /// Total ladder transitions (up + down) over the run.
+  std::uint64_t ladder_transitions = 0;
 };
 
 class Deployment {
@@ -180,6 +208,14 @@ class Deployment {
   const faults::HealthMonitor* monitor() const noexcept {
     return monitor_ ? &*monitor_ : nullptr;
   }
+  /// Fronthaul impairment model (nullptr unless configured).
+  const faults::FronthaulImpairments* impairments() const noexcept {
+    return impairments_ ? &*impairments_ : nullptr;
+  }
+  /// Degradation ladder (nullptr unless enabled).
+  const DegradationController* degradation() const noexcept {
+    return degradation_.get();
+  }
   const sim::Trace& trace() const noexcept { return trace_; }
   const DeploymentConfig& config() const noexcept { return config_; }
 
@@ -189,6 +225,9 @@ class Deployment {
  private:
   void tick();          ///< One TTI: sample, build jobs, submit.
   void epoch_replan();  ///< Controller epoch.
+  /// Applies the ladder's current rung: recomputes the wire bits per
+  /// subframe, the compression BLER penalty and the cell quarantines.
+  void apply_ladder_rung();
   std::unique_ptr<Placer> make_placer() const;
   /// HARQ consequence of an unrecoverable subframe (drop or missed
   /// deadline): retransmission 8 TTIs later, or a lost transport block.
@@ -213,6 +252,19 @@ class Deployment {
   std::optional<faults::HealthMonitor> monitor_;
   std::optional<fronthaul::FronthaulLink> fronthaul_link_;
   units::Bits fronthaul_bits_per_subframe_{0};
+  std::optional<faults::FronthaulImpairments> impairments_;
+  std::unique_ptr<DegradationController> degradation_;
+  /// Per-(cell, TTI) transport-block quality draws for the compression
+  /// EVM penalty; drawn unconditionally whenever the ladder is enabled so
+  /// the sequence is a pure function of the seed.
+  Rng quality_rng_;
+  double compression_penalty_ = 0.0;
+  std::uint64_t shed_subframes_ = 0;
+  std::uint64_t compression_tb_failures_ = 0;
+  std::uint64_t quarantined_cell_ttis_ = 0;
+  /// Executor-stat marks for per-epoch deadline-miss-rate deltas.
+  std::uint64_t epoch_completed_mark_ = 0;
+  std::uint64_t epoch_missed_mark_ = 0;
   Pipeline pipeline_;
   double standard_gops_cache_ = 0.0;  // scratch, see tick()
   std::int64_t tti_counter_ = 0;

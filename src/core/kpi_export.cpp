@@ -42,6 +42,18 @@ void export_kpis(const DeploymentKpis& kpis,
   set("mean_detection_latency_ms", kpis.mean_detection_latency_ms);
   set("blind_window_drops", static_cast<double>(kpis.blind_window_drops));
   set("quarantine_events", kpis.quarantine_events);
+  set("fronthaul_lost_bursts",
+      static_cast<double>(kpis.fronthaul_lost_bursts));
+  set("fronthaul_late_bursts",
+      static_cast<double>(kpis.fronthaul_late_bursts));
+  set("fronthaul_brownouts", static_cast<double>(kpis.fronthaul_brownouts));
+  set("shed_subframes", static_cast<double>(kpis.shed_subframes));
+  set("compression_tb_failures",
+      static_cast<double>(kpis.compression_tb_failures));
+  set("quarantined_cell_ttis",
+      static_cast<double>(kpis.quarantined_cell_ttis));
+  set("ladder_rung", kpis.ladder_rung);
+  set("ladder_transitions", static_cast<double>(kpis.ladder_transitions));
 }
 
 void export_deployment(const Deployment& deployment,

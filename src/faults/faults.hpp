@@ -4,8 +4,8 @@
 /// Fault model vocabulary shared by the injector, the health monitor and
 /// the deployment layer.
 ///
-/// Three fault kinds reproduce the failure classes a pooled RAN cluster
-/// actually sees:
+/// Two fault domains share this vocabulary. Server faults reproduce the
+/// failure classes a pooled RAN cluster actually sees:
 ///   kCrash      — whole-server loss (process/kernel/hardware death);
 ///   kDegrade    — a straggler: the server keeps answering heartbeats but
 ///                 its cores run at a fraction of nominal speed (thermal
@@ -13,12 +13,19 @@
 ///   kCorrelated — rack/power-domain loss: several servers crash at the
 ///                 same instant, defeating placements that spread a cell's
 ///                 backup capacity inside one domain.
+/// Fronthaul faults reproduce what CPRI/eCPRI transports suffer
+/// (delivered by faults::FronthaulImpairments, never by the injector):
+///   kFronthaulLoss     — Gilbert–Elliott burst loss of I/Q bursts;
+///   kFronthaulJitter   — bounded per-burst forwarding jitter;
+///   kFronthaulBrownout — temporary link-capacity reduction.
 ///
-/// Faults are either scripted (FaultEvent) or drawn from per-server
-/// exponential MTBF/MTTR processes (StochasticFaultConfig). Stochastic
-/// draws come from `Rng::stream(server_id)` substreams, so a run's fault
-/// timeline depends only on (seed, server id) — deterministic and
-/// invariant to how many worker threads a surrounding sweep uses.
+/// Server faults are either scripted (FaultEvent) or drawn from
+/// per-server exponential MTBF/MTTR processes (StochasticFaultConfig).
+/// Stochastic draws come from `Rng::stream(server_id)` substreams, so a
+/// run's fault timeline depends only on (seed, server id) — deterministic
+/// and invariant to how many worker threads a surrounding sweep uses.
+/// Fronthaul impairments follow the same discipline on their own
+/// substreams (see fronthaul.hpp).
 
 #include <vector>
 
@@ -26,7 +33,14 @@
 
 namespace pran::faults {
 
-enum class FaultKind { kCrash, kDegrade, kCorrelated };
+enum class FaultKind {
+  kCrash,
+  kDegrade,
+  kCorrelated,
+  kFronthaulLoss,
+  kFronthaulJitter,
+  kFronthaulBrownout,
+};
 
 const char* fault_kind_name(FaultKind kind) noexcept;
 
@@ -58,7 +72,9 @@ struct StochasticFaultConfig {
   bool enabled() const noexcept { return mtbf_seconds > 0.0; }
 };
 
-/// One delivered fault, for KPI extraction and tests.
+/// One delivered fault, for KPI extraction and tests. Fronthaul records
+/// (emitted by FronthaulImpairments) carry server_id == -1: the transport
+/// is a shared resource, not a server.
 struct FaultRecord {
   FaultKind kind = FaultKind::kCrash;
   int server_id = -1;

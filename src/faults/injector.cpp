@@ -8,6 +8,8 @@
 namespace pran::faults {
 
 const char* fault_kind_name(FaultKind kind) noexcept {
+  // Exhaustive on purpose — no default: -Werror=switch turns a new
+  // FaultKind into a compile error here instead of a silent "?".
   switch (kind) {
     case FaultKind::kCrash:
       return "crash";
@@ -15,8 +17,14 @@ const char* fault_kind_name(FaultKind kind) noexcept {
       return "degrade";
     case FaultKind::kCorrelated:
       return "correlated";
+    case FaultKind::kFronthaulLoss:
+      return "fronthaul-loss";
+    case FaultKind::kFronthaulJitter:
+      return "fronthaul-jitter";
+    case FaultKind::kFronthaulBrownout:
+      return "fronthaul-brownout";
   }
-  return "?";
+  return "?";  // Unreachable; keeps -Wreturn-type quiet.
 }
 
 FaultInjector::FaultInjector(sim::Engine& engine, cluster::Executor& executor,
@@ -58,6 +66,11 @@ void FaultInjector::schedule(const FaultEvent& event) {
   if (event.kind == FaultKind::kDegrade)
     PRAN_REQUIRE(event.degrade_factor > 0.0 && event.degrade_factor <= 1.0,
                  "degrade factor outside (0, 1]");
+  PRAN_REQUIRE(event.kind == FaultKind::kCrash ||
+                   event.kind == FaultKind::kDegrade ||
+                   event.kind == FaultKind::kCorrelated,
+               "injector schedules server faults only; fronthaul impairments "
+               "go through faults::FronthaulImpairments");
   for (int server_id : event.servers) {
     PRAN_REQUIRE(server_id >= 0 && server_id < executor_.num_servers(),
                  "fault event names an unknown server");
@@ -85,31 +98,41 @@ void FaultInjector::deliver_fault(int server_id, FaultKind kind,
          fault_kind_name(kind) + " fault ignored");
     return;
   }
-  if (kind == FaultKind::kDegrade) {
-    if (st == State::kDegraded) {
-      emit("server " + std::to_string(server_id) +
-           " already degraded; degrade fault ignored");
-      return;
-    }
-    if (on_fault_) on_fault_(server_id, kind);
-    executor_.degrade_server(server_id, degrade_factor);
-    st = State::kDegraded;
-    ++degrade_faults_;
-  } else {
-    // A crash supersedes any degradation in effect: close that record.
-    if (st == State::kDegraded) {
-      executor_.restore_speed(server_id);
-      log_[static_cast<std::size_t>(
-               open_record_[static_cast<std::size_t>(server_id)])]
-          .recovered_at = engine_.now();
-    }
-    // Listener first (oracle-mode re-placement), then the actual loss, so
-    // the executor's drop callback sees the post-failover placement.
-    if (on_fault_) on_fault_(server_id, kind);
-    executor_.fail_server(server_id);
-    st = State::kDown;
-    ++crash_faults_;
-    if (kind == FaultKind::kCorrelated) ++correlated_faults_;
+  switch (kind) {
+    case FaultKind::kDegrade:
+      if (st == State::kDegraded) {
+        emit("server " + std::to_string(server_id) +
+             " already degraded; degrade fault ignored");
+        return;
+      }
+      if (on_fault_) on_fault_(server_id, kind);
+      executor_.degrade_server(server_id, degrade_factor);
+      st = State::kDegraded;
+      ++degrade_faults_;
+      break;
+    case FaultKind::kCrash:
+    case FaultKind::kCorrelated:
+      // A crash supersedes any degradation in effect: close that record.
+      if (st == State::kDegraded) {
+        executor_.restore_speed(server_id);
+        log_[static_cast<std::size_t>(
+                 open_record_[static_cast<std::size_t>(server_id)])]
+            .recovered_at = engine_.now();
+      }
+      // Listener first (oracle-mode re-placement), then the actual loss, so
+      // the executor's drop callback sees the post-failover placement.
+      if (on_fault_) on_fault_(server_id, kind);
+      executor_.fail_server(server_id);
+      st = State::kDown;
+      ++crash_faults_;
+      if (kind == FaultKind::kCorrelated) ++correlated_faults_;
+      break;
+    case FaultKind::kFronthaulLoss:
+    case FaultKind::kFronthaulJitter:
+    case FaultKind::kFronthaulBrownout:
+      PRAN_CHECK(false,
+                 "fronthaul impairments are delivered by "
+                 "faults::FronthaulImpairments, not the server injector");
   }
   ++faults_delivered_;
   open_record_[static_cast<std::size_t>(server_id)] =
@@ -132,10 +155,16 @@ void FaultInjector::deliver_restore(int server_id) {
   PRAN_CHECK(rec >= 0 && rec < static_cast<int>(log_.size()),
              "faulted server has no open fault record");
   const FaultKind kind = log_[static_cast<std::size_t>(rec)].kind;
-  if (st == State::kDown)
-    executor_.restore_server(server_id);
-  else
-    executor_.restore_speed(server_id);
+  switch (st) {
+    case State::kHealthy:
+      return;  // Handled above; case kept so the switch stays exhaustive.
+    case State::kDown:
+      executor_.restore_server(server_id);
+      break;
+    case State::kDegraded:
+      executor_.restore_speed(server_id);
+      break;
+  }
   log_[static_cast<std::size_t>(rec)].recovered_at = engine_.now();
   open_record_[static_cast<std::size_t>(server_id)] = -1;
   st = State::kHealthy;

@@ -16,11 +16,23 @@
 /// time order), the FIFO schedule can be computed eagerly and the arrival
 /// time returned to the caller, who uses it as the job's release time.
 ///
+/// Impairments: a caller-installed hook (see faults::FronthaulImpairments)
+/// may drop a burst at ingress (Gilbert–Elliott packet loss in the eCPRI
+/// switch fabric, before the burst reaches the wire), delay its arrival
+/// (per-packet forwarding jitter — the delivery is late but the wire
+/// schedule is untouched, so the eager FIFO contract survives), or shrink
+/// the effective capacity for its serialisation (a link-rate brownout).
+/// The link accounts offered vs carried vs dropped bits so
+/// `bits_carried() == bits_offered() - bits_dropped()` holds exactly, and
+/// counts bursts whose queueing + jitter delay exceeded the configured
+/// late threshold.
+///
 /// Burst sizes are exact `units::Bits` and the fibre capacity a
 /// `units::BitRate`, so a byte count (or a compressed fractional rate)
 /// cannot silently land where wire bits belong.
 
 #include <cstdint>
+#include <functional>
 
 #include "common/units.hpp"
 #include "sim/time.hpp"
@@ -32,19 +44,69 @@ struct LinkParams {
   sim::Time propagation = 25 * sim::kMicrosecond;  ///< One-way, ~5 km.
 };
 
+/// What an impairment model decided about one burst.
+struct BurstImpairment {
+  bool lost = false;            ///< Burst dropped at ingress, never sent.
+  sim::Time extra_delay = 0;    ///< Jitter added to the arrival time.
+  double capacity_factor = 1.0; ///< Effective rate multiplier, in (0, 1].
+};
+
+/// Outcome of one burst through the link.
+struct BurstOutcome {
+  bool lost = false;          ///< True: the burst never arrives.
+  sim::Time arrival = 0;      ///< Last-bit arrival time; valid when !lost.
+  sim::Time queue_delay = 0;  ///< Time the burst waited for the wire.
+};
+
 class FronthaulLink {
  public:
+  /// Per-burst impairment decision; called once per enqueued burst, in
+  /// FIFO ingress order.
+  using ImpairmentHook =
+      std::function<BurstImpairment(sim::Time ready, units::Bits bits)>;
+
+  /// Windowed statistics since the previous take_window() call, for
+  /// closed-loop consumers (the degradation ladder) that need per-epoch
+  /// signals rather than whole-run cumulatives.
+  struct Window {
+    std::uint64_t bursts = 0;          ///< Offered this window (incl. lost).
+    std::uint64_t lost = 0;            ///< Dropped at ingress this window.
+    std::uint64_t late = 0;            ///< Over the late threshold.
+    sim::Time max_queue_delay = 0;     ///< Worst wait this window.
+
+    double loss_rate() const noexcept {
+      return bursts ? static_cast<double>(lost) / static_cast<double>(bursts)
+                    : 0.0;
+    }
+  };
+
   explicit FronthaulLink(LinkParams params);
 
   const LinkParams& params() const noexcept { return params_; }
 
-  /// Enqueues a burst of `bits` that is ready to start at `ready`;
-  /// returns the time its last bit arrives at the far end. `ready` must
-  /// be nondecreasing across calls (FIFO ingress).
+  /// Installs (or clears, with nullptr) the impairment hook.
+  void set_impairment_hook(ImpairmentHook hook) { hook_ = std::move(hook); }
+
+  /// A burst counts as late when queueing + jitter delay exceeds this.
+  void set_late_threshold(sim::Time threshold);
+
+  /// Enqueues a burst of `bits` that is ready to start at `ready`; applies
+  /// the impairment hook (if any) and returns the burst's fate. `ready`
+  /// must be nondecreasing across calls (FIFO ingress).
+  BurstOutcome enqueue_burst(sim::Time ready, units::Bits bits);
+
+  /// Loss-free convenience wrapper: returns the time the burst's last bit
+  /// arrives at the far end. Must not be used while an impairment hook
+  /// that can drop bursts is installed (a lost burst has no arrival time);
+  /// such callers use enqueue_burst().
   sim::Time enqueue(sim::Time ready, units::Bits bits);
 
-  /// Total bits accepted so far.
+  /// Total bits accepted onto the wire so far (excludes dropped bursts).
   units::Bits bits_carried() const noexcept { return bits_carried_; }
+  /// Total bits presented at ingress (carried + dropped).
+  units::Bits bits_offered() const noexcept { return bits_offered_; }
+  /// Bits of bursts the impairment hook dropped at ingress.
+  units::Bits bits_dropped() const noexcept { return bits_dropped_; }
 
   /// Time the transmitter has spent serialising.
   sim::Time busy_time() const noexcept { return busy_; }
@@ -52,20 +114,40 @@ class FronthaulLink {
   /// Worst queueing delay (time a burst waited for the wire) seen so far.
   sim::Time max_queue_delay() const noexcept { return max_queue_delay_; }
 
-  /// Link utilisation over [0, horizon].
-  double utilization(sim::Time horizon) const;
+  /// Link utilisation over [0, horizon], clamped to 1. The eager FIFO
+  /// schedule may have committed serialisation time beyond `horizon`
+  /// (backlogged bursts); when that happens the clamp under-reports the
+  /// true backlog, so `saturated` (if non-null) is set to true — callers
+  /// that care about overload must check it instead of trusting the
+  /// clamped ratio.
+  double utilization(sim::Time horizon, bool* saturated = nullptr) const;
 
-  /// Number of bursts carried.
+  /// Number of bursts carried (excludes dropped bursts).
   std::uint64_t bursts() const noexcept { return bursts_; }
+  /// Bursts dropped at ingress by the impairment hook.
+  std::uint64_t bursts_lost() const noexcept { return bursts_lost_; }
+  /// Bursts whose queueing + jitter delay exceeded the late threshold.
+  std::uint64_t late_bursts() const noexcept { return late_bursts_; }
+
+  /// Returns the statistics accumulated since the previous call and
+  /// resets the window. Cumulative counters are unaffected.
+  Window take_window();
 
  private:
   LinkParams params_;
+  ImpairmentHook hook_;
+  sim::Time late_threshold_ = 0;
   sim::Time next_free_ = 0;
   sim::Time last_ready_ = 0;
   sim::Time busy_ = 0;
   sim::Time max_queue_delay_ = 0;
   units::Bits bits_carried_{0};
+  units::Bits bits_offered_{0};
+  units::Bits bits_dropped_{0};
   std::uint64_t bursts_ = 0;
+  std::uint64_t bursts_lost_ = 0;
+  std::uint64_t late_bursts_ = 0;
+  Window window_;
 };
 
 /// Bits one cell's subframe occupies on the wire: sample-rate * 1 ms worth

@@ -1,0 +1,94 @@
+// Degradation-ladder sweep determinism: deployments with fronthaul
+// impairments and the ladder enabled, swept in parallel. The KPI vector
+// must be byte-identical whatever the worker-thread count — the contract
+// bench E19 relies on. Labelled "tsan" (race-check under
+// -DPRAN_SANITIZE=thread) and "faults" (fault-subsystem stress).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "core/deployment.hpp"
+
+namespace pran {
+namespace {
+
+struct Kpi {
+  std::uint64_t subframes = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t lost_bursts = 0;
+  std::uint64_t late_bursts = 0;
+  std::uint64_t brownouts = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t tb_failures = 0;
+  std::uint64_t quarantined_ttis = 0;
+  std::uint64_t transitions = 0;
+  int rung = 0;
+
+  bool operator==(const Kpi&) const = default;
+};
+
+std::vector<Kpi> sweep(unsigned threads) {
+  constexpr std::size_t kRuns = 6;
+  std::vector<Kpi> out(kRuns);
+  parallel_for_each(threads, kRuns, [&](unsigned, std::size_t i) {
+    core::DeploymentConfig config;
+    config.num_cells = 5;
+    config.num_servers = 4;
+    config.seed = 300 + i;
+    config.epoch = 20 * sim::kMillisecond;
+    config.harq_retransmissions = true;
+    config.shared_fronthaul =
+        fronthaul::LinkParams{units::BitRate{25e9}, 25 * sim::kMicrosecond};
+    config.fronthaul_impairments.loss.p_good_to_bad = 0.02;
+    config.fronthaul_impairments.loss.p_bad_to_good = 0.3;
+    config.fronthaul_impairments.loss.loss_bad = 0.5;
+    config.fronthaul_impairments.jitter.max_jitter = 50 * sim::kMicrosecond;
+    config.fronthaul_impairments.brownout.mtbb_seconds = 0.3;
+    config.fronthaul_impairments.brownout.mean_duration_seconds = 0.3;
+    config.fronthaul_impairments.brownout.capacity_factor = 0.7;
+    config.degradation.enabled = true;
+    config.degradation.compression_ladder = {2.0};
+    config.degradation.up_epochs = 1;
+    config.degradation.down_epochs = 5;
+    config.degradation.queue_delay_up_us = 1500.0;
+    config.degradation.queue_delay_down_us = 1000.0;
+    config.degradation.loss_up = 0.25;
+    config.degradation.loss_down = 0.1;
+    core::Deployment d(config);
+    d.run_for(2 * sim::kSecond);
+    const auto k = d.kpis();
+    out[i] = Kpi{k.subframes_processed,
+                 k.deadline_misses,
+                 k.fronthaul_lost_bursts,
+                 k.fronthaul_late_bursts,
+                 k.fronthaul_brownouts,
+                 k.shed_subframes,
+                 k.compression_tb_failures,
+                 k.quarantined_cell_ttis,
+                 k.ladder_transitions,
+                 k.ladder_rung};
+  });
+  return out;
+}
+
+TEST(DegradationStress, SweepIsThreadCountInvariant) {
+  const auto serial = sweep(1);
+  const auto parallel2 = sweep(2);
+  const auto parallel8 = sweep(8);
+  EXPECT_EQ(serial, parallel2);
+  EXPECT_EQ(serial, parallel8);
+  // The scenario is live: impairments and ladder moves actually happened.
+  std::uint64_t lost = 0, transitions = 0;
+  for (const auto& k : serial) {
+    lost += k.lost_bursts;
+    transitions += k.transitions;
+  }
+  EXPECT_GT(lost, 0u);
+  EXPECT_GT(transitions, 0u);
+}
+
+}  // namespace
+}  // namespace pran

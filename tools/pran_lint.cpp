@@ -22,6 +22,12 @@
 //                    src/faults/ (and tests) — faults must flow through
 //                    faults::FaultInjector so they are traced, idempotent
 //                    and visible to the health monitor
+//   fault-switch-default
+//                    a switch whose body enumerates FaultKind cases but
+//                    also carries a `default:` label — the default eats
+//                    the -Werror=switch exhaustiveness guarantee, so a
+//                    newly added fault kind would silently fall through
+//                    instead of failing the build
 //   adhoc-timing     std::chrono or printf/fprintf inside src/ outside
 //                    src/telemetry/ — libraries measure time through
 //                    telemetry::Stopwatch / PRAN_SPAN and report through
@@ -401,6 +407,60 @@ void rule_fault_bypass(const std::string& path, const std::string& code,
   }
 }
 
+void rule_fault_switch_default(const std::string& path,
+                               const std::string& code,
+                               std::vector<Finding>& out) {
+  for (std::size_t pos : find_token(code, "switch")) {
+    std::size_t p = pos + std::string_view("switch").size();
+    while (p < code.size() &&
+           std::isspace(pran::narrow_cast<unsigned char>(code[p])))
+      ++p;
+    if (p >= code.size() || code[p] != '(') continue;
+    int depth = 0;
+    std::size_t cond_end = p;
+    for (std::size_t q = p; q < code.size(); ++q) {
+      if (code[q] == '(') ++depth;
+      if (code[q] == ')' && --depth == 0) {
+        cond_end = q;
+        break;
+      }
+    }
+    std::size_t b = cond_end + 1;
+    while (b < code.size() &&
+           std::isspace(pran::narrow_cast<unsigned char>(code[b])))
+      ++b;
+    if (b >= code.size() || code[b] != '{') continue;
+    depth = 0;
+    std::size_t body_end = b;
+    for (std::size_t q = b; q < code.size(); ++q) {
+      if (code[q] == '{') ++depth;
+      if (code[q] == '}' && --depth == 0) {
+        body_end = q;
+        break;
+      }
+    }
+    const std::string body = code.substr(b, body_end - b + 1);
+    if (find_token(body, "FaultKind").empty()) continue;
+    bool has_default = false;
+    for (std::size_t d : find_token(body, "default")) {
+      std::size_t r = d + std::string_view("default").size();
+      while (r < body.size() &&
+             std::isspace(pran::narrow_cast<unsigned char>(body[r])))
+        ++r;
+      if (r < body.size() && body[r] == ':') {
+        has_default = true;
+        break;
+      }
+    }
+    if (has_default) {
+      out.push_back({path, line_of(code, pos), "fault-switch-default",
+                     "switch over FaultKind with a default label — the "
+                     "default eats -Werror=switch, so a new fault kind "
+                     "would fall through silently; enumerate every case"});
+    }
+  }
+}
+
 void rule_adhoc_timing(const std::string& path, const std::string& code,
                        std::vector<Finding>& out) {
   // Library code only: the CLI surface (tools/bench/examples/tests) is
@@ -445,6 +505,7 @@ std::vector<Finding> lint_file(const std::string& display_path,
   rule_check_message(display_path, code, findings);
   rule_unit_param(display_path, code, findings);
   rule_fault_bypass(display_path, code, findings);
+  rule_fault_switch_default(display_path, code, findings);
   rule_adhoc_timing(display_path, code, findings);
   return findings;
 }
@@ -499,6 +560,7 @@ int run_selftest(const fs::path& dir) {
       {"bad_check_msg", "check-message"},
       {"bad_unit_param", "unit-param"},
       {"bad_fault_bypass", "fault-bypass"},
+      {"bad_fault_switch", "fault-switch-default"},
       {"bad_timing", "adhoc-timing"},
   };
   int failures = 0;

@@ -34,6 +34,9 @@ int main(int argc, char** argv) {
   flags.add_string("in", "", "snapshot file written by --metrics-out (.csv)");
   flags.add_string("prefix", "", "only show metrics whose name starts with this");
   flags.add_string("format", "text", "output: text | csv");
+  flags.add_bool("fronthaul", false,
+                 "print the fronthaul health summary (loss/late/shed "
+                 "counters + degradation-ladder rung) before the full dump");
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
                  flags.usage().c_str());
@@ -74,6 +77,32 @@ int main(int argc, char** argv) {
     }
     std::printf("%s\n%s\n", title, table.render().c_str());
   };
+
+  if (flags.get_bool("fronthaul")) {
+    // Curated view of the impairment + degradation-ladder counters: the
+    // numbers an operator checks first when the fibre is suspected.
+    auto counter_value = [&](const char* name) -> long long {
+      for (const auto& c : snapshot.counters)
+        if (c.name == name) return static_cast<long long>(c.value);
+      return 0;
+    };
+    Table fronthaul({"fronthaul", "value"});
+    fronthaul.row().cell("lost_bursts").cell(counter_value(
+        "fronthaul.lost_bursts"));
+    fronthaul.row().cell("late_bursts").cell(counter_value(
+        "fronthaul.late_bursts"));
+    fronthaul.row().cell("shed_subframes").cell(counter_value(
+        "fronthaul.shed_subframes"));
+    fronthaul.row().cell("compression_tb_failures").cell(counter_value(
+        "fronthaul.compression_tb_failures"));
+    fronthaul.row().cell("ladder_transitions").cell(counter_value(
+        "fronthaul.ladder_transitions"));
+    double rung = 0.0;
+    for (const auto& g : snapshot.gauges)
+      if (g.name == "fronthaul.ladder_rung") rung = g.value;
+    fronthaul.row().cell("ladder_rung").cell(static_cast<long long>(rung));
+    print(fronthaul, "fronthaul health");
+  }
 
   Table counters({"counter", "value"});
   std::size_t counter_rows = 0;
