@@ -7,7 +7,12 @@
 //   (b) iterations-to-converge (genie/CRC-gated early exit) vs SNR — at
 //       operating SNR most blocks converge in 1-2 iterations, so
 //       early-termination saves most of the worst-case compute;
-//   (c) measured per-iteration decode time (google-benchmark).
+//   (c) measured per-iteration decode time (google-benchmark), plus
+//       per-ISA (scalar/avx2/avx512) and per-batch-width variants of the
+//       SIMD decode path, registered only for ISAs this CPU supports.
+//       Snapshot with --benchmark_out=BENCH_e17_simd.json; the acceptance
+//       bar is best-vectorized batched info_kbps >= 2x the scalar baseline
+//       at batch width >= 4 (tracked in EXPERIMENTS.md).
 //
 // The Monte-Carlo sweeps (a)/(b) fan trials across a thread pool
 // (--threads N, default: hardware); every trial draws from an
@@ -20,11 +25,15 @@
 
 #include <chrono>
 #include <cstdio>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "telemetry/telemetry.hpp"
 
+#include "bench_guard.hpp"
 #include "coding/awgn.hpp"
+#include "coding/simd/dispatch.hpp"
 #include "coding/turbo.hpp"
 #include "common/flags.hpp"
 #include "common/parallel.hpp"
@@ -145,6 +154,89 @@ BENCHMARK(BM_TurboDecodeIteration)
     ->Args({1024, 8})
     ->Args({4096, 4});
 
+/// RAII pin so a thrown/early-exited benchmark never leaves the process on
+/// a forced ISA.
+class ScopedIsa {
+ public:
+  explicit ScopedIsa(simd::Isa isa) { simd::force_isa(isa); }
+  ~ScopedIsa() { simd::reset_forced_isa(); }
+  ScopedIsa(const ScopedIsa&) = delete;
+  ScopedIsa& operator=(const ScopedIsa&) = delete;
+};
+
+/// Single-block decode pinned to one ISA tier — isolates the state-axis
+/// (8 trellis states per vector) speedup. Args: {k, iters}.
+void BM_TurboDecodeSingle(benchmark::State& state, simd::Isa isa) {
+  const ScopedIsa pin(isa);
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const int iters = static_cast<int>(state.range(1));
+  Rng rng(9);
+  const Bits info = random_bits(k, rng);
+  const Llrs llrs = transmit_bpsk(turbo_encode(info), units::Db{-3.0}, rng);
+  TurboDecoder decoder;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decoder.decode(llrs, k, iters));
+  }
+  state.counters["info_kbps"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(k) / 1e3,
+      benchmark::Counter::kIsRate);
+}
+
+/// Batched decode pinned to one ISA tier — adds the lane axis (`width`
+/// same-K codeblocks in lockstep). No early stop: every lane runs the full
+/// budget, so info_kbps measures raw kernel throughput and is directly
+/// comparable across widths and tiers. Args: {k, iters, width}.
+void BM_TurboDecodeBatch(benchmark::State& state, simd::Isa isa) {
+  const ScopedIsa pin(isa);
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const int iters = static_cast<int>(state.range(1));
+  const auto width = static_cast<std::size_t>(state.range(2));
+  Rng rng(9);
+  std::vector<Llrs> llrs;
+  llrs.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    Rng block_rng = rng.stream(i);
+    const Bits info = random_bits(k, block_rng);
+    llrs.push_back(
+        transmit_bpsk(turbo_encode(info), units::Db{-3.0}, block_rng));
+  }
+  std::vector<TurboBatchItem> items(width);
+  for (std::size_t i = 0; i < width; ++i) items[i].llrs = &llrs[i];
+  TurboDecoder decoder;
+  for (auto _ : state) {
+    decoder.decode_batch(std::span<TurboBatchItem>(items), k, iters);
+    benchmark::DoNotOptimize(items.data());
+    benchmark::ClobberMemory();
+  }
+  state.counters["info_kbps"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(k) *
+          static_cast<double>(width) / 1e3,
+      benchmark::Counter::kIsRate);
+  state.counters["batch"] =
+      benchmark::Counter(static_cast<double>(width));
+}
+
+/// Registers the per-ISA x per-batch-width variants for every tier this
+/// binary + CPU supports. Names embed the ISA so a BENCH_e17_simd.json
+/// snapshot is self-describing; the fixed BM_TurboDecodeIteration family
+/// above (active-ISA, single block) keeps its name — CI's telemetry
+/// overhead guard filters on it.
+void register_simd_benchmarks() {
+  for (const simd::Isa isa :
+       {simd::Isa::kScalar, simd::Isa::kAvx2, simd::Isa::kAvx512}) {
+    if (!simd::isa_available(isa)) continue;
+    const std::string tier = simd::isa_name(isa);
+    benchmark::RegisterBenchmark(
+        ("BM_TurboDecodeSingle/" + tier).c_str(), BM_TurboDecodeSingle, isa)
+        ->Args({512, 8})
+        ->Args({4096, 8});
+    auto* batch = benchmark::RegisterBenchmark(
+        ("BM_TurboDecodeBatch/" + tier).c_str(), BM_TurboDecodeBatch, isa);
+    for (long width : {1L, 4L, 8L, 16L, 32L}) batch->Args({512, 8, width});
+    batch->Args({4096, 8, 16});
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -167,11 +259,18 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  pran::bench::warn_if_not_release();
   ThreadPool pool(static_cast<unsigned>(flags.get_int("threads")));
   print_tables(pool);
   std::printf("E17c: measured turbo decode throughput (google-benchmark, "
-              "single thread)\n\n");
+              "single thread)\n");
+  std::printf(
+      "simd: active ISA %s (override with PRAN_SIMD=scalar|avx2|avx512); "
+      "per-ISA variants below cover every tier this CPU supports\n\n",
+      pran::coding::simd::isa_name(pran::coding::simd::active_isa()));
+  register_simd_benchmarks();
   benchmark::RunSpecifiedBenchmarks();
+  pran::bench::warn_if_not_release();
   if (!flags.get_string("metrics-out").empty())
     pran::telemetry::write_metrics_file(flags.get_string("metrics-out"));
   if (!flags.get_string("trace-out").empty())

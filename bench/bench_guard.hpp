@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file bench_guard.hpp
+/// Build-context guard for committed benchmark numbers.
+///
+/// Benchmarks compiled without optimization measure the compiler, not the
+/// code; a JSON snapshot captured from such a build silently poisons every
+/// later comparison. bench/CMakeLists.txt stamps the configured build type
+/// into PRAN_BENCH_BUILD_TYPE; warn_if_not_release() turns anything other
+/// than "Release" into an impossible-to-miss banner on stderr. The capture
+/// protocol in EXPERIMENTS.md requires this banner to be absent from any
+/// committed run.
+
+#include <cstdio>
+#include <cstring>
+
+#ifndef PRAN_BENCH_BUILD_TYPE
+#define PRAN_BENCH_BUILD_TYPE "unknown"
+#endif
+
+namespace pran::bench {
+
+/// Returns true (and prints a loud stderr banner) if this binary was not
+/// built with CMAKE_BUILD_TYPE=Release.
+inline bool warn_if_not_release() {
+  if (std::strcmp(PRAN_BENCH_BUILD_TYPE, "Release") == 0) return false;
+  std::fprintf(stderr,
+               "\n"
+               "*** WARNING ************************************************\n"
+               "*** This benchmark binary was built with CMAKE_BUILD_TYPE\n"
+               "*** '%s', not 'Release'. Timings below measure the\n"
+               "*** compiler, not the code. DO NOT commit these numbers.\n"
+               "*** Rebuild with -DCMAKE_BUILD_TYPE=Release first.\n"
+               "************************************************************\n"
+               "\n",
+               PRAN_BENCH_BUILD_TYPE);
+  return true;
+}
+
+}  // namespace pran::bench

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file batch.hpp
+/// Same-K aggregation for the batched turbo decoder.
+///
+/// A subframe's decode work arrives as codeblocks of mixed sizes — several
+/// transport blocks, each segmented into codeblocks, across UEs. The
+/// lane-lockstep kernels need same-K groups, so this collector buckets
+/// enqueued blocks by K (the 8 supported power-of-two sizes) and flushes
+/// each bucket through TurboDecoder::decode_batch. Blocks from different
+/// UEs/TBs that share a K ride the same vector registers; per-block CRC
+/// early termination still applies lane by lane via the tag-aware
+/// predicate.
+///
+/// Grouping is purely positional (FIFO within each K bucket), so results
+/// are independent of thread count and of which UE contributed a block —
+/// the determinism contract the E14/E17 sweeps rely on.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "coding/turbo.hpp"
+
+namespace pran::coding {
+
+/// One decoded codeblock, handed back with the caller's tag.
+struct TurboBatchResult {
+  std::size_t tag = 0;     ///< Caller-supplied identity (e.g. UE/TB/CB).
+  Bits info;               ///< Hard decisions.
+  int iterations = 0;      ///< Iterations this block used.
+  bool converged = false;  ///< Early-stop predicate fired.
+};
+
+/// Buckets codeblocks by K and flushes each bucket through decode_batch.
+/// Reusable: flush() clears the buckets but keeps their capacity.
+class TurboBatchCollector {
+ public:
+  /// Enqueues one codeblock. `llrs` must stay alive until flush();
+  /// `k` must satisfy turbo_block_size_ok.
+  void add(const Llrs& llrs, std::size_t k, std::size_t tag);
+
+  /// Number of blocks currently enqueued.
+  std::size_t pending() const noexcept;
+
+  /// Decodes every enqueued block grouped by K (ascending K, FIFO within
+  /// a group) and appends results to `out`. `early_stop`, if non-null, is
+  /// called with the block's tag and current hard decision after each
+  /// iteration. Returns lane-occupancy stats aggregated over the groups.
+  TurboBatchStats flush(TurboDecoder& decoder, std::vector<TurboBatchResult>& out,
+                        int max_iterations = 8,
+                        const std::function<bool(std::size_t,
+                                                 const Bits&)>& early_stop =
+                            nullptr);
+
+ private:
+  struct Pending {
+    const Llrs* llrs;
+    std::size_t tag;
+  };
+  // Slot = countr_zero(k) - 6: the 8 supported K, 64 .. 8192.
+  std::vector<Pending> buckets_[8];
+  std::vector<TurboBatchItem> items_;  // flush scratch
+};
+
+}  // namespace pran::coding

@@ -16,6 +16,12 @@ struct LinkConfig {
   std::size_t info_bits = 256;   ///< Payload before CRC.
   double code_rate = 1.0 / 3.0;  ///< Effective rate after matching.
   bool soft_decision = true;     ///< Soft vs hard Viterbi input.
+  /// Blocks decoded per batched Viterbi call. Grouping is by block index
+  /// (indices [g*B, (g+1)*B) form group g), every block still draws from
+  /// its own RNG substream, and the batched decoder is bit-exact per
+  /// block — so statistics are identical for every batch size and thread
+  /// count, including the seed's original per-block path (B = 1).
+  std::size_t decode_batch = 8;
 };
 
 struct LinkStats {

@@ -1,0 +1,43 @@
+// AVX-512 turbo batch kernel: 16 same-K codeblocks in lockstep, one zmm
+// float lane per block. Compiled with -mavx512f/bw/vl/dq only (no FMA use
+// in the kernel; see the equivalence contract in turbo_kernels.hpp).
+//
+// There is deliberately no AVX-512 single-block state-axis kernel: the
+// trellis is 8 states wide, so the state axis can never fill a zmm — the
+// dispatch table pairs the AVX2 state-axis pass with this 16-lane batch
+// pass instead.
+
+#include <immintrin.h>
+
+#include "coding/simd/turbo_batch_impl.hpp"
+#include "coding/simd/turbo_kernels.hpp"
+
+namespace pran::coding::simd {
+namespace {
+
+struct OpsAvx512 {
+  using V = __m512;
+  static constexpr std::size_t kLanes = 16;
+  static V load(const float* p) { return _mm512_loadu_ps(p); }
+  static void store(float* p, V v) { _mm512_storeu_ps(p, v); }
+  static V add(V a, V b) { return _mm512_add_ps(a, b); }
+  static V sub(V a, V b) { return _mm512_sub_ps(a, b); }
+  static V max(V a, V b) { return _mm512_max_ps(a, b); }
+  static V neg(V a) {
+    return _mm512_castsi512_ps(_mm512_xor_si512(
+        _mm512_castps_si512(a), _mm512_set1_epi32(INT32_MIN)));
+  }
+  static V broadcast(float x) { return _mm512_set1_ps(x); }
+};
+
+}  // namespace
+
+void turbo_batch_map_pass_avx512(const float* half_sys_apriori,
+                                 const float* half_parity, const float* sys,
+                                 const float* apriori, std::size_t k,
+                                 float* beta, float* extrinsic) {
+  turbo_batch_map_pass_impl<OpsAvx512>(half_sys_apriori, half_parity, sys,
+                                       apriori, k, beta, extrinsic);
+}
+
+}  // namespace pran::coding::simd

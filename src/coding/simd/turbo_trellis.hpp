@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file turbo_trellis.hpp
+/// The 8-state RSC trellis shared by the turbo encoder, the scalar
+/// max-log-MAP reference, and every SIMD kernel: next state and parity per
+/// (state, input) plus the forced termination input per state, all
+/// computed at compile time. Plain C++ on purpose — the intrinsics live in
+/// the per-ISA kernel TUs; this header only carries the tables they index.
+
+#include <cstdint>
+
+#include "common/narrow.hpp"
+
+namespace pran::coding::simd {
+
+inline constexpr int kTurboStates = 8;
+inline constexpr int kTurboTailSteps = 3;
+
+/// One RSC step: feedback bit w (= next input to the shift register),
+/// parity bit z, next state. g0 = 1 + D^2 + D^3 (feedback),
+/// g1 = 1 + D + D^3 (parity).
+struct RscStep {
+  unsigned w;
+  unsigned z;
+  unsigned next;
+};
+
+constexpr RscStep rsc_step(unsigned state, unsigned u) {
+  const unsigned w1 = state & 1u;         // w_{t-1}
+  const unsigned w2 = (state >> 1) & 1u;  // w_{t-2}
+  const unsigned w3 = (state >> 2) & 1u;  // w_{t-3}
+  const unsigned w = u ^ w2 ^ w3;         // feedback g0 = 1 + D^2 + D^3
+  const unsigned z = w ^ w1 ^ w3;         // parity  g1 = 1 + D + D^3
+  const unsigned next = ((state << 1) | w) & 7u;
+  return RscStep{w, z, next};
+}
+
+/// Input that drives the register toward zero (termination).
+constexpr unsigned rsc_termination_input(unsigned state) {
+  const unsigned w2 = (state >> 1) & 1u;
+  const unsigned w3 = (state >> 2) & 1u;
+  return w2 ^ w3;  // makes w = 0
+}
+
+struct TurboTrellis {
+  std::uint8_t next[kTurboStates][2];
+  std::uint8_t parity[kTurboStates][2];
+  std::uint8_t term[kTurboStates];
+};
+
+constexpr TurboTrellis build_turbo_trellis() {
+  TurboTrellis t{};
+  for (unsigned s = 0; s < kTurboStates; ++s) {
+    for (unsigned u = 0; u < 2; ++u) {
+      const auto step = rsc_step(s, u);
+      t.next[s][u] = narrow_cast<std::uint8_t>(step.next);
+      t.parity[s][u] = narrow_cast<std::uint8_t>(step.z);
+    }
+    t.term[s] = narrow_cast<std::uint8_t>(rsc_termination_input(s));
+  }
+  return t;
+}
+
+inline constexpr TurboTrellis kTurboTrellis = build_turbo_trellis();
+
+/// Predecessor view of the same trellis, used by the state-axis SIMD
+/// forward pass: state `ns` is reached from pred_lo[ns] = ns >> 1 and
+/// pred_hi[ns] = (ns >> 1) | 4; pred_*_input is the input bit driven on
+/// that branch.
+struct TurboTrellisPred {
+  std::uint8_t pred_lo[kTurboStates];
+  std::uint8_t pred_hi[kTurboStates];
+  std::uint8_t pred_lo_input[kTurboStates];
+  std::uint8_t pred_hi_input[kTurboStates];
+};
+
+constexpr TurboTrellisPred build_turbo_trellis_pred() {
+  TurboTrellisPred p{};
+  for (unsigned ns = 0; ns < kTurboStates; ++ns) {
+    const unsigned lo = ns >> 1;
+    const unsigned hi = (ns >> 1) | 4u;
+    p.pred_lo[ns] = narrow_cast<std::uint8_t>(lo);
+    p.pred_hi[ns] = narrow_cast<std::uint8_t>(hi);
+    // The branch (s, u) lands on ns iff next[s][u] == ns; each of lo/hi
+    // has exactly one such input.
+    p.pred_lo_input[ns] =
+        kTurboTrellis.next[lo][0] == ns ? std::uint8_t{0} : std::uint8_t{1};
+    p.pred_hi_input[ns] =
+        kTurboTrellis.next[hi][0] == ns ? std::uint8_t{0} : std::uint8_t{1};
+  }
+  return p;
+}
+
+inline constexpr TurboTrellisPred kTurboTrellisPred =
+    build_turbo_trellis_pred();
+
+}  // namespace pran::coding::simd

@@ -1,0 +1,83 @@
+// AVX2 Viterbi ACS forward sweep. Compiled with -mavx2 only (no -mfma).
+//
+// Vectorized across the 64 trellis states: each step processes 8
+// consecutive next states per ymm. The butterfly structure makes the
+// gather free — next states 8g..8g+7 share low predecessors 4g..4g+3
+// (each used twice) and high predecessors 32+4g..32+4g+3, so one
+// unaligned load plus an in-register duplication permute fetches all 8
+// predecessor metrics.
+//
+// The compare-and-blend (not vmaxps) preserves the scalar tie rule:
+// pick1 = c1 > c0, ties keep the low predecessor. Every lane performs
+// cur[p] + combo[pattern] in scalar order, so metrics, decisions, and the
+// traceback are bit-identical to viterbi_forward_scalar.
+
+#include <immintrin.h>
+
+#include <cstring>
+#include <utility>
+
+#include "coding/simd/viterbi_kernels.hpp"
+#include "coding/simd/viterbi_tables.hpp"
+#include "common/narrow.hpp"
+
+namespace pran::coding::simd {
+
+void viterbi_forward_avx2(const double* llrs, std::size_t total_steps,
+                          float* metric, float* next_metric,
+                          std::uint8_t* decisions) {
+  // Duplicate lanes 0..3 of a load: predecessor p = base + (lane >> 1).
+  const __m256i dup_idx = _mm256_setr_epi32(0, 0, 1, 1, 2, 2, 3, 3);
+  // Combo-table gather indices per group of 8 next states.
+  __m256i patt_lo[kNumStates / 8];
+  __m256i patt_hi[kNumStates / 8];
+  for (int g = 0; g < kNumStates / 8; ++g) {
+    const int ns = g * 8;
+    patt_lo[g] = _mm256_setr_epi32(
+        viterbi_pattern_lo(ns + 0), viterbi_pattern_lo(ns + 1),
+        viterbi_pattern_lo(ns + 2), viterbi_pattern_lo(ns + 3),
+        viterbi_pattern_lo(ns + 4), viterbi_pattern_lo(ns + 5),
+        viterbi_pattern_lo(ns + 6), viterbi_pattern_lo(ns + 7));
+    patt_hi[g] = _mm256_setr_epi32(
+        viterbi_pattern_hi(ns + 0), viterbi_pattern_hi(ns + 1),
+        viterbi_pattern_hi(ns + 2), viterbi_pattern_hi(ns + 3),
+        viterbi_pattern_hi(ns + 4), viterbi_pattern_hi(ns + 5),
+        viterbi_pattern_hi(ns + 6), viterbi_pattern_hi(ns + 7));
+  }
+
+  float* cur = metric;
+  float* nxt = next_metric;
+  for (std::size_t t = 0; t < total_steps; ++t) {
+    const double* llr = llrs + kCodeRateDen * t;
+    const auto l0 = static_cast<float>(llr[0]);
+    const auto l1 = static_cast<float>(llr[1]);
+    const auto l2 = static_cast<float>(llr[2]);
+    alignas(32) float combo[8];
+    for (int p = 0; p < 8; ++p)
+      combo[p] = ((p & 1) ? -l0 : l0) + ((p & 2) ? -l1 : l1) +
+                 ((p & 4) ? -l2 : l2);
+    const __m256 combo_v = _mm256_load_ps(combo);
+
+    std::uint8_t* decision = decisions + t * (kNumStates / 8);
+    for (int g = 0; g < kNumStates / 8; ++g) {
+      // Loads may run past the 4 metrics actually used (up to cur+67 for
+      // g=7); kViterbiMetricPad covers the over-read.
+      const __m256 m_p0 = _mm256_permutevar8x32_ps(
+          _mm256_loadu_ps(cur + 4 * g), dup_idx);
+      const __m256 m_p1 = _mm256_permutevar8x32_ps(
+          _mm256_loadu_ps(cur + (kNumStates / 2) + 4 * g), dup_idx);
+      const __m256 c0 = _mm256_add_ps(
+          m_p0, _mm256_permutevar8x32_ps(combo_v, patt_lo[g]));
+      const __m256 c1 = _mm256_add_ps(
+          m_p1, _mm256_permutevar8x32_ps(combo_v, patt_hi[g]));
+      const __m256 pick = _mm256_cmp_ps(c1, c0, _CMP_GT_OQ);
+      _mm256_storeu_ps(nxt + 8 * g, _mm256_blendv_ps(c0, c1, pick));
+      decision[g] = narrow_cast<std::uint8_t>(_mm256_movemask_ps(pick));
+    }
+    std::swap(cur, nxt);
+  }
+  if (cur != metric)
+    std::memcpy(metric, cur, kNumStates * sizeof(float));
+}
+
+}  // namespace pran::coding::simd

@@ -1,0 +1,88 @@
+// AVX-512 Viterbi ACS forward sweep: 16 next states per zmm, 4 zmm ops
+// per trellis step. Compiled with -mavx512f/bw/vl/dq only (no FMA).
+//
+// Same structure and bit-exactness contract as the AVX2 kernel — compare
+// masks (not vmaxps) preserve the scalar tie rule, and every lane adds
+// cur[p] + combo[pattern] in scalar order. The 16-bit compare mask is the
+// decision bitmask for the group and is stored as two little-endian bytes
+// (x86-only code path, matching bit (ns & 7) of byte (ns >> 3)).
+
+#include <immintrin.h>
+
+#include <cstring>
+#include <utility>
+
+#include "coding/simd/viterbi_kernels.hpp"
+#include "coding/simd/viterbi_tables.hpp"
+#include "common/narrow.hpp"
+
+namespace pran::coding::simd {
+
+void viterbi_forward_avx512(const double* llrs, std::size_t total_steps,
+                            float* metric, float* next_metric,
+                            std::uint8_t* decisions) {
+  // Duplicate lanes 0..7 of a load: predecessor p = base + (lane >> 1).
+  const __m512i dup_idx = _mm512_setr_epi32(0, 0, 1, 1, 2, 2, 3, 3,  //
+                                            4, 4, 5, 5, 6, 6, 7, 7);
+  __m512i patt_lo[kNumStates / 16];
+  __m512i patt_hi[kNumStates / 16];
+  for (int g = 0; g < kNumStates / 16; ++g) {
+    const int ns = g * 16;
+    patt_lo[g] = _mm512_setr_epi32(
+        viterbi_pattern_lo(ns + 0), viterbi_pattern_lo(ns + 1),
+        viterbi_pattern_lo(ns + 2), viterbi_pattern_lo(ns + 3),
+        viterbi_pattern_lo(ns + 4), viterbi_pattern_lo(ns + 5),
+        viterbi_pattern_lo(ns + 6), viterbi_pattern_lo(ns + 7),
+        viterbi_pattern_lo(ns + 8), viterbi_pattern_lo(ns + 9),
+        viterbi_pattern_lo(ns + 10), viterbi_pattern_lo(ns + 11),
+        viterbi_pattern_lo(ns + 12), viterbi_pattern_lo(ns + 13),
+        viterbi_pattern_lo(ns + 14), viterbi_pattern_lo(ns + 15));
+    patt_hi[g] = _mm512_setr_epi32(
+        viterbi_pattern_hi(ns + 0), viterbi_pattern_hi(ns + 1),
+        viterbi_pattern_hi(ns + 2), viterbi_pattern_hi(ns + 3),
+        viterbi_pattern_hi(ns + 4), viterbi_pattern_hi(ns + 5),
+        viterbi_pattern_hi(ns + 6), viterbi_pattern_hi(ns + 7),
+        viterbi_pattern_hi(ns + 8), viterbi_pattern_hi(ns + 9),
+        viterbi_pattern_hi(ns + 10), viterbi_pattern_hi(ns + 11),
+        viterbi_pattern_hi(ns + 12), viterbi_pattern_hi(ns + 13),
+        viterbi_pattern_hi(ns + 14), viterbi_pattern_hi(ns + 15));
+  }
+
+  float* cur = metric;
+  float* nxt = next_metric;
+  for (std::size_t t = 0; t < total_steps; ++t) {
+    const double* llr = llrs + kCodeRateDen * t;
+    const auto l0 = static_cast<float>(llr[0]);
+    const auto l1 = static_cast<float>(llr[1]);
+    const auto l2 = static_cast<float>(llr[2]);
+    alignas(32) float combo[8];
+    for (int p = 0; p < 8; ++p)
+      combo[p] = ((p & 1) ? -l0 : l0) + ((p & 2) ? -l1 : l1) +
+                 ((p & 4) ? -l2 : l2);
+    const __m512 combo_v =
+        _mm512_broadcast_f32x8(_mm256_load_ps(combo));
+
+    std::uint8_t* decision = decisions + t * (kNumStates / 8);
+    for (int g = 0; g < kNumStates / 16; ++g) {
+      // The high-predecessor load runs past the 8 metrics actually used
+      // (up to cur+71 for g=3); kViterbiMetricPad covers the over-read.
+      const __m512 m_p0 = _mm512_permutexvar_ps(
+          dup_idx, _mm512_loadu_ps(cur + 8 * g));
+      const __m512 m_p1 = _mm512_permutexvar_ps(
+          dup_idx, _mm512_loadu_ps(cur + (kNumStates / 2) + 8 * g));
+      const __m512 c0 = _mm512_add_ps(
+          m_p0, _mm512_permutexvar_ps(patt_lo[g], combo_v));
+      const __m512 c1 = _mm512_add_ps(
+          m_p1, _mm512_permutexvar_ps(patt_hi[g], combo_v));
+      const __mmask16 pick = _mm512_cmp_ps_mask(c1, c0, _CMP_GT_OQ);
+      _mm512_storeu_ps(nxt + 16 * g, _mm512_mask_blend_ps(pick, c0, c1));
+      const auto bits = narrow_cast<std::uint16_t>(pick);
+      std::memcpy(decision + 2 * g, &bits, sizeof(bits));
+    }
+    std::swap(cur, nxt);
+  }
+  if (cur != metric)
+    std::memcpy(metric, cur, kNumStates * sizeof(float));
+}
+
+}  // namespace pran::coding::simd

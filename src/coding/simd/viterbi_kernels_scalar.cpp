@@ -1,0 +1,62 @@
+// Scalar Viterbi ACS forward sweep — the golden reference for the SIMD
+// tiers. Portable baseline flags only; same ordering caveats as
+// turbo_kernels_scalar.cpp.
+
+#include "coding/simd/viterbi_kernels.hpp"
+
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "coding/simd/viterbi_tables.hpp"
+#include "common/narrow.hpp"
+
+namespace pran::coding::simd {
+namespace {
+constexpr float kNegInfF = -std::numeric_limits<float>::infinity();
+}  // namespace
+
+void viterbi_forward_scalar(const double* llrs, std::size_t total_steps,
+                            float* metric, float* next_metric,
+                            std::uint8_t* decisions) {
+  float* cur = metric;
+  float* nxt = next_metric;
+  for (std::size_t t = 0; t < total_steps; ++t) {
+    const double* llr = llrs + kCodeRateDen * t;
+    // The 8 possible branch metrics for this step, indexed by the
+    // generator-output pattern (accumulated in generator order, matching
+    // the per-branch sum).
+    const auto l0 = static_cast<float>(llr[0]);
+    const auto l1 = static_cast<float>(llr[1]);
+    const auto l2 = static_cast<float>(llr[2]);
+    float combo[8];
+    for (int p = 0; p < 8; ++p)
+      combo[p] = ((p & 1) ? -l0 : l0) + ((p & 2) ? -l1 : l1) +
+                 ((p & 4) ? -l2 : l2);
+
+    // Every next state receives exactly two candidates, so `nxt` needs no
+    // -inf prefill — each entry is assigned exactly once below.
+    std::uint8_t* decision = decisions + t * (kNumStates / 8);
+    for (int group = 0; group < kNumStates / 8; ++group) {
+      unsigned bits = 0;
+      for (int lane = 0; lane < 8; ++lane) {
+        const int ns = group * 8 + lane;
+        const int p0 = ns >> 1;
+        const int p1 = (ns >> 1) | (kNumStates >> 1);
+        const float c0 = cur[p0] + combo[viterbi_pattern_lo(ns)];
+        const float c1 = cur[p1] + combo[viterbi_pattern_hi(ns)];
+        // Ties go to predecessor 0, as in the branch-by-branch
+        // formulation.
+        const bool pick1 = c1 > c0;
+        nxt[ns] = pick1 ? c1 : c0;
+        bits |= (pick1 ? 1u : 0u) << lane;
+      }
+      decision[group] = narrow_cast<std::uint8_t>(bits);
+    }
+    std::swap(cur, nxt);
+  }
+  if (cur != metric)
+    std::memcpy(metric, cur, kNumStates * sizeof(float));
+}
+
+}  // namespace pran::coding::simd

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file viterbi_tables.hpp
+/// Branch-output tables for the K=7 rate-1/3 Viterbi decoder, shared by
+/// the scalar reference and the SIMD kernels. Plain C++ — intrinsics stay
+/// in the per-ISA TUs.
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "coding/convolutional.hpp"
+#include "common/narrow.hpp"
+
+namespace pran::coding::simd {
+
+/// Encoder output sign pattern per register value `reg` in [0, 128):
+/// bit g of pattern[reg] is generator g's output. The three generator
+/// outputs admit only 8 distinct sign combinations, so each trellis step
+/// needs just 8 candidate branch metrics — computed once per step and
+/// indexed by this table, instead of 3 lookups + adds per branch.
+struct ViterbiBranchTable {
+  std::array<std::uint8_t, 2 * kNumStates> pattern;
+
+  constexpr ViterbiBranchTable() : pattern{} {
+    for (unsigned reg = 0; reg < 2 * kNumStates; ++reg) {
+      unsigned p = 0;
+      for (int g = 0; g < kCodeRateDen; ++g)
+        p |= static_cast<unsigned>(std::popcount(reg & kGenerators[g]) & 1) << g;
+      pattern[reg] = narrow_cast<std::uint8_t>(p);
+    }
+  }
+};
+
+inline constexpr ViterbiBranchTable kViterbiBranchTable{};
+
+/// Combo-table index for next state `ns` reached from its low predecessor
+/// (ns >> 1) — the pattern the ACS adds to metric[ns >> 1].
+constexpr int viterbi_pattern_lo(int ns) {
+  const unsigned b = static_cast<unsigned>(ns) & 1u;
+  const unsigned reg = (static_cast<unsigned>(ns >> 1) << 1) | b;
+  return kViterbiBranchTable.pattern[reg];
+}
+
+/// Same for the high predecessor (ns >> 1) | 32.
+constexpr int viterbi_pattern_hi(int ns) {
+  const unsigned b = static_cast<unsigned>(ns) & 1u;
+  const unsigned reg =
+      ((static_cast<unsigned>(ns >> 1) | (kNumStates >> 1)) << 1) | b;
+  return kViterbiBranchTable.pattern[reg];
+}
+
+}  // namespace pran::coding::simd

@@ -4,72 +4,27 @@
 #include <array>
 #include <bit>
 #include <cmath>
-#include <limits>
 #include <memory>
 #include <mutex>
 
+#include "coding/simd/turbo_kernels.hpp"
+#include "coding/simd/turbo_trellis.hpp"
 #include "common/check.hpp"
-
 #include "common/narrow.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace pran::coding {
 namespace {
 
-constexpr int kStates = 8;
-constexpr int kTailSteps = 3;
-constexpr float kNegInfF = -std::numeric_limits<float>::infinity();
+constexpr int kStates = simd::kTurboStates;
+constexpr int kTailSteps = simd::kTurboTailSteps;
 /// Standard extrinsic damping for max-log-MAP.
 constexpr float kExtrinsicScale = 0.75f;
 
-/// One RSC step: returns {feedback bit w (= next input to the shift
-/// register), parity bit z, next state}.
-struct RscStep {
-  unsigned w;
-  unsigned z;
-  unsigned next;
-};
-
-constexpr RscStep rsc_step(unsigned state, unsigned u) {
-  const unsigned w1 = state & 1u;         // w_{t-1}
-  const unsigned w2 = (state >> 1) & 1u;  // w_{t-2}
-  const unsigned w3 = (state >> 2) & 1u;  // w_{t-3}
-  const unsigned w = u ^ w2 ^ w3;         // feedback g0 = 1 + D^2 + D^3
-  const unsigned z = w ^ w1 ^ w3;         // parity  g1 = 1 + D + D^3
-  const unsigned next = ((state << 1) | w) & 7u;
-  return RscStep{w, z, next};
-}
-
-/// Input that drives the register toward zero (termination).
-constexpr unsigned rsc_termination_input(unsigned state) {
-  const unsigned w2 = (state >> 1) & 1u;
-  const unsigned w3 = (state >> 2) & 1u;
-  return w2 ^ w3;  // makes w = 0
-}
-
-/// The whole 8-state trellis, precomputed at compile time so the BCJR
-/// recursions are pure table walks: next state and parity per (state,
-/// input), plus the forced termination input per state.
-struct Trellis {
-  std::uint8_t next[kStates][2];
-  std::uint8_t parity[kStates][2];
-  std::uint8_t term[kStates];
-};
-
-constexpr Trellis build_trellis() {
-  Trellis t{};
-  for (unsigned s = 0; s < kStates; ++s) {
-    for (unsigned u = 0; u < 2; ++u) {
-      const auto step = rsc_step(s, u);
-      t.next[s][u] = narrow_cast<std::uint8_t>(step.next);
-      t.parity[s][u] = narrow_cast<std::uint8_t>(step.z);
-    }
-    t.term[s] = narrow_cast<std::uint8_t>(rsc_termination_input(s));
-  }
-  return t;
-}
-
-constexpr Trellis kTrellis = build_trellis();
+/// The 8-state trellis (next state / parity / termination input per
+/// state) now lives in simd/turbo_trellis.hpp, shared verbatim with the
+/// SIMD kernels so encoder and every decoder tier walk identical tables.
+constexpr const simd::TurboTrellis& kTrellis = simd::kTurboTrellis;
 
 /// Encodes one RSC stream over `input`; appends (x, z) tail pairs to
 /// `tail` while terminating.
@@ -172,86 +127,27 @@ void TurboDecoder::ensure_capacity(std::size_t k) {
   capacity_k_ = k;
 }
 
-/// Max-log-MAP pass over one constituent code.
-///
-/// `half_sys_apriori[t]` is 0.5*(systematic + a-priori) for step t (tail
-/// steps carry 0.5*tail_sys, the a-priori being zero there);
-/// `half_parity[t]` is 0.5*parity. `sys`/`apriori` are the unsummed K-entry
-/// inputs the extrinsic subtracts back out. Writes K extrinsic LLRs.
-///
-/// The backward (beta) metrics are materialized in the flat workspace
-/// buffer; the forward (alpha) recursion keeps only the live 8-entry row
-/// and fuses the posterior/extrinsic computation into the same sweep, so
-/// each trellis step is touched exactly twice with zero allocation.
-void TurboDecoder::map_pass(const float* half_sys_apriori,
-                            const float* half_parity, const float* sys,
-                            const float* apriori, std::size_t k,
-                            float* extrinsic) {
+void TurboDecoder::ensure_batch_capacity(std::size_t k, unsigned lanes) {
+  if (k <= batch_capacity_k_ && lanes <= batch_capacity_lanes_) return;
   const std::size_t steps = k + kTailSteps;
-  float* beta = beta_.data();
-
-  // Terminal condition: the trellis ends in state zero.
-  {
-    float* row = beta + steps * kStates;
-    std::fill(row, row + kStates, kNegInfF);
-    row[0] = 0.0f;
-  }
-
-  // Backward recursion. In the tail the input is forced to the
-  // termination bit, so each state has exactly one outgoing branch.
-  for (std::size_t t = steps; t-- > 0;) {
-    const float hs = half_sys_apriori[t];
-    const float hp = half_parity[t];
-    const float* next_row = beta + (t + 1) * kStates;
-    float* row = beta + t * kStates;
-    if (t >= k) {
-      for (int s = 0; s < kStates; ++s) {
-        const unsigned u = kTrellis.term[s];
-        const float g =
-            (u ? -hs : hs) + (kTrellis.parity[s][u] ? -hp : hp);
-        row[s] = next_row[kTrellis.next[s][u]] + g;
-      }
-    } else {
-#pragma GCC unroll 8
-      for (int s = 0; s < kStates; ++s) {
-        const float m0 = next_row[kTrellis.next[s][0]] + hs +
-                         (kTrellis.parity[s][0] ? -hp : hp);
-        const float m1 = next_row[kTrellis.next[s][1]] - hs +
-                         (kTrellis.parity[s][1] ? -hp : hp);
-        row[s] = std::max(m0, m1);
-      }
-    }
-  }
-
-  // Forward recursion fused with the posterior pass. Only the live alpha
-  // row is kept; the tail needs no extrinsic, so the sweep stops at K.
-  float alpha[kStates];
-  float next_alpha[kStates];
-  std::fill(alpha + 1, alpha + kStates, kNegInfF);
-  alpha[0] = 0.0f;
-  for (std::size_t t = 0; t < k; ++t) {
-    const float hs = half_sys_apriori[t];
-    const float hp = half_parity[t];
-    const float* next_row = beta + (t + 1) * kStates;
-    std::fill(next_alpha, next_alpha + kStates, kNegInfF);
-    float best0 = kNegInfF;
-    float best1 = kNegInfF;
-#pragma GCC unroll 8
-    for (int s = 0; s < kStates; ++s) {
-      const float a = alpha[s];
-      const int n0 = kTrellis.next[s][0];
-      const int n1 = kTrellis.next[s][1];
-      const float m0 = a + hs + (kTrellis.parity[s][0] ? -hp : hp);
-      const float m1 = a - hs + (kTrellis.parity[s][1] ? -hp : hp);
-      best0 = std::max(best0, m0 + next_row[n0]);
-      best1 = std::max(best1, m1 + next_row[n1]);
-      next_alpha[n0] = std::max(next_alpha[n0], m0);
-      next_alpha[n1] = std::max(next_alpha[n1], m1);
-    }
-    std::copy(next_alpha, next_alpha + kStates, alpha);
-    // posterior = log(P0/P1); extrinsic removes the direct inputs.
-    extrinsic[t] = (best0 - best1) - sys[t] - apriori[t];
-  }
+  const std::size_t w = lanes;
+  bbeta_.resize((steps + 1) * kStates * w);
+  bsys_.resize(steps * w);
+  bpar1_.resize(steps * w);
+  bpar2_.resize(steps * w);
+  bsys_int_.resize(steps * w);
+  bhalf_par1_.resize(steps * w);
+  bhalf_par2_.resize(steps * w);
+  bhalf_sys_.resize(steps * w);
+  bext1_.resize(k * w);
+  bext2_.resize(k * w);
+  bapriori2_.resize(k * w);
+  bext2_deint_.resize(k * w);
+  lane_item_.resize(w);
+  lane_iter_.resize(w);
+  lane_active_.resize(w);
+  batch_capacity_k_ = std::max(batch_capacity_k_, k);
+  batch_capacity_lanes_ = std::max(batch_capacity_lanes_, lanes);
 }
 
 const TurboResult& TurboDecoder::decode(
@@ -264,6 +160,8 @@ const TurboResult& TurboDecoder::decode(
 
   ensure_capacity(k);
   const auto& pi = cached_interleaver(k);
+  // State-axis kernel for the active tier (bit-exact across tiers).
+  const auto& kernels = simd::turbo_kernels(simd::active_isa());
 
   // Demultiplex into the flat float workspace. Layout per stream:
   // [0, k) info positions, [k, k+3) tail. Tail layout on the wire:
@@ -298,8 +196,8 @@ const TurboResult& TurboDecoder::decode(
     for (std::size_t t = 0; t < k; ++t)
       half_sys_[t] = 0.5f * (sys_[t] + ext2_deint_[t]);
     for (std::size_t t = k; t < steps; ++t) half_sys_[t] = 0.5f * sys_[t];
-    map_pass(half_sys_.data(), half_par1_.data(), sys_.data(),
-             ext2_deint_.data(), k, ext1_.data());
+    kernels.map_pass(half_sys_.data(), half_par1_.data(), sys_.data(),
+                     ext2_deint_.data(), k, beta_.data(), ext1_.data());
     for (std::size_t i = 0; i < k; ++i) ext1_[i] *= kExtrinsicScale;
 
     // Decoder 2 in interleaved order.
@@ -307,8 +205,8 @@ const TurboResult& TurboDecoder::decode(
     for (std::size_t t = 0; t < k; ++t)
       half_sys_[t] = 0.5f * (sys_int_[t] + apriori2_[t]);
     for (std::size_t t = k; t < steps; ++t) half_sys_[t] = 0.5f * sys_int_[t];
-    map_pass(half_sys_.data(), half_par2_.data(), sys_int_.data(),
-             apriori2_.data(), k, ext2_.data());
+    kernels.map_pass(half_sys_.data(), half_par2_.data(), sys_int_.data(),
+                     apriori2_.data(), k, beta_.data(), ext2_.data());
     for (std::size_t i = 0; i < k; ++i)
       ext2_deint_[pi[i]] = ext2_[i] * kExtrinsicScale;
 
@@ -326,11 +224,181 @@ const TurboResult& TurboDecoder::decode(
   return result_;
 }
 
+TurboBatchStats TurboDecoder::decode_batch(
+    std::span<TurboBatchItem> items, std::size_t k, int max_iterations,
+    const std::function<bool(std::size_t, const Bits&)>& early_stop) {
+  PRAN_REQUIRE(turbo_block_size_ok(k), "unsupported turbo block size");
+  PRAN_REQUIRE(max_iterations >= 1, "need at least one iteration");
+  for (auto& item : items) {
+    PRAN_REQUIRE(item.llrs != nullptr, "decode_batch: item without LLRs");
+    PRAN_REQUIRE(item.llrs->size() == turbo_encoded_length(k),
+                 "LLR length does not match turbo_encoded_length(k)");
+  }
+
+  const auto& kernels = simd::turbo_kernels(simd::active_isa());
+  const unsigned w = kernels.lane_width;
+  TurboBatchStats stats;
+  stats.lane_width = w;
+  if (items.empty()) return stats;
+
+  if (w == 1 || items.size() == 1) {
+    // Scalar tier (lane width 1) or a single block: the lockstep path
+    // degenerates to per-block decode.
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      auto& item = items[i];
+      std::function<bool(const Bits&)> exit_fn;
+      if (early_stop)
+        exit_fn = [&early_stop, i](const Bits& hard) {
+          return early_stop(i, hard);
+        };
+      const TurboResult& r = decode(*item.llrs, k, max_iterations, exit_fn);
+      item.info = r.info;
+      item.iterations = r.iterations;
+      item.converged = r.converged;
+      stats.map_pass_calls += 2 * static_cast<std::size_t>(r.iterations);
+    }
+    return stats;
+  }
+
+  ensure_batch_capacity(k, w);
+  const auto& pi = cached_interleaver(k);
+  const std::size_t steps = k + kTailSteps;
+  const std::size_t kw = k * w;
+  const std::size_t sw = steps * w;
+
+  // Demultiplex one block into SIMD lane `l` and reset its iteration
+  // state. Exactly the decode() demux, strided by the lane width.
+  const auto load_lane = [&](unsigned l, std::size_t item_index) {
+    const Llrs& llrs = *items[item_index].llrs;
+    for (std::size_t i = 0; i < k; ++i) {
+      bsys_[i * w + l] = static_cast<float>(llrs[i]);
+      bpar1_[i * w + l] = static_cast<float>(llrs[k + i]);
+      bpar2_[i * w + l] = static_cast<float>(llrs[2 * k + i]);
+    }
+    for (std::size_t t = 0; t < static_cast<std::size_t>(kTailSteps); ++t) {
+      bsys_[(k + t) * w + l] = static_cast<float>(llrs[3 * k + 2 * t]);
+      bpar1_[(k + t) * w + l] = static_cast<float>(llrs[3 * k + 2 * t + 1]);
+      bsys_int_[(k + t) * w + l] =
+          static_cast<float>(llrs[3 * k + 6 + 2 * t]);
+      bpar2_[(k + t) * w + l] =
+          static_cast<float>(llrs[3 * k + 6 + 2 * t + 1]);
+    }
+    for (std::size_t i = 0; i < k; ++i)
+      bsys_int_[i * w + l] = bsys_[pi[i] * w + l];
+    for (std::size_t t = 0; t < steps; ++t) {
+      bhalf_par1_[t * w + l] = 0.5f * bpar1_[t * w + l];
+      bhalf_par2_[t * w + l] = 0.5f * bpar2_[t * w + l];
+    }
+    for (std::size_t i = 0; i < k; ++i) bext2_deint_[i * w + l] = 0.0f;
+    items[item_index].info.assign(k, 0);
+    items[item_index].iterations = 0;
+    items[item_index].converged = false;
+    lane_item_[l] = item_index;
+    lane_iter_[l] = 0;
+    lane_active_[l] = 1;
+  };
+
+  // Idle lanes (batch smaller than the lane width) decode zero LLRs:
+  // finite everywhere, never read back.
+  const auto clear_lane = [&](unsigned l) {
+    for (std::size_t t = 0; t < steps; ++t) {
+      bsys_[t * w + l] = 0.0f;
+      bsys_int_[t * w + l] = 0.0f;
+      bhalf_par1_[t * w + l] = 0.0f;
+      bhalf_par2_[t * w + l] = 0.0f;
+    }
+    for (std::size_t i = 0; i < k; ++i) bext2_deint_[i * w + l] = 0.0f;
+    lane_active_[l] = 0;
+  };
+
+  std::size_t next_pending = 0;
+  std::size_t active = 0;
+  for (unsigned l = 0; l < w; ++l) {
+    if (next_pending < items.size()) {
+      load_lane(l, next_pending++);
+      ++active;
+    } else {
+      clear_lane(l);
+    }
+  }
+
+  while (active > 0) {
+    // One full turbo iteration for every lane in lockstep. The per-lane
+    // arithmetic is exactly decode()'s sequence, so each lane's outputs
+    // are bit-identical to a standalone decode of that block.
+    for (std::size_t idx = 0; idx < kw; ++idx)
+      bhalf_sys_[idx] = 0.5f * (bsys_[idx] + bext2_deint_[idx]);
+    for (std::size_t idx = kw; idx < sw; ++idx)
+      bhalf_sys_[idx] = 0.5f * bsys_[idx];
+    kernels.batch_map_pass(bhalf_sys_.data(), bhalf_par1_.data(),
+                           bsys_.data(), bext2_deint_.data(), k,
+                           bbeta_.data(), bext1_.data());
+    for (std::size_t idx = 0; idx < kw; ++idx) bext1_[idx] *= kExtrinsicScale;
+
+    for (std::size_t i = 0; i < k; ++i) {
+      const float* src = bext1_.data() + pi[i] * w;
+      float* dst = bapriori2_.data() + i * w;
+      for (unsigned l = 0; l < w; ++l) dst[l] = src[l];
+    }
+    for (std::size_t idx = 0; idx < kw; ++idx)
+      bhalf_sys_[idx] = 0.5f * (bsys_int_[idx] + bapriori2_[idx]);
+    for (std::size_t idx = kw; idx < sw; ++idx)
+      bhalf_sys_[idx] = 0.5f * bsys_int_[idx];
+    kernels.batch_map_pass(bhalf_sys_.data(), bhalf_par2_.data(),
+                           bsys_int_.data(), bapriori2_.data(), k,
+                           bbeta_.data(), bext2_.data());
+    for (std::size_t i = 0; i < k; ++i) {
+      const float* src = bext2_.data() + i * w;
+      float* dst = bext2_deint_.data() + pi[i] * w;
+      for (unsigned l = 0; l < w; ++l) dst[l] = src[l] * kExtrinsicScale;
+    }
+
+    stats.map_pass_calls += 2;
+    stats.idle_lane_iterations += w - active;
+
+    for (unsigned l = 0; l < w; ++l) {
+      if (!lane_active_[l]) continue;
+      TurboBatchItem& item = items[lane_item_[l]];
+      for (std::size_t i = 0; i < k; ++i) {
+        const float posterior =
+            bsys_[i * w + l] + bext1_[i * w + l] + bext2_deint_[i * w + l];
+        item.info[i] = posterior < 0.0f ? 1 : 0;
+      }
+      item.iterations = ++lane_iter_[l];
+      bool retire = false;
+      if (early_stop && early_stop(lane_item_[l], item.info)) {
+        item.converged = true;
+        retire = true;
+      } else if (lane_iter_[l] >= max_iterations) {
+        retire = true;
+      }
+      if (retire) {
+        if (next_pending < items.size()) {
+          load_lane(l, next_pending++);
+          ++stats.lane_refills;
+        } else {
+          lane_active_[l] = 0;
+          --active;
+        }
+      }
+    }
+  }
+  return stats;
+}
+
 TurboResult turbo_decode(const Llrs& llrs, std::size_t k, int max_iterations,
                          const std::function<bool(const Bits&)>& early_exit) {
   PRAN_SPAN("turbo_decode", static_cast<std::int64_t>(k));
   thread_local TurboDecoder decoder;
   return decoder.decode(llrs, k, max_iterations, early_exit);
+}
+
+TurboBatchStats turbo_decode_batch(
+    std::span<TurboBatchItem> items, std::size_t k, int max_iterations,
+    const std::function<bool(std::size_t, const Bits&)>& early_stop) {
+  PRAN_SPAN("turbo_decode_batch", static_cast<std::int64_t>(items.size()));
+  thread_local TurboDecoder decoder;
+  return decoder.decode_batch(items, k, max_iterations, early_stop);
 }
 
 }  // namespace pran::coding

@@ -17,8 +17,18 @@
 /// This is the decoder whose iteration count the PHY cost model charges
 /// for: E17 measures BLER versus iteration budget and the distribution of
 /// iterations-to-converge (CRC-gated early termination).
+///
+/// The constituent max-log-MAP passes dispatch to the SIMD kernels in
+/// src/coding/simd/ (scalar / AVX2 / AVX-512, picked at runtime — see
+/// simd/dispatch.hpp). Two vectorization axes: decode() runs the 8 trellis
+/// states of one codeblock across a vector register; decode_batch() runs
+/// `lane_width` same-K codeblocks in lockstep, one float lane per block,
+/// with per-lane CRC-gated early termination and lane refill. Every tier
+/// is bit-exact against the scalar reference, so results never depend on
+/// the host CPU.
 
 #include <functional>
+#include <span>
 
 #include "coding/crc.hpp"
 #include "coding/viterbi.hpp"  // Bits/Llrs aliases
@@ -48,12 +58,31 @@ struct TurboResult {
   bool converged = false;  ///< True if the early-exit predicate fired.
 };
 
+/// One codeblock in a batched decode. The caller fills `llrs`;
+/// decode_batch() fills the rest (same meaning as TurboResult —
+/// `iterations` is the per-lane count actually run, so a lane that
+/// early-terminates frees its slot for a pending block).
+struct TurboBatchItem {
+  const Llrs* llrs = nullptr;  ///< Input; length turbo_encoded_length(k).
+  Bits info;                   ///< Hard decisions.
+  int iterations = 0;          ///< Iterations this block used.
+  bool converged = false;      ///< Early-stop predicate fired.
+};
+
+/// Occupancy accounting for one decode_batch() call.
+struct TurboBatchStats {
+  unsigned lane_width = 1;     ///< SIMD lanes of the tier that ran.
+  std::size_t map_pass_calls = 0;  ///< Constituent passes launched.
+  std::size_t lane_refills = 0;    ///< Finished lanes refilled mid-flight.
+  std::size_t idle_lane_iterations = 0;  ///< Lane-iterations run empty.
+};
+
 /// Reusable max-log-MAP decoder workspace.
 ///
-/// Holds the flat float alpha/beta/extrinsic buffers and the precomputed
-/// 8-state trellis the BCJR recursions walk, so repeated decodes perform
-/// zero heap allocation once the buffers have grown to the largest K seen
-/// (the srsRAN `tdec_t` idiom). One instance per thread: decode() is not
+/// Holds the flat float alpha/beta/extrinsic buffers (structure-of-arrays
+/// for the batched path) so repeated decodes perform zero heap allocation
+/// once the buffers have grown to the largest K seen (the srsRAN `tdec_t`
+/// idiom). One instance per thread: decode()/decode_batch() are not
 /// reentrant, but distinct instances are fully independent — the parallel
 /// BLER harness keeps one per worker slot.
 class TurboDecoder {
@@ -68,12 +97,23 @@ class TurboDecoder {
                             const std::function<bool(const Bits&)>&
                                 early_exit = nullptr);
 
+  /// Decodes `items` (all block size `k`) through the lane-axis batch
+  /// kernels: lane_width blocks run in lockstep, one float lane each.
+  /// `early_stop(item_index, hard)` is evaluated per lane after every
+  /// iteration (e.g. a per-block CRC); a lane that converges — or exhausts
+  /// `max_iterations` — retires and is refilled with the next pending
+  /// block, so a long batch keeps the vector unit full even when most
+  /// blocks terminate early. Per-item outputs are bit-identical to
+  /// decode() on the same LLRs for every ISA tier.
+  TurboBatchStats decode_batch(std::span<TurboBatchItem> items,
+                               std::size_t k, int max_iterations = 8,
+                               const std::function<bool(std::size_t,
+                                                        const Bits&)>&
+                                   early_stop = nullptr);
+
  private:
   void ensure_capacity(std::size_t k);
-  /// One constituent max-log-MAP pass; see turbo.cpp for buffer layout.
-  void map_pass(const float* half_sys_apriori, const float* half_parity,
-                const float* sys, const float* apriori, std::size_t k,
-                float* extrinsic);
+  void ensure_batch_capacity(std::size_t k, unsigned lanes);
 
   std::size_t capacity_k_ = 0;
   const std::vector<std::size_t>* pi_ = nullptr;  // cached interleaver
@@ -83,6 +123,18 @@ class TurboDecoder {
   std::vector<float> half_sys_;    // per-iteration 0.5*(sys+apriori)
   std::vector<float> ext1_, ext2_, apriori2_, ext2_deint_;
   TurboResult result_;
+
+  // Batched (structure-of-arrays, lane-minor) mirrors of the above;
+  // entry for (step t, lane l) lives at [t * lane_width + l].
+  std::size_t batch_capacity_k_ = 0;
+  unsigned batch_capacity_lanes_ = 0;
+  std::vector<float> bbeta_;
+  std::vector<float> bsys_, bpar1_, bpar2_, bsys_int_;
+  std::vector<float> bhalf_par1_, bhalf_par2_, bhalf_sys_;
+  std::vector<float> bext1_, bext2_, bapriori2_, bext2_deint_;
+  std::vector<std::size_t> lane_item_;
+  std::vector<int> lane_iter_;
+  std::vector<std::uint8_t> lane_active_;
 };
 
 /// Decodes `llrs` (length turbo_encoded_length(k), same layout as the
@@ -99,5 +151,13 @@ TurboResult turbo_decode(const Llrs& llrs, std::size_t k,
                          int max_iterations = 8,
                          const std::function<bool(const Bits&)>& early_exit =
                              nullptr);
+
+/// Batched counterpart of turbo_decode(), on the same thread-local
+/// workspace. See TurboDecoder::decode_batch.
+TurboBatchStats turbo_decode_batch(std::span<TurboBatchItem> items,
+                                   std::size_t k, int max_iterations = 8,
+                                   const std::function<bool(std::size_t,
+                                                            const Bits&)>&
+                                       early_stop = nullptr);
 
 }  // namespace pran::coding

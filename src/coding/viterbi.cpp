@@ -1,12 +1,9 @@
 #include "coding/viterbi.hpp"
 
-#include <algorithm>
-#include <array>
-#include <bit>
 #include <limits>
 
+#include "coding/simd/viterbi_kernels.hpp"
 #include "common/check.hpp"
-
 #include "common/narrow.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -15,25 +12,8 @@ namespace {
 
 constexpr float kNegInfF = -std::numeric_limits<float>::infinity();
 
-/// Encoder output sign pattern per register value `reg` in [0, 128):
-/// bit k of pattern[reg] is generator k's output. The three generator
-/// outputs admit only 8 distinct sign combinations, so each trellis step
-/// needs just 8 candidate branch metrics — computed once per step and
-/// indexed by this table, instead of 3 lookups + adds per branch.
-struct BranchTable {
-  std::array<std::uint8_t, 2 * kNumStates> pattern;
-
-  constexpr BranchTable() : pattern{} {
-    for (unsigned reg = 0; reg < 2 * kNumStates; ++reg) {
-      unsigned p = 0;
-      for (int k = 0; k < kCodeRateDen; ++k)
-        p |= (std::popcount(reg & kGenerators[k]) & 1u) << k;
-      pattern[reg] = narrow_cast<std::uint8_t>(p);
-    }
-  }
-};
-
-constexpr BranchTable kBranchTable{};
+/// Decision bytes per trellis step: one bit per next state.
+constexpr std::size_t kDecisionBytes = kNumStates / 8;
 
 }  // namespace
 
@@ -44,55 +24,36 @@ const ViterbiResult& ViterbiDecoder::decode(const Llrs& llrs,
   PRAN_REQUIRE(llrs.size() == kCodeRateDen * total_steps,
                "LLR length does not match encoded_length(info_bits)");
 
-  metric_.assign(kNumStates, kNegInfF);
-  next_metric_.assign(kNumStates, kNegInfF);
+  // The pad lets SIMD kernels over-read when splatting predecessor
+  // metrics; assign() initializes it, so the reads are always defined.
+  metric_.assign(kNumStates + simd::kViterbiMetricPad, kNegInfF);
+  next_metric_.assign(kNumStates + simd::kViterbiMetricPad, kNegInfF);
   metric_[0] = 0.0f;  // encoder starts in the zero state
 
-  // decisions_[t * kNumStates + ns] = 1 if the winning predecessor is
-  // (ns >> 1) | 32.
-  if (decisions_.size() < total_steps * kNumStates)
-    decisions_.resize(total_steps * kNumStates);
+  // Bitmask decisions: bit (ns & 7) of byte (t * 8 + (ns >> 3)) is 1 if
+  // state ns's winning predecessor at step t is (ns >> 1) | 32. One bit
+  // per branch instead of a byte — 8x less traffic on the store side of
+  // the ACS loop and in the traceback working set.
+  if (decisions_.size() < total_steps * kDecisionBytes)
+    decisions_.resize(total_steps * kDecisionBytes);
 
-  float* metric = metric_.data();
-  float* next_metric = next_metric_.data();
-  for (std::size_t t = 0; t < total_steps; ++t) {
-    const double* llr = &llrs[kCodeRateDen * t];
-    // The 8 possible branch metrics for this step, indexed by the
-    // generator-output pattern (accumulated in generator order, matching
-    // the per-branch sum).
-    const auto l0 = static_cast<float>(llr[0]);
-    const auto l1 = static_cast<float>(llr[1]);
-    const auto l2 = static_cast<float>(llr[2]);
-    float combo[8];
-    for (int p = 0; p < 8; ++p)
-      combo[p] = ((p & 1) ? -l0 : l0) + ((p & 2) ? -l1 : l1) +
-                 ((p & 4) ? -l2 : l2);
-
-    std::uint8_t* decision = decisions_.data() + t * kNumStates;
-    std::fill(next_metric, next_metric + kNumStates, kNegInfF);
-    for (int ns = 0; ns < kNumStates; ++ns) {
-      const unsigned b = static_cast<unsigned>(ns) & 1u;
-      const int p0 = ns >> 1;
-      const int p1 = (ns >> 1) | (kNumStates >> 1);
-      const unsigned reg0 = (static_cast<unsigned>(p0) << 1) | b;
-      const unsigned reg1 = (static_cast<unsigned>(p1) << 1) | b;
-      const float c0 = metric[p0] + combo[kBranchTable.pattern[reg0]];
-      const float c1 = metric[p1] + combo[kBranchTable.pattern[reg1]];
-      // Ties go to predecessor 0, as in the branch-by-branch formulation.
-      const bool pick1 = c1 > c0;
-      next_metric[ns] = pick1 ? c1 : c0;
-      decision[ns] = pick1 ? 1 : 0;
-    }
-    std::swap(metric, next_metric);
-  }
+  // ACS forward sweep through the active ISA's kernel (bit-exact across
+  // tiers; final metrics land back in metric_).
+  simd::viterbi_kernels(simd::active_isa())
+      .forward(llrs.data(), total_steps, metric_.data(),
+               next_metric_.data(), decisions_.data());
 
   // Traceback from the zero state (the encoder terminates there).
-  result_.path_metric = metric[0];
+  result_.path_metric = metric_[0];
   if (inputs_.size() < total_steps) inputs_.resize(total_steps);
   int state = 0;
   for (std::size_t t = total_steps; t-- > 0;) {
     inputs_[t] = narrow_cast<std::uint8_t>(state & 1);
-    const int which = decisions_[t * kNumStates + static_cast<std::size_t>(state)];
+    const int which =
+        (decisions_[t * kDecisionBytes +
+                    static_cast<std::size_t>(state >> 3)] >>
+         (state & 7)) &
+        1;
     state = (state >> 1) | (which ? (kNumStates >> 1) : 0);
   }
   PRAN_CHECK(state == 0, "traceback did not return to the start state");
@@ -113,6 +74,16 @@ const ViterbiResult& ViterbiDecoder::decode_hard(const Bits& coded,
   return decode(hard_llrs_, info_bits);
 }
 
+void ViterbiDecoder::decode_batch(std::span<ViterbiBatchItem> items,
+                                  std::size_t info_bits) {
+  for (ViterbiBatchItem& item : items) {
+    PRAN_REQUIRE(item.llrs != nullptr, "decode_batch: item without LLRs");
+    const ViterbiResult& r = decode(*item.llrs, info_bits);
+    item.info = r.info;
+    item.path_metric = r.path_metric;
+  }
+}
+
 ViterbiResult viterbi_decode(const Llrs& llrs, std::size_t info_bits) {
   PRAN_SPAN("viterbi_decode", static_cast<std::int64_t>(info_bits));
   thread_local ViterbiDecoder decoder;
@@ -123,6 +94,13 @@ ViterbiResult viterbi_decode_hard(const Bits& coded, std::size_t info_bits) {
   PRAN_SPAN("viterbi_decode_hard", static_cast<std::int64_t>(info_bits));
   thread_local ViterbiDecoder decoder;
   return decoder.decode_hard(coded, info_bits);
+}
+
+void viterbi_decode_batch(std::span<ViterbiBatchItem> items,
+                          std::size_t info_bits) {
+  PRAN_SPAN("viterbi_decode_batch", static_cast<std::int64_t>(items.size()));
+  thread_local ViterbiDecoder decoder;
+  decoder.decode_batch(items, info_bits);
 }
 
 }  // namespace pran::coding

@@ -8,7 +8,16 @@
 /// meaning "bit 0 more likely"; a zero LLR is an erasure (used by the
 /// de-rate-matcher for punctured positions). Hard-decision decoding is the
 /// special case LLR = ±1.
+///
+/// The add-compare-select forward sweep dispatches to the SIMD kernels in
+/// src/coding/simd/ (scalar / AVX2 / AVX-512, picked at runtime),
+/// vectorized across the 64 trellis states. Every tier is bit-exact
+/// against the scalar reference. decode_batch() amortizes workspace and
+/// dispatch over a run of same-size blocks; unlike the turbo batch path it
+/// loops the single-block kernel, because 64 states already fill a vector
+/// register (see simd/viterbi_kernels.hpp).
 
+#include <span>
 #include <vector>
 
 #include "coding/convolutional.hpp"
@@ -23,13 +32,21 @@ struct ViterbiResult {
   double path_metric = 0.0;  ///< Correlation metric of the winning path.
 };
 
+/// One block in a batched Viterbi decode: the caller fills `llrs`,
+/// decode_batch() fills the outputs (same meaning as ViterbiResult).
+struct ViterbiBatchItem {
+  const Llrs* llrs = nullptr;  ///< Input; length encoded_length(info_bits).
+  Bits info;                   ///< Decoded information bits.
+  double path_metric = 0.0;    ///< Correlation metric of the winning path.
+};
+
 /// Reusable Viterbi decoder workspace.
 ///
 /// Holds the flat float path-metric buffers and the per-step decision
-/// matrix, plus a precomputed branch-output table, so repeated decodes
-/// perform zero heap allocation once the buffers have grown to the largest
-/// block seen. One instance per thread; distinct instances are fully
-/// independent (the parallel BLER harness keeps one per worker slot).
+/// bitmask matrix, so repeated decodes perform zero heap allocation once
+/// the buffers have grown to the largest block seen. One instance per
+/// thread; distinct instances are fully independent (the parallel BLER
+/// harness keeps one per worker slot).
 class ViterbiDecoder {
  public:
   ViterbiDecoder() = default;
@@ -42,9 +59,14 @@ class ViterbiDecoder {
   /// Hard-decision decode of coded bits.
   const ViterbiResult& decode_hard(const Bits& coded, std::size_t info_bits);
 
+  /// Decodes a run of same-size blocks back to back on this workspace.
+  /// Per-item outputs are bit-identical to decode() on the same LLRs.
+  void decode_batch(std::span<ViterbiBatchItem> items,
+                    std::size_t info_bits);
+
  private:
-  std::vector<float> metric_, next_metric_;   // kNumStates each
-  std::vector<std::uint8_t> decisions_;       // total_steps * kNumStates
+  std::vector<float> metric_, next_metric_;   // kNumStates + pad each
+  std::vector<std::uint8_t> decisions_;       // total_steps * 8 bitmask bytes
   std::vector<std::uint8_t> inputs_;          // traceback scratch
   Llrs hard_llrs_;                            // decode_hard scratch
   ViterbiResult result_;
@@ -60,5 +82,10 @@ ViterbiResult viterbi_decode(const Llrs& llrs, std::size_t info_bits);
 
 /// Convenience: hard-decision decode of coded bits.
 ViterbiResult viterbi_decode_hard(const Bits& coded, std::size_t info_bits);
+
+/// Batched counterpart of viterbi_decode(), on the same thread-local
+/// workspace. See ViterbiDecoder::decode_batch.
+void viterbi_decode_batch(std::span<ViterbiBatchItem> items,
+                          std::size_t info_bits);
 
 }  // namespace pran::coding

@@ -1,0 +1,15 @@
+// Lint fixture: must trip [raw-intrinsics] and nothing else.
+#include <immintrin.h>
+
+float sum8(const float* p) {
+  const __m256 v = _mm256_loadu_ps(p);
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  const __m128 s = _mm_add_ps(lo, hi);
+  return s[0] + s[1] + s[2] + s[3];
+}
+
+void scale16(float* p, float f) {
+  const __m512 v = _mm512_mul_ps(_mm512_loadu_ps(p), _mm512_set1_ps(f));
+  _mm512_storeu_ps(p, v);
+}

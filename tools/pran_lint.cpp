@@ -34,6 +34,13 @@
 //                    the metrics registry, so every number lands in the
 //                    exported snapshot instead of a stray stdout line
 //                    (tools, benches, examples and tests still print)
+//   raw-intrinsics   x86 SIMD intrinsics (_mm_*/_mm256_*/_mm512_*) or an
+//                    <immintrin.h> include outside src/coding/simd/ — the
+//                    kernel TUs are the only code built with -m flags, so
+//                    an intrinsic anywhere else either fails to compile or
+//                    silently requires a wider baseline ISA; everything
+//                    else calls through the dispatch tables in
+//                    coding/simd/turbo_kernels.hpp / viterbi_kernels.hpp
 //
 // Modes:
 //   pran-lint --root <repo>      lint src/ tools/ bench/ examples/ tests/;
@@ -493,6 +500,25 @@ void rule_adhoc_timing(const std::string& path, const std::string& code,
   }
 }
 
+void rule_raw_intrinsics(const std::string& path, const std::string& code,
+                         std::vector<Finding>& out) {
+  // The per-ISA kernel TUs (and their shared headers) are the sanctioned
+  // home of vector intrinsics; they alone get per-file -m compile flags.
+  if (path_contains(path, "src/coding/simd/")) return;
+  for (const char* prefix : {"_mm_", "_mm256_", "_mm512_", "immintrin.h"}) {
+    const std::string_view needle(prefix);
+    for (std::size_t pos = code.find(needle); pos != std::string::npos;
+         pos = code.find(needle, pos + needle.size())) {
+      out.push_back({path, line_of(code, pos), "raw-intrinsics",
+                     std::string(prefix) +
+                         " outside src/coding/simd/ — raw SIMD needs "
+                         "per-file -m flags and a CPUID guard; call the "
+                         "kernels through the dispatch tables in "
+                         "coding/simd/*_kernels.hpp instead"});
+    }
+  }
+}
+
 // ------------------------------------------------------------------ driver
 
 std::vector<Finding> lint_file(const std::string& display_path,
@@ -507,6 +533,7 @@ std::vector<Finding> lint_file(const std::string& display_path,
   rule_fault_bypass(display_path, code, findings);
   rule_fault_switch_default(display_path, code, findings);
   rule_adhoc_timing(display_path, code, findings);
+  rule_raw_intrinsics(display_path, code, findings);
   return findings;
 }
 
@@ -562,6 +589,7 @@ int run_selftest(const fs::path& dir) {
       {"bad_fault_bypass", "fault-bypass"},
       {"bad_fault_switch", "fault-switch-default"},
       {"bad_timing", "adhoc-timing"},
+      {"bad_intrinsics", "raw-intrinsics"},
   };
   int failures = 0;
   std::size_t checked = 0;
