@@ -63,6 +63,10 @@ Isa detect_active() noexcept {
 }
 
 std::atomic<int>& forced_slot() noexcept {
+  // pran-lint: allow(determinism-hazard) -- test-only force_isa() hook;
+  // production code never writes it, and the golden-equivalence suite
+  // proves every ISA tier decodes bit-identically, so the selected tier
+  // cannot change results.
   static std::atomic<int> forced{-1};  // -1 = not forced
   return forced;
 }

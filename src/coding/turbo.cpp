@@ -65,7 +65,12 @@ std::vector<std::size_t> build_interleaver(std::size_t k) {
 /// decoder thread thereafter.
 const std::vector<std::size_t>& cached_interleaver(std::size_t k) {
   PRAN_REQUIRE(turbo_block_size_ok(k), "unsupported turbo block size");
+  // pran-lint: allow(determinism-hazard) -- the mutex only serializes memo
+  // construction; it holds no run-visible state.
   static std::mutex mutex;
+  // pran-lint: allow(determinism-hazard) -- build-once memo; each entry is
+  // a pure function of k (QPP permutation), so contents are identical for
+  // every run and thread count, and entries are immutable once published.
   static std::array<std::unique_ptr<const std::vector<std::size_t>>, 8> memo;
   const auto slot =
       static_cast<std::size_t>(std::countr_zero(k)) - 6;  // k=64 -> 0

@@ -22,6 +22,10 @@
 #include <cmath>
 #include <ostream>
 
+// pran-lint: allow(layering) -- sim/time.hpp is a dependency-free leaf
+// header (just the integer-ns Time alias); Micros::to_time/from_time is
+// the one sanctioned bridge between unit types and the simulation clock,
+// and inverting the edge would put the clock below every unit consumer.
 #include "sim/time.hpp"
 
 namespace pran::units {

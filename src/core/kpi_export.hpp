@@ -9,7 +9,7 @@
 #include <string_view>
 
 #include "core/deployment.hpp"
-#include "telemetry/registry.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace pran::core {
 

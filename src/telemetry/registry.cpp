@@ -13,6 +13,10 @@
 namespace pran::telemetry {
 
 unsigned thread_index() noexcept {
+  // pran-lint: allow(determinism-hazard) -- assigns each thread a stable
+  // shard slot; which thread gets which slot varies, but snapshots sum
+  // across shards, so exported metrics stay thread-count invariant (the
+  // telemetry stress test pins this).
   static std::atomic<unsigned> next{0};
   thread_local const unsigned index =
       next.fetch_add(1, std::memory_order_relaxed);

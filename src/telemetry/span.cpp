@@ -19,9 +19,15 @@ struct LaneRef {
   unsigned lane;
 };
 
+// pran-lint: allow(determinism-hazard) -- pure memo of (collector id ->
+// lane slot); a stale entry is detected by id mismatch and rebuilt, so
+// cache state never changes what gets recorded.
 thread_local std::vector<LaneRef> t_lane_cache;
 
 std::uint64_t next_collector_id() {
+  // pran-lint: allow(determinism-hazard) -- collector identity tag used
+  // only to invalidate the lane cache above; ids never appear in exported
+  // traces or snapshots.
   static std::atomic<std::uint64_t> next{1};
   return next.fetch_add(1, std::memory_order_relaxed);
 }

@@ -17,7 +17,7 @@ struct Globals {
 // Leaked on purpose: instrumented code may run during static teardown of
 // other translation units, so the globals must outlive everything.
 Globals* globals() {
-  static Globals* g = new Globals();
+  static Globals* const g = new Globals();
   return g;
 }
 

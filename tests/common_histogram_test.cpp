@@ -1,0 +1,134 @@
+// Focused Histogram tests: bulk insertion, boundary/clamping behaviour at
+// the bin edges, CDF conventions for out-of-range mass, and rendering.
+// Complements the smoke coverage in common_stats_test.cpp.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/histogram.hpp"
+
+namespace pran {
+namespace {
+
+TEST(Histogram, AddNMatchesRepeatedAdd) {
+  Histogram bulk(0.0, 10.0, 5);
+  Histogram loop(0.0, 10.0, 5);
+  bulk.add_n(3.0, 7);
+  bulk.add_n(-1.0, 2);
+  bulk.add_n(10.0, 4);
+  for (int i = 0; i < 7; ++i) loop.add(3.0);
+  for (int i = 0; i < 2; ++i) loop.add(-1.0);
+  for (int i = 0; i < 4; ++i) loop.add(10.0);
+  EXPECT_EQ(bulk.total(), loop.total());
+  EXPECT_EQ(bulk.underflow(), loop.underflow());
+  EXPECT_EQ(bulk.overflow(), loop.overflow());
+  for (std::size_t i = 0; i < bulk.bins(); ++i)
+    EXPECT_EQ(bulk.bin_count(i), loop.bin_count(i));
+}
+
+TEST(Histogram, RangeIsHalfOpen) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);   // lo is inside
+  h.add(10.0);  // hi is not
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, OutOfRangeMassIsNeverLost) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-100.0);
+  h.add(2.0);
+  h.add(0.5);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, ValuesJustBelowHiClampToLastBin) {
+  // Floating-point rounding of (x - lo) / span * bins can land exactly on
+  // bins; the index must clamp instead of indexing one past the end.
+  Histogram h(0.0, 1.0, 3);
+  h.add(0.9999999999999999);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, BinEdgesPartitionTheRange) {
+  Histogram h(2.0, 10.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 10.0);
+  for (std::size_t i = 0; i + 1 < h.bins(); ++i)
+    EXPECT_DOUBLE_EQ(h.bin_hi(i), h.bin_lo(i + 1));
+  EXPECT_DOUBLE_EQ(h.bin_hi(0) - h.bin_lo(0), 2.0);
+}
+
+TEST(Histogram, CdfCountsUnderflowBelowEveryBin) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-1.0);  // underflow sits below bin 0 in the CDF
+  h.add(0.25);
+  h.add(0.75);
+  h.add(0.75);
+  const std::vector<double> cdf = h.cdf();
+  ASSERT_EQ(cdf.size(), 2u);
+  EXPECT_DOUBLE_EQ(cdf[0], 0.5);
+  EXPECT_DOUBLE_EQ(cdf[1], 1.0);
+}
+
+TEST(Histogram, CdfOfEmptyHistogramIsAllZero) {
+  Histogram h(0.0, 1.0, 3);
+  for (double v : h.cdf()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Histogram, CdfIsMonotone) {
+  Histogram h(0.0, 100.0, 20);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i * i % 97));
+  const std::vector<double> cdf = h.cdf();
+  for (std::size_t i = 1; i < cdf.size(); ++i) EXPECT_GE(cdf[i], cdf[i - 1]);
+}
+
+TEST(Histogram, QuantileUsesUpperEdgeConvention) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);  // a single sample in bin 0
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.0);
+}
+
+TEST(Histogram, QuantileOfAllOverflowIsHi) {
+  Histogram h(0.0, 10.0, 4);
+  h.add(99.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(Histogram, QuantileContractChecks) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW(h.quantile(0.5), ContractViolation);  // empty
+  h.add(0.5);
+  EXPECT_THROW(h.quantile(-0.1), ContractViolation);
+  EXPECT_THROW(h.quantile(1.1), ContractViolation);
+}
+
+TEST(Histogram, RenderScalesBarsToThePeakBin) {
+  Histogram h(0.0, 2.0, 2);
+  h.add_n(1.5, 4);
+  h.add(0.5);
+  const std::string out = h.render(8);
+  // Peak bin fills the full width; the 1-count bin gets a quarter of it.
+  EXPECT_NE(out.find(std::string(8, '#')), std::string::npos);
+  EXPECT_NE(out.find("## 1"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+TEST(Histogram, RenderOfEmptyHistogramHasNoBars) {
+  Histogram h(0.0, 1.0, 3);
+  const std::string out = h.render(10);
+  EXPECT_EQ(out.find('#'), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+}  // namespace
+}  // namespace pran

@@ -1,0 +1,79 @@
+// Tests for the small string helpers in common/strings.hpp: splitting and
+// joining (including empty-field behaviour), trimming, prefix checks, and
+// the human-readable bitrate/duration formatters.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/strings.hpp"
+
+namespace pran {
+namespace {
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  EXPECT_EQ(split("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("no-delim", ','), (std::vector<std::string>{"no-delim"}));
+}
+
+TEST(Strings, TrimStripsBothEnds) {
+  EXPECT_EQ(trim("  x\t\n"), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim(" \t\r\n "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("  inner space  "), "inner space");
+}
+
+TEST(Strings, StartsWithHandlesEdgeCases) {
+  EXPECT_TRUE(starts_with("abcdef", "abc"));
+  EXPECT_TRUE(starts_with("abc", "abc"));
+  EXPECT_TRUE(starts_with("abc", ""));
+  EXPECT_TRUE(starts_with("", ""));
+  EXPECT_FALSE(starts_with("abc", "abcd"));
+  EXPECT_FALSE(starts_with("abc", "b"));
+}
+
+TEST(Strings, JoinIsInverseOfSplit) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+  EXPECT_EQ(join({"", ""}, ","), ",");
+  const std::string csv = "x,,y,z";
+  EXPECT_EQ(join(split(csv, ','), ","), csv);
+}
+
+TEST(Strings, FormatBitratePicksTheLargestFittingUnit) {
+  EXPECT_EQ(format_bitrate(1.23e9), "1.23 Gbps");
+  EXPECT_EQ(format_bitrate(2.5e6), "2.50 Mbps");
+  EXPECT_EQ(format_bitrate(1e3), "1.00 kbps");
+  EXPECT_EQ(format_bitrate(999.0), "999.00 bps");
+  EXPECT_EQ(format_bitrate(0.0), "0.00 bps");
+}
+
+TEST(Strings, FormatBitrateUsesMagnitudeForNegativeRates) {
+  // The unit is chosen by |value| so a rate delta formats symmetrically.
+  EXPECT_EQ(format_bitrate(-2e6), "-2.00 Mbps");
+  EXPECT_EQ(format_bitrate(-5.0), "-5.00 bps");
+}
+
+TEST(Strings, FormatDurationPicksTheLargestFittingUnit) {
+  EXPECT_EQ(format_duration(1.5), "1.50 s");
+  EXPECT_EQ(format_duration(0.25), "250.00 ms");
+  EXPECT_EQ(format_duration(1e-3), "1.00 ms");
+  EXPECT_EQ(format_duration(2e-5), "20.00 us");
+  EXPECT_EQ(format_duration(3e-9), "3.00 ns");
+  EXPECT_EQ(format_duration(0.0), "0.00 ns");
+}
+
+TEST(Strings, FormatDurationBoundariesAreExact) {
+  EXPECT_EQ(format_duration(1.0), "1.00 s");
+  EXPECT_EQ(format_duration(1e-6), "1.00 us");
+}
+
+}  // namespace
+}  // namespace pran

@@ -1,0 +1,401 @@
+// Unit tests for the pran-lint library: tokenizer lexical hazards (raw
+// strings with parens, line continuations, digit separators), suppression
+// parsing semantics, and the whole-project passes (include cycles, orphan
+// headers, layering) on synthetic in-memory trees.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lint/include_graph.hpp"
+#include "lint/layers.hpp"
+#include "lint/suppress.hpp"
+#include "lint/tokenizer.hpp"
+
+namespace pran::lint {
+namespace {
+
+const Token* find_ident(const TokenStream& ts, std::string_view name) {
+  for (const Token& t : ts.tokens)
+    if (is_ident(t, name)) return &t;
+  return nullptr;
+}
+
+std::size_t count_kind(const TokenStream& ts, TokKind kind) {
+  std::size_t n = 0;
+  for (const Token& t : ts.tokens) n += t.kind == kind ? 1 : 0;
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+
+TEST(LintTokenizer, RawStringWithParensIsOneToken) {
+  // The body contains `)"` — the classic raw-string trap. Only the
+  // matching `)x"` may close the literal.
+  const std::string src = R"src(auto s = R"x(a )" b)x";)src";
+  const TokenStream ts = tokenize(src);
+  ASSERT_EQ(count_kind(ts, TokKind::kRawString), 1u);
+  for (const Token& t : ts.tokens) {
+    if (t.kind != TokKind::kRawString) continue;
+    EXPECT_EQ(t.text, R"src(R"x(a )" b)x")src");
+  }
+  // auto, s, =, <raw string>, ;
+  ASSERT_EQ(ts.tokens.size(), 5u);
+  EXPECT_TRUE(is_punct(ts.tokens.back(), ";"));
+}
+
+TEST(LintTokenizer, RawStringPrefixesRecognized) {
+  const std::string src = R"src(auto a = u8R"(x)"; auto b = LR"(y)";)src";
+  const TokenStream ts = tokenize(src);
+  EXPECT_EQ(count_kind(ts, TokKind::kRawString), 2u);
+  EXPECT_EQ(count_kind(ts, TokKind::kString), 0u);
+}
+
+TEST(LintTokenizer, LineContinuationKeepsPhysicalLines) {
+  const std::string src =
+      "#define TWICE(v) \\\n"
+      "  ((v) + (v))\n"
+      "int after = TWICE(2);\n";
+  const TokenStream ts = tokenize(src);
+  // The macro body is part of the directive's logical line but keeps its
+  // physical line number.
+  const Token* plus = nullptr;
+  for (const Token& t : ts.tokens)
+    if (is_punct(t, "+")) plus = &t;
+  ASSERT_NE(plus, nullptr);
+  EXPECT_EQ(plus->line, 2u);
+  EXPECT_TRUE(plus->in_directive);
+  const Token* after = find_ident(ts, "after");
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->line, 3u);
+  EXPECT_FALSE(after->in_directive);
+}
+
+TEST(LintTokenizer, DigitSeparatorsAndExponentsAreOneNumber) {
+  const TokenStream ts = tokenize("long n = 1'000'000; double d = 1.5e-3;");
+  std::vector<std::string> numbers;
+  for (const Token& t : ts.tokens)
+    if (t.kind == TokKind::kNumber) numbers.push_back(t.text);
+  ASSERT_EQ(numbers.size(), 2u);
+  EXPECT_EQ(numbers[0], "1'000'000");
+  EXPECT_EQ(numbers[1], "1.5e-3");
+  // The apostrophes must not have opened character literals.
+  EXPECT_EQ(count_kind(ts, TokKind::kChar), 0u);
+}
+
+TEST(LintTokenizer, CommentsAreKeptApartFromCode) {
+  const std::string src =
+      "// leading\n"
+      "const char* s = \"// not a comment\"; /* block */\n";
+  const TokenStream ts = tokenize(src);
+  EXPECT_EQ(ts.comments.size(), 2u);
+  EXPECT_EQ(count_kind(ts, TokKind::kComment), 0u);
+  ASSERT_EQ(count_kind(ts, TokKind::kString), 1u);
+  for (const Token& t : ts.tokens) {
+    if (t.kind == TokKind::kString) {
+      EXPECT_EQ(t.text, "\"// not a comment\"");
+    }
+  }
+}
+
+TEST(LintTokenizer, HeaderNamesOnlyInsideIncludes) {
+  const std::string src =
+      "#include <vector>\n"
+      "#include \"common/rng.hpp\"\n"
+      "bool less = 1 < 2;\n";
+  const TokenStream ts = tokenize(src);
+  std::vector<std::string> headers;
+  for (const Token& t : ts.tokens)
+    if (t.kind == TokKind::kHeaderName) headers.push_back(t.text);
+  ASSERT_EQ(headers.size(), 2u);
+  EXPECT_EQ(headers[0], "<vector>");
+  EXPECT_EQ(headers[1], "\"common/rng.hpp\"");
+}
+
+TEST(LintTokenizer, ScopeAndArrowArePunctTokens) {
+  const TokenStream ts = tokenize("a::b->c;");
+  bool saw_scope = false;
+  bool saw_arrow = false;
+  for (const Token& t : ts.tokens) {
+    saw_scope = saw_scope || is_punct(t, "::");
+    saw_arrow = saw_arrow || is_punct(t, "->");
+  }
+  EXPECT_TRUE(saw_scope);
+  EXPECT_TRUE(saw_arrow);
+}
+
+TEST(LintTokenizer, CodeLineQueries) {
+  const TokenStream ts = tokenize("int a;\n\n// only a comment\nint b;\n");
+  EXPECT_TRUE(ts.line_has_code(1));
+  EXPECT_FALSE(ts.line_has_code(2));
+  EXPECT_FALSE(ts.line_has_code(3));
+  EXPECT_TRUE(ts.line_has_code(4));
+  EXPECT_EQ(ts.next_code_line_after(1), 4u);
+  EXPECT_EQ(ts.next_code_line_after(4), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+
+SuppressionSet parse(const std::string& src, std::vector<Finding>& sink) {
+  const TokenStream ts = tokenize(src);
+  return parse_suppressions("test.cpp", ts, sink);
+}
+
+TEST(LintSuppress, TrailingSuppressionTargetsItsOwnLine) {
+  std::vector<Finding> sink;
+  const std::string src =
+      "int a = 0;  " + std::string("// pran-lint: allow(raw-rng) -- why\n");
+  const SuppressionSet set = parse(src, sink);
+  EXPECT_TRUE(sink.empty());
+  EXPECT_TRUE(set.allows("raw-rng", 1));
+  EXPECT_FALSE(set.allows("raw-thread", 1));
+  EXPECT_FALSE(set.allows("raw-rng", 2));
+}
+
+TEST(LintSuppress, OwnLineSuppressionTargetsNextCodeLine) {
+  std::vector<Finding> sink;
+  const std::string src =
+      std::string("// pran-lint: allow(raw-rng) -- reason that wraps\n") +
+      "// onto a second comment line\n"
+      "\n"
+      "int a = 0;\n";
+  const SuppressionSet set = parse(src, sink);
+  EXPECT_TRUE(sink.empty());
+  EXPECT_TRUE(set.allows("raw-rng", 4));
+  EXPECT_FALSE(set.allows("raw-rng", 1));
+}
+
+TEST(LintSuppress, ListCoversSeveralRules) {
+  std::vector<Finding> sink;
+  const std::string src =
+      "int a;  " +
+      std::string("// pran-lint: allow(raw-rng, determinism-hazard) -- r\n");
+  const SuppressionSet set = parse(src, sink);
+  EXPECT_TRUE(sink.empty());
+  EXPECT_TRUE(set.allows("raw-rng", 1));
+  EXPECT_TRUE(set.allows("determinism-hazard", 1));
+}
+
+TEST(LintSuppress, MissingReasonIsAFindingAndSuppressesNothing) {
+  std::vector<Finding> sink;
+  const std::string src =
+      std::string("// pran-lint: allow(raw-rng)\n") + "int a;\n";
+  const SuppressionSet set = parse(src, sink);
+  ASSERT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink[0].rule, "bad-suppression");
+  EXPECT_EQ(sink[0].file, "test.cpp");
+  EXPECT_FALSE(set.allows("raw-rng", 2));
+}
+
+TEST(LintSuppress, UnknownRuleIsAFinding) {
+  std::vector<Finding> sink;
+  const std::string src =
+      std::string("// pran-lint: allow(not-a-rule) -- reason\n") + "int a;\n";
+  const SuppressionSet set = parse(src, sink);
+  ASSERT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink[0].rule, "bad-suppression");
+  EXPECT_FALSE(set.allows("not-a-rule", 2));
+}
+
+TEST(LintSuppress, MarkerMustOpenTheComment) {
+  // Prose that merely mentions the syntax must neither suppress nor be
+  // reported as malformed.
+  std::vector<Finding> sink;
+  const std::string src =
+      std::string("// docs: write `pran-lint: allow(raw-rng) -- why`\n") +
+      "int a;\n";
+  const SuppressionSet set = parse(src, sink);
+  EXPECT_TRUE(sink.empty());
+  EXPECT_TRUE(set.entries.empty());
+  EXPECT_FALSE(set.allows("raw-rng", 2));
+}
+
+// ---------------------------------------------------------------------------
+// Include graph on synthetic trees
+
+ProjectFile make_file(std::string path, const std::string& src,
+                      std::vector<Finding>& sink) {
+  ProjectFile f;
+  f.path = std::move(path);
+  f.toks = tokenize(src);
+  f.sups = parse_suppressions(f.path, f.toks, sink);
+  f.includes = extract_includes(f.toks);
+  return f;
+}
+
+TEST(LintIncludeGraph, ExtractSeparatesSystemAndQuoted) {
+  const TokenStream ts =
+      tokenize("#include <vector>\n#include \"a/b.hpp\"\n");
+  const std::vector<IncludeRef> refs = extract_includes(ts);
+  ASSERT_EQ(refs.size(), 2u);
+  EXPECT_TRUE(refs[0].system);
+  EXPECT_EQ(refs[0].target, "vector");
+  EXPECT_EQ(refs[0].line, 1u);
+  EXPECT_FALSE(refs[1].system);
+  EXPECT_EQ(refs[1].target, "a/b.hpp");
+  EXPECT_EQ(refs[1].line, 2u);
+}
+
+TEST(LintIncludeGraph, DetectsHeaderCycle) {
+  std::vector<Finding> sink;
+  std::vector<ProjectFile> files;
+  files.push_back(
+      make_file("src/a/x.hpp", "#include \"a/y.hpp\"\n", sink));
+  files.push_back(
+      make_file("src/a/y.hpp", "#include \"a/z.hpp\"\n", sink));
+  files.push_back(
+      make_file("src/a/z.hpp", "#include \"a/x.hpp\"\n", sink));
+  files.push_back(
+      make_file("src/a/main.cpp", "#include \"a/x.hpp\"\n", sink));
+  ASSERT_TRUE(sink.empty());
+  const IncludeGraph graph(files);
+  std::vector<Finding> out;
+  graph.find_cycles(out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule, "include-cycle");
+  // The message spells the whole cycle path.
+  EXPECT_NE(out[0].message.find("src/a/x.hpp"), std::string::npos);
+  EXPECT_NE(out[0].message.find("src/a/y.hpp"), std::string::npos);
+  EXPECT_NE(out[0].message.find("src/a/z.hpp"), std::string::npos);
+}
+
+TEST(LintIncludeGraph, DiamondIsNotACycle) {
+  std::vector<Finding> sink;
+  std::vector<ProjectFile> files;
+  files.push_back(make_file(
+      "src/a/top.hpp", "#include \"a/l.hpp\"\n#include \"a/r.hpp\"\n", sink));
+  files.push_back(
+      make_file("src/a/l.hpp", "#include \"a/base.hpp\"\n", sink));
+  files.push_back(
+      make_file("src/a/r.hpp", "#include \"a/base.hpp\"\n", sink));
+  files.push_back(make_file("src/a/base.hpp", "int base();\n", sink));
+  const IncludeGraph graph(files);
+  std::vector<Finding> out;
+  graph.find_cycles(out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(LintIncludeGraph, FlagsOrphanSrcHeadersOnly) {
+  std::vector<Finding> sink;
+  std::vector<ProjectFile> files;
+  files.push_back(make_file("src/m/used.hpp", "int used();\n", sink));
+  files.push_back(make_file("src/m/unused.hpp", "int unused_fn();\n", sink));
+  files.push_back(
+      make_file("src/m/main.cpp", "#include \"m/used.hpp\"\n", sink));
+  // A tool header with no includers is not an orphan — the rule guards
+  // src/ only.
+  files.push_back(make_file("tools/helper.hpp", "int helper();\n", sink));
+  const IncludeGraph graph(files);
+  std::vector<Finding> out;
+  graph.orphan_headers(out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule, "orphan-header");
+  EXPECT_EQ(out[0].file, "src/m/unused.hpp");
+  EXPECT_EQ(out[0].line, 1u);
+}
+
+TEST(LintIncludeGraph, ResolvesSameDirectoryFallback) {
+  std::vector<Finding> sink;
+  std::vector<ProjectFile> files;
+  files.push_back(make_file("bench/guard.hpp", "int g();\n", sink));
+  files.push_back(
+      make_file("bench/run.cpp", "#include \"guard.hpp\"\n", sink));
+  const IncludeGraph graph(files);
+  EXPECT_EQ(graph.resolve(1, "guard.hpp"), 0);
+  EXPECT_EQ(graph.resolve(1, "no/such/file.hpp"), -1);
+}
+
+// ---------------------------------------------------------------------------
+// Layering
+
+TEST(LintLayers, ParsesModulesAndPrivateHeaders) {
+  LayerSpec spec;
+  std::string error;
+  const std::string text =
+      "# comment\n"
+      "common:\n"
+      "sim: common\n"
+      "private: sim/detail.hpp\n";
+  ASSERT_TRUE(parse_layers(text, spec, error)) << error;
+  EXPECT_EQ(spec.order, (std::vector<std::string>{"common", "sim"}));
+  EXPECT_EQ(spec.allowed.at("sim").count("common"), 1u);
+  EXPECT_EQ(spec.private_headers.count("sim/detail.hpp"), 1u);
+}
+
+TEST(LintLayers, ParseRejectsMalformedSpecs) {
+  LayerSpec spec;
+  std::string error;
+  EXPECT_FALSE(parse_layers("sim: common\n", spec, error));  // undeclared dep
+  EXPECT_NE(error.find("common"), std::string::npos);
+  spec = {};
+  EXPECT_FALSE(parse_layers("common:\ncommon:\n", spec, error));  // duplicate
+  spec = {};
+  EXPECT_FALSE(parse_layers("common\n", spec, error));  // missing colon
+}
+
+TEST(LintLayers, FlagsUndeclaredEdge) {
+  LayerSpec spec;
+  std::string error;
+  ASSERT_TRUE(parse_layers("common:\nsim: common\n", spec, error)) << error;
+  std::vector<Finding> sink;
+  std::vector<ProjectFile> files;
+  // sim -> common is declared; common -> sim is the backwards edge.
+  files.push_back(
+      make_file("src/sim/ok.hpp", "#include \"common/x.hpp\"\n", sink));
+  files.push_back(
+      make_file("src/common/x.hpp", "#include \"sim/ok.hpp\"\n", sink));
+  std::vector<Finding> out;
+  check_layering(spec, files, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule, "layering");
+  EXPECT_EQ(out[0].file, "src/common/x.hpp");
+  EXPECT_EQ(out[0].line, 1u);
+}
+
+TEST(LintLayers, PrivateHeadersOnlyInsideOwningModule) {
+  LayerSpec spec;
+  std::string error;
+  const std::string text =
+      "common:\n"
+      "telemetry: common\n"
+      "coding: common telemetry\n"
+      "private: telemetry/registry.hpp\n";
+  ASSERT_TRUE(parse_layers(text, spec, error)) << error;
+  std::vector<Finding> sink;
+  std::vector<ProjectFile> files;
+  files.push_back(make_file("src/telemetry/registry.hpp", "int r();\n", sink));
+  // Same-module include of the private header is fine...
+  files.push_back(make_file("src/telemetry/facade.hpp",
+                            "#include \"telemetry/registry.hpp\"\n", sink));
+  // ...but a cross-module include is not, even though coding -> telemetry
+  // is a declared edge.
+  files.push_back(make_file("src/coding/dec.hpp",
+                            "#include \"telemetry/registry.hpp\"\n", sink));
+  std::vector<Finding> out;
+  check_layering(spec, files, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule, "layering");
+  EXPECT_EQ(out[0].file, "src/coding/dec.hpp");
+  EXPECT_NE(out[0].message.find("private"), std::string::npos);
+}
+
+TEST(LintLayers, UndeclaredModuleIsAnError) {
+  LayerSpec spec;
+  std::string error;
+  ASSERT_TRUE(parse_layers("common:\n", spec, error)) << error;
+  std::vector<Finding> sink;
+  std::vector<ProjectFile> files;
+  files.push_back(make_file("src/rogue/x.hpp", "int x();\n", sink));
+  std::vector<Finding> out;
+  check_layering(spec, files, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule, "layering");
+  EXPECT_EQ(out[0].line, 1u);
+  EXPECT_NE(out[0].message.find("rogue"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pran::lint

@@ -1,0 +1,343 @@
+#include "lint/driver.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "lint/include_graph.hpp"
+#include "lint/layers.hpp"
+#include "lint/rules.hpp"
+#include "lint/suppress.hpp"
+#include "lint/tokenizer.hpp"
+
+namespace fs = std::filesystem;
+
+namespace pran::lint {
+
+namespace {
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool lintable(const fs::path& p) {
+  const auto ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+/// One analyzed file plus the findings its per-file pass produced.
+struct Analyzed {
+  ProjectFile file;
+  std::vector<Finding> findings;
+};
+
+Analyzed analyze_file(const std::string& display, const std::string& content) {
+  Analyzed a;
+  a.file.path = display;
+  a.file.toks = tokenize(content);
+  a.file.sups = parse_suppressions(display, a.file.toks, a.findings);
+  a.file.includes = extract_includes(a.file.toks);
+  run_file_rules(display, a.file.toks, a.findings);
+  return a;
+}
+
+/// Applies the per-file suppression sets: a finding on a suppressed
+/// (file, line, rule) is dropped. [bad-suppression] findings are never
+/// suppressible — a broken suppression must stay visible.
+void filter_suppressed(const std::vector<ProjectFile>& files,
+                       std::vector<Finding>& findings) {
+  std::map<std::string, const SuppressionSet*> by_path;
+  for (const ProjectFile& f : files) by_path[f.path] = &f.sups;
+  findings.erase(
+      std::remove_if(findings.begin(), findings.end(),
+                     [&](const Finding& f) {
+                       if (f.rule == "bad-suppression") return false;
+                       const auto it = by_path.find(f.file);
+                       return it != by_path.end() &&
+                              it->second->allows(f.rule, f.line);
+                     }),
+      findings.end());
+}
+
+/// Runs layering + include-cycle + orphan-header over analyzed files.
+/// `layers_path` may not exist for synthetic fixture trees without a
+/// layering case; src/ trees without a spec are a configuration error.
+bool project_pass(const std::vector<ProjectFile>& files,
+                  const fs::path& layers_path,
+                  std::vector<Finding>& findings, std::string& error) {
+  const bool has_src = std::any_of(
+      files.begin(), files.end(),
+      [](const ProjectFile& f) { return f.path.rfind("src/", 0) == 0; });
+  if (fs::exists(layers_path)) {
+    LayerSpec spec;
+    if (!parse_layers(read_file(layers_path), spec, error)) return false;
+    check_layering(spec, files, findings);
+  } else if (has_src) {
+    error = "missing layer spec " + layers_path.generic_string() +
+            " — the module DAG must be declared for src/";
+    return false;
+  }
+  const IncludeGraph graph(files);
+  graph.find_cycles(findings);
+  graph.orphan_headers(findings);
+  return true;
+}
+
+struct TreeResult {
+  std::vector<Finding> findings;
+  std::size_t files_scanned = 0;
+  bool config_error = false;
+};
+
+/// Collects, analyzes (in parallel) and lints everything under `root`.
+/// `subdirs` empty means "all of root".
+TreeResult lint_tree(const fs::path& root,
+                     const std::vector<std::string>& subdirs,
+                     const fs::path& layers_path, unsigned threads) {
+  TreeResult result;
+  std::vector<fs::path> paths;
+  std::vector<std::string> displays;
+  const auto add_dir = [&](const fs::path& dir) {
+    if (!fs::exists(dir)) return;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file() || !lintable(entry.path())) continue;
+      const std::string display =
+          fs::relative(entry.path(), root).generic_string();
+      if (display.find("lint_fixtures") != std::string::npos) continue;
+      if (display.find("units_compile_fail") != std::string::npos) continue;
+      paths.push_back(entry.path());
+      displays.push_back(display);
+    }
+  };
+  if (subdirs.empty()) {
+    add_dir(root);
+  } else {
+    for (const auto& sub : subdirs) add_dir(root / sub);
+  }
+  // Deterministic order regardless of directory iteration order.
+  std::vector<std::size_t> order(paths.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return displays[a] < displays[b];
+  });
+
+  std::vector<Analyzed> analyzed(paths.size());
+  pran::parallel_for_each(
+      threads == 0 ? pran::ThreadPool::default_threads() : threads,
+      order.size(), [&](unsigned, std::size_t i) {
+        const std::size_t at = order[i];
+        analyzed[i] = analyze_file(displays[at], read_file(paths[at]));
+      });
+
+  std::vector<ProjectFile> files;
+  files.reserve(analyzed.size());
+  for (Analyzed& a : analyzed) {
+    result.findings.insert(result.findings.end(), a.findings.begin(),
+                           a.findings.end());
+    files.push_back(std::move(a.file));
+  }
+  result.files_scanned = files.size();
+
+  std::string error;
+  if (!project_pass(files, layers_path, result.findings, error)) {
+    std::fprintf(stderr, "pran-lint: %s\n", error.c_str());
+    result.config_error = true;
+    return result;
+  }
+  filter_suppressed(files, result.findings);
+  std::sort(result.findings.begin(), result.findings.end());
+  return result;
+}
+
+void write_output(const std::string& text, const std::string& out_path) {
+  if (out_path.empty()) {
+    std::fputs(text.c_str(), stdout);
+    return;
+  }
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  out << text;
+}
+
+}  // namespace
+
+int run_tree(const Options& opts) {
+  const std::vector<std::string> subdirs{"src", "tools", "bench", "examples",
+                                         "tests"};
+  const TreeResult result =
+      lint_tree(opts.root, subdirs, opts.root / "tools" / "lint" / "layers.txt",
+                opts.threads);
+  if (result.config_error) return 2;
+  const auto& findings = result.findings;
+  switch (opts.format) {
+    case Format::kText:
+      for (const auto& f : findings)
+        std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
+                     f.rule.c_str(), f.message.c_str());
+      break;
+    case Format::kJson:
+      write_output(render_json(findings, result.files_scanned),
+                   opts.out_path);
+      break;
+    case Format::kSarif:
+      write_output(render_sarif(findings), opts.out_path);
+      break;
+    case Format::kGithub:
+      write_output(render_github(findings), opts.out_path);
+      break;
+  }
+  // The summary goes to stdout in text/github mode, stderr otherwise so
+  // machine output on stdout stays parseable.
+  const std::string summary =
+      "pran-lint: " + std::to_string(result.files_scanned) + " file(s), " +
+      std::to_string(findings.size()) + " finding(s)\n";
+  if (opts.format == Format::kText || opts.format == Format::kGithub)
+    std::fputs(summary.c_str(), stdout);
+  else
+    std::fputs(summary.c_str(), stderr);
+  return findings.empty() ? 0 : 1;
+}
+
+namespace {
+
+struct Expectation {
+  const char* stem_prefix;
+  const char* rule;
+  bool directory;
+};
+
+constexpr Expectation kExpectations[] = {
+    {"bad_thread", "raw-thread", false},
+    {"bad_rng", "raw-rng", false},
+    {"bad_narrow", "narrowing-cast", false},
+    {"bad_check_msg", "check-message", false},
+    {"bad_unit_param", "unit-param", false},
+    {"bad_fault_bypass", "fault-bypass", false},
+    {"bad_fault_switch", "fault-switch-default", false},
+    {"bad_timing", "adhoc-timing", false},
+    {"bad_intrinsics", "raw-intrinsics", false},
+    {"bad_determinism", "determinism-hazard", false},
+    {"bad_suppression", "bad-suppression", false},
+    {"bad_layering", "layering", true},
+    {"bad_include_cycle", "include-cycle", true},
+    {"bad_orphan_header", "orphan-header", true},
+};
+
+/// Longest-prefix match so bad_suppression does not fall into a shorter
+/// bucket and new fixtures can refine old names.
+const Expectation* match_expectation(const std::string& stem) {
+  const Expectation* best = nullptr;
+  for (const Expectation& e : kExpectations) {
+    if (stem.rfind(e.stem_prefix, 0) != 0) continue;
+    if (best == nullptr ||
+        std::string_view(e.stem_prefix).size() >
+            std::string_view(best->stem_prefix).size())
+      best = &e;
+  }
+  return best;
+}
+
+int check_fixture(const std::string& name, const std::string& expected_rule,
+                  const std::vector<Finding>& findings) {
+  const bool fired =
+      std::any_of(findings.begin(), findings.end(),
+                  [&](const Finding& f) { return f.rule == expected_rule; });
+  const bool others =
+      std::any_of(findings.begin(), findings.end(),
+                  [&](const Finding& f) { return f.rule != expected_rule; });
+  if (fired && !others) return 0;
+  std::fprintf(stderr,
+               "SELFTEST FAIL: %s expected only rule [%s]; got %zu "
+               "finding(s):\n",
+               name.c_str(), expected_rule.c_str(), findings.size());
+  for (const auto& f : findings)
+    std::fprintf(stderr, "  %s:%zu [%s] %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.message.c_str());
+  return 1;
+}
+
+}  // namespace
+
+/// Fixture contract: bad_<tag>.* (file) or bad_<tag>/ (directory, for the
+/// whole-project rules) must trip the rule <tag> names at least once and
+/// no other rule; good*.* must trip none. Every rule in the catalog must
+/// be covered by at least one fixture.
+int run_selftest(const fs::path& dir) {
+  int failures = 0;
+  std::size_t checked = 0;
+  std::set<std::string> rules_covered;
+
+  std::vector<fs::path> entries;
+  for (const auto& entry : fs::directory_iterator(dir))
+    entries.push_back(entry.path());
+  std::sort(entries.begin(), entries.end());
+
+  for (const fs::path& p : entries) {
+    const std::string stem = p.stem().string();
+    if (fs::is_directory(p)) {
+      const Expectation* e = match_expectation(stem);
+      if (e == nullptr || !e->directory) continue;
+      const TreeResult r = lint_tree(p, {}, p / "layers.txt", 1);
+      ++checked;
+      if (r.config_error) {
+        ++failures;
+        std::fprintf(stderr, "SELFTEST FAIL: %s: configuration error\n",
+                     stem.c_str());
+        continue;
+      }
+      failures += check_fixture(stem, e->rule, r.findings);
+      rules_covered.insert(e->rule);
+      continue;
+    }
+    if (!fs::is_regular_file(p) || !lintable(p)) continue;
+    // Fixtures lint under a fake src/ prefix so src-scoped rules fire.
+    const std::string display = "src/lint_fixture/" + p.filename().string();
+    Analyzed a = analyze_file(display, read_file(p));
+    std::vector<ProjectFile> one;
+    one.push_back(std::move(a.file));
+    filter_suppressed(one, a.findings);
+    ++checked;
+    if (stem.rfind("good", 0) == 0) {
+      if (!a.findings.empty()) {
+        ++failures;
+        std::fprintf(stderr, "SELFTEST FAIL: %s should be clean but got:\n",
+                     p.filename().string().c_str());
+        for (const auto& f : a.findings)
+          std::fprintf(stderr, "  line %zu [%s] %s\n", f.line,
+                       f.rule.c_str(), f.message.c_str());
+      }
+      continue;
+    }
+    const Expectation* e = match_expectation(stem);
+    if (e == nullptr || e->directory) {
+      ++failures;
+      std::fprintf(stderr, "SELFTEST FAIL: unknown fixture %s\n",
+                   p.filename().string().c_str());
+      continue;
+    }
+    failures += check_fixture(p.filename().string(), e->rule, a.findings);
+    rules_covered.insert(e->rule);
+  }
+
+  for (const Expectation& e : kExpectations) {
+    if (rules_covered.count(e.rule) == 0) {
+      ++failures;
+      std::fprintf(stderr, "SELFTEST FAIL: no fixture covers rule [%s]\n",
+                   e.rule);
+    }
+  }
+  if (failures == 0)
+    std::printf("pran-lint selftest: %zu fixture(s), all %zu rules fire\n",
+                checked, std::size(kExpectations));
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace pran::lint

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file driver.hpp
+/// The pran-lint entry points. `run_tree` lints the repo: per-file token
+/// rules run in parallel on the common/parallel pool (one file per work
+/// item, results merged in deterministic file order), then the
+/// whole-project pass (layering vs tools/lint/layers.txt, include
+/// cycles, orphan headers) runs over the assembled include graph.
+/// `run_selftest` proves every rule still fires: one bad_* fixture file
+/// (or, for project rules, one bad_* fixture directory) per rule must
+/// trip exactly its rule, good* fixtures must trip nothing.
+
+#include <filesystem>
+#include <string>
+
+#include "lint/findings.hpp"
+
+namespace pran::lint {
+
+struct Options {
+  std::filesystem::path root;
+  Format format = Format::kText;
+  std::string out_path;  // empty = stdout
+  unsigned threads = 0;  // 0 = hardware default
+};
+
+/// Lints the tree; returns the process exit code (0 clean, 1 findings,
+/// 2 usage/config error).
+int run_tree(const Options& opts);
+
+/// Runs the fixture suite; returns 0 when every fixture behaves.
+int run_selftest(const std::filesystem::path& dir);
+
+}  // namespace pran::lint

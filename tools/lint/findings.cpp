@@ -1,0 +1,146 @@
+#include "lint/findings.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "common/narrow.hpp"
+#include "lint/rules.hpp"
+
+namespace pran::lint {
+
+bool parse_format(const std::string& name, Format& out) {
+  if (name == "text") {
+    out = Format::kText;
+  } else if (name == "json") {
+    out = Format::kJson;
+  } else if (name == "sarif") {
+    out = Format::kSarif;
+  } else if (name == "github") {
+    out = Format::kGithub;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (pran::narrow_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(pran::narrow_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string render_json(const std::vector<Finding>& findings,
+                        std::size_t files_scanned) {
+  std::string out = "{\n  \"tool\": \"pran-lint\",\n  \"files\": " +
+                    std::to_string(files_scanned) + ",\n  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"file\": \"" + json_escape(f.file) +
+           "\", \"line\": " + std::to_string(f.line) + ", \"rule\": \"" +
+           json_escape(f.rule) + "\", \"message\": \"" +
+           json_escape(f.message) + "\"}";
+  }
+  out += findings.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+std::string render_sarif(const std::vector<Finding>& findings) {
+  // Only rules that actually fired get result objects, but the full
+  // catalog ships in tool.driver.rules so code-scanning UIs can show the
+  // rule summary for any finding.
+  std::string out =
+      "{\n"
+      "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"pran-lint\",\n"
+      "          \"rules\": [";
+  const auto& catalog = rule_catalog();
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "            {\"id\": \"" + json_escape(catalog[i].id) +
+           "\", \"shortDescription\": {\"text\": \"" +
+           json_escape(catalog[i].summary) + "\"}}";
+  }
+  out +=
+      "\n          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "        {\"ruleId\": \"" + json_escape(f.rule) +
+           "\", \"level\": \"error\", \"message\": {\"text\": \"" +
+           json_escape(f.message) +
+           "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \"" +
+           json_escape(f.file) + "\"}, \"region\": {\"startLine\": " +
+           std::to_string(f.line) + "}}}]}";
+  }
+  out += findings.empty() ? "]\n" : "\n      ]\n";
+  out +=
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+std::string render_github(const std::vector<Finding>& findings) {
+  // GitHub workflow commands: each line becomes an inline PR annotation.
+  // The message must be single-line; %, \r, \n need command escaping.
+  std::string out;
+  for (const Finding& f : findings) {
+    std::string msg = "[" + f.rule + "] " + f.message;
+    std::string escaped;
+    escaped.reserve(msg.size());
+    for (char c : msg) {
+      if (c == '%')
+        escaped += "%25";
+      else if (c == '\r')
+        escaped += "%0D";
+      else if (c == '\n')
+        escaped += "%0A";
+      else
+        escaped += c;
+    }
+    out += "::error file=" + f.file + ",line=" + std::to_string(f.line) +
+           "::" + escaped + "\n";
+  }
+  return out;
+}
+
+}  // namespace pran::lint

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file findings.hpp
+/// The lint result type and its renderers. One `Finding` is one rule
+/// violation anchored to a file:line. Renderers cover the human path
+/// (text), machine consumers (json), CI code-scanning upload (SARIF
+/// 2.1.0), and GitHub PR annotations (workflow `::error` commands).
+
+#include <cstddef>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace pran::lint {
+
+struct Finding {
+  std::string file;      // repo-relative, generic separators
+  std::size_t line = 0;  // 1-based
+  std::string rule;      // rule id, e.g. "layering"
+  std::string message;
+};
+
+inline bool operator<(const Finding& a, const Finding& b) {
+  return std::tie(a.file, a.line, a.rule, a.message) <
+         std::tie(b.file, b.line, b.rule, b.message);
+}
+
+enum class Format { kText, kJson, kSarif, kGithub };
+
+/// Parses "text" / "json" / "sarif" / "github"; returns false on anything
+/// else.
+bool parse_format(const std::string& name, Format& out);
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string json_escape(const std::string& s);
+
+/// Renders the findings in the machine formats. `files_scanned` feeds the
+/// summary objects. Rules present in the findings are described in the
+/// SARIF tool.driver.rules array via rule_catalog().
+std::string render_json(const std::vector<Finding>& findings,
+                        std::size_t files_scanned);
+std::string render_sarif(const std::vector<Finding>& findings);
+std::string render_github(const std::vector<Finding>& findings);
+
+}  // namespace pran::lint

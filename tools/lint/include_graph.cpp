@@ -1,0 +1,163 @@
+#include "lint/include_graph.hpp"
+
+#include <algorithm>
+
+#include "common/narrow.hpp"
+
+namespace pran::lint {
+
+namespace {
+
+bool is_header(const std::string& path) {
+  return path.ends_with(".hpp") || path.ends_with(".h");
+}
+
+std::string dir_of(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string{} : path.substr(0, slash);
+}
+
+/// Lexically normalizes "a/./b" and "a/x/../b" segments.
+std::string normalize(const std::string& path) {
+  std::vector<std::string> parts;
+  std::size_t pos = 0;
+  while (pos <= path.size()) {
+    const std::size_t slash = std::min(path.find('/', pos), path.size());
+    const std::string seg = path.substr(pos, slash - pos);
+    pos = slash + 1;
+    if (seg.empty() || seg == ".") continue;
+    if (seg == ".." && !parts.empty() && parts.back() != "..") {
+      parts.pop_back();
+      continue;
+    }
+    parts.push_back(seg);
+  }
+  std::string out;
+  for (const auto& seg : parts) {
+    if (!out.empty()) out += '/';
+    out += seg;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<IncludeRef> extract_includes(const TokenStream& toks) {
+  std::vector<IncludeRef> out;
+  const auto& t = toks.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!t[i].in_directive || !is_ident(t[i], "include")) continue;
+    if (i == 0 || !is_punct(t[i - 1], "#")) continue;
+    const Token& h = t[i + 1];
+    if (h.kind != TokKind::kHeaderName || h.text.size() < 2) continue;
+    IncludeRef ref;
+    ref.system = h.text.front() == '<';
+    ref.target = h.text.substr(1, h.text.size() - 2);
+    ref.line = h.line;
+    out.push_back(std::move(ref));
+  }
+  return out;
+}
+
+IncludeGraph::IncludeGraph(const std::vector<ProjectFile>& files)
+    : files_(files) {
+  for (std::size_t i = 0; i < files.size(); ++i)
+    index_[files[i].path] = pran::narrow_cast<int>(i);
+  edges_.resize(files.size());
+  in_degree_.assign(files.size(), 0);
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    for (const IncludeRef& ref : files[i].includes) {
+      if (ref.system) continue;
+      const int to = resolve(i, ref.target);
+      if (to < 0 || static_cast<std::size_t>(to) == i) continue;
+      edges_[i].push_back({to, ref.line});
+      ++in_degree_[static_cast<std::size_t>(to)];
+    }
+  }
+}
+
+int IncludeGraph::resolve(std::size_t from, const std::string& target) const {
+  // Quoted includes in this repo are rooted at src/ (every target adds
+  // src/ to the include path); tools add tools/, and bench/examples use
+  // same-directory includes (bench_guard.hpp).
+  const std::string candidates[] = {
+      normalize("src/" + target),
+      normalize("tools/" + target),
+      normalize(dir_of(files_[from].path) + "/" + target),
+      normalize(target),
+  };
+  for (const std::string& c : candidates) {
+    const auto it = index_.find(c);
+    if (it != index_.end()) return it->second;
+  }
+  return -1;
+}
+
+void IncludeGraph::find_cycles(std::vector<Finding>& out) const {
+  // Iterative DFS over header nodes; a back edge to a node on the current
+  // stack closes a cycle. Each back edge is reported once, with the cycle
+  // path spelled out, anchored at the include line that closes it.
+  enum : unsigned char { kWhite, kGrey, kBlack };
+  std::vector<unsigned char> color(files_.size(), kWhite);
+  std::vector<int> stack_pos(files_.size(), -1);
+  std::vector<int> path;
+
+  struct Frame {
+    std::size_t node;
+    std::size_t next_edge;
+  };
+
+  for (std::size_t start = 0; start < files_.size(); ++start) {
+    if (color[start] != kWhite || !is_header(files_[start].path)) continue;
+    std::vector<Frame> frames{{start, 0}};
+    color[start] = kGrey;
+    stack_pos[start] = 0;
+    path.assign(1, pran::narrow_cast<int>(start));
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto& es = edges_[f.node];
+      bool descended = false;
+      while (f.next_edge < es.size()) {
+        const Edge e = es[f.next_edge++];
+        const auto to = static_cast<std::size_t>(e.to);
+        if (!is_header(files_[to].path)) continue;
+        if (color[to] == kGrey) {
+          std::string cycle;
+          for (std::size_t p = static_cast<std::size_t>(stack_pos[to]);
+               p < path.size(); ++p)
+            cycle += files_[static_cast<std::size_t>(path[p])].path + " -> ";
+          cycle += files_[to].path;
+          out.push_back({files_[f.node].path, e.line, "include-cycle",
+                         "include cycle: " + cycle});
+          continue;
+        }
+        if (color[to] == kWhite) {
+          color[to] = kGrey;
+          stack_pos[to] = pran::narrow_cast<int>(path.size());
+          path.push_back(e.to);
+          frames.push_back({to, 0});
+          descended = true;
+          break;
+        }
+      }
+      if (descended) continue;
+      color[f.node] = kBlack;
+      stack_pos[f.node] = -1;
+      path.pop_back();
+      frames.pop_back();
+    }
+  }
+}
+
+void IncludeGraph::orphan_headers(std::vector<Finding>& out) const {
+  for (std::size_t i = 0; i < files_.size(); ++i) {
+    const std::string& p = files_[i].path;
+    if (!is_header(p) || p.rfind("src/", 0) != 0) continue;
+    if (in_degree_[i] != 0) continue;
+    out.push_back({p, 1, "orphan-header",
+                   "header is never included by any TU, tool, bench or "
+                   "test — wire it in or delete it"});
+  }
+}
+
+}  // namespace pran::lint

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file include_graph.hpp
+/// Whole-project include analysis: extraction of `#include` directives
+/// from token streams, quoted-include resolution against the repo layout
+/// (quoted paths are rooted at src/, with tools/ and same-directory
+/// fallbacks), cycle detection across headers, and orphan-header
+/// detection (a header under src/ that no TU, tool, bench or test ever
+/// includes is dead weight or a missing-wiring bug).
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/findings.hpp"
+#include "lint/suppress.hpp"
+#include "lint/tokenizer.hpp"
+
+namespace pran::lint {
+
+struct IncludeRef {
+  std::string target;    // spelled path, quotes/brackets removed
+  std::size_t line = 0;
+  bool system = false;   // <...> include
+};
+
+std::vector<IncludeRef> extract_includes(const TokenStream& toks);
+
+/// One fully analyzed file, the unit the project-level rules consume.
+struct ProjectFile {
+  std::string path;  // repo-relative, generic separators
+  TokenStream toks;
+  SuppressionSet sups;
+  std::vector<IncludeRef> includes;
+};
+
+class IncludeGraph {
+ public:
+  explicit IncludeGraph(const std::vector<ProjectFile>& files);
+
+  /// Reports each back edge that closes a header cycle, with the full
+  /// cycle path in the message.
+  void find_cycles(std::vector<Finding>& out) const;
+
+  /// Reports headers under src/ with no incoming include edge.
+  void orphan_headers(std::vector<Finding>& out) const;
+
+  /// Index of the file a quoted include resolves to, or -1 when it does
+  /// not name a file in the project (e.g. a system header).
+  int resolve(std::size_t from, const std::string& target) const;
+
+ private:
+  struct Edge {
+    int to;
+    std::size_t line;
+  };
+
+  const std::vector<ProjectFile>& files_;
+  std::map<std::string, int> index_;
+  std::vector<std::vector<Edge>> edges_;   // quoted, resolved
+  std::vector<std::size_t> in_degree_;
+};
+
+}  // namespace pran::lint

@@ -1,0 +1,139 @@
+#include "lint/layers.hpp"
+
+#include <cctype>
+
+#include "common/narrow.hpp"
+
+namespace pran::lint {
+
+namespace {
+
+std::vector<std::string> split_ws(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (std::isspace(pran::narrow_cast<unsigned char>(c))) {
+      if (!cur.empty()) out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+/// First path component of a src-relative include target ("telemetry" for
+/// "telemetry/registry.hpp"); empty when the target has no directory.
+std::string module_of_target(const std::string& target) {
+  const std::size_t slash = target.find('/');
+  return slash == std::string::npos ? std::string{} : target.substr(0, slash);
+}
+
+/// Module of a repo-relative src file path ("src/coding/turbo.cpp" ->
+/// "coding"); empty for files directly under src/ or outside it.
+std::string module_of_file(const std::string& path) {
+  if (path.rfind("src/", 0) != 0) return {};
+  const std::size_t begin = 4;
+  const std::size_t slash = path.find('/', begin);
+  if (slash == std::string::npos) return {};
+  return path.substr(begin, slash - begin);
+}
+
+}  // namespace
+
+bool parse_layers(const std::string& text, LayerSpec& out,
+                  std::string& error) {
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = std::min(text.find('\n', pos), text.size());
+    std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const std::vector<std::string> words = split_ws(line);
+    if (words.empty()) continue;
+    std::string head = words.front();
+    if (head.back() != ':') {
+      error = "layers.txt:" + std::to_string(line_no) +
+              ": expected `module:` at line start, got `" + head + "`";
+      return false;
+    }
+    head.pop_back();
+    if (head.empty()) {
+      error = "layers.txt:" + std::to_string(line_no) + ": empty module name";
+      return false;
+    }
+    std::vector<std::string> rest(words.begin() + 1, words.end());
+    if (head == "private") {
+      out.private_headers.insert(rest.begin(), rest.end());
+      continue;
+    }
+    if (out.allowed.count(head) != 0) {
+      error = "layers.txt:" + std::to_string(line_no) +
+              ": module `" + head + "` declared twice";
+      return false;
+    }
+    out.allowed[head] = std::set<std::string>(rest.begin(), rest.end());
+    out.order.push_back(head);
+  }
+  // Every name on the right-hand side must itself be a declared module.
+  for (const auto& [mod, deps] : out.allowed) {
+    for (const auto& dep : deps) {
+      if (out.allowed.count(dep) == 0) {
+        error = "layers.txt: module `" + mod + "` allows unknown module `" +
+                dep + "`";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void check_layering(const LayerSpec& spec,
+                    const std::vector<ProjectFile>& files,
+                    std::vector<Finding>& out) {
+  for (const ProjectFile& f : files) {
+    const std::string module = module_of_file(f.path);
+    if (module.empty()) continue;  // layering governs src/<module>/ only
+    const auto allowed = spec.allowed.find(module);
+    if (allowed == spec.allowed.end()) {
+      out.push_back({f.path, 1, "layering",
+                     "module `" + module +
+                         "` is not declared in tools/lint/layers.txt — "
+                         "give it a position in the DAG"});
+      continue;
+    }
+    for (const IncludeRef& ref : f.includes) {
+      if (ref.system) continue;
+      const std::string dep = module_of_target(ref.target);
+      if (dep.empty() || dep == module) continue;
+      if (spec.allowed.count(dep) == 0) continue;  // not a src module
+      if (spec.private_headers.count(ref.target) != 0) {
+        out.push_back({f.path, ref.line, "layering",
+                       ref.target + " is private to " + dep +
+                           "/ — include the module's facade header "
+                           "instead"});
+        continue;
+      }
+      if (allowed->second.count(dep) == 0) {
+        out.push_back({f.path, ref.line, "layering",
+                       "`" + module + "` may not include `" + dep +
+                           "` (edge not in tools/lint/layers.txt — the "
+                           "DAG reads " + module + ": " +
+                           [&] {
+                             std::string deps;
+                             for (const auto& d : allowed->second)
+                               deps += deps.empty() ? d : " " + d;
+                             return deps.empty() ? std::string("<nothing>")
+                                                 : deps;
+                           }() +
+                           ")"});
+      }
+    }
+  }
+}
+
+}  // namespace pran::lint

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file layers.hpp
+/// The architecture-layering rule. The module DAG under src/ is declared
+/// in a checked-in spec (tools/lint/layers.txt):
+///
+///     # module: modules it may include (direct edges only)
+///     common:
+///     sim: common
+///     telemetry: common sim
+///     ...
+///     private: telemetry/registry.hpp telemetry/span.hpp
+///
+/// Every `#include` in src/<module>/ that reaches into another module is
+/// checked against the declared edge set; an undeclared (backwards or
+/// sideways) edge is an error, as is any include of a `private:` header
+/// from outside its owning module. Modules missing from the spec are
+/// errors too — a new top-level directory must take a position in the
+/// DAG before it can ship.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/findings.hpp"
+#include "lint/include_graph.hpp"
+
+namespace pran::lint {
+
+struct LayerSpec {
+  /// module -> modules it may directly include (itself always allowed).
+  std::map<std::string, std::set<std::string>> allowed;
+  /// src-relative header paths only their own module may include.
+  std::set<std::string> private_headers;
+  /// Declaration order, for diagnostics and docs.
+  std::vector<std::string> order;
+};
+
+/// Parses the layers.txt format. Returns false and sets `error` on a
+/// malformed line or an allowed-module name that is never declared.
+bool parse_layers(const std::string& text, LayerSpec& out,
+                  std::string& error);
+
+/// Checks every src/ file's quoted includes against the spec.
+void check_layering(const LayerSpec& spec,
+                    const std::vector<ProjectFile>& files,
+                    std::vector<Finding>& out);
+
+}  // namespace pran::lint

@@ -1,0 +1,85 @@
+// pran-lint — the project's own static-analysis pass (v2).
+//
+// A dependency-light, token-aware linter (no libclang): a real C++
+// tokenizer (tools/lint/tokenizer.*) feeds per-file rules, and an
+// include-graph pass checks the whole-project invariants — the module
+// layering DAG declared in tools/lint/layers.txt, include cycles, and
+// orphan headers. See tools/lint/rules.cpp for the rule catalog and
+// DESIGN.md §12 for the architecture and the suppression policy.
+//
+// Modes:
+//   pran-lint --root <repo> [--format=text|json|sarif|github]
+//             [--out <file>] [--threads <n>]
+//       lint src/ tools/ bench/ examples/ tests/; exit 1 on any finding
+//   pran-lint --selftest <dir>
+//       run the fixture suite: every rule must fire on its bad_* fixture
+//       (file or directory) and only there; good* fixtures stay clean
+//   pran-lint --list-rules
+//       print the rule catalog
+//
+// Both gate modes run under ctest (see tools/CMakeLists.txt); CI also
+// runs --format=github (PR annotations) and --format=sarif (artifact).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "lint/driver.hpp"
+#include "lint/rules.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: pran-lint --root <repo-root> [--format=text|json|sarif|github]"
+      " [--out <file>] [--threads <n>]\n"
+      "       pran-lint --selftest <fixture-dir>\n"
+      "       pran-lint --list-rules\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pran::lint;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  Options opts;
+  std::string selftest_dir;
+  bool have_root = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    std::string arg = args[i];
+    std::string value;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg.resize(eq);
+    }
+    const auto next = [&]() -> std::string {
+      if (!value.empty() || eq != std::string::npos) return value;
+      return i + 1 < args.size() ? args[++i] : std::string{};
+    };
+    if (arg == "--root") {
+      opts.root = next();
+      have_root = true;
+    } else if (arg == "--selftest") {
+      selftest_dir = next();
+    } else if (arg == "--format") {
+      if (!parse_format(next(), opts.format)) return usage();
+    } else if (arg == "--out") {
+      opts.out_path = next();
+    } else if (arg == "--threads") {
+      opts.threads = static_cast<unsigned>(std::atoi(next().c_str()));
+    } else if (arg == "--list-rules") {
+      for (const auto& r : rule_catalog())
+        std::printf("%-22s %s\n", r.id, r.summary);
+      return 0;
+    } else {
+      return usage();
+    }
+  }
+  if (!selftest_dir.empty()) return run_selftest(selftest_dir);
+  if (have_root) return run_tree(opts);
+  return usage();
+}

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file rules.hpp
+/// The per-file lint rules and the rule catalog. Per-file rules see one
+/// tokenized file at a time; the whole-project rules (layering, include
+/// cycles, orphan headers) live in layers.hpp / include_graph.hpp but are
+/// registered in the same catalog so suppressions and SARIF metadata
+/// cover every rule uniformly.
+
+#include <string>
+#include <vector>
+
+#include "lint/findings.hpp"
+#include "lint/tokenizer.hpp"
+
+namespace pran::lint {
+
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// Every rule pran-lint knows, per-file and whole-project, in stable
+/// display order. Suppression comments may only name ids listed here.
+const std::vector<RuleInfo>& rule_catalog();
+
+/// True when `id` names a rule in the catalog.
+bool known_rule(const std::string& id);
+
+/// Runs all per-file rules over one tokenized file. `path` is the
+/// repo-relative display path (rules scope themselves by path prefix).
+void run_file_rules(const std::string& path, const TokenStream& toks,
+                    std::vector<Finding>& out);
+
+}  // namespace pran::lint

@@ -1,0 +1,114 @@
+#include "lint/suppress.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/narrow.hpp"
+#include "lint/rules.hpp"
+
+namespace pran::lint {
+
+namespace {
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(pran::narrow_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(pran::narrow_cast<unsigned char>(s[e - 1])))
+    --e;
+  return std::string(s.substr(b, e - b));
+}
+
+/// Strips the comment framing: leading // or /* (and trailing */).
+std::string comment_body(const std::string& text) {
+  std::string_view v = text;
+  if (v.rfind("//", 0) == 0) {
+    v.remove_prefix(2);
+    while (!v.empty() && v.front() == '/') v.remove_prefix(1);  // ///
+  } else if (v.rfind("/*", 0) == 0) {
+    v.remove_prefix(2);
+    if (v.size() >= 2 && v.substr(v.size() - 2) == "*/")
+      v.remove_suffix(2);
+  }
+  return trim(v);
+}
+
+constexpr std::string_view kMarker = "pran-lint:";
+
+}  // namespace
+
+bool SuppressionSet::allows(const std::string& rule, std::size_t line) const {
+  return std::any_of(entries.begin(), entries.end(),
+                     [&](const Suppression& s) {
+                       return s.target_line == line &&
+                              std::find(s.rules.begin(), s.rules.end(),
+                                        rule) != s.rules.end();
+                     });
+}
+
+SuppressionSet parse_suppressions(const std::string& path,
+                                  const TokenStream& toks,
+                                  std::vector<Finding>& out) {
+  SuppressionSet set;
+  for (const Token& c : toks.comments) {
+    const std::string body = comment_body(c.text);
+    if (body.rfind(kMarker, 0) != 0) continue;
+    const auto bad = [&](const std::string& why) {
+      out.push_back({path, c.line, "bad-suppression",
+                     why + "; the accepted shape is `pran-lint: "
+                           "allow(<rule>) -- <reason>` and a malformed "
+                           "suppression suppresses nothing"});
+    };
+    std::string rest = trim(std::string_view(body).substr(kMarker.size()));
+    if (rest.rfind("allow", 0) != 0) {
+      bad("suppression must use allow(...)");
+      continue;
+    }
+    rest = trim(std::string_view(rest).substr(5));
+    if (rest.empty() || rest.front() != '(') {
+      bad("expected '(' after allow");
+      continue;
+    }
+    const std::size_t close = rest.find(')');
+    if (close == std::string::npos) {
+      bad("unterminated allow(...) rule list");
+      continue;
+    }
+    Suppression sup;
+    sup.comment_line = c.line;
+    // Rule list: comma-separated ids.
+    std::string list = rest.substr(1, close - 1);
+    bool rules_ok = true;
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+      const std::size_t comma = std::min(list.find(',', pos), list.size());
+      const std::string id = trim(std::string_view(list).substr(pos, comma - pos));
+      pos = comma + 1;
+      if (id.empty()) continue;
+      if (!known_rule(id)) {
+        bad("unknown rule `" + id + "` in allow()");
+        rules_ok = false;
+        break;
+      }
+      sup.rules.push_back(id);
+    }
+    if (!rules_ok) continue;
+    if (sup.rules.empty()) {
+      bad("allow() names no rule");
+      continue;
+    }
+    // Mandatory reason after `--`.
+    const std::string tail = trim(std::string_view(rest).substr(close + 1));
+    if (tail.rfind("--", 0) != 0 || trim(std::string_view(tail).substr(2)).empty()) {
+      bad("suppression is missing its `-- <reason>`");
+      continue;
+    }
+    sup.target_line = toks.line_has_code(c.line)
+                          ? c.line
+                          : toks.next_code_line_after(c.line);
+    set.entries.push_back(std::move(sup));
+  }
+  return set;
+}
+
+}  // namespace pran::lint

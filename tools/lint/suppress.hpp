@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file suppress.hpp
+/// Inline lint suppressions. The accepted shape (the marker must open the
+/// comment, so prose that merely *mentions* the syntax never parses):
+///
+///     <code>;  // pran-lint: allow(rule-id[, rule-id...]) -- reason text
+///
+/// A suppression on a line with code targets that line; a suppression on
+/// a line of its own targets the next line holding code (so it can sit
+/// above a long declaration). The reason after `--` is mandatory and each
+/// named rule must exist — a violation of either is itself a finding
+/// ([bad-suppression]) and the malformed entry suppresses nothing, so a
+/// typo can never silently disable a rule.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/findings.hpp"
+#include "lint/tokenizer.hpp"
+
+namespace pran::lint {
+
+struct Suppression {
+  std::size_t comment_line = 0;
+  std::size_t target_line = 0;  // 0 = targets nothing (e.g. trailing EOF)
+  std::vector<std::string> rules;
+};
+
+struct SuppressionSet {
+  std::vector<Suppression> entries;
+
+  bool allows(const std::string& rule, std::size_t line) const;
+};
+
+/// Scans the comment tokens for suppressions. Malformed suppressions are
+/// appended to `out` as [bad-suppression] findings and excluded from the
+/// returned set.
+SuppressionSet parse_suppressions(const std::string& path,
+                                  const TokenStream& toks,
+                                  std::vector<Finding>& out);
+
+}  // namespace pran::lint

@@ -1,0 +1,296 @@
+#include "lint/tokenizer.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/narrow.hpp"
+
+namespace pran::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(pran::narrow_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(pran::narrow_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_digit(char c) {
+  return std::isdigit(pran::narrow_cast<unsigned char>(c));
+}
+
+bool string_prefix(const std::string& id) {
+  return id == "L" || id == "u" || id == "U" || id == "u8";
+}
+
+bool raw_string_prefix(const std::string& id) {
+  return id == "R" || id == "LR" || id == "uR" || id == "UR" || id == "u8R";
+}
+
+/// Phase-2 splice: removes backslash-newline pairs while keeping a
+/// per-character physical line map, so tokens lexed from the spliced text
+/// still report the line they started on in the file.
+struct Spliced {
+  std::string text;
+  std::vector<std::size_t> line;  // physical line of text[i]
+};
+
+Spliced splice(const std::string& src) {
+  Spliced out;
+  out.text.reserve(src.size());
+  out.line.reserve(src.size());
+  std::size_t line = 1;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    if (c == '\\') {
+      std::size_t j = i + 1;
+      if (j < src.size() && src[j] == '\r') ++j;
+      if (j < src.size() && src[j] == '\n') {
+        ++line;
+        i = j;
+        continue;
+      }
+    }
+    out.text += c;
+    out.line.push_back(line);
+    if (c == '\n') ++line;
+  }
+  return out;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const Spliced& sp) : s_(sp.text), lines_(sp.line) {}
+
+  TokenStream run() {
+    while (i_ < s_.size()) step();
+    finish();
+    return std::move(ts_);
+  }
+
+ private:
+  void step() {
+    const char c = s_[i_];
+    const char next = i_ + 1 < s_.size() ? s_[i_ + 1] : '\0';
+    if (c == '\n') {
+      in_directive_ = false;
+      expect_header_ = false;
+      at_bol_ = true;
+      ++i_;
+      return;
+    }
+    if (std::isspace(pran::narrow_cast<unsigned char>(c))) {
+      ++i_;
+      return;
+    }
+    if (c == '/' && next == '/') {
+      lex_line_comment();
+      return;
+    }
+    if (c == '/' && next == '*') {
+      lex_block_comment();
+      return;
+    }
+    if (c == '#' && at_bol_) {
+      in_directive_ = true;
+      at_bol_ = false;
+      emit(TokKind::kPunct, i_, i_ + 1);
+      ++i_;
+      return;
+    }
+    at_bol_ = false;
+    if (expect_header_ && (c == '<' || c == '"')) {
+      lex_header_name(c);
+      return;
+    }
+    if (ident_start(c)) {
+      lex_ident_or_literal();
+      return;
+    }
+    if (is_digit(c) || (c == '.' && is_digit(next))) {
+      lex_number();
+      return;
+    }
+    if (c == '"') {
+      lex_string(i_);
+      return;
+    }
+    if (c == '\'') {
+      lex_char(i_);
+      return;
+    }
+    lex_punct();
+  }
+
+  void lex_line_comment() {
+    const std::size_t begin = i_;
+    while (i_ < s_.size() && s_[i_] != '\n') ++i_;
+    push_comment(begin, i_);
+  }
+
+  void lex_block_comment() {
+    const std::size_t begin = i_;
+    i_ += 2;
+    while (i_ + 1 < s_.size() && !(s_[i_] == '*' && s_[i_ + 1] == '/')) ++i_;
+    i_ = std::min(s_.size(), i_ + 2);
+    push_comment(begin, i_);
+  }
+
+  void lex_header_name(char open) {
+    const char close = open == '<' ? '>' : '"';
+    const std::size_t begin = i_;
+    ++i_;
+    while (i_ < s_.size() && s_[i_] != close && s_[i_] != '\n') ++i_;
+    if (i_ < s_.size() && s_[i_] == close) ++i_;
+    emit(TokKind::kHeaderName, begin, i_);
+    expect_header_ = false;
+  }
+
+  void lex_ident_or_literal() {
+    const std::size_t begin = i_;
+    while (i_ < s_.size() && ident_char(s_[i_])) ++i_;
+    const std::string id = s_.substr(begin, i_ - begin);
+    const char next = i_ < s_.size() ? s_[i_] : '\0';
+    if (next == '"' && raw_string_prefix(id)) {
+      lex_raw_string(begin);
+      return;
+    }
+    if (next == '"' && string_prefix(id)) {
+      lex_string(begin);
+      return;
+    }
+    if (next == '\'' && string_prefix(id)) {
+      lex_char(begin);
+      return;
+    }
+    emit(TokKind::kIdent, begin, i_);
+    // `#include` / `#include_next`: the next `<...>` or `"..."` is a
+    // header-name, not an expression or string literal.
+    if (in_directive_ && (id == "include" || id == "include_next") &&
+        !ts_.tokens.empty() && ts_.tokens.size() >= 2 &&
+        is_punct(ts_.tokens[ts_.tokens.size() - 2], "#"))
+      expect_header_ = true;
+  }
+
+  /// pp-number: digits, identifier chars, dots, digit separators, and
+  /// signs directly after an exponent letter.
+  void lex_number() {
+    const std::size_t begin = i_;
+    ++i_;
+    while (i_ < s_.size()) {
+      const char c = s_[i_];
+      if (ident_char(c) || c == '.') {
+        ++i_;
+      } else if (c == '\'' && i_ + 1 < s_.size() && ident_char(s_[i_ + 1])) {
+        i_ += 2;
+      } else if ((c == '+' || c == '-') &&
+                 (s_[i_ - 1] == 'e' || s_[i_ - 1] == 'E' ||
+                  s_[i_ - 1] == 'p' || s_[i_ - 1] == 'P')) {
+        ++i_;
+      } else {
+        break;
+      }
+    }
+    emit(TokKind::kNumber, begin, i_);
+  }
+
+  void lex_string(std::size_t begin) {
+    // i_ sits on the opening quote (prefix, if any, starts at `begin`).
+    ++i_;
+    while (i_ < s_.size() && s_[i_] != '"' && s_[i_] != '\n') {
+      if (s_[i_] == '\\' && i_ + 1 < s_.size()) ++i_;
+      ++i_;
+    }
+    if (i_ < s_.size() && s_[i_] == '"') ++i_;
+    emit(TokKind::kString, begin, i_);
+  }
+
+  void lex_char(std::size_t begin) {
+    ++i_;
+    while (i_ < s_.size() && s_[i_] != '\'' && s_[i_] != '\n') {
+      if (s_[i_] == '\\' && i_ + 1 < s_.size()) ++i_;
+      ++i_;
+    }
+    if (i_ < s_.size() && s_[i_] == '\'') ++i_;
+    emit(TokKind::kChar, begin, i_);
+  }
+
+  void lex_raw_string(std::size_t begin) {
+    // i_ sits on the quote after the R-prefix: R"delim( ... )delim"
+    ++i_;
+    std::string delim;
+    while (i_ < s_.size() && s_[i_] != '(') delim += s_[i_++];
+    const std::string close = ")" + delim + "\"";
+    const std::size_t body = i_ < s_.size() ? i_ + 1 : i_;
+    const std::size_t at = s_.find(close, body);
+    i_ = at == std::string::npos ? s_.size() : at + close.size();
+    emit(TokKind::kRawString, begin, i_);
+  }
+
+  void lex_punct() {
+    const std::size_t begin = i_;
+    const char c = s_[i_];
+    const char next = i_ + 1 < s_.size() ? s_[i_ + 1] : '\0';
+    if ((c == ':' && next == ':') || (c == '-' && next == '>'))
+      i_ += 2;
+    else
+      ++i_;
+    emit(TokKind::kPunct, begin, i_);
+  }
+
+  void emit(TokKind kind, std::size_t begin, std::size_t end) {
+    Token t;
+    t.kind = kind;
+    t.text = s_.substr(begin, end - begin);
+    t.line = lines_[begin];
+    t.in_directive = in_directive_;
+    ts_.tokens.push_back(std::move(t));
+  }
+
+  void push_comment(std::size_t begin, std::size_t end) {
+    Token t;
+    t.kind = TokKind::kComment;
+    t.text = s_.substr(begin, end - begin);
+    t.line = lines_[begin];
+    t.in_directive = in_directive_;
+    ts_.comments.push_back(std::move(t));
+  }
+
+  void finish() {
+    ts_.code_lines.reserve(ts_.tokens.size());
+    for (const Token& t : ts_.tokens) ts_.code_lines.push_back(t.line);
+    std::sort(ts_.code_lines.begin(), ts_.code_lines.end());
+    ts_.code_lines.erase(
+        std::unique(ts_.code_lines.begin(), ts_.code_lines.end()),
+        ts_.code_lines.end());
+  }
+
+  const std::string& s_;
+  const std::vector<std::size_t>& lines_;
+  std::size_t i_ = 0;
+  bool at_bol_ = true;
+  bool in_directive_ = false;
+  bool expect_header_ = false;
+  TokenStream ts_;
+};
+
+}  // namespace
+
+bool TokenStream::line_has_code(std::size_t line) const {
+  return std::binary_search(code_lines.begin(), code_lines.end(), line);
+}
+
+std::size_t TokenStream::next_code_line_after(std::size_t line) const {
+  const auto it =
+      std::upper_bound(code_lines.begin(), code_lines.end(), line);
+  return it == code_lines.end() ? 0 : *it;
+}
+
+TokenStream tokenize(const std::string& src) {
+  const Spliced sp = splice(src);
+  return Lexer(sp).run();
+}
+
+}  // namespace pran::lint

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file tokenizer.hpp
+/// A small C++ lexer for pran-lint. It is not a compiler front end: it
+/// produces the token classes the lint rules care about — identifiers,
+/// numbers, string/char/raw-string literals, header-names inside
+/// preprocessor includes, punctuation, and comments — with correct
+/// handling of the lexical hazards that used to be re-solved (badly)
+/// inside every regex rule:
+///
+///   * line continuations (backslash-newline) are spliced before lexing,
+///     so a multi-line `#define` is one logical directive and tokens keep
+///     their physical line numbers;
+///   * raw strings `R"delim( ... )delim"` (with any delimiter, including
+///     parens in the body) are one token;
+///   * digit separators (`1'000'000`) do not open a character literal;
+///   * comments are kept as tokens (the suppression parser reads them)
+///     but excluded from the code-token stream the rules see.
+///
+/// Everything downstream (rules, include extraction, suppressions) works
+/// on `TokenStream`, so comment/string false positives are impossible by
+/// construction instead of per-rule skipped.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pran::lint {
+
+enum class TokKind {
+  kIdent,       // identifiers and keywords
+  kNumber,      // pp-numbers (incl. digit separators, exponents)
+  kString,      // "..." with optional L/u/U/u8 prefix
+  kChar,        // '...' with optional prefix
+  kRawString,   // R"delim(...)delim" with optional prefix
+  kHeaderName,  // <...> or "..." in a #include directive
+  kPunct,       // operators/punctuation; `::` and `->` are single tokens
+  kComment,     // // or /* */, only present in TokenStream::comments
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;           // exact source spelling (continuations spliced)
+  std::size_t line = 0;       // 1-based physical line of the token start
+  bool in_directive = false;  // token belongs to a preprocessor logical line
+};
+
+struct TokenStream {
+  std::vector<Token> tokens;    // code tokens, comments excluded
+  std::vector<Token> comments;  // comment tokens, in source order
+
+  /// Sorted unique physical lines on which at least one code token starts.
+  std::vector<std::size_t> code_lines;
+
+  bool line_has_code(std::size_t line) const;
+  /// First code line strictly after `line`, or 0 when none.
+  std::size_t next_code_line_after(std::size_t line) const;
+};
+
+TokenStream tokenize(const std::string& src);
+
+// Convenience predicates used throughout the rules.
+inline bool is_ident(const Token& t, std::string_view s) {
+  return t.kind == TokKind::kIdent && t.text == s;
+}
+inline bool is_punct(const Token& t, std::string_view s) {
+  return t.kind == TokKind::kPunct && t.text == s;
+}
+
+}  // namespace pran::lint

@@ -1,0 +1,40 @@
+// Lint fixture: must trip [determinism-hazard] and nothing else.
+#include <cstddef>
+
+namespace fixture {
+
+// Namespace-scope mutable static: invisible coupling between runs.
+static std::size_t call_count = 0;
+
+std::size_t bump() {
+  // Function-local mutable static: result depends on call history.
+  static std::size_t hits = 0;
+  call_count += 1;
+  return ++hits;
+}
+
+long wall_seed() {
+  // Wall-clock seeding breaks run reproducibility.
+  return time(nullptr);
+}
+
+unsigned hardware_seed();
+unsigned entropy() {
+  // std::random_device is nondeterministic by design.
+  std::random_device rd;
+  return rd();
+}
+
+// These must NOT fire: const statics, class statics, and the sanctioned
+// per-worker workspace pattern (function-local thread_local).
+static const int kTableSize = 64;
+struct Counter {
+  static int shared_default;
+  static int reset_all();
+};
+int scratch() {
+  thread_local int workspace = 0;
+  return ++workspace;
+}
+
+}  // namespace fixture

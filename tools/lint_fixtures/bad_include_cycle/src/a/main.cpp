@@ -1,0 +1,2 @@
+#include "a/x.hpp"
+namespace fixture { int x() { return 0; } int y() { return 0; } int z() { return 0; } }

@@ -1,0 +1,3 @@
+#pragma once
+#include "a/z.hpp"
+namespace fixture { int y(); }

@@ -1,0 +1,3 @@
+#pragma once
+#include "a/x.hpp"
+namespace fixture { int z(); }

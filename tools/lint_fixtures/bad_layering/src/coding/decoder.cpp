@@ -1,0 +1,3 @@
+#include "coding/decoder.hpp"
+#include "telemetry/facade.hpp"
+namespace fixture { int decoder() { return util() + facade(); } }

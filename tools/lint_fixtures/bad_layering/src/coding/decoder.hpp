@@ -1,0 +1,6 @@
+#pragma once
+// Both lines below cross the DAG: core is above coding, and registry.hpp
+// is private to telemetry (the facade is the sanctioned surface).
+#include "core/controller.hpp"
+#include "telemetry/registry.hpp"
+namespace fixture { int decoder(); }

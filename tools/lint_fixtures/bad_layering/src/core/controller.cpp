@@ -1,0 +1,2 @@
+#include "core/controller.hpp"
+namespace fixture { int controller() { return util(); } }

@@ -1,0 +1,3 @@
+#pragma once
+#include "common/util.hpp"
+namespace fixture { int controller(); }

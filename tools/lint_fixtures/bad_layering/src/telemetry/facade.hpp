@@ -1,0 +1,3 @@
+#pragma once
+#include "telemetry/registry.hpp"
+namespace fixture { int facade(); }

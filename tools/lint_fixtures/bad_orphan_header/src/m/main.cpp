@@ -1,0 +1,2 @@
+#include "m/used.hpp"
+namespace fixture { int used() { return 7; } }

@@ -1,0 +1,2 @@
+#pragma once
+namespace fixture { int nobody_includes_me(); }

@@ -1,0 +1,20 @@
+// Lint fixture: must trip [bad-suppression] and nothing else. A broken
+// suppression must never silently disable a rule, so each malformed
+// variant below is itself a finding (and suppresses nothing — the lines
+// they sit on are deliberately clean).
+
+namespace fixture {
+
+// pran-lint: allow(raw-thread)
+inline int missing_reason() { return 1; }
+
+// pran-lint: allow(not-a-real-rule) -- the rule id must exist
+inline int unknown_rule() { return 2; }
+
+// pran-lint: allow() -- an empty rule list names nothing
+inline int empty_list() { return 3; }
+
+// pran-lint: allow(raw-rng) --
+inline int blank_reason() { return 4; }
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Lint fixture: must produce no findings. Each would-be violation below
+// carries a well-formed suppression — named rule, `--`, non-empty reason
+// — in both placements (trailing on the line, and on its own line above).
+#include <thread>
+
+namespace fixture {
+
+inline void sanctioned_thread() {
+  std::thread t([] {});  // pran-lint: allow(raw-thread) -- fixture proves trailing suppressions work
+  t.join();
+}
+
+// pran-lint: allow(determinism-hazard) -- fixture proves own-line
+// suppressions attach to the next code line
+static int suppressed_counter = 0;
+
+// pran-lint: allow(raw-rng, determinism-hazard) -- a list covers several
+// rules on one line
+inline int seeded() { return rand() + ++suppressed_counter; }
+
+}  // namespace fixture
