@@ -210,11 +210,31 @@ double Executor::pending_gops(int server_id) const {
   return gops;
 }
 
+double Executor::backlog_ttis(int server_id) const {
+  const Server& s = server(server_id);
+  return pending_gops(server_id) / (s.spec.gops_per_tti() * s.speed_factor);
+}
+
+void Executor::record_compute_outage(int server_id,
+                                     const lte::SubframeJob& job) {
+  (void)server(server_id);  // validate the id
+  JobOutcome outcome;
+  outcome.job = job;
+  outcome.server_id = server_id;
+  outcome.compute_outage = true;
+  outcomes_.push_back(outcome);
+  if (on_complete_) on_complete_(outcomes_.back());
+}
+
 Executor::Stats Executor::stats() const {
   Stats st;
   for (const auto& o : outcomes_) {
     if (o.dropped) {
       ++st.dropped;
+      continue;
+    }
+    if (o.compute_outage) {
+      ++st.compute_outages;
       continue;
     }
     ++st.completed;
@@ -234,6 +254,10 @@ Executor::Stats Executor::stats_for_server(int server_id) const {
       ++st.dropped;
       continue;
     }
+    if (o.compute_outage) {
+      ++st.compute_outages;
+      continue;
+    }
     ++st.completed;
     if (o.missed_deadline()) ++st.missed;
     st.total_busy_seconds +=
@@ -247,7 +271,7 @@ double Executor::utilization(int server_id, sim::Time window) const {
   const Server& s = server(server_id);
   double busy = 0.0;
   for (const auto& o : outcomes_) {
-    if (o.server_id != server_id || o.dropped) continue;
+    if (o.server_id != server_id || o.dropped || o.compute_outage) continue;
     busy += sim::to_seconds(std::min(o.finish, window) -
                             std::min(o.start, window)) *
             o.cores_used;

@@ -62,10 +62,15 @@ struct JobOutcome {
   sim::Time start = -1;   ///< -1 if never started.
   sim::Time finish = -1;  ///< -1 if dropped.
   bool dropped = false;   ///< Lost to a server failure.
+  /// Abandoned by the overload controller because the pool had no compute
+  /// for it before its deadline — a *computational outage*, the third
+  /// outcome of the taxonomy (distinct from a fault drop and from a
+  /// deadline miss, where the work did run but finished late).
+  bool compute_outage = false;
   int cores_used = 1;     ///< Parallel width the job ran at.
 
   bool missed_deadline() const noexcept {
-    return !dropped && finish > job.deadline;
+    return !dropped && !compute_outage && finish > job.deadline;
   }
   /// Completion latency relative to release; only valid when not dropped.
   sim::Time latency() const noexcept { return finish - job.release; }
@@ -115,6 +120,21 @@ class Executor {
   /// how long a new submission would wait.
   double pending_gops(int server_id) const;
 
+  /// Compute-pressure signal: the pending backlog expressed in TTIs of the
+  /// server's (speed-adjusted) whole-server throughput. 0 = idle queue;
+  /// 1.0 = a full subframe period of queued work — the natural unit for an
+  /// overload controller, since sustained backlog > ~1 TTI means deadlines
+  /// are about to slip.
+  double backlog_ttis(int server_id) const;
+
+  /// Records a computational outage for `job` without ever queueing it:
+  /// the overload controller decided the server cannot finish it before
+  /// its deadline and abandons the work to protect jobs that can still
+  /// make theirs. Fires the completion callback (with compute_outage set)
+  /// so HARQ accounting sees the loss; does NOT fire the drop callback —
+  /// drops mean fault-induced loss eligible for resubmission.
+  void record_compute_outage(int server_id, const lte::SubframeJob& job);
+
   void set_completion_callback(CompletionCallback cb) {
     on_complete_ = std::move(cb);
   }
@@ -130,11 +150,20 @@ class Executor {
     std::uint64_t completed = 0;
     std::uint64_t missed = 0;
     std::uint64_t dropped = 0;
+    /// Jobs abandoned for lack of compute (never ran; see JobOutcome).
+    std::uint64_t compute_outages = 0;
     double total_busy_seconds = 0.0;
 
     double miss_ratio() const noexcept {
       const auto denom = completed + dropped;
       return denom ? static_cast<double>(missed + dropped) /
+                         static_cast<double>(denom)
+                   : 0.0;
+    }
+    /// Fraction of offered jobs abandoned for lack of compute.
+    double compute_outage_ratio() const noexcept {
+      const auto denom = completed + dropped + compute_outages;
+      return denom ? static_cast<double>(compute_outages) /
                          static_cast<double>(denom)
                    : 0.0;
     }

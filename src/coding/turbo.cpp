@@ -238,7 +238,15 @@ TurboBatchStats TurboDecoder::decode_batch(
     PRAN_REQUIRE(item.llrs != nullptr, "decode_batch: item without LLRs");
     PRAN_REQUIRE(item.llrs->size() == turbo_encoded_length(k),
                  "LLR length does not match turbo_encoded_length(k)");
+    PRAN_REQUIRE(item.max_iterations >= 0,
+                 "per-item iteration budget must be non-negative");
   }
+
+  // A positive per-item budget overrides the call-wide cap for that block.
+  const auto item_cap = [&](std::size_t i) {
+    return items[i].max_iterations > 0 ? items[i].max_iterations
+                                       : max_iterations;
+  };
 
   const auto& kernels = simd::turbo_kernels(simd::active_isa());
   const unsigned w = kernels.lane_width;
@@ -256,10 +264,11 @@ TurboBatchStats TurboDecoder::decode_batch(
         exit_fn = [&early_stop, i](const Bits& hard) {
           return early_stop(i, hard);
         };
-      const TurboResult& r = decode(*item.llrs, k, max_iterations, exit_fn);
+      const TurboResult& r = decode(*item.llrs, k, item_cap(i), exit_fn);
       item.info = r.info;
       item.iterations = r.iterations;
       item.converged = r.converged;
+      if (early_stop && !r.converged) ++stats.budget_exhausted;
       stats.map_pass_calls += 2 * static_cast<std::size_t>(r.iterations);
     }
     return stats;
@@ -374,7 +383,8 @@ TurboBatchStats TurboDecoder::decode_batch(
       if (early_stop && early_stop(lane_item_[l], item.info)) {
         item.converged = true;
         retire = true;
-      } else if (lane_iter_[l] >= max_iterations) {
+      } else if (lane_iter_[l] >= item_cap(lane_item_[l])) {
+        if (early_stop) ++stats.budget_exhausted;
         retire = true;
       }
       if (retire) {

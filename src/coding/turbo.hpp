@@ -64,6 +64,12 @@ struct TurboResult {
 /// early-terminates frees its slot for a pending block).
 struct TurboBatchItem {
   const Llrs* llrs = nullptr;  ///< Input; length turbo_encoded_length(k).
+  /// Per-block iteration budget; 0 inherits the call-wide max_iterations.
+  /// A positive value overrides it, letting an overload controller give
+  /// each transport block its own effort cap within one batch. A lane that
+  /// reaches its budget without converging retires (and refills) exactly
+  /// as if the call-wide cap had been hit.
+  int max_iterations = 0;
   Bits info;                   ///< Hard decisions.
   int iterations = 0;          ///< Iterations this block used.
   bool converged = false;      ///< Early-stop predicate fired.
@@ -75,6 +81,11 @@ struct TurboBatchStats {
   std::size_t map_pass_calls = 0;  ///< Constituent passes launched.
   std::size_t lane_refills = 0;    ///< Finished lanes refilled mid-flight.
   std::size_t idle_lane_iterations = 0;  ///< Lane-iterations run empty.
+  /// Blocks that hit their iteration budget without the early-stop
+  /// predicate firing — the decode-side signature of an effort cap biting.
+  /// Only counted when an early_stop predicate was supplied (without one,
+  /// every block runs to its cap by construction).
+  std::size_t budget_exhausted = 0;
 };
 
 /// Reusable max-log-MAP decoder workspace.

@@ -10,6 +10,24 @@
 
 namespace pran::core {
 
+const char* rung_kind_name(RungKind kind) noexcept {
+  switch (kind) {
+    case RungKind::kNormal:
+      return "normal";
+    case RungKind::kCompress:
+      return "compress";
+    case RungKind::kEffort:
+      return "effort";
+    case RungKind::kMcsCap:
+      return "mcs-cap";
+    case RungKind::kShed:
+      return "shed";
+    case RungKind::kQuarantine:
+      return "quarantine";
+  }
+  return "?";
+}
+
 DegradationController::DegradationController(const DegradationConfig& config,
                                              int num_cells)
     : config_(config), num_cells_(num_cells), down_hold_(config.down_epochs) {
@@ -34,17 +52,37 @@ DegradationController::DegradationController(const DegradationConfig& config,
                  "compression ladder must be strictly increasing, each > 1");
     prev = factor;
   }
+  PRAN_REQUIRE(config_.compute_up_ttis > config_.compute_down_ttis,
+               "compute-pressure thresholds must leave a hysteresis band");
+  int prev_cap = lte::kMaxTurboIterations;
+  for (int cap : config_.effort_ladder) {
+    PRAN_REQUIRE(cap >= 1 && cap < prev_cap,
+                 "effort ladder must be strictly decreasing caps below the "
+                 "full iteration budget");
+    prev_cap = cap;
+  }
+  PRAN_REQUIRE(config_.mcs_cap >= 0 && config_.mcs_cap <= 28,
+               "MCS cap outside the MCS table");
+  dwell_.assign(static_cast<std::size_t>(max_rung()) + 1, 0);
 }
 
 bool DegradationController::update(sim::Time now,
                                    const DegradationSignals& signals) {
   if (!config_.enabled) return false;
+  // Settle the dwell of the rung we have been sitting on since the last
+  // update before any transition moves us off it.
+  if (now > dwell_mark_) {
+    dwell_[static_cast<std::size_t>(rung_)] += now - dwell_mark_;
+    dwell_mark_ = now;
+  }
   const bool stressed = signals.queue_delay_us > config_.queue_delay_up_us ||
                         signals.loss_rate > config_.loss_up ||
-                        signals.miss_rate > config_.miss_up;
+                        signals.miss_rate > config_.miss_up ||
+                        signals.compute_pressure > config_.compute_up_ttis;
   const bool calm = signals.queue_delay_us < config_.queue_delay_down_us &&
                     signals.loss_rate < config_.loss_down &&
-                    signals.miss_rate < config_.miss_down;
+                    signals.miss_rate < config_.miss_down &&
+                    signals.compute_pressure < config_.compute_down_ttis;
   if (stressed) {
     ++stressed_epochs_;
     calm_epochs_ = 0;
@@ -83,11 +121,31 @@ bool DegradationController::update(sim::Time now,
   return false;
 }
 
+RungKind DegradationController::rung_kind(int rung) const noexcept {
+  if (rung <= 0) return RungKind::kNormal;
+  if (rung < first_effort_rung()) return RungKind::kCompress;
+  if (rung < mcs_rung()) return RungKind::kEffort;
+  if (rung < shed_rung()) return RungKind::kMcsCap;
+  if (rung < quarantine_rung()) return RungKind::kShed;
+  return RungKind::kQuarantine;
+}
+
 const char* DegradationController::rung_name() const noexcept {
-  if (rung_ == 0) return "normal";
-  if (rung_ < shed_rung()) return "compress";
-  if (rung_ < quarantine_rung()) return "shed";
-  return "quarantine";
+  return rung_kind_name(rung_kind(rung_));
+}
+
+int DegradationController::effort_cap() const noexcept {
+  if (config_.effort_ladder.empty() || rung_ < first_effort_rung())
+    return lte::kMaxTurboIterations;
+  const auto step = static_cast<std::size_t>(
+      std::min(rung_ - first_effort_rung() + 1,
+               static_cast<int>(config_.effort_ladder.size())));
+  return config_.effort_ladder[step - 1];
+}
+
+sim::Time DegradationController::dwell(int rung) const {
+  PRAN_REQUIRE(rung >= 0 && rung <= max_rung(), "unknown rung index");
+  return dwell_[static_cast<std::size_t>(rung)];
 }
 
 double DegradationController::compression_multiplier() const noexcept {

@@ -44,6 +44,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "lte/cost_model.hpp"
 #include "sim/time.hpp"
 
 namespace pran::core {
@@ -53,7 +54,25 @@ struct DegradationSignals {
   double queue_delay_us = 0.0;  ///< Worst fronthaul queueing delay seen.
   double loss_rate = 0.0;       ///< Fronthaul burst-loss rate.
   double miss_rate = 0.0;       ///< Deadline-miss rate at the executor.
+  /// Worst per-server compute backlog, in TTIs of whole-server throughput
+  /// (Executor::backlog_ttis). > 1 means a server is queueing more than a
+  /// subframe period of undone work — compute, not the wire, is the
+  /// bottleneck.
+  double compute_pressure = 0.0;
 };
+
+/// What a ladder rung spends: each kind is a different currency, ordered
+/// from cheapest (signal quality) to dearest (coverage).
+enum class RungKind {
+  kNormal,      ///< Rung 0 — no degradation.
+  kCompress,    ///< Fronthaul I/Q compression step-up (EVM -> BLER cost).
+  kEffort,      ///< Turbo decode-effort cap step-down (compute for BLER).
+  kMcsCap,      ///< MCS ceiling — smaller transport blocks, less decode.
+  kShed,        ///< Deadline-doomed subframes shed at ingress.
+  kQuarantine,  ///< Lowest-priority cells taken off the air.
+};
+
+const char* rung_kind_name(RungKind kind) noexcept;
 
 struct DegradationConfig {
   bool enabled = false;
@@ -67,6 +86,18 @@ struct DegradationConfig {
   /// Fraction of cells quarantined outright on the quarantine rung.
   double quarantine_fraction = 0.125;
 
+  /// Turbo-iteration caps for the decode-effort rungs, strictly
+  /// decreasing, each in [1, lte::kMaxTurboIterations). The rungs sit
+  /// between the compression steps and the shed rung: spending BLER on
+  /// cheaper decodes is preferred to shedding whole subframes. Empty
+  /// (the default) adds no effort rungs, leaving the legacy rung layout
+  /// untouched.
+  std::vector<int> effort_ladder = {};
+  /// MCS ceiling applied on the MCS-cap rung (between the effort rungs
+  /// and shed): allocations above it are re-graded down, trading peak
+  /// rate for smaller transport blocks. 0 disables the rung.
+  int mcs_cap = 0;
+
   /// Schmitt-trigger thresholds: stressed when ANY signal exceeds its
   /// `*_up`, calm only when ALL signals are below their `*_down`.
   double queue_delay_up_us = 300.0;
@@ -75,6 +106,10 @@ struct DegradationConfig {
   double loss_down = 0.001;
   double miss_up = 0.005;
   double miss_down = 0.0005;
+  /// Compute-pressure thresholds, in backlog TTIs (see
+  /// DegradationSignals::compute_pressure).
+  double compute_up_ttis = 2.0;
+  double compute_down_ttis = 0.5;
 
   /// Consecutive stressed epochs required to step up one rung.
   int up_epochs = 2;
@@ -94,15 +129,32 @@ class DegradationController {
   bool update(sim::Time now, const DegradationSignals& signals);
 
   int rung() const noexcept { return rung_; }
-  /// Highest rung: compression steps + shed + quarantine.
+  /// Highest rung: compression steps + effort steps + optional MCS cap +
+  /// shed + quarantine.
   int max_rung() const noexcept {
-    return static_cast<int>(config_.compression_ladder.size()) + 2;
+    return static_cast<int>(config_.compression_ladder.size()) +
+           static_cast<int>(config_.effort_ladder.size()) +
+           (config_.mcs_cap > 0 ? 1 : 0) + 2;
   }
+  /// What the given rung spends (kNormal for rung 0).
+  RungKind rung_kind(int rung) const noexcept;
   const char* rung_name() const noexcept;
 
   /// Extra compression factor the current rung asks for (1.0 on rung 0;
-  /// the deepest ladder factor on the shed/quarantine rungs).
+  /// the deepest ladder factor on every rung past the compression steps).
   double compression_multiplier() const noexcept;
+
+  /// Turbo-iteration cap the current rung asks for:
+  /// lte::kMaxTurboIterations (no cap) below the first effort rung, the
+  /// matching ladder entry on an effort rung, and the deepest cap on
+  /// every rung above them.
+  int effort_cap() const noexcept;
+
+  /// True when the current rung applies the MCS ceiling.
+  bool mcs_capping() const noexcept {
+    return config_.mcs_cap > 0 && rung_ >= mcs_rung();
+  }
+  int mcs_cap() const noexcept { return config_.mcs_cap; }
 
   /// True on the shed rung or above.
   bool shedding() const noexcept { return rung_ >= shed_rung(); }
@@ -123,9 +175,23 @@ class DegradationController {
   /// Time of the last transition (for traces).
   sim::Time last_transition() const noexcept { return last_transition_; }
 
+  /// Simulated time spent on `rung`, accumulated at each update() call
+  /// (the dwell of the current rung since the last update is not yet
+  /// included). Drives the per-rung dwell report in `pran-report
+  /// --compute`.
+  sim::Time dwell(int rung) const;
+
  private:
-  int shed_rung() const noexcept {
+  int first_effort_rung() const noexcept {
     return static_cast<int>(config_.compression_ladder.size()) + 1;
+  }
+  int mcs_rung() const noexcept {
+    // One past the last effort rung; only meaningful when mcs_cap > 0.
+    return first_effort_rung() +
+           static_cast<int>(config_.effort_ladder.size());
+  }
+  int shed_rung() const noexcept {
+    return mcs_rung() + (config_.mcs_cap > 0 ? 1 : 0);
   }
   int quarantine_rung() const noexcept { return shed_rung() + 1; }
 
@@ -138,6 +204,8 @@ class DegradationController {
   bool recovering_ = false; ///< A step-down happened since the last step-up.
   std::uint64_t transitions_ = 0;
   sim::Time last_transition_ = 0;
+  std::vector<sim::Time> dwell_;  ///< Per-rung time, size max_rung() + 1.
+  sim::Time dwell_mark_ = 0;      ///< update() timestamp last accounted.
 };
 
 /// Transport-block failure probability added by compressing the fronthaul

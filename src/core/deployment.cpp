@@ -69,6 +69,7 @@ Deployment::Deployment(DeploymentConfig config)
         config_.degradation, config_.num_cells);
     quality_rng_ = Rng(config_.seed).stream(0xDEu);
   }
+  if (config_.overload.enabled) validate(config_.overload);
 
   // Compute cluster.
   std::vector<cluster::ServerSpec> specs;
@@ -156,7 +157,22 @@ Deployment::Deployment(DeploymentConfig config)
   executor_->set_completion_callback([this](const cluster::JobOutcome& o) {
     PRAN_SIM_SPAN("subframe_job", o.server_id, o.start, o.finish - o.start,
                   o.job.cell_id, o.job.tti);
-    if (o.missed_deadline()) PRAN_COUNTER_INC("deployment.deadline_misses");
+    if (o.compute_outage) {
+      // Abandoned for lack of compute: the decode never ran, so the UE
+      // hears no ACK and the HARQ debt comes due exactly as for a miss.
+      compute_outage_tbs_ +=
+          static_cast<std::uint64_t>(o.job.compute_outage_tbs);
+      PRAN_COUNTER_INC("compute.outage_jobs");
+      PRAN_COUNTER_ADD("compute.outage_tbs",
+                       static_cast<std::uint64_t>(o.job.compute_outage_tbs));
+      handle_harq_loss(o.job);
+      return;
+    }
+    if (o.missed_deadline()) {
+      PRAN_COUNTER_INC("deployment.deadline_misses");
+    } else if (!o.dropped) {
+      delivered_tb_bits_ += o.job.tb_bits;  // on-time: goodput numerator
+    }
     if (o.dropped || !o.missed_deadline()) return;
     handle_harq_loss(o.job);
   });
@@ -242,6 +258,17 @@ void Deployment::tick() {
       macs_[c].set_load_scale(cells_[c].profile().at(hour));
       allocs = macs_[c].run_tti();
     }
+    if (degradation_ && degradation_->mcs_capping()) {
+      // MCS-cap rung: re-grade allocations above the ceiling. The PRBs
+      // stay assigned but the transport block shrinks, cutting both the
+      // wire's payload and (super-linearly) the decode bill.
+      for (auto& a : allocs) {
+        if (a.mcs > degradation_->mcs_cap()) {
+          a.mcs = degradation_->mcs_cap();
+          PRAN_COUNTER_INC("compute.mcs_capped_allocs");
+        }
+      }
+    }
     lte::SubframeJob job = factories_[c].uplink_job(tti_counter_, allocs);
     // Custom pipeline stages add work beyond the standard six.
     job.extra_gops =
@@ -303,6 +330,62 @@ void Deployment::tick() {
         continue;
       }
     }
+    // Compute-aware overload control: clamp the per-TB decode-effort
+    // budget to the tighter of the ladder's effort rung and the
+    // backpressure cap derived from the target server's backlog, then
+    // charge the *realized* iterations — a capped job costs what it will
+    // actually run, not what the channel asked for.
+    int effort_cap = lte::kMaxTurboIterations;
+    if (degradation_)
+      effort_cap = std::min(effort_cap, degradation_->effort_cap());
+    if (config_.overload.enabled)
+      effort_cap = std::min(
+          effort_cap, effort_cap_for_pressure(config_.overload,
+                                              executor_->backlog_ttis(server)));
+    if (effort_cap < lte::kMaxTurboIterations) {
+      const lte::EffortCapOutcome capped =
+          lte::apply_effort_cap(allocs, effort_cap);
+      if (capped.capped_tbs > 0) {
+        job.cost = factories_[c].model().subframe_cost(
+            factories_[c].config(), allocs, lte::Direction::kUplink);
+        job.extra_gops = pipeline_.extra_gops(cells_[c].site().config,
+                                              allocs, job.cost.total());
+        job.decode_iterations_realized = capped.realized_iterations;
+        effort_capped_tbs_ += static_cast<std::uint64_t>(capped.capped_tbs);
+        PRAN_COUNTER_ADD("compute.capped_tbs",
+                         static_cast<std::uint64_t>(capped.capped_tbs));
+      }
+    }
+    offered_tb_bits_ += job.tb_bits;
+    decode_iterations_needed_ +=
+        static_cast<std::uint64_t>(job.decode_iterations_needed);
+    if (config_.overload.enabled) {
+      // Admission: if even the capped decode cannot finish inside the
+      // deadline, abandon the subframe now — a computational outage —
+      // rather than let it waste a queue slot and finish late anyway.
+      if (job.release + admission_exec_estimate(server, job.total_gops()) >
+          job.deadline) {
+        job.compute_outage_tbs = job.tb_count;
+        job.decode_iterations_realized = 0;  // the decode never runs
+        executor_->record_compute_outage(server, job);
+        continue;
+      }
+    }
+    decode_iterations_realized_ +=
+        static_cast<std::uint64_t>(job.decode_iterations_realized);
+    if ((degradation_ || config_.overload.enabled) && job.tb_count > 0) {
+      const double tbs = static_cast<double>(job.tb_count);
+      PRAN_HIST_OBSERVE("compute.iterations_needed", 0.0,
+                        static_cast<double>(lte::kMaxTurboIterations),
+                        lte::kMaxTurboIterations,
+                        static_cast<double>(job.decode_iterations_needed) /
+                            tbs);
+      PRAN_HIST_OBSERVE("compute.iterations_realized", 0.0,
+                        static_cast<double>(lte::kMaxTurboIterations),
+                        lte::kMaxTurboIterations,
+                        static_cast<double>(job.decode_iterations_realized) /
+                            tbs);
+    }
     executor_->submit(server, job);
     if (quality_draw < compression_penalty_) {
       // The decode will run, but the harder compression cost this
@@ -311,6 +394,16 @@ void Deployment::tick() {
       PRAN_COUNTER_INC("fronthaul.compression_tb_failures");
       handle_harq_loss(job);
     }
+  }
+  if (degradation_ || config_.overload.enabled) {
+    // Sample the worst per-server backlog every TTI so the epoch ladder
+    // sees the peak pressure, not whatever happens to be queued at the
+    // epoch boundary.
+    for (int s = 0; s < executor_->num_servers(); ++s)
+      epoch_peak_pressure_ =
+          std::max(epoch_peak_pressure_, executor_->backlog_ttis(s));
+    peak_compute_pressure_ =
+        std::max(peak_compute_pressure_, epoch_peak_pressure_);
   }
   ++tti_counter_;
   engine_.schedule_in(sim::kTti, [this] { tick(); });
@@ -334,6 +427,7 @@ void Deployment::epoch_replan() {
       epoch_missed_mark_ = stats.missed;
       signals.miss_rate =
           done ? static_cast<double>(missed) / static_cast<double>(done) : 0.0;
+      signals.compute_pressure = epoch_peak_pressure_;
       if (degradation_->update(engine_.now(), signals)) {
         PRAN_COUNTER_INC("fronthaul.ladder_transitions");
         apply_ladder_rung();
@@ -344,7 +438,13 @@ void Deployment::epoch_replan() {
       }
       PRAN_GAUGE_SET("fronthaul.ladder_rung",
                      static_cast<double>(degradation_->rung()));
+      PRAN_GAUGE_SET("compute.ladder_effort_cap",
+                     static_cast<double>(degradation_->effort_cap()));
     }
+  }
+  if (degradation_ || config_.overload.enabled) {
+    PRAN_GAUGE_SET("compute.pressure", epoch_peak_pressure_);
+    epoch_peak_pressure_ = 0.0;
   }
   if (config_.forecast_horizon_hours > 0.0) {
     // Scale each cell's estimate by the expected profile growth over the
@@ -440,6 +540,26 @@ void Deployment::record_recovery_decision(int server_id, sim::Time now) {
                     "s");
 }
 
+sim::Time Deployment::admission_exec_estimate(int server,
+                                              double job_gops) const {
+  // Two lower bounds on when the job could complete: draining the queued
+  // backlog at whole-server throughput, and running this job alone at the
+  // widest parallelism the executor can grant it (a job is not infinitely
+  // divisible — max_job_parallelism caps its fan-out, so a single heavy
+  // decode can be infeasible even on an idle server).
+  const double speed = executor_->speed_factor(server);
+  const double drain =
+      (executor_->pending_gops(server) + job_gops) /
+      (config_.server.gops_per_tti() * speed);
+  const auto width = static_cast<double>(std::min(
+      config_.server.cores, std::max(1, config_.server.max_job_parallelism)));
+  // gops_per_core is Gop/s; * 1e-3 converts to Gop per 1 ms TTI.
+  const double solo =
+      job_gops / (config_.server.gops_per_core * 1e-3 * width * speed);
+  return static_cast<sim::Time>(std::max(drain, solo) *
+                                static_cast<double>(sim::kTti));
+}
+
 void Deployment::handle_harq_loss(const lte::SubframeJob& job) {
   if (!config_.harq_retransmissions ||
       job.direction != lte::Direction::kUplink)
@@ -472,6 +592,18 @@ void Deployment::handle_harq_loss(const lte::SubframeJob& job) {
       ++shed_subframes_;
       PRAN_COUNTER_INC("fronthaul.shed_subframes");
       handle_harq_loss(retx);
+      return;
+    }
+  } else if (config_.overload.enabled) {
+    // Same storm-breaker through the compute lens: a retransmission the
+    // server provably cannot decode in time is abandoned as a
+    // computational outage (the callback settles the next round of HARQ
+    // debt, so the chain still terminates at max_harq_retx).
+    if (retx.release + admission_exec_estimate(target, retx.total_gops()) >
+        retx.deadline) {
+      retx.compute_outage_tbs = retx.tb_count;
+      retx.decode_iterations_realized = 0;
+      executor_->record_compute_outage(target, retx);
       return;
     }
   }
@@ -523,6 +655,15 @@ DeploymentKpis Deployment::kpis() const {
     k.ladder_rung = degradation_->rung();
     k.ladder_transitions = degradation_->transitions();
   }
+  k.compute_outage_jobs = stats.compute_outages;
+  k.compute_outage_tbs = compute_outage_tbs_;
+  k.compute_outage_ratio = stats.compute_outage_ratio();
+  k.effort_capped_tbs = effort_capped_tbs_;
+  k.decode_iterations_needed = decode_iterations_needed_;
+  k.decode_iterations_realized = decode_iterations_realized_;
+  k.offered_tb_bits = offered_tb_bits_;
+  k.delivered_tb_bits = delivered_tb_bits_;
+  k.peak_compute_pressure = peak_compute_pressure_;
 
   k.faults_injected = injector_->faults_delivered();
   k.degrade_events = injector_->degrade_faults();

@@ -21,6 +21,7 @@
 #include "common/rng.hpp"
 #include "core/controller.hpp"
 #include "core/degradation.hpp"
+#include "core/overload.hpp"
 #include "core/pipeline.hpp"
 #include "faults/fronthaul.hpp"
 #include "faults/health.hpp"
@@ -78,6 +79,12 @@ struct DeploymentConfig {
   /// Graceful-degradation ladder reacting to fronthaul stress (see
   /// degradation.hpp). Requires shared_fronthaul when enabled.
   DegradationConfig degradation;
+  /// Compute-aware overload control (see overload.hpp): the per-TTI
+  /// backpressure loop that clamps decode-effort caps from server backlog
+  /// and abandons deadline-infeasible subframes as computational outages.
+  /// Works with or without the epoch ladder; when both are on, the
+  /// tighter effort cap wins.
+  OverloadConfig overload;
 
   double start_hour = 8.0;       ///< Diurnal hour at t = 0.
   double day_compression = 3600; ///< Diurnal hours advance this x real time.
@@ -166,6 +173,28 @@ struct DeploymentKpis {
   int ladder_rung = 0;
   /// Total ladder transitions (up + down) over the run.
   std::uint64_t ladder_transitions = 0;
+  /// Subframe jobs abandoned for lack of compute before their deadline —
+  /// the computational-outage outcome (never queued; distinct from
+  /// `dropped`, which is fault-induced, and from `deadline_misses`, where
+  /// the decode ran but finished late).
+  std::uint64_t compute_outage_jobs = 0;
+  /// Transport blocks inside those jobs.
+  std::uint64_t compute_outage_tbs = 0;
+  /// Fraction of offered jobs abandoned for lack of compute.
+  double compute_outage_ratio = 0.0;
+  /// Transport blocks whose turbo-iteration budget was clamped below the
+  /// sampled demand (by the backpressure loop or an effort rung).
+  std::uint64_t effort_capped_tbs = 0;
+  /// Turbo iterations the channel demanded across submitted + abandoned
+  /// jobs, and the iterations actually granted (the honest spend).
+  std::uint64_t decode_iterations_needed = 0;
+  std::uint64_t decode_iterations_realized = 0;
+  /// Goodput accounting: transport-block bits offered to the pool, and
+  /// bits of jobs that completed inside their deadline.
+  double offered_tb_bits = 0.0;
+  double delivered_tb_bits = 0.0;
+  /// Worst per-server compute backlog seen over the run, in TTIs.
+  double peak_compute_pressure = 0.0;
 };
 
 class Deployment {
@@ -232,6 +261,12 @@ class Deployment {
   /// HARQ consequence of an unrecoverable subframe (drop or missed
   /// deadline): retransmission 8 TTIs later, or a lost transport block.
   void handle_harq_loss(const lte::SubframeJob& job);
+  /// Overload-admission completion estimate for submitting `job_gops` to
+  /// `server` now: max of the backlog-drain bound (whole-server
+  /// throughput) and the solo-execution bound (the job's own fan-out
+  /// limit). Used by the computational-outage test in tick() and the
+  /// HARQ storm-breaker.
+  sim::Time admission_exec_estimate(int server, double job_gops) const;
   void close_energy_interval();
   void on_server_fault(int server_id, faults::FaultKind kind);
   void on_server_recovery(int server_id, faults::FaultKind kind);
@@ -259,6 +294,17 @@ class Deployment {
   /// the sequence is a pure function of the seed.
   Rng quality_rng_;
   double compression_penalty_ = 0.0;
+  /// Compute-aware overload accounting (see overload.hpp).
+  std::uint64_t compute_outage_tbs_ = 0;
+  std::uint64_t effort_capped_tbs_ = 0;
+  std::uint64_t decode_iterations_needed_ = 0;
+  std::uint64_t decode_iterations_realized_ = 0;
+  double offered_tb_bits_ = 0.0;
+  double delivered_tb_bits_ = 0.0;
+  /// Worst backlog_ttis over the current epoch (feeds the ladder's
+  /// compute-pressure signal) and over the whole run.
+  double epoch_peak_pressure_ = 0.0;
+  double peak_compute_pressure_ = 0.0;
   std::uint64_t shed_subframes_ = 0;
   std::uint64_t compression_tb_failures_ = 0;
   std::uint64_t quarantined_cell_ttis_ = 0;

@@ -54,6 +54,17 @@ void export_kpis(const DeploymentKpis& kpis,
       static_cast<double>(kpis.quarantined_cell_ttis));
   set("ladder_rung", kpis.ladder_rung);
   set("ladder_transitions", static_cast<double>(kpis.ladder_transitions));
+  set("compute_outage_jobs", static_cast<double>(kpis.compute_outage_jobs));
+  set("compute_outage_tbs", static_cast<double>(kpis.compute_outage_tbs));
+  set("compute_outage_ratio", kpis.compute_outage_ratio);
+  set("effort_capped_tbs", static_cast<double>(kpis.effort_capped_tbs));
+  set("decode_iterations_needed",
+      static_cast<double>(kpis.decode_iterations_needed));
+  set("decode_iterations_realized",
+      static_cast<double>(kpis.decode_iterations_realized));
+  set("offered_tb_bits", kpis.offered_tb_bits);
+  set("delivered_tb_bits", kpis.delivered_tb_bits);
+  set("peak_compute_pressure", kpis.peak_compute_pressure);
 }
 
 void export_deployment(const Deployment& deployment,
@@ -92,6 +103,18 @@ void export_deployment(const Deployment& deployment,
   }
   set_gauge(registry, "solver.", "total_migrations",
             deployment.controller().total_migrations());
+
+  set_gauge(registry, "executor.", "compute_outages",
+            static_cast<double>(stats.compute_outages));
+
+  if (const DegradationController* ladder = deployment.degradation()) {
+    // Per-rung dwell: how long the ladder sat on each rung (as of the
+    // last epoch update) — the `pran-report --compute` dwell table.
+    for (int r = 0; r <= ladder->max_rung(); ++r)
+      set_gauge(registry, "compute.",
+                "ladder_dwell_seconds.rung-" + std::to_string(r),
+                sim::to_seconds(ladder->dwell(r)));
+  }
 
   set_gauge(registry, "trace.", "dropped_records",
             static_cast<double>(deployment.trace().dropped()));

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file overload.hpp
+/// Compute-aware overload control: the complexity-rate tradeoff as a
+/// control knob.
+///
+/// The pooled-compute story (and the complexity-rate analysis of
+/// centralized RANs it leans on) only holds if the data plane has an
+/// answer for the moments when offered PHY work exceeds the pool's GOPS
+/// budget. Queueing until deadlines blow is the worst answer: every
+/// queued-too-long subframe bursts into a HARQ retransmission and the
+/// overload feeds itself. This module gives the deployment two better
+/// currencies, spent in order:
+///
+///   1. *Decode effort.* Turbo iterations are the dominant PHY cost and
+///      most blocks converge early, so capping the per-TB iteration
+///      budget converts compute into a small BLER risk. The backpressure
+///      loop reads each server's backlog (Executor::backlog_ttis) every
+///      TTI and clamps the effort cap between `max_effort` (no pressure)
+///      and `min_effort` (saturated) — a proportional controller that
+///      reacts within one TTI, orders of magnitude faster than the epoch
+///      ladder.
+///   2. *The work itself.* When even the cheapest decode cannot meet the
+///      deadline, the subframe is abandoned *before* it wastes a queue
+///      slot — a **computational outage**, recorded as its own outcome
+///      (JobOutcome::compute_outage) distinct from a fault drop and from
+///      a deadline miss. Its HARQ debt is settled honestly, like a shed.
+///
+/// The epoch-scale DegradationController owns the slow, hysteretic
+/// version of the same decisions (effort rungs, MCS cap); this module is
+/// the fast loop under it. Both clamp the same per-TB budget, and the
+/// tighter cap wins.
+
+#include <algorithm>
+
+#include "lte/cost_model.hpp"
+
+namespace pran::core {
+
+struct OverloadConfig {
+  bool enabled = false;
+
+  /// Effort cap with an idle queue. Defaults to "no cap".
+  int max_effort = lte::kMaxTurboIterations;
+  /// Effort floor at full pressure: even a saturated server grants this
+  /// many iterations (1 = decode once, take the BLER).
+  int min_effort = lte::kMinTurboIterations;
+
+  /// Backlog (in TTIs of server throughput, Executor::backlog_ttis) at
+  /// which the cap starts stepping down from max_effort...
+  double pressure_onset_ttis = 0.5;
+  /// ...and at which it bottoms out at min_effort. Between the two the
+  /// cap interpolates linearly — a proportional controller, no state to
+  /// oscillate.
+  double pressure_full_ttis = 2.0;
+};
+
+void validate(const OverloadConfig& config);
+
+/// Effort cap for one submission given the target server's backlog:
+/// max_effort at or below the onset, min_effort at or above full
+/// pressure, linear in between. Pure function — trivially testable and
+/// thread-count invariant.
+int effort_cap_for_pressure(const OverloadConfig& config,
+                            double backlog_ttis);
+
+}  // namespace pran::core

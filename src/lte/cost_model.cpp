@@ -26,6 +26,21 @@ const char* stage_name(Stage s) noexcept {
   return "?";
 }
 
+EffortCapOutcome apply_effort_cap(std::span<Allocation> allocs, int cap) {
+  PRAN_REQUIRE(cap >= 1, "effort cap must allow at least one pass");
+  EffortCapOutcome out;
+  for (Allocation& alloc : allocs) {
+    if (alloc.n_prb == 0) continue;
+    out.needed_iterations += alloc.turbo_iterations;
+    if (alloc.turbo_iterations > cap) {
+      alloc.turbo_iterations = cap;
+      ++out.capped_tbs;
+    }
+    out.realized_iterations += alloc.turbo_iterations;
+  }
+  return out;
+}
+
 double StageCost::total() const noexcept {
   double sum = 0.0;
   for (double g : gops) sum += g;

@@ -38,12 +38,38 @@ struct CellConfig {
   int fft_size = 2048;  ///< OFDM FFT length for this bandwidth.
 };
 
+/// Turbo-decoder iteration-count envelope. Every layer that reasons about
+/// decode effort — the traffic sampler, the MAC scheduler's per-MCS
+/// estimate, the cost model's peak provisioning and the overload
+/// controller's effort caps — must use these two constants so they cannot
+/// drift apart again (the seed had the Allocation default at 6 while
+/// peak_cost budgeted 8).
+inline constexpr int kMinTurboIterations = 2;
+inline constexpr int kMaxTurboIterations = 8;
+
 /// One UE's allocation inside a subframe.
 struct Allocation {
   int n_prb = 0;
   int mcs = 0;
-  int turbo_iterations = 6;  ///< Decoder iterations actually run.
+  /// Decoder iterations actually run. Defaults to the worst-case budget so
+  /// an un-sampled Allocation is charged conservatively, matching
+  /// peak_cost().
+  int turbo_iterations = kMaxTurboIterations;
 };
+
+/// Result of clamping a subframe's allocations to an effort cap.
+struct EffortCapOutcome {
+  int capped_tbs = 0;            ///< Allocations whose budget was reduced.
+  long needed_iterations = 0;    ///< Sum of pre-cap (sampled) iterations.
+  long realized_iterations = 0;  ///< Sum of post-cap iterations.
+};
+
+/// Clamp each allocation's turbo_iterations to `cap` in place, so the cost
+/// model charges the *realized* effort rather than the sampled demand. The
+/// floor is 1 iteration — a capped decode still runs at least one pass.
+/// Returns how much effort was asked for vs granted so callers can account
+/// for the complexity-rate tradeoff honestly.
+EffortCapOutcome apply_effort_cap(std::span<Allocation> allocs, int cap);
 
 enum class Direction { kUplink, kDownlink };
 
@@ -117,7 +143,7 @@ class CostModel {
   /// Worst-case subframe cost for a cell: all PRBs allocated at the highest
   /// MCS. This is what per-cell peak provisioning must budget for.
   StageCost peak_cost(const CellConfig& cell, Direction dir,
-                      int turbo_iterations = 8) const;
+                      int turbo_iterations = kMaxTurboIterations) const;
 
   /// Wall-clock time to execute `cost` on a core sustaining `core_gops`
   /// giga-operations per second.

@@ -28,10 +28,16 @@ SubframeJob SubframeFactory::uplink_job(
   job.direction = Direction::kUplink;
   job.cost = model_.subframe_cost(config_, allocs, Direction::kUplink);
   int code_blocks = 0;
-  for (const auto& a : allocs)
-    code_blocks += code_block_count(
-                       transport_block_bits(a.mcs, units::PrbCount{a.n_prb})) *
-                   config_.mimo_layers;
+  for (const auto& a : allocs) {
+    if (a.n_prb == 0) continue;
+    const auto tb = transport_block_bits(a.mcs, units::PrbCount{a.n_prb});
+    code_blocks += code_block_count(tb) * config_.mimo_layers;
+    job.tb_count += 1;
+    job.tb_bits +=
+        static_cast<double>(tb.count()) * config_.mimo_layers;
+    job.decode_iterations_needed += a.turbo_iterations;
+    job.decode_iterations_realized += a.turbo_iterations;
+  }
   job.parallelism = std::max(1, code_blocks);
   // Over-the-air during [tti, tti+1); last sample lands one fronthaul
   // latency after the subframe ends.

@@ -32,6 +32,20 @@ struct SubframeJob {
   int parallelism = 1;
   sim::Time release = 0;         ///< Earliest start (samples available).
   sim::Time deadline = 0;        ///< Hard completion deadline.
+  /// Transport blocks carried (uplink: one per non-empty allocation).
+  int tb_count = 0;
+  /// Offered transport-block bits across all allocations and layers; the
+  /// goodput numerator when the job completes on time.
+  double tb_bits = 0.0;
+  /// Sum of sampled (pre-cap) turbo iterations over the job's TBs — what
+  /// the channel demanded for convergence.
+  long decode_iterations_needed = 0;
+  /// Sum of post-cap iterations — the effort actually charged. Equal to
+  /// needed when no effort cap is in force.
+  long decode_iterations_realized = 0;
+  /// Transport blocks abandoned by the overload controller for lack of
+  /// compute (computational outage), set when the job is refused admission.
+  int compute_outage_tbs = 0;
 
   double total_gops() const noexcept { return cost.total() + extra_gops; }
 };

@@ -11,7 +11,8 @@ namespace {
 
 int iterations_for(int mcs) {
   const double rate = lte::mcs(mcs).code_rate;
-  return std::clamp(static_cast<int>(std::lround(3.0 + 4.0 * rate)), 2, 8);
+  return std::clamp(static_cast<int>(std::lround(3.0 + 4.0 * rate)),
+                    lte::kMinTurboIterations, lte::kMaxTurboIterations);
 }
 
 /// PF-style bookkeeping shared by all policies: fold every UE's served

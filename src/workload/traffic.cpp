@@ -23,7 +23,7 @@ namespace {
 int sample_turbo_iterations(double code_rate, Rng& rng) {
   const double mean = 3.0 + 4.0 * code_rate;  // 3.3 .. 6.7
   const int draw = static_cast<int>(std::lround(rng.normal(mean, 0.8)));
-  return std::clamp(draw, 2, 8);
+  return std::clamp(draw, lte::kMinTurboIterations, lte::kMaxTurboIterations);
 }
 
 }  // namespace

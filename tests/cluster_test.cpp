@@ -178,6 +178,74 @@ TEST(Executor, PerServerStats) {
   EXPECT_EQ(ex.stats_for_server(1).missed, 1u);
 }
 
+TEST(Executor, BacklogTtisTracksPendingWork) {
+  sim::Engine engine;
+  Executor ex(engine, {one_core(100.0)}, SchedPolicy::kEdf);
+  EXPECT_DOUBLE_EQ(ex.backlog_ttis(0), 0.0);
+  // Three 0.05 Gop jobs: one starts on the single core, two stay queued.
+  for (int i = 0; i < 3; ++i)
+    ex.submit(0, make_job(i, 0.05, 0, 50 * sim::kMillisecond));
+  engine.run_until(1);
+  // 0.1 Gop pending vs 0.1 Gop/TTI whole-server throughput = 1 TTI of
+  // backlog — the overload controller's pressure unit.
+  EXPECT_DOUBLE_EQ(ex.pending_gops(0), 0.1);
+  EXPECT_DOUBLE_EQ(ex.backlog_ttis(0), 1.0);
+  // A degraded clock stretches the same backlog proportionally.
+  ex.degrade_server(0, 0.5);
+  EXPECT_DOUBLE_EQ(ex.backlog_ttis(0), 2.0);
+  ex.restore_speed(0);
+  engine.run();
+  EXPECT_DOUBLE_EQ(ex.backlog_ttis(0), 0.0);
+}
+
+TEST(Executor, ComputeOutageIsItsOwnOutcome) {
+  sim::Engine engine;
+  Executor ex(engine, {one_core(100.0)}, SchedPolicy::kEdf);
+  int completions = 0;
+  bool saw_outage_flag = false;
+  ex.set_completion_callback([&](const JobOutcome& o) {
+    ++completions;
+    saw_outage_flag = o.compute_outage;
+  });
+  bool drop_fired = false;
+  ex.set_drop_callback(
+      [&](const lte::SubframeJob&, int) { drop_fired = true; });
+  ex.record_compute_outage(0, make_job(3, 0.2, 0, sim::kMillisecond));
+  ASSERT_EQ(ex.outcomes().size(), 1u);
+  const auto& o = ex.outcomes()[0];
+  EXPECT_TRUE(o.compute_outage);
+  EXPECT_FALSE(o.dropped);
+  // An abandoned job never ran: it is neither a miss nor a drop.
+  EXPECT_FALSE(o.missed_deadline());
+  // HARQ accounting rides the completion callback; the drop callback
+  // stays reserved for fault-induced loss.
+  EXPECT_EQ(completions, 1);
+  EXPECT_TRUE(saw_outage_flag);
+  EXPECT_FALSE(drop_fired);
+  EXPECT_EQ(ex.stats().compute_outages, 1u);
+  EXPECT_EQ(ex.stats().completed, 0u);
+  EXPECT_EQ(ex.stats().dropped, 0u);
+  EXPECT_DOUBLE_EQ(ex.stats().compute_outage_ratio(), 1.0);
+  EXPECT_EQ(ex.stats_for_server(0).compute_outages, 1u);
+  EXPECT_THROW(ex.record_compute_outage(9, make_job(0, 0.1, 0, 1)),
+               pran::ContractViolation);
+}
+
+TEST(Executor, ComputeOutageExcludedFromUtilization) {
+  sim::Engine engine;
+  Executor ex(engine, {one_core(100.0)}, SchedPolicy::kEdf);
+  ex.submit(0, make_job(0, 0.1, 0, 10 * sim::kMillisecond));  // 1 ms busy
+  ex.record_compute_outage(0, make_job(1, 5.0, 0, sim::kMillisecond));
+  engine.run();
+  // The abandoned 5 Gop job burned zero core time.
+  EXPECT_DOUBLE_EQ(ex.utilization(0, 2 * sim::kMillisecond), 0.5);
+  const auto stats = ex.stats();
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.compute_outages, 1u);
+  // Ratio over all settled jobs: 1 outage of 2.
+  EXPECT_DOUBLE_EQ(stats.compute_outage_ratio(), 0.5);
+}
+
 TEST(Executor, ValidatesServerIds) {
   sim::Engine engine;
   Executor ex(engine, {one_core()}, SchedPolicy::kEdf);

@@ -26,6 +26,7 @@
 #include "coding/simd/viterbi_kernels.hpp"
 #include "coding/turbo.hpp"
 #include "coding/viterbi.hpp"
+#include "common/check.hpp"
 #include "common/rng.hpp"
 
 namespace pran::coding {
@@ -299,6 +300,105 @@ TEST(SimdTurboDecode, BatchStatsCountRefillsAndPasses) {
     // lanes must have been refilled from the pending queue.
     EXPECT_GE(stats.lane_refills, batch - std::size_t{w});
   }
+}
+
+/// Per-item iteration budgets (the overload-control currency): a positive
+/// TurboBatchItem::max_iterations overrides the call-wide cap for that
+/// block only, and exhausted budgets are counted when an early-stop
+/// predicate is in play.
+TEST(SimdTurboDecode, PerItemBudgetOverridesCallWideCap) {
+  for (simd::Isa isa : kVectorIsas) {
+    if (!simd::isa_available(isa)) {
+      GTEST_SKIP() << "no vector ISA available on this CPU/build";
+    }
+    ScopedIsa pin(isa);
+    const std::size_t k = 64;
+    const std::size_t batch = 7;
+    Rng rng(0xB0D6E7);
+    std::vector<Llrs> llrs(batch);
+    for (std::size_t i = 0; i < batch; ++i)
+      llrs[i] = transmit_bpsk(turbo_encode(random_bits(k, rng)),
+                              units::Db{-6.0}, rng);
+    // A predicate that never accepts: every lane must run to its own
+    // budget, which makes the realized iteration counts deterministic.
+    const auto never = [](std::size_t, const Bits&) { return false; };
+
+    std::vector<TurboBatchItem> items(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      items[i].llrs = &llrs[i];
+      items[i].max_iterations = (i % 2 == 0) ? 3 : 0;  // 0 inherits 5
+    }
+    TurboDecoder dec;
+    const TurboBatchStats stats = dec.decode_batch(items, k, 5, never);
+    for (std::size_t i = 0; i < batch; ++i) {
+      EXPECT_EQ(items[i].iterations, (i % 2 == 0) ? 3 : 5)
+          << simd::isa_name(isa) << " i=" << i;
+      EXPECT_FALSE(items[i].converged);
+    }
+    EXPECT_EQ(stats.budget_exhausted, batch);
+
+    // Budget-capped lanes stay bit-exact with a scalar decode at the same
+    // per-block cap: capping changes WHEN a lane retires, never the
+    // per-iteration arithmetic.
+    TurboDecoder scalar_dec;
+    ScopedIsa scalar_pin(simd::Isa::kScalar);
+    for (std::size_t i = 0; i < batch; ++i) {
+      const int cap = (i % 2 == 0) ? 3 : 5;
+      const TurboResult ref = scalar_dec.decode(
+          llrs[i], k, cap, [&](const Bits& hard) { return never(i, hard); });
+      ASSERT_EQ(ref.info, items[i].info)
+          << simd::isa_name(isa) << " i=" << i;
+      EXPECT_EQ(ref.iterations, items[i].iterations);
+    }
+  }
+}
+
+/// When every per-item budget equals the legacy uniform cap, outputs must
+/// be bit-identical to a batch decode with no overrides at all — the
+/// acceptance gate for swapping effort-capped decode into the pipeline.
+TEST(SimdTurboDecode, UniformPerItemBudgetMatchesLegacyBatch) {
+  const std::size_t k = 64;
+  const std::size_t batch = 9;
+  Rng rng(0x1E6AC4);
+  std::vector<Bits> infos(batch);
+  std::vector<Llrs> llrs(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    infos[i] = random_bits(k, rng);
+    const double esn0 = (i % 3 == 0) ? -4.0 : 1.0;
+    llrs[i] = transmit_bpsk(turbo_encode(infos[i]), units::Db{esn0}, rng);
+  }
+  const auto genie = [&infos](std::size_t index, const Bits& hard) {
+    return hard == infos[index];
+  };
+  auto run = [&](int per_item) {
+    std::vector<TurboBatchItem> items(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      items[i].llrs = &llrs[i];
+      items[i].max_iterations = per_item;
+    }
+    TurboDecoder dec;
+    dec.decode_batch(items, k, 8, genie);
+    return items;
+  };
+  const auto legacy = run(0);   // inherit the call-wide cap
+  const auto capped = run(8);   // explicit budgets at the same cap
+  for (std::size_t i = 0; i < batch; ++i) {
+    ASSERT_EQ(legacy[i].info, capped[i].info) << "i=" << i;
+    EXPECT_EQ(legacy[i].iterations, capped[i].iterations);
+    EXPECT_EQ(legacy[i].converged, capped[i].converged);
+  }
+}
+
+TEST(SimdTurboDecode, RejectsNegativePerItemBudget) {
+  const std::size_t k = 64;
+  Rng rng(0xBAD1);
+  Llrs llrs = transmit_bpsk(turbo_encode(random_bits(k, rng)),
+                            units::Db{0.0}, rng);
+  std::vector<TurboBatchItem> items(1);
+  items[0].llrs = &llrs;
+  items[0].max_iterations = -1;
+  TurboDecoder dec;
+  EXPECT_THROW(dec.decode_batch(items, k, 8), pran::ContractViolation);
 }
 
 TEST(SimdViterbiDecode, MatchesScalarPerIsa) {

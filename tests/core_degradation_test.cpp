@@ -143,6 +143,117 @@ TEST(DegradationLadder, RungSemantics) {
   EXPECT_TRUE(ladder.cell_quarantined(7));
 }
 
+DegradationConfig compute_ladder_config() {
+  // Full ladder: 1 compression step, 2 effort steps, an MCS cap.
+  // Rungs: 0 normal, 1 compress, 2 effort(6), 3 effort(4), 4 mcs-cap,
+  // 5 shed, 6 quarantine.
+  DegradationConfig config = ladder_config();
+  config.compression_ladder = {1.5};
+  config.effort_ladder = {6, 4};
+  config.mcs_cap = 16;
+  return config;
+}
+
+TEST(DegradationLadder, EffortAndMcsRungsSlotBetweenCompressionAndShed) {
+  DegradationController ladder(compute_ladder_config(), 8);
+  EXPECT_EQ(ladder.max_rung(), 6);
+  // Kinds in ladder order: cheaper currencies first, coverage last.
+  EXPECT_EQ(ladder.rung_kind(0), RungKind::kNormal);
+  EXPECT_EQ(ladder.rung_kind(1), RungKind::kCompress);
+  EXPECT_EQ(ladder.rung_kind(2), RungKind::kEffort);
+  EXPECT_EQ(ladder.rung_kind(3), RungKind::kEffort);
+  EXPECT_EQ(ladder.rung_kind(4), RungKind::kMcsCap);
+  EXPECT_EQ(ladder.rung_kind(5), RungKind::kShed);
+  EXPECT_EQ(ladder.rung_kind(6), RungKind::kQuarantine);
+  EXPECT_STREQ(rung_kind_name(RungKind::kEffort), "effort");
+  EXPECT_STREQ(rung_kind_name(RungKind::kMcsCap), "mcs-cap");
+}
+
+TEST(DegradationLadder, EffortCapAndMcsProgression) {
+  DegradationController ladder(compute_ladder_config(), 8);
+  auto step_up = [&](sim::Time& t) {
+    ladder.update(t++, stressed());
+    ladder.update(t++, stressed());
+  };
+  sim::Time t = 0;
+  EXPECT_EQ(ladder.effort_cap(), lte::kMaxTurboIterations);
+  step_up(t);  // rung 1: compress — decode effort still untouched
+  EXPECT_EQ(ladder.effort_cap(), lte::kMaxTurboIterations);
+  EXPECT_FALSE(ladder.mcs_capping());
+  step_up(t);  // rung 2: first effort step
+  EXPECT_EQ(ladder.effort_cap(), 6);
+  EXPECT_STREQ(ladder.rung_name(), "effort");
+  step_up(t);  // rung 3: second effort step
+  EXPECT_EQ(ladder.effort_cap(), 4);
+  EXPECT_FALSE(ladder.mcs_capping());
+  step_up(t);  // rung 4: MCS cap — deepest effort cap stays in force
+  EXPECT_EQ(ladder.effort_cap(), 4);
+  EXPECT_TRUE(ladder.mcs_capping());
+  EXPECT_EQ(ladder.mcs_cap(), 16);
+  EXPECT_STREQ(ladder.rung_name(), "mcs-cap");
+  EXPECT_FALSE(ladder.shedding());
+  step_up(t);  // rung 5: shed — compute rungs remain engaged underneath
+  EXPECT_TRUE(ladder.shedding());
+  EXPECT_EQ(ladder.effort_cap(), 4);
+  EXPECT_TRUE(ladder.mcs_capping());
+  step_up(t);  // rung 6: quarantine
+  EXPECT_TRUE(ladder.quarantining());
+  EXPECT_EQ(ladder.rung(), ladder.max_rung());
+}
+
+TEST(DegradationLadder, ComputePressureIsAFirstClassSignal) {
+  DegradationController ladder(compute_ladder_config(), 8);
+  auto pressure = [](double ttis) {
+    DegradationSignals s;
+    s.compute_pressure = ttis;
+    return s;
+  };
+  // Above compute_up_ttis (2.0): stressed, trips the ladder alone.
+  EXPECT_FALSE(ladder.update(0, pressure(3.0)));
+  EXPECT_TRUE(ladder.update(1, pressure(3.0)));
+  EXPECT_EQ(ladder.rung(), 1);
+  // Dead band [0.5, 2.0]: holds the rung and resets both streaks.
+  for (int epoch = 0; epoch < 20; ++epoch)
+    EXPECT_FALSE(ladder.update(2 + epoch, pressure(1.0)));
+  EXPECT_EQ(ladder.rung(), 1);
+  // Below compute_down_ttis (0.5): calm epochs accumulate to a step-down.
+  bool stepped_down = false;
+  for (int epoch = 0; epoch < 8; ++epoch)
+    stepped_down = ladder.update(30 + epoch, pressure(0.1)) || stepped_down;
+  EXPECT_TRUE(stepped_down);
+  EXPECT_EQ(ladder.rung(), 0);
+}
+
+TEST(DegradationLadder, DwellAccountsTimePerRung) {
+  DegradationController ladder(compute_ladder_config(), 8);
+  const sim::Time ms = sim::kMillisecond;
+  ladder.update(10 * ms, stressed());   // dwell[0] += 10 ms
+  ladder.update(20 * ms, stressed());   // dwell[0] += 10 ms, then rung 0 -> 1
+  ladder.update(30 * ms, dead_band());  // dwell[1] += 10 ms
+  EXPECT_EQ(ladder.dwell(0), 20 * ms);
+  EXPECT_EQ(ladder.dwell(1), 10 * ms);
+  EXPECT_EQ(ladder.dwell(2), 0);
+  EXPECT_THROW(ladder.dwell(ladder.max_rung() + 1), pran::ContractViolation);
+}
+
+TEST(DegradationLadder, ValidatesComputeConfig) {
+  auto bad = compute_ladder_config();
+  bad.effort_ladder = {4, 6};  // not decreasing
+  EXPECT_THROW(DegradationController(bad, 8), pran::ContractViolation);
+  bad = compute_ladder_config();
+  bad.effort_ladder = {lte::kMaxTurboIterations};  // no cap at all
+  EXPECT_THROW(DegradationController(bad, 8), pran::ContractViolation);
+  bad = compute_ladder_config();
+  bad.effort_ladder = {6, 0};  // below one pass
+  EXPECT_THROW(DegradationController(bad, 8), pran::ContractViolation);
+  bad = compute_ladder_config();
+  bad.mcs_cap = 29;  // outside the MCS table
+  EXPECT_THROW(DegradationController(bad, 8), pran::ContractViolation);
+  bad = compute_ladder_config();
+  bad.compute_down_ttis = bad.compute_up_ttis;  // no hysteresis band
+  EXPECT_THROW(DegradationController(bad, 8), pran::ContractViolation);
+}
+
 TEST(DegradationLadder, ValidatesConfig) {
   auto bad = ladder_config();
   bad.compression_ladder = {2.0, 1.5};  // not increasing

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "common/check.hpp"
 #include "core/deployment.hpp"
 #include "core/pooling.hpp"
@@ -149,6 +151,161 @@ TEST(Deployment, MissesForCellFilterWorks) {
   std::uint64_t total = 0;
   for (int c = 0; c < 4; ++c) total += d.misses_for_cell(c);
   EXPECT_EQ(total, d.kpis().deadline_misses);
+}
+
+// --- Compute-aware overload control. ---------------------------------------
+
+TEST(OverloadControl, EffortCapInterpolatesWithPressure) {
+  OverloadConfig config;
+  config.enabled = true;
+  config.max_effort = 8;
+  config.min_effort = 2;
+  config.pressure_onset_ttis = 0.5;
+  config.pressure_full_ttis = 2.0;
+  validate(config);
+  EXPECT_EQ(effort_cap_for_pressure(config, 0.0), 8);
+  EXPECT_EQ(effort_cap_for_pressure(config, 0.5), 8);   // at onset
+  EXPECT_EQ(effort_cap_for_pressure(config, 1.25), 5);  // midpoint
+  EXPECT_EQ(effort_cap_for_pressure(config, 2.0), 2);   // at full
+  EXPECT_EQ(effort_cap_for_pressure(config, 50.0), 2);  // saturated
+  // Fractional caps round DOWN: under pressure, grant the conservative
+  // budget.
+  EXPECT_EQ(effort_cap_for_pressure(config, 1.0), 6);
+  EXPECT_EQ(effort_cap_for_pressure(config, 1.1), 5);
+  // Disabled loop never caps, whatever the backlog.
+  config.enabled = false;
+  EXPECT_EQ(effort_cap_for_pressure(config, 50.0), lte::kMaxTurboIterations);
+}
+
+TEST(OverloadControl, ValidatesConfig) {
+  OverloadConfig bad;
+  bad.enabled = true;
+  bad.min_effort = 0;
+  EXPECT_THROW(validate(bad), pran::ContractViolation);
+  bad = OverloadConfig{};
+  bad.max_effort = 1;
+  bad.min_effort = 2;
+  EXPECT_THROW(validate(bad), pran::ContractViolation);
+  bad = OverloadConfig{};
+  bad.max_effort = lte::kMaxTurboIterations + 1;
+  EXPECT_THROW(validate(bad), pran::ContractViolation);
+  bad = OverloadConfig{};
+  bad.pressure_full_ttis = bad.pressure_onset_ttis;
+  EXPECT_THROW(validate(bad), pran::ContractViolation);
+  // A bad config on an enabled loop is rejected at deployment build.
+  auto config = small_config();
+  config.overload.enabled = true;
+  config.overload.min_effort = 0;
+  EXPECT_THROW(Deployment{config}, pran::ContractViolation);
+}
+
+DeploymentConfig overload_scenario(bool overload_on) {
+  DeploymentConfig config;
+  config.num_cells = 4;
+  config.num_servers = 2;
+  // Lean pool: with the default 8 cores a 2-job/TTI load never saturates
+  // the cores, so no backlog (and thus no compute pressure) can form —
+  // jobs either start immediately or fail the solo-execution admission
+  // bound outright. Four cores per server make the pool queue under a
+  // moderate brownout while individual subframes stay solo-feasible.
+  config.server.cores = 4;
+  config.seed = 5;
+  config.epoch = 500 * sim::kMillisecond;
+  config.harq_retransmissions = true;
+  config.overload.enabled = overload_on;
+  return config;
+}
+
+TEST(OverloadControl, BrownedOutPoolProducesBoundedOutagesNotMissStorms) {
+  // A ~3x compute brownout on every server for 600 ms: offered PHY work
+  // exceeds the pool, but most individual subframes remain solo-feasible,
+  // so backlog builds. The overload loop must abandon infeasible
+  // subframes as computational outages (bounded), cap decode effort on
+  // the ones it keeps, and recover once the pool heals. (A much deeper
+  // brownout would fail every job at the solo-execution admission bound
+  // before backlog — and thus effort pressure — could ever build.)
+  auto run = [](bool overload_on) {
+    Deployment d(overload_scenario(overload_on));
+    faults::FaultEvent slow;
+    slow.kind = faults::FaultKind::kDegrade;
+    slow.at = 500 * sim::kMillisecond;
+    slow.duration = 600 * sim::kMillisecond;
+    slow.servers = {0, 1};
+    slow.degrade_factor = 0.3;
+    d.injector().schedule(slow);
+    d.run_for(2 * sim::kSecond);
+    return d.kpis();
+  };
+  const auto baseline = run(false);
+  const auto guarded = run(true);
+  // Without the loop there are no outages by definition — the overload
+  // expresses itself purely as deadline misses.
+  EXPECT_EQ(baseline.compute_outage_jobs, 0u);
+  EXPECT_GT(baseline.deadline_misses, 0u);
+  // With the loop: a nonzero but bounded computational-outage rate...
+  EXPECT_GT(guarded.compute_outage_jobs, 0u);
+  // (a 10x slowdown over 30% of the run, compounded by HARQ retx of the
+  // abandoned blocks, legitimately abandons roughly half the offered jobs)
+  EXPECT_GT(guarded.compute_outage_ratio, 0.0);
+  EXPECT_LT(guarded.compute_outage_ratio, 0.7);
+  EXPECT_GE(guarded.compute_outage_tbs, guarded.compute_outage_jobs);
+  // ...effort caps engaged (realized spend honestly below demand)...
+  EXPECT_GT(guarded.effort_capped_tbs, 0u);
+  EXPECT_LT(guarded.decode_iterations_realized,
+            guarded.decode_iterations_needed);
+  EXPECT_GT(guarded.peak_compute_pressure, 0.0);
+  // ...and fewer deadline misses than the unguarded pool: abandoning
+  // infeasible work protects the jobs that can still make it.
+  EXPECT_LT(guarded.deadline_misses, baseline.deadline_misses);
+  // Goodput accounting stays coherent.
+  EXPECT_GT(guarded.offered_tb_bits, 0.0);
+  EXPECT_LE(guarded.delivered_tb_bits, guarded.offered_tb_bits);
+}
+
+TEST(OverloadControl, IdleLoopChangesNothing) {
+  // At moderate load the backlog never crosses the onset, so an enabled
+  // loop must be a strict no-op: same outcomes, full effort granted.
+  auto run = [](bool overload_on) {
+    auto config = small_config();
+    config.overload.enabled = overload_on;
+    Deployment d(config);
+    d.run_for(sim::kSecond);
+    return d.kpis();
+  };
+  const auto off = run(false);
+  const auto on = run(true);
+  EXPECT_EQ(on.subframes_processed, off.subframes_processed);
+  EXPECT_EQ(on.deadline_misses, off.deadline_misses);
+  EXPECT_EQ(on.compute_outage_jobs, 0u);
+  EXPECT_EQ(on.effort_capped_tbs, 0u);
+  EXPECT_EQ(on.decode_iterations_realized, on.decode_iterations_needed);
+}
+
+TEST(OverloadControl, RunsAreSeedDeterministic) {
+  auto run = [] {
+    Deployment d(overload_scenario(true));
+    faults::FaultEvent slow;
+    slow.kind = faults::FaultKind::kDegrade;
+    slow.at = 300 * sim::kMillisecond;
+    slow.duration = 400 * sim::kMillisecond;
+    slow.servers = {0, 1};
+    slow.degrade_factor = 0.1;
+    d.injector().schedule(slow);
+    d.run_for(1500 * sim::kMillisecond);
+    const auto k = d.kpis();
+    return std::vector<double>{
+        static_cast<double>(k.subframes_processed),
+        static_cast<double>(k.deadline_misses),
+        static_cast<double>(k.compute_outage_jobs),
+        static_cast<double>(k.compute_outage_tbs),
+        static_cast<double>(k.effort_capped_tbs),
+        static_cast<double>(k.decode_iterations_needed),
+        static_cast<double>(k.decode_iterations_realized),
+        k.offered_tb_bits,
+        k.delivered_tb_bits,
+    };
+  };
+  EXPECT_EQ(run(), run());
 }
 
 TEST(Pooling, FfdBinCount) {

@@ -1,8 +1,12 @@
 // Degradation-ladder sweep determinism: deployments with fronthaul
 // impairments and the ladder enabled, swept in parallel. The KPI vector
 // must be byte-identical whatever the worker-thread count — the contract
-// bench E19 relies on. Labelled "tsan" (race-check under
-// -DPRAN_SANITIZE=thread) and "faults" (fault-subsystem stress).
+// bench E19 relies on. The sweep runs the full ladder (compression +
+// decode-effort rungs) with the compute overload loop on and a scripted
+// compute brownout overlapping the fronthaul impairments, so the
+// dual-trip path (wire and pool stressed at once) is raced under tsan
+// too. Labelled "tsan" (race-check under -DPRAN_SANITIZE=thread) and
+// "faults" (fault-subsystem stress).
 
 #include <gtest/gtest.h>
 
@@ -26,38 +30,63 @@ struct Kpi {
   std::uint64_t quarantined_ttis = 0;
   std::uint64_t transitions = 0;
   int rung = 0;
+  std::uint64_t compute_outages = 0;
+  std::uint64_t capped_tbs = 0;
+  std::uint64_t iters_needed = 0;
+  std::uint64_t iters_realized = 0;
 
   bool operator==(const Kpi&) const = default;
 };
+
+core::DeploymentConfig stress_config(std::uint64_t seed) {
+  core::DeploymentConfig config;
+  config.num_cells = 5;
+  config.num_servers = 4;
+  config.seed = seed;
+  config.epoch = 20 * sim::kMillisecond;
+  config.harq_retransmissions = true;
+  config.shared_fronthaul =
+      fronthaul::LinkParams{units::BitRate{25e9}, 25 * sim::kMicrosecond};
+  config.fronthaul_impairments.loss.p_good_to_bad = 0.02;
+  config.fronthaul_impairments.loss.p_bad_to_good = 0.3;
+  config.fronthaul_impairments.loss.loss_bad = 0.5;
+  config.fronthaul_impairments.jitter.max_jitter = 50 * sim::kMicrosecond;
+  config.fronthaul_impairments.brownout.mtbb_seconds = 0.3;
+  config.fronthaul_impairments.brownout.mean_duration_seconds = 0.3;
+  config.fronthaul_impairments.brownout.capacity_factor = 0.7;
+  config.degradation.enabled = true;
+  config.degradation.compression_ladder = {2.0};
+  config.degradation.effort_ladder = {6, 4};
+  config.degradation.up_epochs = 1;
+  config.degradation.down_epochs = 5;
+  config.degradation.queue_delay_up_us = 1500.0;
+  config.degradation.queue_delay_down_us = 1000.0;
+  config.degradation.loss_up = 0.25;
+  config.degradation.loss_down = 0.1;
+  config.overload.enabled = true;
+  return config;
+}
+
+/// Slows every server to `factor` for [at, at + duration) — the compute
+/// half of the dual trip.
+void schedule_compute_brownout(core::Deployment& d, sim::Time at,
+                               sim::Time duration, double factor) {
+  faults::FaultEvent slow;
+  slow.kind = faults::FaultKind::kDegrade;
+  slow.at = at;
+  slow.duration = duration;
+  slow.servers = {0, 1, 2, 3};
+  slow.degrade_factor = factor;
+  d.injector().schedule(slow);
+}
 
 std::vector<Kpi> sweep(unsigned threads) {
   constexpr std::size_t kRuns = 6;
   std::vector<Kpi> out(kRuns);
   parallel_for_each(threads, kRuns, [&](unsigned, std::size_t i) {
-    core::DeploymentConfig config;
-    config.num_cells = 5;
-    config.num_servers = 4;
-    config.seed = 300 + i;
-    config.epoch = 20 * sim::kMillisecond;
-    config.harq_retransmissions = true;
-    config.shared_fronthaul =
-        fronthaul::LinkParams{units::BitRate{25e9}, 25 * sim::kMicrosecond};
-    config.fronthaul_impairments.loss.p_good_to_bad = 0.02;
-    config.fronthaul_impairments.loss.p_bad_to_good = 0.3;
-    config.fronthaul_impairments.loss.loss_bad = 0.5;
-    config.fronthaul_impairments.jitter.max_jitter = 50 * sim::kMicrosecond;
-    config.fronthaul_impairments.brownout.mtbb_seconds = 0.3;
-    config.fronthaul_impairments.brownout.mean_duration_seconds = 0.3;
-    config.fronthaul_impairments.brownout.capacity_factor = 0.7;
-    config.degradation.enabled = true;
-    config.degradation.compression_ladder = {2.0};
-    config.degradation.up_epochs = 1;
-    config.degradation.down_epochs = 5;
-    config.degradation.queue_delay_up_us = 1500.0;
-    config.degradation.queue_delay_down_us = 1000.0;
-    config.degradation.loss_up = 0.25;
-    config.degradation.loss_down = 0.1;
-    core::Deployment d(config);
+    core::Deployment d(stress_config(300 + i));
+    schedule_compute_brownout(d, 500 * sim::kMillisecond,
+                              400 * sim::kMillisecond, 0.15);
     d.run_for(2 * sim::kSecond);
     const auto k = d.kpis();
     out[i] = Kpi{k.subframes_processed,
@@ -69,7 +98,11 @@ std::vector<Kpi> sweep(unsigned threads) {
                  k.compression_tb_failures,
                  k.quarantined_cell_ttis,
                  k.ladder_transitions,
-                 k.ladder_rung};
+                 k.ladder_rung,
+                 k.compute_outage_jobs,
+                 k.effort_capped_tbs,
+                 k.decode_iterations_needed,
+                 k.decode_iterations_realized};
   });
   return out;
 }
@@ -80,14 +113,59 @@ TEST(DegradationStress, SweepIsThreadCountInvariant) {
   const auto parallel8 = sweep(8);
   EXPECT_EQ(serial, parallel2);
   EXPECT_EQ(serial, parallel8);
-  // The scenario is live: impairments and ladder moves actually happened.
-  std::uint64_t lost = 0, transitions = 0;
+  // The scenario is live: impairments, ladder moves, and the compute
+  // overload loop all actually happened.
+  std::uint64_t lost = 0, transitions = 0, capped = 0;
   for (const auto& k : serial) {
     lost += k.lost_bursts;
     transitions += k.transitions;
+    capped += k.capped_tbs;
+    EXPECT_LE(k.iters_realized, k.iters_needed);
   }
   EXPECT_GT(lost, 0u);
   EXPECT_GT(transitions, 0u);
+  EXPECT_GT(capped, 0u);
+}
+
+/// Dual trip + hysteresis re-entry: the fronthaul and the pool are
+/// stressed in two overlapping windows. The ladder must escalate, step
+/// back down in the calm between them, re-escalate on the second window,
+/// and charge the exponential backoff for flapping across the boundary.
+TEST(DegradationStress, DualTripReEntryChargesBackoff) {
+  auto config = stress_config(300);
+  // Keep the fronthaul side quiet between the windows so the ladder can
+  // actually come down: brownouts only, no loss/jitter churn.
+  config.fronthaul_impairments.loss = {};
+  config.fronthaul_impairments.jitter = {};
+  config.degradation.down_epochs = 2;
+  core::Deployment d(config);
+  const int down_epochs = config.degradation.down_epochs;
+  schedule_compute_brownout(d, 300 * sim::kMillisecond,
+                            300 * sim::kMillisecond, 0.15);
+  schedule_compute_brownout(d, 1200 * sim::kMillisecond,
+                            300 * sim::kMillisecond, 0.15);
+  d.run_for(2500 * sim::kMillisecond);
+  const auto k = d.kpis();
+  ASSERT_NE(d.degradation(), nullptr);
+  const auto& ladder = *d.degradation();
+  // Both windows tripped the ladder and it moved both ways.
+  EXPECT_GE(k.ladder_transitions, 4u);
+  // The compute rungs (not just compression) were exercised: time was
+  // spent on an effort rung and effort caps actually bit.
+  sim::Time effort_dwell = 0;
+  for (int r = 0; r <= ladder.max_rung(); ++r)
+    if (ladder.rung_kind(r) == core::RungKind::kEffort)
+      effort_dwell += ladder.dwell(r);
+  EXPECT_GT(effort_dwell, 0);
+  EXPECT_GT(k.effort_capped_tbs, 0u);
+  EXPECT_LT(k.decode_iterations_realized, k.decode_iterations_needed);
+  // Re-entry charged the exponential backoff: the next step-down needs a
+  // longer calm streak than the configured baseline.
+  EXPECT_GT(ladder.current_down_hold(), down_epochs);
+  // The overload loop kept the overload bounded instead of letting the
+  // backlog melt the deadline budget.
+  EXPECT_GT(k.compute_outage_jobs, 0u);
+  EXPECT_LT(k.compute_outage_ratio, 0.5);
 }
 
 }  // namespace

@@ -138,6 +138,63 @@ TEST(CostModel, ZeroPrbAllocationIsFree) {
   EXPECT_DOUBLE_EQ(cost.total(), 0.0);
 }
 
+TEST(CostModel, IterationConstantsBoundDefaults) {
+  // The decoder effort currency is bounded by the shared constants; the
+  // default (worst-case) allocation sits at the top of the band so the
+  // cost model never undercharges an uncapped transport block.
+  EXPECT_LT(kMinTurboIterations, kMaxTurboIterations);
+  EXPECT_GE(kMinTurboIterations, 1);
+  EXPECT_EQ(Allocation{}.turbo_iterations, kMaxTurboIterations);
+}
+
+TEST(EffortCap, CapsOnlyAboveTheCap) {
+  std::vector<Allocation> allocs{
+      {20, 10, kMaxTurboIterations},   // capped
+      {20, 10, 5},                     // at cap — untouched
+      {20, 10, kMinTurboIterations},   // below cap — untouched
+      {0, 28, kMaxTurboIterations},    // empty — ignored entirely
+  };
+  const EffortCapOutcome out = apply_effort_cap(allocs, 5);
+  EXPECT_EQ(out.capped_tbs, 1);
+  EXPECT_EQ(out.needed_iterations,
+            kMaxTurboIterations + 5 + kMinTurboIterations);
+  EXPECT_EQ(out.realized_iterations, 5 + 5 + kMinTurboIterations);
+  EXPECT_EQ(allocs[0].turbo_iterations, 5);
+  EXPECT_EQ(allocs[1].turbo_iterations, 5);
+  EXPECT_EQ(allocs[2].turbo_iterations, kMinTurboIterations);
+  // Zero-PRB allocations carry no decode work; the cap must not rewrite
+  // them or count them in either currency.
+  EXPECT_EQ(allocs[3].turbo_iterations, kMaxTurboIterations);
+}
+
+TEST(EffortCap, NoOpWhenCapAtCeiling) {
+  std::vector<Allocation> allocs{{30, 16, 7}, {30, 16, 3}};
+  const EffortCapOutcome out = apply_effort_cap(allocs, kMaxTurboIterations);
+  EXPECT_EQ(out.capped_tbs, 0);
+  EXPECT_EQ(out.needed_iterations, out.realized_iterations);
+}
+
+TEST(EffortCap, CapReducesChargedDecodeCost) {
+  CostModel model;
+  std::vector<Allocation> allocs{{50, 20, kMaxTurboIterations}};
+  const double before =
+      model.subframe_cost(kCell, allocs, Direction::kUplink)[Stage::kDecode];
+  apply_effort_cap(allocs, kMinTurboIterations);
+  const double after =
+      model.subframe_cost(kCell, allocs, Direction::kUplink)[Stage::kDecode];
+  // Decode gops scale linearly in realized iterations: charging the cap
+  // rather than the demand is what makes the backpressure loop honest.
+  EXPECT_NEAR(after / before,
+              static_cast<double>(kMinTurboIterations) /
+                  static_cast<double>(kMaxTurboIterations),
+              1e-9);
+}
+
+TEST(EffortCap, RejectsNonPositiveCap) {
+  std::vector<Allocation> allocs{{10, 10, 6}};
+  EXPECT_THROW(apply_effort_cap(allocs, 0), ContractViolation);
+}
+
 TEST(CostModel, TimeOnCore) {
   StageCost cost{};
   cost[Stage::kDecode] = 0.15;  // 0.15 Gop

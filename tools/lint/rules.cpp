@@ -246,17 +246,21 @@ void rule_fault_switch_default(const std::string& path, const Toks& t,
       }
     }
     if (body_end == 0) continue;
-    bool mentions_fault_kind = false;
+    // Guarded enums: adding a value to any of these must fail the build
+    // at every switch (-Werror=switch), not fall through a default.
+    const char* guarded = nullptr;
     bool has_default = false;
     for (std::size_t j = body_begin; j < body_end; ++j) {
-      if (is_ident(t[j], "FaultKind")) mentions_fault_kind = true;
+      if (is_ident(t[j], "FaultKind")) guarded = "FaultKind";
+      if (is_ident(t[j], "RungKind")) guarded = "RungKind";
       if (is_ident(t[j], "default") && next_is(t, j, ":")) has_default = true;
     }
-    if (mentions_fault_kind && has_default) {
+    if (guarded && has_default) {
       out.push_back({path, t[i].line, "fault-switch-default",
-                     "switch over FaultKind with a default label — the "
-                     "default eats -Werror=switch, so a new fault kind "
-                     "would fall through silently; enumerate every case"});
+                     std::string("switch over ") + guarded +
+                         " with a default label — the default eats "
+                         "-Werror=switch, so a new enumerator would fall "
+                         "through silently; enumerate every case"});
     }
   }
 }
@@ -456,8 +460,8 @@ const std::vector<RuleInfo>& rule_catalog() {
        "Executor fault mutators called outside src/faults/; faults flow "
        "through faults::FaultInjector"},
       {"fault-switch-default",
-       "switch over FaultKind with a default label defeats -Werror=switch "
-       "exhaustiveness"},
+       "switch over FaultKind or RungKind with a default label defeats "
+       "-Werror=switch exhaustiveness"},
       {"adhoc-timing",
        "std::chrono or printf-family in library code; measure through "
        "telemetry"},

@@ -1,0 +1,22 @@
+// Fixture: a degradation-ladder RungKind switch hiding behind a default
+// label. Exactly the FaultKind hazard in the other fixture: the default
+// eats the -Werror=switch exhaustiveness guarantee, so a newly added rung
+// kind (say a future power-cap rung) would silently fall through instead
+// of failing the build [fault-switch-default].
+
+namespace fixture {
+
+enum class RungKind { kNormal, kCompress, kEffort, kMcsCap, kShed };
+
+inline const char* rung_label(RungKind kind) {
+  switch (kind) {
+    case RungKind::kNormal:
+      return "normal";
+    case RungKind::kShed:
+      return "shed";
+    default:
+      return "degraded";
+  }
+}
+
+}  // namespace fixture

@@ -37,6 +37,10 @@ int main(int argc, char** argv) {
   flags.add_bool("fronthaul", false,
                  "print the fronthaul health summary (loss/late/shed "
                  "counters + degradation-ladder rung) before the full dump");
+  flags.add_bool("compute", false,
+                 "print the compute overload summary (computational-outage "
+                 "rate, realized-vs-budgeted iteration histograms, per-rung "
+                 "dwell) before the full dump");
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
                  flags.usage().c_str());
@@ -102,6 +106,74 @@ int main(int argc, char** argv) {
       if (g.name == "fronthaul.ladder_rung") rung = g.value;
     fronthaul.row().cell("ladder_rung").cell(static_cast<long long>(rung));
     print(fronthaul, "fronthaul health");
+  }
+
+  if (flags.get_bool("compute")) {
+    // Curated view of the compute-overload subsystem: outage taxonomy,
+    // how hard the effort caps are biting, and where the ladder spent its
+    // time. These are the first numbers to check when the pool rather
+    // than the fibre is the suspected bottleneck.
+    auto counter_value = [&](const char* name) -> long long {
+      for (const auto& c : snapshot.counters)
+        if (c.name == name) return static_cast<long long>(c.value);
+      return 0;
+    };
+    auto gauge_value = [&](const char* name) -> double {
+      for (const auto& g : snapshot.gauges)
+        if (g.name == name) return g.value;
+      return 0.0;
+    };
+    Table compute({"compute", "value"});
+    compute.row().cell("outage_jobs").cell(
+        counter_value("compute.outage_jobs"));
+    compute.row().cell("outage_tbs").cell(counter_value("compute.outage_tbs"));
+    compute.row().cell("outage_ratio").cell(
+        gauge_value("kpi.compute_outage_ratio"), 6);
+    compute.row().cell("effort_capped_tbs").cell(
+        counter_value("compute.capped_tbs"));
+    compute.row().cell("mcs_capped_allocs").cell(
+        counter_value("compute.mcs_capped_allocs"));
+    compute.row().cell("iterations_needed").cell(
+        gauge_value("kpi.decode_iterations_needed"), 0);
+    compute.row().cell("iterations_realized").cell(
+        gauge_value("kpi.decode_iterations_realized"), 0);
+    compute.row().cell("peak_pressure_ttis").cell(
+        gauge_value("kpi.peak_compute_pressure"), 3);
+    compute.row().cell("ladder_effort_cap").cell(
+        gauge_value("compute.ladder_effort_cap"), 0);
+    print(compute, "compute overload");
+
+    // Realized-vs-budgeted iteration distributions (per-TB means, one
+    // observation per submitted subframe job).
+    Table iters({"iterations", "count", "mean", "p50", "p95", "p99"});
+    std::size_t iter_rows = 0;
+    for (const auto& h : snapshot.histograms) {
+      if (h.name != "compute.iterations_needed" &&
+          h.name != "compute.iterations_realized")
+        continue;
+      if (h.total() == 0) continue;
+      iters.row()
+          .cell(h.name)
+          .cell(static_cast<long long>(h.total()))
+          .cell(h.mean(), 3)
+          .cell(h.quantile(0.50), 3)
+          .cell(h.quantile(0.95), 3)
+          .cell(h.quantile(0.99), 3);
+      ++iter_rows;
+    }
+    if (iter_rows > 0) print(iters, "decode effort (iterations per TB)");
+
+    // Per-rung dwell time, exported as compute.ladder_dwell_seconds.rung-N
+    // gauges by the KPI snapshot.
+    Table dwell({"rung", "dwell_seconds"});
+    std::size_t dwell_rows = 0;
+    const std::string dwell_prefix = "compute.ladder_dwell_seconds.";
+    for (const auto& g : snapshot.gauges) {
+      if (g.name.rfind(dwell_prefix, 0) != 0) continue;
+      dwell.row().cell(g.name.substr(dwell_prefix.size())).cell(g.value, 3);
+      ++dwell_rows;
+    }
+    if (dwell_rows > 0) print(dwell, "ladder dwell");
   }
 
   Table counters({"counter", "value"});
