@@ -25,11 +25,13 @@
 
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "telemetry/telemetry.hpp"
+#include "telemetry/timeseries.hpp"
 
 #include "bench_guard.hpp"
 #include "coding/awgn.hpp"
@@ -249,6 +251,12 @@ int main(int argc, char** argv) {
                    "write a telemetry snapshot to this file (.json or .csv)");
   flags.add_string("trace-out", "",
                    "write Chrome trace-event JSON to this file");
+  flags.add_string("timeline-out", "",
+                   "stream per-phase telemetry deltas as JSONL to this "
+                   "file (one window per bench phase; E17 has no sim "
+                   "clock, so window timestamps are phase ordinals; "
+                   "each window consumes the span ring, so a combined "
+                   "--trace-out covers only post-window spans)");
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
                  flags.usage().c_str());
@@ -260,8 +268,29 @@ int main(int argc, char** argv) {
   }
 
   pran::bench::warn_if_not_release();
+  std::unique_ptr<pran::telemetry::TimeSeriesRecorder> recorder;
+  if (!flags.get_string("timeline-out").empty()) {
+    recorder = std::make_unique<pran::telemetry::TimeSeriesRecorder>(
+        pran::telemetry::registry(),
+        pran::telemetry::TimeSeriesRecorder::Config{});
+    recorder->open_jsonl(flags.get_string("timeline-out"));
+  }
+  // E17's hot path records only wall-clock spans; the raw registry stays
+  // empty until those spans are folded in. Each phase boundary folds the
+  // ring into the registry, samples the delta, and clears the ring so the
+  // next window digests only its own phase (aggregate_into re-reads every
+  // ring record, so folding without clearing would double-count). The
+  // folded histograms persist in the registry, so a later --metrics-out
+  // still covers the whole run; only --trace-out loses pre-window spans.
+  const auto sample_phase = [&recorder](std::int64_t phase) {
+    if (!recorder) return;
+    pran::telemetry::spans().aggregate_into(pran::telemetry::registry());
+    recorder->sample(phase * pran::sim::kMillisecond);
+    pran::telemetry::spans().clear();
+  };
   ThreadPool pool(static_cast<unsigned>(flags.get_int("threads")));
   print_tables(pool);
+  sample_phase(1);
   std::printf("E17c: measured turbo decode throughput (google-benchmark, "
               "single thread)\n");
   std::printf(
@@ -270,6 +299,7 @@ int main(int argc, char** argv) {
       pran::coding::simd::isa_name(pran::coding::simd::active_isa()));
   register_simd_benchmarks();
   benchmark::RunSpecifiedBenchmarks();
+  sample_phase(2);
   pran::bench::warn_if_not_release();
   if (!flags.get_string("metrics-out").empty())
     pran::telemetry::write_metrics_file(flags.get_string("metrics-out"));

@@ -149,7 +149,8 @@ void run_severity_sweep(unsigned threads, sim::Time duration) {
       "windowed excursion noise so it does not escalate for it\n\n");
 }
 
-void run_acceptance_check(sim::Time duration) {
+void run_acceptance_check(sim::Time duration,
+                          const core::TimelineConfig& timeline) {
   std::printf("B: acceptance — 30%% brownout, ladder vs naive baseline\n\n");
   core::DeploymentKpis kpis[2];
   for (const bool ladder : {false, true}) {
@@ -157,6 +158,11 @@ void run_acceptance_check(sim::Time duration) {
     config.fronthaul_impairments.brownout.mtbb_seconds = 0.3;
     config.fronthaul_impairments.brownout.mean_duration_seconds = 0.4;
     config.fronthaul_impairments.brownout.capacity_factor = 0.7;
+    // Timeline + SLO burn alerts ride on the ladder run only: these two
+    // runs are sequential (they share the global registry), and the
+    // ladder run is the one whose brownout response the flight recorder
+    // is meant to capture.
+    if (ladder) config.timeline = timeline;
     core::Deployment d(config);
     d.run_for(duration);
     kpis[ladder ? 1 : 0] = d.kpis();
@@ -195,6 +201,12 @@ int main(int argc, char** argv) {
                    "write a telemetry snapshot to this file (.json or .csv)");
   flags.add_string("trace-out", "",
                    "write Chrome trace-event JSON to this file");
+  flags.add_string("timeline-out", "",
+                   "stream per-window KPI samples from the acceptance "
+                   "check's ladder run as JSONL to this file");
+  flags.add_string("postmortem-dir", "",
+                   "directory for flight-recorder dumps from the "
+                   "acceptance check's ladder run");
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
                  flags.usage().c_str());
@@ -207,9 +219,16 @@ int main(int argc, char** argv) {
   const auto threads = static_cast<unsigned>(flags.get_int("threads"));
   const auto duration = flags.get_int("duration-ms") * sim::kMillisecond;
 
+  pran::core::TimelineConfig timeline;
+  timeline.timeline_out = flags.get_string("timeline-out");
+  timeline.postmortem_dir = flags.get_string("postmortem-dir");
+  timeline.enabled =
+      !timeline.timeline_out.empty() || !timeline.postmortem_dir.empty();
+  timeline.window = 10 * pran::sim::kMillisecond;
+
   std::printf("E19: fronthaul impairments + graceful degradation\n\n");
   run_severity_sweep(threads, duration);
-  run_acceptance_check(duration);
+  run_acceptance_check(duration, timeline);
   if (!flags.get_string("metrics-out").empty())
     pran::telemetry::write_metrics_file(flags.get_string("metrics-out"));
   if (!flags.get_string("trace-out").empty())

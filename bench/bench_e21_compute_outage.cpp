@@ -199,13 +199,18 @@ core::DeploymentConfig e19_config(bool compute_rungs) {
   return config;
 }
 
-int run_acceptance(sim::Time duration) {
+int run_acceptance(sim::Time duration, const core::TimelineConfig& timeline) {
   std::printf(
       "C: acceptance — E19 30%% fronthaul brownout, compression-only "
       "ladder vs ladder + compute rungs + overload loop\n\n");
   core::DeploymentKpis kpis[2];
   for (const bool compute_rungs : {false, true}) {
-    core::Deployment d(e19_config(compute_rungs));
+    auto config = e19_config(compute_rungs);
+    // The timeline rides on the compute-rung run only — the two runs are
+    // sequential and share the global registry, and the headline run is
+    // the one whose outage budget the SLO engine should be watching.
+    if (compute_rungs) config.timeline = timeline;
+    core::Deployment d(config);
     d.run_for(duration);
     kpis[compute_rungs ? 1 : 0] = d.kpis();
     // The compute-rung run is the E21 headline: its KPIs (including the
@@ -265,6 +270,12 @@ int main(int argc, char** argv) {
                    "write a telemetry snapshot to this file (.json or .csv)");
   flags.add_string("trace-out", "",
                    "write Chrome trace-event JSON to this file");
+  flags.add_string("timeline-out", "",
+                   "stream per-window KPI samples from the acceptance "
+                   "check's compute-rung run as JSONL to this file");
+  flags.add_string("postmortem-dir", "",
+                   "directory for flight-recorder dumps from the "
+                   "acceptance check's compute-rung run");
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
                  flags.usage().c_str());
@@ -278,12 +289,19 @@ int main(int argc, char** argv) {
   const auto threads = static_cast<unsigned>(flags.get_int("threads"));
   const auto duration = flags.get_int("duration-ms") * sim::kMillisecond;
 
+  core::TimelineConfig timeline;
+  timeline.timeline_out = flags.get_string("timeline-out");
+  timeline.postmortem_dir = flags.get_string("postmortem-dir");
+  timeline.enabled =
+      !timeline.timeline_out.empty() || !timeline.postmortem_dir.empty();
+  timeline.window = 10 * sim::kMillisecond;
+
   std::printf("E21: compute-aware overload control\n\n");
   std::vector<core::DeploymentKpis> results;
   std::vector<GridPoint> grid;
   run_severity_sweep(threads, duration, results, grid);
   run_frontier(results, grid);
-  const int rc = run_acceptance(duration);
+  const int rc = run_acceptance(duration, timeline);
   if (!flags.get_string("metrics-out").empty())
     pran::telemetry::write_metrics_file(flags.get_string("metrics-out"));
   if (!flags.get_string("trace-out").empty())

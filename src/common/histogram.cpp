@@ -52,15 +52,13 @@ std::vector<double> Histogram::cdf() const {
 }
 
 double Histogram::quantile(double q) const {
-  PRAN_REQUIRE(q >= 0.0 && q <= 1.0, "quantile level outside [0, 1]");
-  PRAN_REQUIRE(total_ > 0, "quantile() of empty histogram");
-  const auto target = static_cast<double>(total_) * q;
-  double acc = static_cast<double>(underflow_);
-  for (std::size_t i = 0; i < counts_.size(); ++i) {
-    acc += static_cast<double>(counts_[i]);
-    if (acc >= target) return bin_hi(i);
-  }
-  return hi_;
+  return detail::binned_quantile(
+      lo_, hi_, counts_.size(),
+      [this](std::size_t i) {
+        return static_cast<std::uint64_t>(counts_[i]);
+      },
+      static_cast<std::uint64_t>(underflow_),
+      static_cast<std::uint64_t>(overflow_), q);
 }
 
 std::string Histogram::render(std::size_t width) const {

@@ -4,11 +4,68 @@
 /// Fixed-bin histogram with CDF export, used to report latency and
 /// processing-time distributions in the benchmark harness.
 
+#include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/check.hpp"
+
 namespace pran {
+
+namespace detail {
+
+/// Shared binned-quantile convention, used by both `pran::Histogram` and
+/// `telemetry::MetricsSnapshot::HistogramValue` so the two implementations
+/// cannot drift:
+///
+///  - empty histogram: returns `lo` (no throw — an empty window simply has
+///    no tail yet);
+///  - q == 0: lower edge of the first occupied mass (`lo` when underflow
+///    mass exists, `hi` when all mass overflowed);
+///  - q == 1: upper edge of the last occupied mass (`hi` when overflow
+///    mass exists, `lo` when all mass underflowed);
+///  - 0 < q < 1: upper-edge convention at rank ceil(q * n), with underflow
+///    mass counting toward the rank below every bin and overflow above.
+///
+/// `count(i)` returns the count of bin i; bin edges are computed as
+/// `lo + (hi - lo) * i / bins` so both callers agree bit for bit.
+template <class CountFn>
+double binned_quantile(double lo, double hi, std::size_t bins,
+                       const CountFn& count, std::uint64_t underflow,
+                       std::uint64_t overflow, double q) {
+  PRAN_REQUIRE(q >= 0.0 && q <= 1.0, "quantile level outside [0, 1]");
+  const auto edge = [lo, hi, bins](std::size_t i) {
+    return lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(bins);
+  };
+  std::uint64_t n = underflow + overflow;
+  for (std::size_t i = 0; i < bins; ++i) n += count(i);
+  if (n == 0) return lo;
+  if (q <= 0.0) {
+    if (underflow > 0) return lo;
+    for (std::size_t i = 0; i < bins; ++i)
+      if (count(i) > 0) return edge(i);
+    return hi;  // all mass in the overflow bin
+  }
+  if (q >= 1.0) {
+    if (overflow > 0) return hi;
+    for (std::size_t i = bins; i-- > 0;)
+      if (count(i) > 0) return edge(i + 1);
+    return lo;  // all mass in the underflow bin
+  }
+  const auto rank =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n)));
+  std::uint64_t seen = underflow;
+  if (seen >= rank) return lo;
+  for (std::size_t i = 0; i < bins; ++i) {
+    seen += count(i);
+    if (seen >= rank) return edge(i + 1);
+  }
+  return hi;  // rank falls in the overflow bin
+}
+
+}  // namespace detail
 
 /// Uniform-bin histogram over [lo, hi). Samples outside the range are
 /// counted in saturating under/overflow bins so totals are never lost.
@@ -35,7 +92,9 @@ class Histogram {
   /// the final value reaching 1.0 when total() > 0).
   std::vector<double> cdf() const;
 
-  /// Approximate quantile from the binned data (upper-edge convention).
+  /// Approximate quantile from the binned data. Follows the shared
+  /// `detail::binned_quantile` convention (upper-edge; empty returns lo;
+  /// q=0/q=1 snap to the first/last occupied edge).
   double quantile(double q) const;
 
   /// Multi-line textual rendering (one line per bin with a bar), for quick

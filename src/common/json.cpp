@@ -1,0 +1,437 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <iomanip>
+#include <locale>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/narrow.hpp"
+
+namespace pran::json {
+
+namespace {
+
+/// Recursive-descent parser over the raw text. Depth-limited so a
+/// pathological input cannot blow the stack.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value(0);
+    skip_ws();
+    PRAN_REQUIRE(pos_ == text_.size(),
+                 "json: trailing characters after document" + where());
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  std::string where() const {
+    return " (at byte " + std::to_string(pos_) + ")";
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    PRAN_REQUIRE(pos_ < text_.size(), "json: unexpected end of input");
+    return text_[pos_];
+  }
+
+  char next() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect_literal(const char* literal) {
+    for (const char* p = literal; *p != '\0'; ++p)
+      PRAN_REQUIRE(pos_ < text_.size() && text_[pos_++] == *p,
+                   "json: bad literal, expected " + std::string(literal) +
+                       where());
+  }
+
+  Value parse_value(int depth) {
+    PRAN_REQUIRE(depth < kMaxDepth, "json: nesting deeper than 64 levels");
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        return Value(parse_string());
+      case 't':
+        expect_literal("true");
+        return Value(true);
+      case 'f':
+        expect_literal("false");
+        return Value(false);
+      case 'n':
+        expect_literal("null");
+        return Value();
+      default:
+        return parse_number();
+    }
+  }
+
+  Value parse_object(int depth) {
+    next();  // consume '{'
+    Value obj = Value::object();
+    skip_ws();
+    if (peek() == '}') {
+      next();
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      PRAN_REQUIRE(peek() == '"', "json: object key must be a string" +
+                                      where());
+      std::string key = parse_string();
+      skip_ws();
+      PRAN_REQUIRE(next() == ':', "json: expected ':' after key" + where());
+      obj.set(key, parse_value(depth + 1));
+      skip_ws();
+      const char sep = next();
+      if (sep == '}') return obj;
+      PRAN_REQUIRE(sep == ',', "json: expected ',' or '}' in object" +
+                                   where());
+    }
+  }
+
+  Value parse_array(int depth) {
+    next();  // consume '['
+    Value arr = Value::array();
+    skip_ws();
+    if (peek() == ']') {
+      next();
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char sep = next();
+      if (sep == ']') return arr;
+      PRAN_REQUIRE(sep == ',', "json: expected ',' or ']' in array" +
+                                   where());
+    }
+  }
+
+  std::string parse_string() {
+    next();  // consume opening quote
+    std::string out;
+    while (true) {
+      const char c = next();
+      if (c == '"') return out;
+      if (c == '\\') {
+        const char esc = next();
+        switch (esc) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case '/':
+            out += '/';
+            break;
+          case 'b':
+            out += '\b';
+            break;
+          case 'f':
+            out += '\f';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'u':
+            append_codepoint(out, parse_hex4());
+            break;
+          default:
+            PRAN_REQUIRE(false, "json: bad escape sequence" + where());
+        }
+        continue;
+      }
+      PRAN_REQUIRE(narrow_cast<unsigned char>(c) >= 0x20,
+                   "json: raw control character in string" + where());
+      out += c;
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = next();
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        PRAN_REQUIRE(false, "json: bad \\u escape digit" + where());
+      }
+    }
+    return v;
+  }
+
+  void append_codepoint(std::string& out, std::uint32_t cp) {
+    // Combine surrogate pairs when the second half follows immediately.
+    if (cp >= 0xD800 && cp <= 0xDBFF && pos_ + 1 < text_.size() &&
+        text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+      pos_ += 2;
+      const std::uint32_t low = parse_hex4();
+      PRAN_REQUIRE(low >= 0xDC00 && low <= 0xDFFF,
+                   "json: unpaired utf-16 surrogate" + where());
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+    }
+    PRAN_REQUIRE(cp < 0xD800 || cp > 0xDFFF,
+                 "json: unpaired utf-16 surrogate" + where());
+    if (cp < 0x80) {
+      out += narrow_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += narrow_cast<char>(0xC0 | (cp >> 6));
+      out += narrow_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += narrow_cast<char>(0xE0 | (cp >> 12));
+      out += narrow_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += narrow_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += narrow_cast<char>(0xF0 | (cp >> 18));
+      out += narrow_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += narrow_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += narrow_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(narrow_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    PRAN_REQUIRE(pos_ > start, "json: expected a value" + where());
+    const std::string token = text_.substr(start, pos_ - start);
+    try {
+      std::size_t consumed = 0;
+      const double v = std::stod(token, &consumed);
+      PRAN_REQUIRE(consumed == token.size(),
+                   "json: malformed number '" + token + "'" + where());
+      return Value(v);
+    } catch (const ContractViolation&) {
+      throw;
+    } catch (const std::exception&) {
+      PRAN_REQUIRE(false, "json: malformed number '" + token + "'" + where());
+    }
+    return Value();  // unreachable
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+void dump_value(const Value& v, std::string& out, int indent, int depth);
+
+void append_indent(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth),
+             ' ');
+}
+
+void dump_value(const Value& v, std::string& out, int indent, int depth) {
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      out += "null";
+      return;
+    case Value::Kind::kBool:
+      out += v.as_bool() ? "true" : "false";
+      return;
+    case Value::Kind::kNumber:
+      out += format_number(v.as_number());
+      return;
+    case Value::Kind::kString:
+      out += '"';
+      out += escape(v.as_string());
+      out += '"';
+      return;
+    case Value::Kind::kArray: {
+      const auto& items = v.items();
+      if (items.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i != 0) out += indent < 0 ? "," : ",";
+        append_indent(out, indent, depth + 1);
+        dump_value(items[i], out, indent, depth + 1);
+      }
+      append_indent(out, indent, depth);
+      out += ']';
+      return;
+    }
+    case Value::Kind::kObject: {
+      const auto& members = v.members();
+      if (members.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (i != 0) out += ",";
+        append_indent(out, indent, depth + 1);
+        out += '"';
+        out += escape(members[i].first);
+        out += indent < 0 ? "\":" : "\": ";
+        dump_value(members[i].second, out, indent, depth + 1);
+      }
+      append_indent(out, indent, depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Value Value::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+bool Value::as_bool() const {
+  PRAN_REQUIRE(kind_ == Kind::kBool, "json: value is not a bool");
+  return bool_;
+}
+
+double Value::as_number() const {
+  PRAN_REQUIRE(kind_ == Kind::kNumber, "json: value is not a number");
+  return number_;
+}
+
+const std::string& Value::as_string() const {
+  PRAN_REQUIRE(kind_ == Kind::kString, "json: value is not a string");
+  return string_;
+}
+
+const Value::Array& Value::items() const {
+  PRAN_REQUIRE(kind_ == Kind::kArray, "json: value is not an array");
+  return array_;
+}
+
+const Value::Object& Value::members() const {
+  PRAN_REQUIRE(kind_ == Kind::kObject, "json: value is not an object");
+  return object_;
+}
+
+const Value* Value::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const Value& Value::at(const std::string& key) const {
+  const Value* v = find(key);
+  PRAN_REQUIRE(v != nullptr, "json: missing object key '" + key + "'");
+  return *v;
+}
+
+Value& Value::push_back(Value v) {
+  PRAN_REQUIRE(kind_ == Kind::kArray, "json: push_back on a non-array");
+  array_.push_back(std::move(v));
+  return *this;
+}
+
+Value& Value::set(const std::string& key, Value v) {
+  PRAN_REQUIRE(kind_ == Kind::kObject, "json: set on a non-object");
+  for (auto& [k, existing] : object_) {
+    if (k == key) {
+      existing = std::move(v);
+      return *this;
+    }
+  }
+  object_.emplace_back(key, std::move(v));
+  return *this;
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_value(*this, out, indent, 0);
+  return out;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (narrow_cast<unsigned char>(c) < 0x20) {
+          std::ostringstream os;
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(narrow_cast<unsigned char>(c));
+          out += os.str();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_number(double v) {
+  PRAN_REQUIRE(std::isfinite(v), "json: NaN/Inf cannot be serialised");
+  // Integral doubles within exact-integer range print without a fraction.
+  if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    std::ostringstream os;
+    os.imbue(std::locale::classic());
+    os << std::fixed << std::setprecision(0) << v;
+    return os.str();
+  }
+  // Shortest representation that round-trips.
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::ostringstream os;
+    os.imbue(std::locale::classic());
+    os << std::setprecision(precision) << v;
+    if (std::stod(os.str()) == v) return os.str();
+  }
+  return std::to_string(v);
+}
+
+}  // namespace pran::json

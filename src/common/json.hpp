@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file json.hpp
+/// Minimal JSON value model with a strict recursive-descent parser and a
+/// deterministic serializer. Dependency-free on purpose: it backs the
+/// telemetry timeline (JSONL windows), the flight-recorder post-mortems,
+/// and the pran-bench-diff / pran-report tooling, none of which may pull
+/// in an external JSON library.
+///
+/// Scope: full JSON per RFC 8259 minus one liberty — numbers are stored
+/// as doubles (53-bit integer precision), which covers every counter this
+/// codebase exports. Object member order is preserved on parse and used
+/// verbatim on dump, so parse→dump round-trips are stable.
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pran::json {
+
+/// Tagged JSON value. Malformed input and wrong-kind accessors raise
+/// ContractViolation (common/check.hpp) with a position-annotated message.
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<Value>;
+  using Object = std::vector<std::pair<std::string, Value>>;
+
+  Value() : kind_(Kind::kNull) {}
+  explicit Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit Value(double n) : kind_(Kind::kNumber), number_(n) {}
+  explicit Value(int n) : Value(static_cast<double>(n)) {}
+  explicit Value(long long n) : Value(static_cast<double>(n)) {}
+  explicit Value(unsigned long long n) : Value(static_cast<double>(n)) {}
+  explicit Value(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  explicit Value(const char* s) : Value(std::string(s)) {}
+
+  static Value array() {
+    Value v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static Value object() {
+    Value v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  /// Parses one JSON document; trailing non-whitespace is an error.
+  static Value parse(const std::string& text);
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  /// Checked accessors (ContractViolation on kind mismatch).
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& items() const;
+  const Object& members() const;
+
+  /// Object lookup by key; nullptr when absent (or when not an object).
+  const Value* find(const std::string& key) const;
+  /// Object lookup that requires the key to exist.
+  const Value& at(const std::string& key) const;
+
+  /// Array append (requires kArray).
+  Value& push_back(Value v);
+  /// Object insert-or-overwrite (requires kObject); preserves first-insert
+  /// position on overwrite.
+  Value& set(const std::string& key, Value v);
+
+  /// Serializes deterministically: member order preserved, doubles in
+  /// shortest round-trip form, integral doubles without a fraction.
+  /// `indent < 0` emits the compact single-line form (JSONL-safe);
+  /// `indent >= 0` pretty-prints with that many spaces per level.
+  std::string dump(int indent = -1) const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Escapes a string for embedding in a JSON document (quotes not added).
+std::string escape(const std::string& s);
+
+/// Shortest-round-trip double formatting shared by all JSON emitters;
+/// integral values print without an exponent or fraction.
+std::string format_number(double v);
+
+}  // namespace pran::json

@@ -4,8 +4,11 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "core/kpi_export.hpp"
 #include "fronthaul/codec.hpp"
 #include "telemetry/bridge.hpp"
+#include "telemetry/family.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace pran::core {
@@ -20,6 +23,15 @@ Deployment::Deployment(DeploymentConfig config)
     trace_bridge_ = std::make_unique<telemetry::SimTraceBridge>(
         telemetry::registry(), telemetry::spans());
     trace_.set_sink(trace_bridge_.get());
+    // Per-cell outcome series (`deployment.cell_*{cell=N}`): one relaxed
+    // fetch_add per completion on top of the scalar counters, giving the
+    // timeline its dimensional deadline-miss trajectories.
+    cell_subframes_ = std::make_unique<telemetry::CounterFamily>(
+        telemetry::registry(), "deployment.cell_subframes", "cell");
+    cell_misses_ = std::make_unique<telemetry::CounterFamily>(
+        telemetry::registry(), "deployment.cell_misses", "cell");
+    cell_outages_ = std::make_unique<telemetry::CounterFamily>(
+        telemetry::registry(), "deployment.cell_outages", "cell");
   }
   PRAN_REQUIRE(config_.num_cells >= 1, "deployment needs cells");
   PRAN_REQUIRE(config_.num_servers >= 1, "deployment needs servers");
@@ -157,6 +169,10 @@ Deployment::Deployment(DeploymentConfig config)
   executor_->set_completion_callback([this](const cluster::JobOutcome& o) {
     PRAN_SIM_SPAN("subframe_job", o.server_id, o.start, o.finish - o.start,
                   o.job.cell_id, o.job.tti);
+    // Every terminal outcome counts one subframe (the SLO denominators).
+    PRAN_COUNTER_INC("deployment.subframes");
+    const auto cell = static_cast<std::size_t>(o.job.cell_id);
+    if (cell_subframes_) cell_subframes_->inc(cell);
     if (o.compute_outage) {
       // Abandoned for lack of compute: the decode never ran, so the UE
       // hears no ACK and the HARQ debt comes due exactly as for a miss.
@@ -165,11 +181,13 @@ Deployment::Deployment(DeploymentConfig config)
       PRAN_COUNTER_INC("compute.outage_jobs");
       PRAN_COUNTER_ADD("compute.outage_tbs",
                        static_cast<std::uint64_t>(o.job.compute_outage_tbs));
+      if (cell_outages_) cell_outages_->inc(cell);
       handle_harq_loss(o.job);
       return;
     }
     if (o.missed_deadline()) {
       PRAN_COUNTER_INC("deployment.deadline_misses");
+      if (cell_misses_) cell_misses_->inc(cell);
     } else if (!o.dropped) {
       delivered_tb_bits_ += o.job.tb_bits;  // on-time: goodput numerator
     }
@@ -223,6 +241,36 @@ Deployment::Deployment(DeploymentConfig config)
 
   engine_.schedule_at(0, [this] { tick(); });
   engine_.schedule_at(config_.epoch, [this] { epoch_replan(); });
+
+  // KPI timeline: windowed snapshot diffs -> SLO burn-rate evaluation ->
+  // flight-recorder post-mortems. Rides the process-global registry, so
+  // it is only meaningful for runs that own it (see TimelineConfig).
+  if (config_.timeline.enabled && telemetry::enabled()) {
+    PRAN_REQUIRE(config_.timeline.window >= sim::kTti,
+                 "timeline window must be at least one TTI");
+    telemetry::TimeSeriesRecorder::Config rc;
+    rc.window = config_.timeline.window;
+    rc.history = config_.timeline.history;
+    recorder_ = std::make_unique<telemetry::TimeSeriesRecorder>(
+        telemetry::registry(), rc);
+    if (!config_.timeline.timeline_out.empty())
+      recorder_->open_jsonl(config_.timeline.timeline_out);
+    std::vector<telemetry::SloSpec> slos = config_.timeline.slos;
+    if (slos.empty() && config_.timeline.include_default_slos)
+      slos = telemetry::default_deployment_slos();
+    if (!slos.empty())
+      slo_engine_ = std::make_unique<telemetry::SloEngine>(
+          telemetry::registry(), std::move(slos));
+    telemetry::FlightRecorder::Config fc;
+    fc.out_dir = config_.timeline.postmortem_dir;
+    fc.max_windows = config_.timeline.flight_windows;
+    fc.max_dumps = config_.timeline.max_postmortems;
+    flight_ = std::make_unique<telemetry::FlightRecorder>(
+        *recorder_, &telemetry::spans(), fc);
+    engine_.schedule_at(config_.timeline.window, [this] {
+      timeline_sample();
+    });
+  }
 }
 
 Deployment::~Deployment() = default;
@@ -292,6 +340,9 @@ void Deployment::tick() {
       // Burst ready when the subframe ends over the air; arrival replaces
       // the factory's idealised release.
       const sim::Time ready = (tti_counter_ + 1) * sim::kTti;
+      // Denominator for the fronthaul_late_rate SLO: every burst offered
+      // to the fibre, lost or not.
+      PRAN_COUNTER_INC("fronthaul.bursts");
       const fronthaul::BurstOutcome outcome = fronthaul_link_->enqueue_burst(
           ready, fronthaul_bits_per_subframe_);
       burst_lost = outcome.lost;
@@ -428,6 +479,7 @@ void Deployment::epoch_replan() {
       signals.miss_rate =
           done ? static_cast<double>(missed) / static_cast<double>(done) : 0.0;
       signals.compute_pressure = epoch_peak_pressure_;
+      const int rung_before = degradation_->rung();
       if (degradation_->update(engine_.now(), signals)) {
         PRAN_COUNTER_INC("fronthaul.ladder_transitions");
         apply_ladder_rung();
@@ -435,6 +487,24 @@ void Deployment::epoch_replan() {
                     std::string("rung ") +
                         std::to_string(degradation_->rung()) + " (" +
                         degradation_->rung_name() + ")");
+        if (flight_) {
+          flight_->record_transition(engine_.now(), rung_before,
+                                     degradation_->rung(),
+                                     degradation_->rung_name());
+          // Stepping INTO the quarantine rung is the ladder's last resort
+          // (cells off the air): always worth a black-box dump.
+          const bool now_quarantine =
+              degradation_->rung_kind(degradation_->rung()) ==
+              RungKind::kQuarantine;
+          const bool was_quarantine =
+              degradation_->rung_kind(rung_before) == RungKind::kQuarantine;
+          if (now_quarantine && !was_quarantine) {
+            flight_->record_event(engine_.now(), "quarantine",
+                                  degradation_->rung_name());
+            flight_->trigger(engine_.now(), "ladder_quarantine",
+                             degradation_->rung_name());
+          }
+        }
       }
       PRAN_GAUGE_SET("fronthaul.ladder_rung",
                      static_cast<double>(degradation_->rung()));
@@ -488,6 +558,30 @@ void Deployment::epoch_replan() {
 }
 
 void Deployment::run_until(sim::Time t) { engine_.run_until(t); }
+
+void Deployment::timeline_sample() {
+  // Refresh the kpi.* gauges first so the closing window (and any
+  // post-mortem it triggers) carries live KPI values, not end-of-run ones
+  // — this is kpi_export's timeline mode.
+  export_kpis(kpis(), telemetry::registry());
+  const telemetry::WindowSample& window = recorder_->sample(engine_.now());
+  if (slo_engine_) {
+    for (const std::string& name : slo_engine_->on_window(window)) {
+      trace_.emit(engine_.now(), "slo",
+                  "burn-rate trip: " + name);
+      if (flight_)
+        flight_->trigger(engine_.now(), "slo_" + name,
+                         "multi-window burn-rate trip on " + name);
+    }
+  }
+  engine_.schedule_in(config_.timeline.window, [this] { timeline_sample(); });
+}
+
+std::string Deployment::trigger_postmortem(std::string_view reason,
+                                           std::string_view detail) {
+  if (!flight_) return std::string();
+  return flight_->trigger(engine_.now(), reason, detail);
+}
 
 void Deployment::apply_ladder_rung() {
   const double multiplier = degradation_->compression_multiplier();

@@ -30,13 +30,44 @@
 #include "mac/cell_mac.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
+#include "telemetry/slo.hpp"
 #include "workload/traffic.hpp"
 
 namespace pran::telemetry {
 class SimTraceBridge;
+class CounterFamily;
+class FlightRecorder;
 }
 
 namespace pran::core {
+
+/// KPI time-series sampling on a sim-time cadence (DESIGN §14). Only
+/// valid for runs that own the process-global telemetry registry — sweeps
+/// that run many deployments in parallel against the shared registry must
+/// keep this off (their aggregate counters would alias across replicas).
+struct TimelineConfig {
+  bool enabled = false;
+  /// Window length in simulated time (each window closes with a registry
+  /// snapshot diff).
+  sim::Time window = 100 * sim::kMillisecond;
+  /// Closed windows kept resident (the flight recorder's black box depth
+  /// draws from this ring).
+  std::size_t history = 128;
+  /// JSONL stream of closed windows ("" = in-memory only).
+  std::string timeline_out;
+  /// Directory for flight-recorder post-mortems ("" = no dumps). Dumps
+  /// fire on SLO burn-rate trips, ladder quarantines, and explicit
+  /// trigger_postmortem() calls (run aborts).
+  std::string postmortem_dir;
+  /// Windows included in each post-mortem.
+  std::size_t flight_windows = 32;
+  /// Post-mortem dump budget for the run.
+  std::size_t max_postmortems = 4;
+  /// Evaluate default_deployment_slos() when `slos` is empty.
+  bool include_default_slos = true;
+  /// Explicit objectives (overrides the defaults when non-empty).
+  std::vector<telemetry::SloSpec> slos;
+};
 
 struct DeploymentConfig {
   int num_cells = 8;
@@ -120,6 +151,10 @@ struct DeploymentConfig {
   /// Which placement policy the controller uses.
   enum class PlacerKind { kFirstFit, kFirstFitNoSticky, kMilp, kStaticPeak };
   PlacerKind placer = PlacerKind::kFirstFit;
+
+  /// Windowed KPI time series + SLO burn-rate monitoring + anomaly flight
+  /// recorder (no-op unless enabled and the build has telemetry).
+  TimelineConfig timeline;
 };
 
 /// Aggregate KPIs over a run.
@@ -251,9 +286,27 @@ class Deployment {
   /// Per-cell outcome filter: count of deadline misses for one cell.
   std::uint64_t misses_for_cell(int cell_id) const;
 
+  /// Timeline machinery (nullptr unless config().timeline.enabled and the
+  /// build has telemetry).
+  const telemetry::TimeSeriesRecorder* timeline_recorder() const noexcept {
+    return recorder_.get();
+  }
+  const telemetry::SloEngine* slo_engine() const noexcept {
+    return slo_engine_.get();
+  }
+  const telemetry::FlightRecorder* flight_recorder() const noexcept {
+    return flight_.get();
+  }
+  /// Dumps a flight-recorder post-mortem now (run aborts, operator
+  /// request). Returns the file path, or "" when the timeline is off,
+  /// record-only, or the dump budget is spent.
+  std::string trigger_postmortem(std::string_view reason,
+                                 std::string_view detail = "");
+
  private:
   void tick();          ///< One TTI: sample, build jobs, submit.
   void epoch_replan();  ///< Controller epoch.
+  void timeline_sample();  ///< Closes one KPI window (timeline cadence).
   /// Applies the ladder's current rung: recomputes the wire bits per
   /// subframe, the compression BLER penalty and the cell quarantines.
   void apply_ladder_rung();
@@ -277,6 +330,15 @@ class Deployment {
   sim::Trace trace_;
   /// Mirrors trace records into global telemetry (null when disabled).
   std::unique_ptr<telemetry::SimTraceBridge> trace_bridge_;
+  /// Per-cell outcome families (`deployment.cell_*{cell=N}` series; null
+  /// when the build has telemetry off).
+  std::unique_ptr<telemetry::CounterFamily> cell_subframes_;
+  std::unique_ptr<telemetry::CounterFamily> cell_misses_;
+  std::unique_ptr<telemetry::CounterFamily> cell_outages_;
+  /// Timeline machinery (null unless timeline.enabled).
+  std::unique_ptr<telemetry::TimeSeriesRecorder> recorder_;
+  std::unique_ptr<telemetry::SloEngine> slo_engine_;
+  std::unique_ptr<telemetry::FlightRecorder> flight_;
   std::vector<workload::TrafficModel> cells_;
   /// Populated only in kMacScheduled mode (index-aligned with cells_).
   std::vector<mac::CellMac> macs_;

@@ -1,0 +1,134 @@
+#include "telemetry/flight_recorder.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace pran::telemetry {
+
+namespace {
+
+/// Filesystem-safe slug for the dump filename.
+std::string sanitize(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    (c >= 'A' && c <= 'Z');
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(const TimeSeriesRecorder& recorder,
+                               const SpanCollector* spans, Config config)
+    : recorder_(recorder), spans_(spans), config_(std::move(config)) {
+  PRAN_REQUIRE(config_.max_windows >= 1 && config_.max_transitions >= 1 &&
+                   config_.max_events >= 1,
+               "flight recorder rings need capacity >= 1");
+}
+
+void FlightRecorder::record_transition(sim::Time at, int from_rung,
+                                       int to_rung,
+                                       std::string_view rung_name) {
+  transitions_.push_back({at, from_rung, to_rung, std::string(rung_name)});
+  while (transitions_.size() > config_.max_transitions)
+    transitions_.pop_front();
+}
+
+void FlightRecorder::record_event(sim::Time at, std::string_view kind,
+                                  std::string_view detail) {
+  events_.push_back({at, std::string(kind), std::string(detail)});
+  while (events_.size() > config_.max_events) events_.pop_front();
+}
+
+json::Value FlightRecorder::build_postmortem(sim::Time at,
+                                             std::string_view reason,
+                                             std::string_view detail) const {
+  json::Value doc = json::Value::object();
+  doc.set("kind", json::Value("pran_postmortem"));
+  doc.set("reason", json::Value(std::string(reason)));
+  doc.set("detail", json::Value(std::string(detail)));
+  doc.set("t_ms", json::Value(sim::to_seconds(at) * 1e3));
+  doc.set("trigger_index", json::Value(static_cast<double>(triggers_)));
+
+  // The last-N KPI windows, oldest first.
+  json::Value windows = json::Value::array();
+  const auto& ring = recorder_.windows();
+  const std::size_t take = std::min(config_.max_windows, ring.size());
+  for (std::size_t i = ring.size() - take; i < ring.size(); ++i)
+    windows.push_back(ring[i].to_json());
+  doc.set("windows", std::move(windows));
+
+  // Degradation-ladder transitions preceding the trigger.
+  json::Value transitions = json::Value::array();
+  for (const auto& t : transitions_) {
+    json::Value obj = json::Value::object();
+    obj.set("t_ms", json::Value(sim::to_seconds(t.at) * 1e3));
+    obj.set("from_rung", json::Value(static_cast<double>(t.from_rung)));
+    obj.set("to_rung", json::Value(static_cast<double>(t.to_rung)));
+    obj.set("rung_name", json::Value(t.rung_name));
+    transitions.push_back(std::move(obj));
+  }
+  doc.set("ladder_transitions", std::move(transitions));
+
+  json::Value events = json::Value::array();
+  for (const auto& e : events_) {
+    json::Value obj = json::Value::object();
+    obj.set("t_ms", json::Value(sim::to_seconds(e.at) * 1e3));
+    obj.set("kind", json::Value(e.kind));
+    obj.set("detail", json::Value(e.detail));
+    events.push_back(std::move(obj));
+  }
+  doc.set("events", std::move(events));
+
+  // Tail of simulated-time spans (the per-subframe execution record).
+  json::Value spans = json::Value::array();
+  if (spans_ != nullptr) {
+    std::vector<SpanRecord> records = spans_->records();
+    std::vector<const SpanRecord*> sim_records;
+    sim_records.reserve(records.size());
+    for (const auto& r : records)
+      if (r.kind != SpanKind::kWall) sim_records.push_back(&r);
+    const std::size_t keep = std::min(config_.max_spans, sim_records.size());
+    for (std::size_t i = sim_records.size() - keep; i < sim_records.size();
+         ++i) {
+      const SpanRecord& r = *sim_records[i];
+      json::Value obj = json::Value::object();
+      obj.set("name", json::Value(spans_->name(r.name_id)));
+      obj.set("track", json::Value(static_cast<double>(r.track)));
+      obj.set("t_ms", json::Value(static_cast<double>(r.start_ns) / 1e6));
+      obj.set("dur_ms",
+              json::Value(static_cast<double>(r.duration_ns) / 1e6));
+      if (r.arg0 != kNoArg)
+        obj.set("arg0", json::Value(static_cast<double>(r.arg0)));
+      if (r.arg1 != kNoArg)
+        obj.set("arg1", json::Value(static_cast<double>(r.arg1)));
+      spans.push_back(std::move(obj));
+    }
+  }
+  doc.set("spans", std::move(spans));
+  return doc;
+}
+
+std::string FlightRecorder::trigger(sim::Time at, std::string_view reason,
+                                    std::string_view detail) {
+  const json::Value doc = build_postmortem(at, reason, detail);
+  const std::size_t index = triggers_++;
+  if (config_.out_dir.empty() || dumps_written_ >= config_.max_dumps)
+    return std::string();
+  const std::string path = config_.out_dir + "/postmortem_" +
+                           std::to_string(index) + "_" + sanitize(reason) +
+                           ".json";
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  PRAN_REQUIRE(out.is_open(), "cannot write post-mortem: " + path);
+  out << doc.dump(2) << '\n';
+  ++dumps_written_;
+  return path;
+}
+
+}  // namespace pran::telemetry

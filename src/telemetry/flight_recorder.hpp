@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file flight_recorder.hpp
+/// Anomaly flight recorder: a bounded black box of recent system history
+/// — the last N closed KPI windows (from a TimeSeriesRecorder), recent
+/// degradation-ladder transitions, recent discrete events (quarantines,
+/// faults), and a tail of simulated-time spans — dumped as one
+/// self-contained JSON post-mortem when something goes wrong: an SLO
+/// burn-rate trips, a quarantine fires, or the run aborts.
+///
+/// Recording is cheap (bounded deque pushes on the sim-event thread);
+/// dumping walks the rings once and writes a single file. Dumps are
+/// rate-limited (`max_dumps`) so a flapping alert cannot fill a disk.
+///
+/// The span tail is read from the SpanCollector, which requires that no
+/// other thread is recording spans at trigger time — true for a
+/// single-threaded discrete-event run, which is the only mode the
+/// deployment timeline supports (sweeps that share the global registry
+/// across parallel deployments keep the timeline off).
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+
+#include "sim/time.hpp"
+#include "telemetry/span.hpp"
+#include "telemetry/timeseries.hpp"
+
+namespace pran::telemetry {
+
+class FlightRecorder {
+ public:
+  struct Config {
+    /// Directory post-mortems are written into (must exist). Empty means
+    /// record-only: rings stay queryable but trigger() writes nothing.
+    std::string out_dir;
+    /// KPI windows included in a dump (taken from the recorder's ring).
+    std::size_t max_windows = 32;
+    std::size_t max_transitions = 64;
+    std::size_t max_events = 64;
+    /// Sim-span tail records included in a dump.
+    std::size_t max_spans = 256;
+    /// Dump budget for the whole run.
+    std::size_t max_dumps = 4;
+  };
+
+  /// `spans` may be null (no span tail in dumps).
+  FlightRecorder(const TimeSeriesRecorder& recorder,
+                 const SpanCollector* spans, Config config);
+
+  /// Records one degradation-ladder transition.
+  void record_transition(sim::Time at, int from_rung, int to_rung,
+                         std::string_view rung_name);
+  /// Records a discrete anomaly-adjacent event (quarantine, fault...).
+  void record_event(sim::Time at, std::string_view kind,
+                    std::string_view detail);
+
+  /// Dumps the black box. Returns the file path, or "" when record-only
+  /// or the dump budget is exhausted (the trigger still counts).
+  std::string trigger(sim::Time at, std::string_view reason,
+                      std::string_view detail);
+
+  std::size_t triggers() const noexcept { return triggers_; }
+  std::size_t dumps_written() const noexcept { return dumps_written_; }
+  const Config& config() const noexcept { return config_; }
+
+  /// The post-mortem document a dump would write right now (tests, and
+  /// callers that want the payload without the file).
+  json::Value build_postmortem(sim::Time at, std::string_view reason,
+                               std::string_view detail) const;
+
+ private:
+  struct Transition {
+    sim::Time at = 0;
+    int from_rung = 0;
+    int to_rung = 0;
+    std::string rung_name;
+  };
+  struct Event {
+    sim::Time at = 0;
+    std::string kind;
+    std::string detail;
+  };
+
+  const TimeSeriesRecorder& recorder_;
+  const SpanCollector* spans_;
+  Config config_;
+  std::deque<Transition> transitions_;
+  std::deque<Event> events_;
+  std::size_t triggers_ = 0;
+  std::size_t dumps_written_ = 0;
+};
+
+}  // namespace pran::telemetry

@@ -7,6 +7,7 @@
 
 #include "common/check.hpp"
 #include "common/csv.hpp"
+#include "common/histogram.hpp"
 #include "common/narrow.hpp"
 #include "common/strings.hpp"
 
@@ -92,18 +93,9 @@ double MetricsSnapshot::HistogramValue::bucket_hi(
 }
 
 double MetricsSnapshot::HistogramValue::quantile(double q) const {
-  PRAN_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
-  const std::uint64_t n = total();
-  if (n == 0) return lo;
-  const auto rank = static_cast<std::uint64_t>(
-      std::ceil(q * static_cast<double>(n)));
-  std::uint64_t seen = underflow;
-  if (seen >= rank && underflow > 0) return lo;
-  for (std::size_t i = 0; i < buckets.size(); ++i) {
-    seen += buckets[i];
-    if (seen >= rank) return bucket_hi(i);
-  }
-  return hi;  // rank falls in the overflow bin
+  return pran::detail::binned_quantile(
+      lo, hi, buckets.size(), [this](std::size_t i) { return buckets[i]; },
+      underflow, overflow, q);
 }
 
 std::string MetricsSnapshot::to_json() const {

@@ -83,8 +83,10 @@ struct MetricsSnapshot {
 
     std::uint64_t total() const noexcept;
     double mean() const noexcept;
-    /// Approximate quantile from the binned data (upper-edge convention,
-    /// matching pran::Histogram); under/overflow count toward rank.
+    /// Approximate quantile from the binned data. Identical to
+    /// pran::Histogram::quantile by construction — both delegate to
+    /// pran::detail::binned_quantile (upper-edge convention; empty returns
+    /// lo; q=0/q=1 snap to the first/last occupied edge).
     double quantile(double q) const;
     double bucket_lo(std::size_t i) const noexcept;
     double bucket_hi(std::size_t i) const noexcept;
@@ -105,8 +107,12 @@ struct MetricsSnapshot {
 class MetricsRegistry {
  public:
   struct Config {
-    std::size_t max_counters = 256;
-    std::size_t max_gauges = 160;
+    // Sized with labelled-family headroom: a deployment registers up to
+    // ~3 counter families x (kDefaultMaxSeries + 1) per-cell series on
+    // top of the ~60 scalar metrics (see telemetry/family.hpp on the
+    // cardinality budget).
+    std::size_t max_counters = 512;
+    std::size_t max_gauges = 256;
     std::size_t max_histograms = 48;
     std::size_t max_bins = 64;
     unsigned shards = 16;

@@ -101,12 +101,40 @@ TEST(Histogram, QuantileUsesUpperEdgeConvention) {
 TEST(Histogram, QuantileOfAllOverflowIsHi) {
   Histogram h(0.0, 10.0, 4);
   h.add(99.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
   EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(Histogram, QuantileOfEmptyHistogramIsLo) {
+  // Shared convention with telemetry snapshots: an empty histogram has no
+  // tail yet, so every quantile collapses to the range floor (no throw —
+  // windowed exports hit empty histograms routinely).
+  Histogram h(0.25, 1.0, 2);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.25);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.25);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.25);
+}
+
+TEST(Histogram, QuantileEdgeLevelsSnapToOccupiedEdges) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(3.5);  // bin 3
+  h.add(7.5);  // bin 7
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 3.0);   // lower edge of first mass
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 8.0);   // upper edge of last mass
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 4.0);   // rank 1 -> bin 3 upper edge
+}
+
+TEST(Histogram, QuantileOfAllUnderflowIsLo) {
+  Histogram h(5.0, 10.0, 4);
+  h.add(-1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 5.0);
 }
 
 TEST(Histogram, QuantileContractChecks) {
   Histogram h(0.0, 1.0, 2);
-  EXPECT_THROW(h.quantile(0.5), ContractViolation);  // empty
   h.add(0.5);
   EXPECT_THROW(h.quantile(-0.1), ContractViolation);
   EXPECT_THROW(h.quantile(1.1), ContractViolation);

@@ -1,0 +1,110 @@
+// Tests for the minimal JSON value/parser in common/json.hpp: the
+// document model (ordered objects, typed accessors), the parser
+// (numbers, strings, escapes, surrogate pairs, nesting, error
+// positions) and the writer (compact/pretty, number formatting,
+// parse-dump round trips).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/json.hpp"
+
+namespace pran::json {
+namespace {
+
+TEST(JsonValue, BuildsObjectsPreservingInsertOrder) {
+  Value obj = Value::object();
+  obj.set("zulu", Value(1.0));
+  obj.set("alpha", Value(true));
+  obj.set("zulu", Value(2.0));  // overwrite keeps the original position
+  ASSERT_EQ(obj.members().size(), 2u);
+  EXPECT_EQ(obj.members()[0].first, "zulu");
+  EXPECT_DOUBLE_EQ(obj.members()[0].second.as_number(), 2.0);
+  EXPECT_EQ(obj.members()[1].first, "alpha");
+  EXPECT_EQ(obj.dump(), "{\"zulu\":2,\"alpha\":true}");
+}
+
+TEST(JsonValue, BuildsArrays) {
+  Value arr = Value::array();
+  arr.push_back(Value(1.5));
+  arr.push_back(Value("x"));
+  arr.push_back(Value());
+  EXPECT_EQ(arr.dump(), "[1.5,\"x\",null]");
+}
+
+TEST(JsonValue, FindAndAtAccessors) {
+  const Value doc = Value::parse(R"({"a": {"b": [10, 20]}})");
+  EXPECT_NE(doc.find("a"), nullptr);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_DOUBLE_EQ(doc.at("a").at("b").items()[1].as_number(), 20.0);
+  EXPECT_THROW(doc.at("missing"), ContractViolation);
+}
+
+TEST(JsonParse, ScalarsAndWhitespace) {
+  EXPECT_TRUE(Value::parse("  null ").is_null());
+  EXPECT_EQ(Value::parse("true").as_bool(), true);
+  EXPECT_EQ(Value::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(Value::parse("-12.5e2").as_number(), -1250.0);
+  EXPECT_EQ(Value::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(Value::parse(R"("a\"b\\c\/d\n\t")").as_string(), "a\"b\\c/d\n\t");
+  // \u escape, including a surrogate pair (U+1F600 -> 4-byte UTF-8).
+  EXPECT_EQ(Value::parse(R"("\u0041")").as_string(), "A");
+  EXPECT_EQ(Value::parse(R"("\uD83D\uDE00")").as_string(),
+            "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  EXPECT_THROW(Value::parse(""), ContractViolation);
+  EXPECT_THROW(Value::parse("{"), ContractViolation);
+  EXPECT_THROW(Value::parse("[1,]"), ContractViolation);
+  EXPECT_THROW(Value::parse("{\"a\" 1}"), ContractViolation);
+  EXPECT_THROW(Value::parse("nul"), ContractViolation);
+  EXPECT_THROW(Value::parse("1 2"), ContractViolation);  // trailing garbage
+  EXPECT_THROW(Value::parse("\"unterminated"), ContractViolation);
+  EXPECT_THROW(Value::parse(R"("\uD83D")"), ContractViolation);  // lone half
+}
+
+TEST(JsonParse, RejectsRunawayNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  EXPECT_THROW(Value::parse(deep), ContractViolation);
+}
+
+TEST(JsonDump, NumberFormatting) {
+  // Integral doubles print without a fractional part; others round-trip.
+  EXPECT_EQ(Value(42.0).dump(), "42");
+  EXPECT_EQ(Value(-3.0).dump(), "-3");
+  EXPECT_EQ(Value(0.1).dump(), "0.1");
+  EXPECT_EQ(Value(static_cast<double>(std::uint64_t{1} << 40)).dump(),
+            "1099511627776");
+}
+
+TEST(JsonDump, EscapesControlCharactersAndQuotes) {
+  EXPECT_EQ(Value("a\"b\\c\n\x01").dump(), "\"a\\\"b\\\\c\\n\\u0001\"");
+}
+
+TEST(JsonDump, PrettyPrinting) {
+  Value obj = Value::object();
+  obj.set("a", Value(1.0));
+  EXPECT_EQ(obj.dump(2), "{\n  \"a\": 1\n}");
+}
+
+TEST(JsonRoundTrip, ParseDumpParseIsStable) {
+  const std::string text =
+      R"({"counters":{"a.b":3,"c.d{cell=1}":7},"gauges":{"g":0.25},)"
+      R"("nested":[1,[2,{"k":null}],true]})";
+  const Value once = Value::parse(text);
+  const std::string dumped = once.dump();
+  const Value twice = Value::parse(dumped);
+  EXPECT_EQ(dumped, twice.dump());
+  EXPECT_DOUBLE_EQ(twice.at("counters").at("c.d{cell=1}").as_number(), 7.0);
+}
+
+}  // namespace
+}  // namespace pran::json

@@ -1,0 +1,126 @@
+// Integration tests for the deployment KPI timeline: a small Deployment
+// with config.timeline enabled must sample windows on the sim-time
+// cadence, carry the per-cell labelled series, export SLO gauges into the
+// registry, stream JSONL, and dump a parseable flight-recorder post-mortem
+// on demand.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/json.hpp"
+#include "core/deployment.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/timeseries.hpp"
+
+namespace pran::core {
+namespace {
+
+DeploymentConfig timeline_config() {
+  DeploymentConfig config;
+  config.num_cells = 4;
+  config.num_servers = 3;
+  config.seed = 5;
+  config.start_hour = 12.0;
+  config.epoch = 200 * sim::kMillisecond;
+  config.timeline.enabled = true;
+  config.timeline.window = 10 * sim::kMillisecond;
+  return config;
+}
+
+TEST(DeploymentTimeline, SamplesWindowsWithPerCellSeries) {
+  if (!telemetry::enabled()) GTEST_SKIP() << "telemetry compiled out";
+  Deployment d(timeline_config());
+  d.run_for(300 * sim::kMillisecond);
+
+  const telemetry::TimeSeriesRecorder* rec = d.timeline_recorder();
+  ASSERT_NE(rec, nullptr);
+  // 10 ms cadence over 300 ms: first window closes at t=10ms.
+  EXPECT_GE(rec->windows_sampled(), 29u);
+  ASSERT_FALSE(rec->windows().empty());
+
+  // A steady-state window carries the scalar and the per-cell labelled
+  // subframe counters: 4 cells x ~10 TTIs per 10 ms window.
+  const telemetry::WindowSample& w = rec->windows().back();
+  EXPECT_GT(w.counter_delta("deployment.subframes"), 0u);
+  std::uint64_t per_cell_total = 0;
+  for (int cell = 0; cell < 4; ++cell)
+    per_cell_total += w.counter_delta("deployment.cell_subframes{cell=" +
+                                      std::to_string(cell) + "}");
+  EXPECT_EQ(per_cell_total, w.counter_delta("deployment.subframes"));
+}
+
+TEST(DeploymentTimeline, ExportsSloGaugesIntoTheRegistry) {
+  if (!telemetry::enabled()) GTEST_SKIP() << "telemetry compiled out";
+  Deployment d(timeline_config());
+  d.run_for(100 * sim::kMillisecond);
+  ASSERT_NE(d.slo_engine(), nullptr);
+  EXPECT_NE(d.slo_engine()->find("deadline_miss_rate"), nullptr);
+
+  const telemetry::MetricsSnapshot snap = telemetry::registry().snapshot();
+  bool objective_seen = false;
+  bool burn_seen = false;
+  for (const auto& g : snap.gauges) {
+    if (g.name == "slo.deadline_miss_rate.objective") {
+      objective_seen = true;
+      EXPECT_DOUBLE_EQ(g.value, 1e-3);
+    }
+    if (g.name == "slo.deadline_miss_rate.burn_short") burn_seen = true;
+  }
+  EXPECT_TRUE(objective_seen);
+  EXPECT_TRUE(burn_seen);
+  // A healthy small deployment misses nothing: no trips.
+  EXPECT_EQ(d.slo_engine()->find("deadline_miss_rate")->trips, 0u);
+}
+
+TEST(DeploymentTimeline, StreamsJsonlAndDumpsPostmortemOnDemand) {
+  if (!telemetry::enabled()) GTEST_SKIP() << "telemetry compiled out";
+  const std::string dir = testing::TempDir();
+  const std::string jsonl = dir + "/pran_core_timeline_test.jsonl";
+  DeploymentConfig config = timeline_config();
+  config.timeline.timeline_out = jsonl;
+  config.timeline.postmortem_dir = dir;
+  Deployment d(config);
+  d.run_for(100 * sim::kMillisecond);
+
+  const std::string dump = d.trigger_postmortem("abort", "test harness");
+  ASSERT_FALSE(dump.empty());
+  std::ifstream pm(dump);
+  ASSERT_TRUE(pm.is_open());
+  std::stringstream ss;
+  ss << pm.rdbuf();
+  const json::Value doc = json::Value::parse(ss.str());
+  EXPECT_EQ(doc.at("kind").as_string(), "pran_postmortem");
+  EXPECT_EQ(doc.at("reason").as_string(), "abort");
+  EXPECT_FALSE(doc.at("windows").items().empty());
+
+  std::ifstream in(jsonl);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    const json::Value w = json::Value::parse(line);
+    EXPECT_DOUBLE_EQ(w.at("window").as_number(), static_cast<double>(lines));
+    ++lines;
+  }
+  EXPECT_GE(lines, 9u);
+  std::remove(dump.c_str());
+  std::remove(jsonl.c_str());
+}
+
+TEST(DeploymentTimeline, OffByDefaultCostsNothing) {
+  DeploymentConfig config = timeline_config();
+  config.timeline.enabled = false;
+  Deployment d(config);
+  d.run_for(50 * sim::kMillisecond);
+  EXPECT_EQ(d.timeline_recorder(), nullptr);
+  EXPECT_EQ(d.slo_engine(), nullptr);
+  EXPECT_EQ(d.flight_recorder(), nullptr);
+  EXPECT_EQ(d.trigger_postmortem("abort", "x"), "");
+}
+
+}  // namespace
+}  // namespace pran::core

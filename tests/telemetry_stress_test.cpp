@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/parallel.hpp"
+#include "telemetry/family.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/span.hpp"
 
@@ -71,6 +72,54 @@ TEST(TelemetryStress, ConcurrentRegistrationAndUpdates) {
   std::uint64_t total = 0;
   for (const auto& c : snap.counters) total += c.value;
   EXPECT_EQ(total, kItems);
+}
+
+/// Labelled-family workload: every item picks a cell from its index (some
+/// past max_series so the overflow clamp path races too) and bumps the
+/// per-cell counter + histogram. The snapshot must be a pure function of
+/// the item multiset, independent of thread count.
+std::string run_family_workload(unsigned threads) {
+  MetricsRegistry reg;
+  CounterFamily hits(reg, "stress.cell_hits", "cell", /*max_series=*/8);
+  HistogramFamily lat(reg, "stress.cell_lat", "cell", 0.0, 100.0, 32,
+                      /*max_series=*/8);
+  ThreadPool pool(threads);
+  pool.for_each(kItems, [&](unsigned, std::size_t i) {
+    const std::size_t cell = (i * 7) % 12;  // 8 concrete + 4 clamped labels
+    hits.inc(cell);
+    lat.observe(cell, value_of(i));
+  });
+  return reg.snapshot().to_csv();
+}
+
+TEST(TelemetryStress, FamilyWritesSurviveContention) {
+  MetricsRegistry reg;
+  CounterFamily hits(reg, "stress.cell_hits", "cell", /*max_series=*/8);
+  ThreadPool pool(8);
+  pool.for_each(kItems, [&](unsigned, std::size_t i) {
+    hits.inc((i * 7) % 12);
+  });
+  std::uint64_t total = 0;
+  std::uint64_t overflowed = 0;
+  for (const auto& c : reg.snapshot().counters) {
+    if (c.name.rfind("stress.cell_hits{", 0) == 0) total += c.value;
+    if (c.name == "telemetry.label_overflow") overflowed = c.value;
+  }
+  EXPECT_EQ(total, kItems);
+  // Labels 8..11 hit the clamp series: 4 of every 12 items overflow.
+  EXPECT_EQ(overflowed, kItems / 12 * 4 + [] {
+    std::uint64_t extra = 0;
+    for (std::size_t i = kItems / 12 * 12; i < kItems; ++i)
+      if ((i * 7) % 12 >= 8) ++extra;
+    return extra;
+  }());
+}
+
+TEST(TelemetryStress, FamilySnapshotIsThreadCountInvariant) {
+  const std::string baseline = run_family_workload(1);
+  EXPECT_EQ(run_family_workload(2), baseline);
+  EXPECT_EQ(run_family_workload(4), baseline);
+  EXPECT_EQ(run_family_workload(8), baseline);
 }
 
 TEST(TelemetryStress, SpansUnderContention) {

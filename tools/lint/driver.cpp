@@ -225,6 +225,7 @@ constexpr Expectation kExpectations[] = {
     {"bad_timing", "adhoc-timing", false},
     {"bad_intrinsics", "raw-intrinsics", false},
     {"bad_determinism", "determinism-hazard", false},
+    {"bad_metric_name", "metric-name", false},
     {"bad_suppression", "bad-suppression", false},
     {"bad_layering", "layering", true},
     {"bad_include_cycle", "include-cycle", true},

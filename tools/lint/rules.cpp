@@ -323,6 +323,138 @@ void rule_raw_intrinsics(const std::string& path, const Toks& t,
   }
 }
 
+// ----------------------------------------------------------- metric names
+
+/// Dotted lowercase `subsystem.metric`: [a-z0-9_] segments, at least one
+/// dot, no empty segments. The convention every exporter (pran-report
+/// prefixes, the timeline JSONL, pran-bench-diff) keys on; labelled
+/// series append `{key=value}` via telemetry::series_name, so literal
+/// names never carry braces.
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  bool seen_dot = false;
+  bool at_segment_start = true;
+  for (const char c : name) {
+    if (c == '.') {
+      if (at_segment_start) return false;
+      seen_dot = true;
+      at_segment_start = true;
+    } else if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_') {
+      at_segment_start = false;
+    } else {
+      return false;
+    }
+  }
+  return seen_dot && !at_segment_start;
+}
+
+void rule_metric_name(const std::string& path, const Toks& t,
+                      std::vector<Finding>& out) {
+  // Tests register throwaway names ("a", "x.y") to probe the registry
+  // mechanics; the convention binds the shipped surface.
+  if (path_contains(path, "tests/")) return;
+  static const std::set<std::string> kMacros{
+      "PRAN_COUNTER_ADD", "PRAN_COUNTER_INC", "PRAN_GAUGE_SET",
+      "PRAN_HIST_OBSERVE"};
+  static const std::set<std::string> kMembers{"counter", "gauge",
+                                              "histogram"};
+  static const std::set<std::string> kFamilies{
+      "CounterFamily", "GaugeFamily", "HistogramFamily"};
+  static const std::set<std::string> kLabelKeys{"cell", "server", "rung",
+                                                "slice"};
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent || t[i].in_directive) continue;
+    const std::string& name = t[i].text;
+    const bool macro = kMacros.count(name) != 0;
+    const bool member = kMembers.count(name) != 0 &&
+                        (prev_is(t, i, ".") || prev_is(t, i, "->"));
+    const bool family = kFamilies.count(name) != 0;
+    if (!macro && !member && !family) continue;
+
+    // Locate the argument list. Macro/member calls open immediately; a
+    // family construction may sit inside make_unique<...Family>( or
+    // declare a variable first (Family fam(...)).
+    std::size_t open = 0;
+    if (macro || member) {
+      if (!next_is(t, i, "(")) continue;
+      open = i + 1;
+    } else {
+      for (std::size_t j = i + 1; j < std::min(t.size(), i + 4); ++j) {
+        if (is_punct(t[j], "(") || is_punct(t[j], "{")) {
+          open = j;
+          break;
+        }
+        if (!is_punct(t[j], ">") && t[j].kind != TokKind::kIdent) break;
+      }
+      if (open == 0) continue;
+    }
+
+    // Split the call into top-level argument spans [start, end).
+    std::vector<std::pair<std::size_t, std::size_t>> args;
+    int depth = 0;
+    std::size_t arg_start = open + 1;
+    for (std::size_t j = open; j < t.size(); ++j) {
+      const Token& tok = t[j];
+      if (tok.kind != TokKind::kPunct) continue;
+      if (tok.text == "(" || tok.text == "[" || tok.text == "{") ++depth;
+      else if (tok.text == ")" || tok.text == "]" || tok.text == "}") {
+        if (--depth == 0) {
+          if (j > arg_start) args.emplace_back(arg_start, j);
+          break;
+        }
+      } else if (tok.text == "," && depth == 1) {
+        args.emplace_back(arg_start, j);
+        arg_start = j + 1;
+      }
+    }
+    // A string literal only pins the full name when it IS the whole
+    // argument — `"prefix." + name` style concatenations are exempt.
+    const auto whole_string = [&](std::size_t k) -> const Token* {
+      if (k >= args.size()) return nullptr;
+      const auto [b, e] = args[k];
+      if (e != b + 1 || t[b].kind != TokKind::kString) return nullptr;
+      return &t[b];
+    };
+    const auto unquote = [](const std::string& s) {
+      return s.size() >= 2 ? s.substr(1, s.size() - 2) : s;
+    };
+
+    std::size_t name_arg = 0;
+    if (family) {
+      // Skip the leading registry reference; the name is the first
+      // string-literal argument.
+      name_arg = args.size();
+      for (std::size_t k = 0; k < args.size(); ++k)
+        if (whole_string(k) != nullptr) {
+          name_arg = k;
+          break;
+        }
+    }
+    if (const Token* lit = whole_string(name_arg)) {
+      if (!valid_metric_name(unquote(lit->text))) {
+        out.push_back({path, lit->line, "metric-name",
+                       "metric name " + lit->text +
+                           " is not dotted lowercase subsystem.metric "
+                           "([a-z0-9_] segments, at least one dot, no "
+                           "braces — labels go through telemetry "
+                           "families)"});
+      }
+    }
+    if (family) {
+      if (const Token* key = whole_string(name_arg + 1)) {
+        if (kLabelKeys.count(unquote(key->text)) == 0) {
+          out.push_back({path, key->line, "metric-name",
+                         "label key " + key->text +
+                             " is not in the allowlist {cell, server, "
+                             "rung, slice} (telemetry/family.hpp) — "
+                             "unbounded label keys break the cardinality "
+                             "budget"});
+        }
+      }
+    }
+  }
+}
+
 // ----------------------------------------------------- determinism hazards
 
 /// Lexical scope kinds for the determinism rule. Class scope is excluded
@@ -468,6 +600,9 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"raw-intrinsics",
        "x86 SIMD intrinsics outside src/coding/simd/; call through the "
        "dispatch tables"},
+      {"metric-name",
+       "telemetry metric literal is not dotted lowercase subsystem.metric, "
+       "or a family label key is outside the allowlist"},
       {"determinism-hazard",
        "mutable static / namespace-scope thread_local state, "
        "std::random_device or time() — breaks thread-count invariance and "
@@ -502,6 +637,7 @@ void run_file_rules(const std::string& path, const TokenStream& toks,
   rule_fault_switch_default(path, t, out);
   rule_adhoc_timing(path, t, out);
   rule_raw_intrinsics(path, t, out);
+  rule_metric_name(path, t, out);
   rule_determinism_hazard(path, t, out);
 }
 

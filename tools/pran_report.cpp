@@ -4,43 +4,303 @@
 //   $ pran-report --in metrics.csv
 //   $ pran-report --in metrics.csv --prefix kpi.       # KPIs only
 //   $ pran-report --in metrics.csv --format csv        # machine-readable
+//   $ pran-report --in metrics.csv --slo               # SLO verdicts
+//   $ pran-report --timeline run.jsonl                 # windowed series
 //
 // Consumes the CSV snapshot form written by --metrics-out (the JSON form
-// carries the same data for external tooling). Counters and gauges print
-// as name/value tables; histograms print count, mean and tail quantiles
-// computed from the fixed buckets.
+// carries the same data for external tooling) and the JSONL timeline
+// written by --timeline-out. Counters and gauges print as name/value
+// tables; histograms print count, mean and tail quantiles computed from
+// the fixed buckets.
+//
+// Curated sections (--fronthaul, --compute, --slo) are dispatched from
+// one table; each prints its operator view before the full dump. Unknown
+// flags and unreadable input files exit non-zero (2).
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/flags.hpp"
+#include "common/json.hpp"
 #include "common/table.hpp"
 #include "telemetry/registry.hpp"
 
 namespace {
 
+using namespace pran;
+
 bool has_prefix(const std::string& name, const std::string& prefix) {
   return prefix.empty() || name.rfind(prefix, 0) == 0;
+}
+
+/// Everything a section renderer needs: the parsed snapshot plus the
+/// output conventions (--format, --prefix) shared by every section.
+struct ReportContext {
+  const telemetry::MetricsSnapshot& snapshot;
+  bool csv = false;
+  std::string prefix;
+
+  void print(const Table& table, const char* title) const {
+    if (csv) {
+      std::printf("%s", table.to_csv().c_str());
+      return;
+    }
+    std::printf("%s\n%s\n", title, table.render().c_str());
+  }
+  long long counter_value(const std::string& name) const {
+    for (const auto& c : snapshot.counters)
+      if (c.name == name) return static_cast<long long>(c.value);
+    return 0;
+  }
+  double gauge_value(const std::string& name, double fallback = 0.0) const {
+    for (const auto& g : snapshot.gauges)
+      if (g.name == name) return g.value;
+    return fallback;
+  }
+};
+
+// --- curated sections ------------------------------------------------------
+
+/// Impairment + degradation-ladder counters: the numbers an operator
+/// checks first when the fibre is suspected.
+void render_fronthaul(const ReportContext& ctx) {
+  Table fronthaul({"fronthaul", "value"});
+  fronthaul.row().cell("lost_bursts").cell(
+      ctx.counter_value("fronthaul.lost_bursts"));
+  fronthaul.row().cell("late_bursts").cell(
+      ctx.counter_value("fronthaul.late_bursts"));
+  fronthaul.row().cell("shed_subframes").cell(
+      ctx.counter_value("fronthaul.shed_subframes"));
+  fronthaul.row().cell("compression_tb_failures").cell(
+      ctx.counter_value("fronthaul.compression_tb_failures"));
+  fronthaul.row().cell("ladder_transitions").cell(
+      ctx.counter_value("fronthaul.ladder_transitions"));
+  fronthaul.row().cell("ladder_rung").cell(
+      static_cast<long long>(ctx.gauge_value("fronthaul.ladder_rung")));
+  ctx.print(fronthaul, "fronthaul health");
+}
+
+/// Compute-overload subsystem: outage taxonomy, how hard the effort caps
+/// are biting, and where the ladder spent its time. The first numbers to
+/// check when the pool rather than the fibre is the suspected bottleneck.
+void render_compute(const ReportContext& ctx) {
+  Table compute({"compute", "value"});
+  compute.row().cell("outage_jobs").cell(
+      ctx.counter_value("compute.outage_jobs"));
+  compute.row().cell("outage_tbs").cell(
+      ctx.counter_value("compute.outage_tbs"));
+  compute.row().cell("outage_ratio").cell(
+      ctx.gauge_value("kpi.compute_outage_ratio"), 6);
+  compute.row().cell("effort_capped_tbs").cell(
+      ctx.counter_value("compute.capped_tbs"));
+  compute.row().cell("mcs_capped_allocs").cell(
+      ctx.counter_value("compute.mcs_capped_allocs"));
+  compute.row().cell("iterations_needed").cell(
+      ctx.gauge_value("kpi.decode_iterations_needed"), 0);
+  compute.row().cell("iterations_realized").cell(
+      ctx.gauge_value("kpi.decode_iterations_realized"), 0);
+  compute.row().cell("peak_pressure_ttis").cell(
+      ctx.gauge_value("kpi.peak_compute_pressure"), 3);
+  compute.row().cell("ladder_effort_cap").cell(
+      ctx.gauge_value("compute.ladder_effort_cap"), 0);
+  ctx.print(compute, "compute overload");
+
+  // Realized-vs-budgeted iteration distributions (per-TB means, one
+  // observation per submitted subframe job).
+  Table iters({"iterations", "count", "mean", "p50", "p95", "p99"});
+  std::size_t iter_rows = 0;
+  for (const auto& h : ctx.snapshot.histograms) {
+    if (h.name != "compute.iterations_needed" &&
+        h.name != "compute.iterations_realized")
+      continue;
+    if (h.total() == 0) continue;
+    iters.row()
+        .cell(h.name)
+        .cell(static_cast<long long>(h.total()))
+        .cell(h.mean(), 3)
+        .cell(h.quantile(0.50), 3)
+        .cell(h.quantile(0.95), 3)
+        .cell(h.quantile(0.99), 3);
+    ++iter_rows;
+  }
+  if (iter_rows > 0) ctx.print(iters, "decode effort (iterations per TB)");
+
+  // Per-rung dwell time, exported as compute.ladder_dwell_seconds.rung-N
+  // gauges by the KPI snapshot.
+  Table dwell({"rung", "dwell_seconds"});
+  std::size_t dwell_rows = 0;
+  const std::string dwell_prefix = "compute.ladder_dwell_seconds.";
+  for (const auto& g : ctx.snapshot.gauges) {
+    if (g.name.rfind(dwell_prefix, 0) != 0) continue;
+    dwell.row().cell(g.name.substr(dwell_prefix.size())).cell(g.value, 3);
+    ++dwell_rows;
+  }
+  if (dwell_rows > 0) ctx.print(dwell, "ladder dwell");
+}
+
+/// SLO verdicts reconstructed from the slo.* metrics the SloEngine
+/// exports: per-objective run rate, budget consumption, burn gauges at
+/// snapshot time, trip count, and a verdict. TRIPPED means a burn-rate
+/// alert fired at least once during the run; VIOLATED means the
+/// whole-run rate itself ended above the objective.
+void render_slo(const ReportContext& ctx) {
+  std::vector<std::string> names;
+  const std::string prefix = "slo.";
+  const std::string key = ".objective";
+  for (const auto& g : ctx.snapshot.gauges) {
+    if (g.name.rfind(prefix, 0) != 0) continue;
+    if (g.name.size() <= prefix.size() + key.size()) continue;
+    if (g.name.compare(g.name.size() - key.size(), key.size(), key) != 0)
+      continue;
+    names.push_back(g.name.substr(
+        prefix.size(), g.name.size() - prefix.size() - key.size()));
+  }
+  if (names.empty()) {
+    std::printf("no slo.* metrics in snapshot (run with the timeline/SLO "
+                "engine enabled)\n\n");
+    return;
+  }
+  Table table({"slo", "objective", "run_rate", "budget", "burn_s", "burn_l",
+               "trips", "verdict"});
+  for (const auto& name : names) {
+    const std::string p = prefix + name + ".";
+    const double objective = ctx.gauge_value(p + "objective");
+    const double run_rate = ctx.gauge_value(p + "run_rate");
+    const long long trips = ctx.counter_value(p + "trips");
+    const char* verdict = "OK";
+    if (run_rate > objective)
+      verdict = "VIOLATED";
+    else if (trips > 0)
+      verdict = "TRIPPED";
+    table.row()
+        .cell(name)
+        .cell(objective, 6)
+        .cell(run_rate, 6)
+        .cell(ctx.gauge_value(p + "budget_consumed"), 3)
+        .cell(ctx.gauge_value(p + "burn_short"), 2)
+        .cell(ctx.gauge_value(p + "burn_long"), 2)
+        .cell(trips)
+        .cell(verdict);
+  }
+  ctx.print(table, "slo verdicts");
+}
+
+/// The section-dispatch table: one row per curated view. Adding a
+/// section means adding a flag + renderer pair here; main() owns no
+/// per-section logic.
+struct Section {
+  const char* flag;
+  const char* help;
+  void (*render)(const ReportContext&);
+};
+
+constexpr Section kSections[] = {
+    {"fronthaul",
+     "print the fronthaul health summary (loss/late/shed counters + "
+     "degradation-ladder rung) before the full dump",
+     render_fronthaul},
+    {"compute",
+     "print the compute overload summary (computational-outage rate, "
+     "realized-vs-budgeted iteration histograms, per-rung dwell) before "
+     "the full dump",
+     render_compute},
+    {"slo",
+     "print the SLO verdict table (objective, run rate, error-budget "
+     "consumption, burn-rate trips) before the full dump",
+     render_slo},
+};
+
+// --- timeline (JSONL) summary ----------------------------------------------
+
+/// Summarises a --timeline-out JSONL stream: window count and span, plus
+/// per-counter totals and per-window peaks aggregated across windows.
+/// Returns false (exit 2) if the file is unreadable or malformed.
+bool render_timeline(const std::string& path, bool csv,
+                     const std::string& prefix) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+    return false;
+  }
+  struct Agg {
+    double total = 0.0;
+    double peak = 0.0;
+    std::size_t windows = 0;
+  };
+  std::map<std::string, Agg> counters;
+  std::size_t windows = 0;
+  double t_start = 0.0, t_end = 0.0;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    json::Value window;
+    try {
+      window = json::Value::parse(line);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s:%zu: %s\n", path.c_str(), line_no, e.what());
+      return false;
+    }
+    if (windows == 0 && window.find("t_start_ms") != nullptr)
+      t_start = window.at("t_start_ms").as_number();
+    if (window.find("t_end_ms") != nullptr)
+      t_end = window.at("t_end_ms").as_number();
+    ++windows;
+    if (const json::Value* deltas = window.find("counters")) {
+      for (const auto& [name, value] : deltas->members()) {
+        Agg& agg = counters[name];
+        agg.total += value.as_number();
+        agg.peak = std::max(agg.peak, value.as_number());
+        ++agg.windows;
+      }
+    }
+  }
+  if (windows == 0) {
+    std::fprintf(stderr, "no timeline windows in '%s'\n", path.c_str());
+    return false;
+  }
+  std::printf("timeline: %zu windows, %.1f ms .. %.1f ms\n\n", windows,
+              t_start, t_end);
+  Table table({"counter", "total", "peak_per_window", "active_windows"});
+  std::size_t rows = 0;
+  for (const auto& [name, agg] : counters) {
+    if (!has_prefix(name, prefix)) continue;
+    table.row()
+        .cell(name)
+        .cell(agg.total, 0)
+        .cell(agg.peak, 0)
+        .cell(static_cast<long long>(agg.windows));
+    ++rows;
+  }
+  if (rows > 0) {
+    if (csv)
+      std::printf("%s", table.to_csv().c_str());
+    else
+      std::printf("timeline counters (deltas summed over windows)\n%s\n",
+                  table.render().c_str());
+  }
+  return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  using namespace pran;
-
   Flags flags("pran_report", "render a telemetry metrics snapshot");
   flags.add_string("in", "", "snapshot file written by --metrics-out (.csv)");
-  flags.add_string("prefix", "", "only show metrics whose name starts with this");
+  flags.add_string("prefix", "",
+                   "only show metrics whose name starts with this");
   flags.add_string("format", "text", "output: text | csv");
-  flags.add_bool("fronthaul", false,
-                 "print the fronthaul health summary (loss/late/shed "
-                 "counters + degradation-ladder rung) before the full dump");
-  flags.add_bool("compute", false,
-                 "print the compute overload summary (computational-outage "
-                 "rate, realized-vs-budgeted iteration histograms, per-rung "
-                 "dwell) before the full dump");
+  flags.add_string("timeline", "",
+                   "summarise a JSONL timeline written by --timeline-out "
+                   "(window count/span + per-counter totals)");
+  for (const auto& section : kSections)
+    flags.add_bool(section.flag, false, section.help);
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
                  flags.usage().c_str());
@@ -51,6 +311,14 @@ int main(int argc, char** argv) {
     return 0;
   }
   const std::string path = flags.get_string("in");
+  const std::string timeline_path = flags.get_string("timeline");
+  const std::string prefix = flags.get_string("prefix");
+  const bool csv = flags.get_string("format") == "csv";
+
+  if (!timeline_path.empty()) {
+    if (!render_timeline(timeline_path, csv, prefix)) return 2;
+    if (path.empty()) return 0;  // timeline-only invocation
+  }
   if (path.empty()) {
     std::fprintf(stderr, "--in is required\n%s", flags.usage().c_str());
     return 2;
@@ -72,109 +340,9 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const std::string prefix = flags.get_string("prefix");
-  const bool csv = flags.get_string("format") == "csv";
-  auto print = [&](const Table& table, const char* title) {
-    if (csv) {
-      std::printf("%s", table.to_csv().c_str());
-      return;
-    }
-    std::printf("%s\n%s\n", title, table.render().c_str());
-  };
-
-  if (flags.get_bool("fronthaul")) {
-    // Curated view of the impairment + degradation-ladder counters: the
-    // numbers an operator checks first when the fibre is suspected.
-    auto counter_value = [&](const char* name) -> long long {
-      for (const auto& c : snapshot.counters)
-        if (c.name == name) return static_cast<long long>(c.value);
-      return 0;
-    };
-    Table fronthaul({"fronthaul", "value"});
-    fronthaul.row().cell("lost_bursts").cell(counter_value(
-        "fronthaul.lost_bursts"));
-    fronthaul.row().cell("late_bursts").cell(counter_value(
-        "fronthaul.late_bursts"));
-    fronthaul.row().cell("shed_subframes").cell(counter_value(
-        "fronthaul.shed_subframes"));
-    fronthaul.row().cell("compression_tb_failures").cell(counter_value(
-        "fronthaul.compression_tb_failures"));
-    fronthaul.row().cell("ladder_transitions").cell(counter_value(
-        "fronthaul.ladder_transitions"));
-    double rung = 0.0;
-    for (const auto& g : snapshot.gauges)
-      if (g.name == "fronthaul.ladder_rung") rung = g.value;
-    fronthaul.row().cell("ladder_rung").cell(static_cast<long long>(rung));
-    print(fronthaul, "fronthaul health");
-  }
-
-  if (flags.get_bool("compute")) {
-    // Curated view of the compute-overload subsystem: outage taxonomy,
-    // how hard the effort caps are biting, and where the ladder spent its
-    // time. These are the first numbers to check when the pool rather
-    // than the fibre is the suspected bottleneck.
-    auto counter_value = [&](const char* name) -> long long {
-      for (const auto& c : snapshot.counters)
-        if (c.name == name) return static_cast<long long>(c.value);
-      return 0;
-    };
-    auto gauge_value = [&](const char* name) -> double {
-      for (const auto& g : snapshot.gauges)
-        if (g.name == name) return g.value;
-      return 0.0;
-    };
-    Table compute({"compute", "value"});
-    compute.row().cell("outage_jobs").cell(
-        counter_value("compute.outage_jobs"));
-    compute.row().cell("outage_tbs").cell(counter_value("compute.outage_tbs"));
-    compute.row().cell("outage_ratio").cell(
-        gauge_value("kpi.compute_outage_ratio"), 6);
-    compute.row().cell("effort_capped_tbs").cell(
-        counter_value("compute.capped_tbs"));
-    compute.row().cell("mcs_capped_allocs").cell(
-        counter_value("compute.mcs_capped_allocs"));
-    compute.row().cell("iterations_needed").cell(
-        gauge_value("kpi.decode_iterations_needed"), 0);
-    compute.row().cell("iterations_realized").cell(
-        gauge_value("kpi.decode_iterations_realized"), 0);
-    compute.row().cell("peak_pressure_ttis").cell(
-        gauge_value("kpi.peak_compute_pressure"), 3);
-    compute.row().cell("ladder_effort_cap").cell(
-        gauge_value("compute.ladder_effort_cap"), 0);
-    print(compute, "compute overload");
-
-    // Realized-vs-budgeted iteration distributions (per-TB means, one
-    // observation per submitted subframe job).
-    Table iters({"iterations", "count", "mean", "p50", "p95", "p99"});
-    std::size_t iter_rows = 0;
-    for (const auto& h : snapshot.histograms) {
-      if (h.name != "compute.iterations_needed" &&
-          h.name != "compute.iterations_realized")
-        continue;
-      if (h.total() == 0) continue;
-      iters.row()
-          .cell(h.name)
-          .cell(static_cast<long long>(h.total()))
-          .cell(h.mean(), 3)
-          .cell(h.quantile(0.50), 3)
-          .cell(h.quantile(0.95), 3)
-          .cell(h.quantile(0.99), 3);
-      ++iter_rows;
-    }
-    if (iter_rows > 0) print(iters, "decode effort (iterations per TB)");
-
-    // Per-rung dwell time, exported as compute.ladder_dwell_seconds.rung-N
-    // gauges by the KPI snapshot.
-    Table dwell({"rung", "dwell_seconds"});
-    std::size_t dwell_rows = 0;
-    const std::string dwell_prefix = "compute.ladder_dwell_seconds.";
-    for (const auto& g : snapshot.gauges) {
-      if (g.name.rfind(dwell_prefix, 0) != 0) continue;
-      dwell.row().cell(g.name.substr(dwell_prefix.size())).cell(g.value, 3);
-      ++dwell_rows;
-    }
-    if (dwell_rows > 0) print(dwell, "ladder dwell");
-  }
+  const ReportContext ctx{snapshot, csv, prefix};
+  for (const auto& section : kSections)
+    if (flags.get_bool(section.flag)) section.render(ctx);
 
   Table counters({"counter", "value"});
   std::size_t counter_rows = 0;
@@ -183,7 +351,7 @@ int main(int argc, char** argv) {
     counters.row().cell(c.name).cell(static_cast<long long>(c.value));
     ++counter_rows;
   }
-  if (counter_rows > 0) print(counters, "counters");
+  if (counter_rows > 0) ctx.print(counters, "counters");
 
   Table gauges({"gauge", "value"});
   std::size_t gauge_rows = 0;
@@ -192,7 +360,7 @@ int main(int argc, char** argv) {
     gauges.row().cell(g.name).cell(g.value, 6);
     ++gauge_rows;
   }
-  if (gauge_rows > 0) print(gauges, "gauges");
+  if (gauge_rows > 0) ctx.print(gauges, "gauges");
 
   Table histograms(
       {"histogram", "count", "mean", "p50", "p95", "p99", "overflow"});
@@ -210,7 +378,7 @@ int main(int argc, char** argv) {
         .cell(static_cast<long long>(h.overflow));
     ++histogram_rows;
   }
-  if (histogram_rows > 0) print(histograms, "histograms");
+  if (histogram_rows > 0) ctx.print(histograms, "histograms");
 
   if (counter_rows + gauge_rows + histogram_rows == 0) {
     std::printf("no metrics%s in %s\n",

@@ -14,6 +14,7 @@
 // and no outages, 1 otherwise — handy in scripts.
 
 #include <cstdio>
+#include <exception>
 #include <vector>
 
 #include "common/flags.hpp"
@@ -60,6 +61,15 @@ int main(int argc, char** argv) {
   flags.add_string("trace-out", "",
                    "write Chrome trace-event JSON to this file (open in "
                    "Perfetto or chrome://tracing)");
+  flags.add_string("timeline-out", "",
+                   "stream per-window KPI samples as JSONL to this file "
+                   "(single-replica runs only)");
+  flags.add_double("timeline-window-ms", 100.0,
+                   "timeline sampling window in simulated milliseconds");
+  flags.add_string("postmortem-dir", "",
+                   "directory for anomaly flight-recorder dumps (written "
+                   "when an SLO trips, a quarantine fires, or the run "
+                   "aborts; single-replica runs only)");
 
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
@@ -133,6 +143,26 @@ int main(int argc, char** argv) {
 
   const std::string metrics_out = flags.get_string("metrics-out");
   const std::string trace_out = flags.get_string("trace-out");
+  const std::string timeline_out = flags.get_string("timeline-out");
+  const std::string postmortem_dir = flags.get_string("postmortem-dir");
+  if (replicas > 1 && (!timeline_out.empty() || !postmortem_dir.empty())) {
+    // The timeline samples the process-global registry, which replicate
+    // sweeps share; a merged stream would interleave unrelated runs.
+    std::fprintf(stderr,
+                 "--timeline-out/--postmortem-dir require --replicas 1\n");
+    return 2;
+  }
+  if (!timeline_out.empty() || !postmortem_dir.empty()) {
+    config.timeline.enabled = true;
+    config.timeline.timeline_out = timeline_out;
+    config.timeline.postmortem_dir = postmortem_dir;
+    const double window_ms = flags.get_double("timeline-window-ms");
+    if (window_ms < 1.0) {
+      std::fprintf(stderr, "--timeline-window-ms must be >= 1\n");
+      return 2;
+    }
+    config.timeline.window = sim::from_seconds(window_ms / 1e3);
+  }
   auto write_telemetry = [&] {
     if (!metrics_out.empty())
       telemetry::write_metrics_file(metrics_out);
@@ -207,7 +237,16 @@ int main(int argc, char** argv) {
     deployment.fail_server_at(sim::from_seconds(seconds / 2.0),
                               static_cast<int>(fail_server));
   }
-  deployment.run_for(sim::from_seconds(seconds));
+  try {
+    deployment.run_for(sim::from_seconds(seconds));
+  } catch (const std::exception& e) {
+    // Leave a black box behind before propagating the failure.
+    const std::string dump = deployment.trigger_postmortem("abort", e.what());
+    if (!dump.empty())
+      std::fprintf(stderr, "run aborted; post-mortem at %s\n", dump.c_str());
+    write_telemetry();
+    throw;
+  }
 
   const auto kpis = deployment.kpis();
   Table table({"metric", "value"});
