@@ -167,15 +167,31 @@ EpochReport Controller::replan() {
     for (std::size_t i = 0; i < included.size(); ++i)
       next[included[i]] = compact_to_global[static_cast<std::size_t>(
           result.server_of_cell[i])];
-    for (std::size_t c = 0; c < next.size(); ++c)
-      if (placement_[c] >= 0 && next[c] >= 0 && next[c] != placement_[c])
+    for (std::size_t c = 0; c < next.size(); ++c) {
+      if (placement_[c] >= 0 && next[c] >= 0 && next[c] != placement_[c]) {
         ++report.migrations;
+        // A sink-owned move is a migration *plan*, not a teleport: the
+        // cell keeps running on its current server until the protocol
+        // commits and complete_migration() flips it.
+        if (migration_sink_ &&
+            migration_sink_(static_cast<int>(c), placement_[c], next[c]))
+          next[c] = placement_[c];
+      }
+    }
     placement_ = std::move(next);
     total_migrations_ += report.migrations;
     report.active_servers = PlacementResult{placement_}.active_servers();
   }
   reports_.push_back(report);
   return report;
+}
+
+void Controller::complete_migration(int cell_index, int server_id) {
+  PRAN_REQUIRE(cell_index >= 0 && cell_index < num_cells(),
+               "unknown cell index");
+  PRAN_REQUIRE(server_id >= 0 && server_id < num_servers(),
+               "unknown server id");
+  placement_[static_cast<std::size_t>(cell_index)] = server_id;
 }
 
 int Controller::server_of(int cell_index) const {
@@ -214,8 +230,13 @@ int Controller::handle_failure(int server_id, sim::Time now) {
 
   // Rescue the failed server's cells, largest first (best packing odds).
   std::vector<std::size_t> victims;
-  for (std::size_t c = 0; c < placement_.size(); ++c)
-    if (placement_[c] == server_id) victims.push_back(c);
+  for (std::size_t c = 0; c < placement_.size(); ++c) {
+    if (placement_[c] != server_id) continue;
+    // Cells whose fate another subsystem owns (commit-phase migrations
+    // resolving by lease takeover) are not failover victims.
+    if (failover_filter_ && failover_filter_(static_cast<int>(c))) continue;
+    victims.push_back(c);
+  }
   std::sort(victims.begin(), victims.end(), [&](std::size_t a, std::size_t b) {
     return estimated_demand(static_cast<int>(a)) >
            estimated_demand(static_cast<int>(b));

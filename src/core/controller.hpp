@@ -14,6 +14,7 @@
 ///    re-packed into the survivors' spare capacity (first-fit), without
 ///    waiting for the next epoch.
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -100,6 +101,26 @@ class Controller {
   /// on infeasibility the previous placement is kept.
   EpochReport replan();
 
+  /// Migration sink: when installed, replan() hands every changed-cell
+  /// reassignment (old >= 0, new >= 0, new != old) to the sink instead of
+  /// teleporting the cell. A sink returning true owns the move — the cell
+  /// keeps its old placement until complete_migration() flips it; false
+  /// falls back to the legacy instant flip.
+  void set_migration_sink(std::function<bool(int cell, int from, int to)> sink) {
+    migration_sink_ = std::move(sink);
+  }
+
+  /// Finishes a sink-owned migration: points the placement at the new
+  /// server (called at commit/takeover time by the MigrationManager).
+  void complete_migration(int cell_index, int server_id);
+
+  /// Failover filter: handle_failure() skips cells for which this returns
+  /// true (another subsystem owns their fate — e.g. a migration in its
+  /// commit phase resolves by lease-expiry takeover, not re-packing).
+  void set_failover_filter(std::function<bool(int cell)> filter) {
+    failover_filter_ = std::move(filter);
+  }
+
   /// Server currently hosting a cell (-1 if the cell is in outage).
   int server_of(int cell_index) const;
   const std::vector<int>& placement() const noexcept { return placement_; }
@@ -148,8 +169,10 @@ class Controller {
   std::vector<bool> cell_quarantined_;  ///< Ladder quarantine (optional).
   std::vector<int> placement_;          ///< Current cell -> server (-1 outage).
   std::vector<EpochReport> reports_;
+  std::function<bool(int, int, int)> migration_sink_;
+  std::function<bool(int)> failover_filter_;
   std::int64_t epoch_counter_ = 0;
-  int total_migrations_ = 0;
+  int total_migrations_ = 0;  ///< Planned moves (sink-owned ones included).
 };
 
 }  // namespace pran::core

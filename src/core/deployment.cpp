@@ -146,6 +146,49 @@ Deployment::Deployment(DeploymentConfig config)
   controller_ = std::make_unique<Controller>(config_.controller, make_placer(),
                                              specs, std::move(initial));
 
+  // Crash-safe migration: epoch repartitions become two-phase handoff
+  // plans (the sink), placement flips only at commit (the completion
+  // callback), and commit-phase cells with a dead source resolve by lease
+  // takeover instead of failover re-packing (the filter).
+  if (config_.migration.enabled) {
+    migration_ = std::make_unique<MigrationManager>(
+        config_.migration, engine_, config_.num_cells, config_.num_servers,
+        config_.seed * 0x9E3779B9u + 0xCE);
+    migration_->set_complete_callback([this](int cell, int server) {
+      controller_->complete_migration(cell, server);
+    });
+    migration_->set_event_callback(
+        [this](const MigrationRecord& rec, std::string_view event) {
+          std::ostringstream os;
+          os << "cell " << rec.cell << " " << rec.from << "->" << rec.to
+             << " " << event;
+          if (!rec.detail.empty()) os << " (" << rec.detail << ")";
+          trace_.emit(engine_.now(), "migration", os.str());
+          if (!flight_) return;
+          if (event != "committed")
+            flight_->record_event(engine_.now(), "migration",
+                                  "cell " + std::to_string(rec.cell) + " " +
+                                      std::string(event) +
+                                      (rec.detail.empty() ? ""
+                                                          : ": " + rec.detail));
+          // Burning a whole retry budget means the control plane is in
+          // serious trouble: worth a black-box dump (rate-limited by the
+          // recorder's dump budget).
+          if (event == "retry_exhausted")
+            flight_->trigger(engine_.now(), "migration_retry_exhausted",
+                             "cell " + std::to_string(rec.cell) + ": " +
+                                 rec.detail);
+        });
+    controller_->set_migration_sink([this](int cell, int from, int to) {
+      migration_->begin(cell, from, to);
+      // Handled regardless of outcome: with the manager on, placement
+      // never teleports — deferred/in-flight cells stay on their source.
+      return true;
+    });
+    controller_->set_failover_filter(
+        [this](int cell) { return migration_->holds_failover(cell); });
+  }
+
   // Dropped jobs are failovers in flight: resubmit to the cell's (already
   // re-planned) new server if one exists; otherwise the subframe is gone
   // over the air and owes its HARQ consequence like any missed decode.
@@ -154,7 +197,11 @@ Deployment::Deployment(DeploymentConfig config)
         if (monitor_ && executor_->is_failed(server_id) &&
             !monitor_->believes_down(server_id))
           ++blind_window_drops_;
-        const int target = controller_->server_of(job.cell_id);
+        const int placed = controller_->server_of(job.cell_id);
+        const int target =
+            migration_
+                ? migration_->routed_server(job.cell_id, engine_.now(), placed)
+                : placed;
         if (target >= 0 && !executor_->is_failed(target) &&
             engine_.now() < job.deadline) {
           executor_->submit(target, job);
@@ -225,6 +272,9 @@ Deployment::Deployment(DeploymentConfig config)
       PRAN_HIST_OBSERVE("monitor.detection_latency_ms", 0.0, 1000.0, 50,
                         sim::to_seconds(latency) * 1e3);
       close_energy_interval();
+      // Detection order matters: the migration manager first (it decides
+      // which cells resolve by lease takeover), then the failover.
+      if (migration_) migration_->on_server_failed(server_id);
       failover_outages_ += controller_->handle_failure(server_id, at);
       current_active_servers_ =
           PlacementResult{controller_->placement()}.active_servers();
@@ -326,6 +376,14 @@ void Deployment::tick() {
     // quality sequence never shifts when the ladder moves.
     const double quality_draw = degradation_ ? quality_rng_.uniform() : 1.0;
 
+    // Migration routing decision — exactly one call per (cell, TTI): it
+    // counts blackout TTIs and meters out the state-transfer bits that
+    // ride the fronthaul alongside this cell's I/Q burst.
+    MigrationManager::TickDecision mig;
+    mig.server = controller_->server_of(static_cast<int>(c));
+    if (migration_)
+      mig = migration_->on_tick(static_cast<int>(c), tti_counter_, mig.server);
+
     if (degradation_ && degradation_->cell_quarantined(static_cast<int>(c))) {
       // Ladder took the cell out of service: radio off, so no I/Q hits
       // the wire — quarantine is the one rung that relieves the fibre
@@ -343,8 +401,12 @@ void Deployment::tick() {
       // Denominator for the fronthaul_late_rate SLO: every burst offered
       // to the fibre, lost or not.
       PRAN_COUNTER_INC("fronthaul.bursts");
-      const fronthaul::BurstOutcome outcome = fronthaul_link_->enqueue_burst(
-          ready, fronthaul_bits_per_subframe_);
+      units::Bits burst_bits = fronthaul_bits_per_subframe_;
+      if (mig.transfer_bits > 0.0)
+        burst_bits += units::Bits{
+            static_cast<std::int64_t>(mig.transfer_bits)};
+      const fronthaul::BurstOutcome outcome =
+          fronthaul_link_->enqueue_burst(ready, burst_bits);
       burst_lost = outcome.lost;
       if (!outcome.lost) job.release = std::max(job.release, outcome.arrival);
     }
@@ -359,9 +421,17 @@ void Deployment::tick() {
       handle_harq_loss(job);
       continue;
     }
-    const int server = controller_->server_of(static_cast<int>(c));
+    const int server = mig.server;
     if (server < 0) {
-      ++outage_cell_ttis_;  // cell in outage: traffic lost this TTI
+      if (mig.blackout) {
+        // Migration blackout (fence gap, takeover wait, or the naive
+        // baseline's dark transfer): the decode never runs, so the UE
+        // hears no ACK and the HARQ debt comes due — the real handoff
+        // cost E22 measures.
+        handle_harq_loss(job);
+      } else {
+        ++outage_cell_ttis_;  // cell in outage: traffic lost this TTI
+      }
       continue;
     }
     if (degradation_ && degradation_->shedding() &&
@@ -437,6 +507,8 @@ void Deployment::tick() {
                         static_cast<double>(job.decode_iterations_realized) /
                             tbs);
     }
+    if (migration_)
+      migration_->record_execution(static_cast<int>(c), tti_counter_, server);
     executor_->submit(server, job);
     if (quality_draw < compression_penalty_) {
       // The decode will run, but the harder compression cost this
@@ -538,6 +610,14 @@ void Deployment::epoch_replan() {
     trace_.emit(engine_.now(), "quarantine",
                 std::to_string(released) + " server(s) released");
 
+  // Degradation gate: while the ladder sheds or quarantines, the system
+  // has no headroom for handoff blackouts and transfer traffic — new
+  // migrations are deferred until the ladder recovers.
+  if (migration_)
+    migration_->set_deferral(degradation_ != nullptr &&
+                             (degradation_->shedding() ||
+                              degradation_->quarantining()));
+
   const auto report = [this] {
     PRAN_SPAN("controller_replan");
     return controller_->replan();
@@ -608,8 +688,11 @@ void Deployment::on_server_fault(int server_id, faults::FaultKind kind) {
   fault_time_[static_cast<std::size_t>(server_id)] = engine_.now();
   if (monitor_) return;  // the controller stays blind until detection
   // Oracle mode: re-place cells *before* the injector fails the executor,
-  // so the drop callback forwards in-flight jobs to their new homes.
+  // so the drop callback forwards in-flight jobs to their new homes. The
+  // migration manager hears first — commit-phase cells with a dead source
+  // resolve by lease takeover and must be filtered out of the failover.
   close_energy_interval();
+  if (migration_) migration_->on_server_failed(server_id);
   failover_outages_ +=
       controller_->handle_failure(server_id, engine_.now());
   current_active_servers_ =
@@ -623,6 +706,9 @@ void Deployment::on_server_recovery(int server_id, faults::FaultKind kind) {
 }
 
 void Deployment::record_recovery_decision(int server_id, sim::Time now) {
+  // The server is physically up again (even if the controller quarantines
+  // it): leases may route to it once re-granted.
+  if (migration_) migration_->on_server_recovered(server_id);
   const auto decision = controller_->handle_recovery(server_id, now);
   if (!decision.accepted) PRAN_COUNTER_INC("controller.quarantine_events");
   if (!decision.accepted)
@@ -666,7 +752,10 @@ void Deployment::handle_harq_loss(const lte::SubframeJob& job) {
   ++retx.harq_retx;
   retx.release += lte::kHarqProcesses * sim::kTti;
   retx.deadline += lte::kHarqProcesses * sim::kTti;
-  const int target = controller_->server_of(retx.cell_id);
+  const int placed = controller_->server_of(retx.cell_id);
+  const int target =
+      migration_ ? migration_->routed_server(retx.cell_id, engine_.now(), placed)
+                 : placed;
   if (target < 0 || executor_->is_failed(target)) {
     ++lost_tbs_;
     return;
@@ -758,6 +847,22 @@ DeploymentKpis Deployment::kpis() const {
   k.offered_tb_bits = offered_tb_bits_;
   k.delivered_tb_bits = delivered_tb_bits_;
   k.peak_compute_pressure = peak_compute_pressure_;
+
+  if (migration_) {
+    const MigrationCounters& mc = migration_->counters();
+    k.migrations_started = mc.started;
+    k.migrations_committed = mc.committed;
+    k.migrations_aborted = mc.aborted;
+    k.migrations_rolled_back = mc.rolled_back;
+    k.migrations_taken_over = mc.taken_over;
+    k.migration_retries = mc.retries;
+    k.migrations_deferred = mc.deferred;
+    k.migration_deadline_expired = mc.deadline_expired;
+    k.migration_stale_messages = mc.stale_messages;
+    k.migration_blackout_ttis = mc.blackout_ttis;
+    k.migration_dual_executions = mc.dual_executions;
+    k.mean_handoff_latency_ms = mc.mean_handoff_latency_ms();
+  }
 
   k.faults_injected = injector_->faults_delivered();
   k.degrade_events = injector_->degrade_faults();

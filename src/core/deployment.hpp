@@ -21,6 +21,7 @@
 #include "common/rng.hpp"
 #include "core/controller.hpp"
 #include "core/degradation.hpp"
+#include "core/migration.hpp"
 #include "core/overload.hpp"
 #include "core/pipeline.hpp"
 #include "faults/fronthaul.hpp"
@@ -91,6 +92,11 @@ struct DeploymentConfig {
 
   /// Controller re-planning period in simulated time.
   sim::Time epoch = 500 * sim::kMillisecond;
+  /// Crash-safe cell migration (see migration.hpp): when enabled, epoch
+  /// repartitions emit two-phase migration plans instead of teleporting
+  /// cells, with lease fencing and a lossy control plane. Off by default:
+  /// the legacy instant reassignment stays bit-identical.
+  MigrationConfig migration;
   /// One-way fronthaul latency (25 µs ~ 5 km of fibre).
   sim::Time fronthaul_latency = 25 * sim::kMicrosecond;
 
@@ -230,6 +236,26 @@ struct DeploymentKpis {
   double delivered_tb_bits = 0.0;
   /// Worst per-server compute backlog seen over the run, in TTIs.
   double peak_compute_pressure = 0.0;
+  /// Cell-migration protocol outcomes (all zero unless migration.enabled;
+  /// `migrations` above still counts *planned* moves).
+  std::uint64_t migrations_started = 0;
+  std::uint64_t migrations_committed = 0;
+  std::uint64_t migrations_aborted = 0;
+  std::uint64_t migrations_rolled_back = 0;
+  /// Lease-expiry takeovers (source crashed after the state transfer).
+  std::uint64_t migrations_taken_over = 0;
+  std::uint64_t migration_retries = 0;
+  std::uint64_t migrations_deferred = 0;
+  std::uint64_t migration_deadline_expired = 0;
+  /// Fenced duplicates / reordered strays rejected by token checks.
+  std::uint64_t migration_stale_messages = 0;
+  /// Cell-TTIs unowned because of a migration window (fence gap, takeover
+  /// wait, or the naive baseline's dark transfer).
+  std::uint64_t migration_blackout_ttis = 0;
+  /// Cell-TTIs granted to two servers. Zero by construction — a nonzero
+  /// value is a ContractViolation before it is a KPI.
+  std::uint64_t migration_dual_executions = 0;
+  double mean_handoff_latency_ms = 0.0;
 };
 
 class Deployment {
@@ -279,6 +305,10 @@ class Deployment {
   /// Degradation ladder (nullptr unless enabled).
   const DegradationController* degradation() const noexcept {
     return degradation_.get();
+  }
+  /// Migration manager (nullptr unless config().migration.enabled).
+  const MigrationManager* migration() const noexcept {
+    return migration_.get();
   }
   const sim::Trace& trace() const noexcept { return trace_; }
   const DeploymentConfig& config() const noexcept { return config_; }
@@ -345,6 +375,7 @@ class Deployment {
   std::vector<lte::SubframeFactory> factories_;
   std::unique_ptr<cluster::Executor> executor_;
   std::unique_ptr<Controller> controller_;
+  std::unique_ptr<MigrationManager> migration_;
   std::unique_ptr<faults::FaultInjector> injector_;
   std::optional<faults::HealthMonitor> monitor_;
   std::optional<fronthaul::FronthaulLink> fronthaul_link_;

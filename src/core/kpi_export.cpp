@@ -65,6 +65,25 @@ void export_kpis(const DeploymentKpis& kpis,
   set("offered_tb_bits", kpis.offered_tb_bits);
   set("delivered_tb_bits", kpis.delivered_tb_bits);
   set("peak_compute_pressure", kpis.peak_compute_pressure);
+  set("migrations_started", static_cast<double>(kpis.migrations_started));
+  set("migrations_committed",
+      static_cast<double>(kpis.migrations_committed));
+  set("migrations_aborted", static_cast<double>(kpis.migrations_aborted));
+  set("migrations_rolled_back",
+      static_cast<double>(kpis.migrations_rolled_back));
+  set("migrations_taken_over",
+      static_cast<double>(kpis.migrations_taken_over));
+  set("migration_retries", static_cast<double>(kpis.migration_retries));
+  set("migrations_deferred", static_cast<double>(kpis.migrations_deferred));
+  set("migration_deadline_expired",
+      static_cast<double>(kpis.migration_deadline_expired));
+  set("migration_stale_messages",
+      static_cast<double>(kpis.migration_stale_messages));
+  set("migration_blackout_ttis",
+      static_cast<double>(kpis.migration_blackout_ttis));
+  set("migration_dual_executions",
+      static_cast<double>(kpis.migration_dual_executions));
+  set("mean_handoff_latency_ms", kpis.mean_handoff_latency_ms);
 }
 
 void export_deployment(const Deployment& deployment,

@@ -253,6 +253,7 @@ void rule_fault_switch_default(const std::string& path, const Toks& t,
     for (std::size_t j = body_begin; j < body_end; ++j) {
       if (is_ident(t[j], "FaultKind")) guarded = "FaultKind";
       if (is_ident(t[j], "RungKind")) guarded = "RungKind";
+      if (is_ident(t[j], "MigrationState")) guarded = "MigrationState";
       if (is_ident(t[j], "default") && next_is(t, j, ":")) has_default = true;
     }
     if (guarded && has_default) {
@@ -592,8 +593,8 @@ const std::vector<RuleInfo>& rule_catalog() {
        "Executor fault mutators called outside src/faults/; faults flow "
        "through faults::FaultInjector"},
       {"fault-switch-default",
-       "switch over FaultKind or RungKind with a default label defeats "
-       "-Werror=switch exhaustiveness"},
+       "switch over FaultKind, RungKind or MigrationState with a default "
+       "label defeats -Werror=switch exhaustiveness"},
       {"adhoc-timing",
        "std::chrono or printf-family in library code; measure through "
        "telemetry"},

@@ -1,0 +1,30 @@
+// Fixture: a cell-handoff MigrationState switch hiding behind a default
+// label. The migration protocol's crash matrix and resolution paths must
+// enumerate every state explicitly — a default would let a newly added
+// state (say a future kDraining phase) silently take the "treat it as
+// settled" branch instead of failing the build [fault-switch-default].
+
+namespace fixture {
+
+enum class MigrationState {
+  kPreparing,
+  kTransferring,
+  kCommitting,
+  kCommitted,
+  kAborted,
+  kRolledBack,
+  kTakenOver,
+};
+
+inline bool migration_is_terminal(MigrationState state) {
+  switch (state) {
+    case MigrationState::kPreparing:
+    case MigrationState::kTransferring:
+    case MigrationState::kCommitting:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace fixture

@@ -190,6 +190,65 @@ void render_slo(const ReportContext& ctx) {
   ctx.print(table, "slo verdicts");
 }
 
+/// Cell-handoff protocol health: outcome taxonomy for every migration the
+/// controller planned, the control-plane retry/staleness pressure, and
+/// the two hard invariants (dual executions and orphaned cells must both
+/// be zero — a nonzero value here is a protocol bug, not an operating
+/// condition).
+void render_migration(const ReportContext& ctx) {
+  Table outcomes({"migration", "value"});
+  outcomes.row().cell("started").cell(ctx.counter_value("migration.started"));
+  outcomes.row().cell("committed").cell(
+      ctx.counter_value("migration.committed"));
+  outcomes.row().cell("aborted").cell(ctx.counter_value("migration.aborted"));
+  outcomes.row().cell("rolled_back").cell(
+      ctx.counter_value("migration.rolled_back"));
+  outcomes.row().cell("taken_over").cell(
+      ctx.counter_value("migration.taken_over"));
+  outcomes.row().cell("deferred").cell(
+      ctx.counter_value("migration.deferred"));
+  outcomes.row().cell("deadline_expired").cell(
+      ctx.counter_value("migration.deadline_expired"));
+  ctx.print(outcomes, "migration outcomes");
+
+  Table control({"control_plane", "value"});
+  control.row().cell("retries").cell(ctx.counter_value("migration.retried"));
+  control.row().cell("retry_exhaustions").cell(
+      ctx.counter_value("migration.retry_exhausted"));
+  control.row().cell("stale_messages").cell(
+      ctx.counter_value("migration.stale_messages"));
+  control.row().cell("blackout_ttis").cell(
+      ctx.counter_value("migration.blackout_ttis"));
+  control.row().cell("mean_handoff_latency_ms").cell(
+      ctx.gauge_value("kpi.mean_handoff_latency_ms"), 3);
+  ctx.print(control, "migration control plane");
+
+  // Handoff latency digest straight from the protocol's histogram (one
+  // observation per committed or taken-over handoff).
+  Table latency({"histogram", "count", "mean", "p50", "p95", "p99"});
+  for (const auto& h : ctx.snapshot.histograms) {
+    if (h.name != "migration.handoff_latency_ms" || h.total() == 0) continue;
+    latency.row()
+        .cell(h.name)
+        .cell(static_cast<long long>(h.total()))
+        .cell(h.mean(), 3)
+        .cell(h.quantile(0.50), 3)
+        .cell(h.quantile(0.95), 3)
+        .cell(h.quantile(0.99), 3);
+    ctx.print(latency, "handoff latency");
+  }
+
+  const long long dual = ctx.counter_value("migration.dual_execution");
+  const long long dual_kpi =
+      static_cast<long long>(ctx.gauge_value("kpi.migration_dual_executions"));
+  Table invariants({"invariant", "value", "verdict"});
+  invariants.row()
+      .cell("dual_executions")
+      .cell(std::max(dual, dual_kpi))
+      .cell(std::max(dual, dual_kpi) == 0 ? "OK" : "VIOLATED");
+  ctx.print(invariants, "migration invariants");
+}
+
 /// The section-dispatch table: one row per curated view. Adding a
 /// section means adding a flag + renderer pair here; main() owns no
 /// per-section logic.
@@ -213,6 +272,11 @@ constexpr Section kSections[] = {
      "print the SLO verdict table (objective, run rate, error-budget "
      "consumption, burn-rate trips) before the full dump",
      render_slo},
+    {"migration",
+     "print the cell-handoff summary (migration outcome taxonomy, "
+     "control-plane retry pressure, handoff-latency digest, "
+     "dual-execution invariant) before the full dump",
+     render_migration},
 };
 
 // --- timeline (JSONL) summary ----------------------------------------------
